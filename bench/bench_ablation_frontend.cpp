@@ -1,0 +1,97 @@
+// Ablation: the NFS frontend deployment — the design variable the paper
+// identifies as decisive. Holding the Wombat VAST hardware fixed, sweep:
+//   (1) transport: TCP vs RDMA
+//   (2) nconnect: 1..32 sessions per client
+//   (3) gateway link speed for TCP deployments (Quartz/Ruby/Lassen-like)
+// Full-node IOR sequential write/read on 4 nodes.
+
+#include <cstdio>
+
+#include "cluster/deployments.hpp"
+#include "ior/ior_runner.hpp"
+#include "util/table.hpp"
+
+using namespace hcsim;
+
+namespace {
+
+double runGBs(const VastConfig& cfg, AccessPattern access, std::size_t nodes) {
+  TestBench bench(Machine::wombat(), nodes);
+  auto fs = bench.attachVast(cfg);
+  IorRunner runner(bench, *fs);
+  IorConfig ior = IorConfig::scalability(access, nodes, 48);
+  return units::toGBs(runner.run(ior).bandwidth.mean);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: VAST NFS frontend (Wombat hardware, 4 nodes) ==\n\n");
+
+  {
+    ResultTable t("Transport: TCP vs RDMA (same appliance)");
+    t.setHeader({"transport", "nconnect", "write GB/s", "read GB/s"});
+    for (int useRdma = 0; useRdma <= 1; ++useRdma) {
+      VastConfig cfg = vastOnWombat();
+      if (!useRdma) {
+        cfg.name = "VAST-tcp-ablation";
+        cfg.transport = NfsTransport::Tcp;
+        cfg.nconnect = 1;
+        cfg.multipath = false;
+        cfg.gateway.present = true;
+        cfg.gateway.nodes = 1;
+        cfg.gateway.linksPerNode = 2;
+        cfg.gateway.linkBandwidth = units::gbps(100);
+      }
+      t.addRow({std::string(toString(cfg.transport)),
+                static_cast<double>(cfg.sessionsPerClient()),
+                runGBs(cfg, AccessPattern::SequentialWrite, 4),
+                runGBs(cfg, AccessPattern::SequentialRead, 4)});
+    }
+    std::printf("%s\n", t.toString().c_str());
+  }
+
+  {
+    ResultTable t("nconnect sweep (RDMA, multipath)");
+    t.setHeader({"nconnect", "write GB/s", "read GB/s"});
+    for (std::size_t n : {1u, 2u, 4u, 8u, 16u, 32u}) {
+      VastConfig cfg = vastOnWombat();
+      cfg.name = "VAST-nc" + std::to_string(n);
+      cfg.nconnect = n;
+      t.addRow({static_cast<double>(n), runGBs(cfg, AccessPattern::SequentialWrite, 4),
+                runGBs(cfg, AccessPattern::SequentialRead, 4)});
+    }
+    std::printf("%s\n", t.toString().c_str());
+  }
+
+  {
+    ResultTable t("TCP gateway pool sweep (the Lassen/Ruby/Quartz variable)");
+    t.setHeader({"gateway pool", "agg Gb/s", "write GB/s", "read GB/s"});
+    const struct {
+      const char* label;
+      std::size_t nodes, links;
+      double gbps;
+    } pools[] = {
+        {"32x 2x1Gb (Quartz-like)", 32, 2, 1},
+        {"8x 1x40Gb (Ruby-like)", 8, 1, 40},
+        {"1x 2x100Gb (Lassen-like)", 1, 2, 100},
+    };
+    for (const auto& p : pools) {
+      VastConfig cfg = vastOnWombat();
+      cfg.name = std::string("VAST-gw-") + std::to_string(p.nodes);
+      cfg.transport = NfsTransport::Tcp;
+      cfg.nconnect = 1;
+      cfg.multipath = false;
+      cfg.gateway.present = true;
+      cfg.gateway.nodes = p.nodes;
+      cfg.gateway.linksPerNode = p.links;
+      cfg.gateway.linkBandwidth = units::gbps(p.gbps);
+      t.addRow({std::string(p.label),
+                static_cast<double>(p.nodes * p.links) * p.gbps,
+                runGBs(cfg, AccessPattern::SequentialWrite, 4),
+                runGBs(cfg, AccessPattern::SequentialRead, 4)});
+    }
+    std::printf("%s\n", t.toString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Ablation: VAST hardware inventory — the "storage system configuration"
+// dimension (paper §I): CNode count, DBox count, SCM vs QLC balance, and
+// the similarity-reduction ratio. Wombat frontend (RDMA nconnect=16),
+// full-node IOR on 4 nodes.
+
+#include <cstdio>
+
+#include "cluster/deployments.hpp"
+#include "ior/ior_runner.hpp"
+#include "util/table.hpp"
+
+using namespace hcsim;
+
+namespace {
+
+double runGBs(const VastConfig& cfg, AccessPattern access, std::size_t nodes = 4) {
+  TestBench bench(Machine::wombat(), nodes);
+  auto fs = bench.attachVast(cfg);
+  IorRunner runner(bench, *fs);
+  IorConfig ior = IorConfig::scalability(access, nodes, 48);
+  return units::toGBs(runner.run(ior).bandwidth.mean);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Ablation: VAST hardware configuration (RDMA frontend, 4 nodes) ==\n\n");
+
+  {
+    ResultTable t("CNode count (paper: ML saturates at 8 nodes ~ 8 CNodes)");
+    t.setHeader({"cnodes", "write GB/s", "seq read GB/s", "rand read GB/s"});
+    for (std::size_t c : {2u, 4u, 8u, 16u, 32u}) {
+      VastConfig cfg = vastOnWombat();
+      cfg.name = "VAST-c" + std::to_string(c);
+      cfg.cnodes = c;
+      t.addRow({static_cast<double>(c), runGBs(cfg, AccessPattern::SequentialWrite),
+                runGBs(cfg, AccessPattern::SequentialRead),
+                runGBs(cfg, AccessPattern::RandomRead)});
+    }
+    std::printf("%s\n", t.toString().c_str());
+  }
+
+  {
+    ResultTable t("DBox count (fabric + device pool scaling)");
+    t.setHeader({"dboxes", "write GB/s", "seq read GB/s"});
+    for (std::size_t d : {1u, 2u, 4u, 8u}) {
+      VastConfig cfg = vastOnWombat();
+      cfg.name = "VAST-d" + std::to_string(d);
+      cfg.dboxes = d;
+      t.addRow({static_cast<double>(d), runGBs(cfg, AccessPattern::SequentialWrite),
+                runGBs(cfg, AccessPattern::SequentialRead)});
+    }
+    std::printf("%s\n", t.toString().c_str());
+  }
+
+  {
+    ResultTable t("DNode cache size (read-path benefit)");
+    t.setHeader({"cache GiB", "seq read GB/s", "rand read GB/s"});
+    for (Bytes gib : {0ull, 64ull, 512ull, 4096ull, 16384ull}) {
+      VastConfig cfg = vastOnWombat();
+      cfg.name = "VAST-cache" + std::to_string(gib);
+      cfg.dnodeCacheBytes = gib * units::GiB;
+      t.addRow({static_cast<double>(gib), runGBs(cfg, AccessPattern::SequentialRead),
+                runGBs(cfg, AccessPattern::RandomRead)});
+    }
+    std::printf("%s\n", t.toString().c_str());
+  }
+
+  {
+    ResultTable t("Similarity reduction ratio (QLC relief vs CNode burden)");
+    t.setHeader({"reduction", "write GB/s"});
+    for (double r : {0.0, 0.2, 0.35, 0.5, 0.7}) {
+      VastConfig cfg = vastOnWombat();
+      cfg.name = "VAST-red" + std::to_string(static_cast<int>(r * 100));
+      cfg.dataReductionRatio = r;
+      t.addRow({r, runGBs(cfg, AccessPattern::SequentialWrite)});
+    }
+    std::printf("%s\n", t.toString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Engine micro-benchmarks (google-benchmark): simulator event loop, flow
+// network re-rating, LRU/prefetch caches — the hot paths behind every
+// figure bench.
+
+#include <benchmark/benchmark.h>
+
+#include "cache/lru_cache.hpp"
+#include "cache/prefetch_cache.hpp"
+#include "net/flow_network.hpp"
+#include "sim/simulator.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace hcsim;
+
+void BM_SimulatorScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Simulator sim;
+    Rng rng(42);
+    for (std::size_t i = 0; i < n; ++i) {
+      sim.schedule(rng.uniform(), [] {});
+    }
+    sim.run();
+    benchmark::DoNotOptimize(sim.eventsDispatched());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_SimulatorScheduleRun)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_FlowNetworkConcurrentFlows(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Simulator sim;
+    FlowNetwork net(sim);
+    const LinkId shared = net.addLink("shared", 1e9);
+    std::size_t done = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      FlowSpec spec;
+      spec.bytes = 1'000'000;
+      spec.route = {shared};
+      net.startFlow(spec, [&done](const FlowCompletion&) { ++done; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FlowNetworkConcurrentFlows)->Arg(16)->Arg(128)->Arg(512);
+
+void BM_LruCacheTouch(benchmark::State& state) {
+  LruCache cache(1 << 20);
+  for (std::uint64_t k = 0; k < 1024; ++k) cache.insert(k, 1024);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.touch(rng.uniformInt(2048)));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_LruCacheTouch);
+
+void BM_PrefetchCacheSequentialRead(benchmark::State& state) {
+  PrefetchCache cache(64 * 1024 * 1024, 4096, 8);
+  Bytes offset = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.read(1, offset, 4096));
+    offset += 4096;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PrefetchCacheSequentialRead);
+
+void BM_RngNormal(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.normal(1.0, 0.1));
+  }
+}
+BENCHMARK(BM_RngNormal);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Fig 1 — "The differences between VAST and GPFS on Lassen."
+//
+// The paper's Fig 1 is an architecture diagram; the simulator equivalent
+// is the wired topology. This bench instantiates both deployments and
+// dumps every link (name, capacity, latency), making the single-gateway
+// TCP funnel of Fig 1a vs the 16-NSD fan-out of Fig 1b visible.
+
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "util/table.hpp"
+
+using namespace hcsim;
+
+namespace {
+
+void dump(const char* title, Site site, StorageKind kind) {
+  Environment env = makeEnvironment(site, kind, /*nodes=*/2);
+  // Touch the model so lazily created per-node links (sessions, client
+  // caps) exist for both wired nodes.
+  PhaseSpec ph;
+  ph.pattern = AccessPattern::SequentialWrite;
+  ph.requestSize = units::MiB;
+  ph.nodes = 2;
+  ph.procsPerNode = 2;
+  env.fs->beginPhase(ph);
+  for (std::uint32_t n = 0; n < 2; ++n) {
+    IoRequest req;
+    req.client = ClientId{n, 0};
+    req.fileId = n + 1;
+    req.bytes = units::MiB;
+    req.pattern = AccessPattern::SequentialWrite;
+    env.fs->submit(req, nullptr);
+  }
+  env.bench->sim().run();
+  env.fs->endPhase();
+
+  ResultTable t(title);
+  t.setHeader({"link", "capacity GB/s", "latency us"});
+  for (const auto& ls : env.bench->topo().network().linkStats()) {
+    t.addRow({ls.name, units::toGBs(ls.capacity), ls.latency * 1e6});
+  }
+  t.setPrecision(2);
+  std::printf("%s\n", t.toString().c_str());
+  std::printf("total capacity: %s\n\n", formatBytes(env.fs->totalCapacity()).c_str());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Fig 1: architecture of the two Lassen deployments ==\n\n");
+  dump("Fig 1a: VAST on Lassen (NFS/TCP through one gateway node)", Site::Lassen,
+       StorageKind::Vast);
+  dump("Fig 1b: GPFS on Lassen (16 NSD servers, HDD RAID)", Site::Lassen, StorageKind::Gpfs);
+  return 0;
+}

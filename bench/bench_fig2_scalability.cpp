@@ -1,0 +1,58 @@
+// Fig 2 — "Scalability test results for scientific simulations, data
+// analytics and ML applications."
+//
+//  (a) Lassen: VAST vs GPFS, 44 procs/node, 1..128 nodes
+//  (b) Wombat: VAST vs NVMe, 48 procs/node, 1..8 nodes
+//
+// Three workloads simulated with IOR exactly as §IV-C1: sequential write
+// (scientific), sequential read (data analytics), random read (ML);
+// POSIX N-N, 1 MiB block/transfer, 3000 segments (~120 GB/node), reads
+// issued by a different client than the writer, 10 repetitions.
+
+#include <cstdio>
+
+#include "core/calibration.hpp"
+#include "core/sweep.hpp"
+
+using namespace hcsim;
+
+namespace {
+
+constexpr double kNoise = 0.03;
+constexpr std::size_t kReps = calibration::kRepetitions;
+
+void panel(const char* figure, Site site, StorageKind a, StorageKind b, std::size_t maxNodes,
+           std::size_t ppn) {
+  const auto nodeCounts = powersOfTwo(maxNodes);
+  const struct {
+    const char* name;
+    AccessPattern pattern;
+  } workloads[] = {
+      {"scientific (seq write)", AccessPattern::SequentialWrite},
+      {"data analytics (seq read)", AccessPattern::SequentialRead},
+      {"ML (random read)", AccessPattern::RandomRead},
+  };
+  for (const auto& w : workloads) {
+    std::vector<Series> series;
+    for (StorageKind kind : {a, b}) {
+      Series s;
+      s.label = toString(kind);
+      s.points = runIorNodeSweep(site, kind, w.pattern, nodeCounts, ppn, kReps, kNoise);
+      series.push_back(std::move(s));
+    }
+    ResultTable t = makeFigureTable(std::string(figure) + " " + toString(site) + " — " + w.name,
+                                    "nodes", series, /*spread=*/true);
+    std::printf("%s\n", t.toString().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Fig 2: IOR scalability, full nodes, ~120 GB/node ==\n\n");
+  panel("Fig 2a", Site::Lassen, StorageKind::Vast, StorageKind::Gpfs,
+        calibration::kScalabilityMaxNodesLassen, calibration::kLassenProcsPerNode);
+  panel("Fig 2b", Site::Wombat, StorageKind::Vast, StorageKind::NvmeLocal,
+        calibration::kScalabilityMaxNodesWombat, calibration::kWombatProcsPerNode);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Fig 3 — "Single node test with fsync results for scientific
+// simulations and data analytics."
+//
+// One compute node, 1..32 processes, write synchronization (fsync after
+// every write) for the write workload; per-op simulation so commit
+// queueing at servers/devices is exercised. Four panels:
+//   (a) Lassen: VAST vs GPFS     (b) Quartz: VAST vs Lustre
+//   (c) Ruby:   VAST vs Lustre   (d) Wombat: VAST vs NVMe
+
+#include <cstdio>
+
+#include "core/calibration.hpp"
+#include "core/sweep.hpp"
+
+using namespace hcsim;
+
+namespace {
+
+constexpr double kNoise = 0.03;
+constexpr std::size_t kReps = 3;  // per-op runs re-simulate; keep modest
+
+void panel(const char* figure, Site site, StorageKind a, StorageKind b) {
+  const auto procCounts = powersOfTwo(calibration::kSingleNodeMaxProcs);
+  const struct {
+    const char* name;
+    AccessPattern pattern;
+  } workloads[] = {
+      {"scientific (seq write + fsync)", AccessPattern::SequentialWrite},
+      {"data analytics (seq read)", AccessPattern::SequentialRead},
+  };
+  for (const auto& w : workloads) {
+    std::vector<Series> series;
+    for (StorageKind kind : {a, b}) {
+      Series s;
+      s.label = toString(kind);
+      s.points = runIorProcSweep(site, kind, w.pattern, procCounts, kReps, kNoise);
+      series.push_back(std::move(s));
+    }
+    ResultTable t = makeFigureTable(std::string(figure) + " " + toString(site) + " — " + w.name,
+                                    "procs", series, /*spread=*/true);
+    std::printf("%s\n", t.toString().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Fig 3: single-node test with fsync, 1..32 processes ==\n\n");
+  panel("Fig 3a", Site::Lassen, StorageKind::Vast, StorageKind::Gpfs);
+  panel("Fig 3b", Site::Quartz, StorageKind::Vast, StorageKind::Lustre);
+  panel("Fig 3c", Site::Ruby, StorageKind::Vast, StorageKind::Lustre);
+  panel("Fig 3d", Site::Wombat, StorageKind::Vast, StorageKind::NvmeLocal);
+  return 0;
+}

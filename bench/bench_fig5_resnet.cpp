@@ -1,0 +1,35 @@
+// Fig 5 — "ResNet-50 Throughput": application-perceived throughput
+// (bytes / non-overlapping I/O) and system throughput (bytes / total
+// I/O) on VAST vs GPFS, weak scaling to 32 nodes.
+//
+// Expected shape (paper §VI-B): system throughput differs strongly
+// between the file systems, but the throughput the *application*
+// perceives is only slightly higher for GPFS — VAST hides most of its
+// I/O behind compute.
+
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "util/table.hpp"
+
+using namespace hcsim;
+
+int main() {
+  std::printf("== Fig 5: ResNet-50 throughput on Lassen (weak scaling) ==\n\n");
+  ResultTable t("Fig 5: ResNet-50 application vs system throughput (GB/s)");
+  t.setHeader({"nodes", "VAST app", "GPFS app", "VAST system", "GPFS system"});
+  t.setPrecision(3);
+  for (std::size_t nodes = 1; nodes <= 32; nodes *= 2) {
+    DlioConfig cfg;
+    cfg.workload = DlioWorkload::resnet50();
+    cfg.nodes = nodes;
+    cfg.procsPerNode = 4;
+    const DlioResult vast = runDlio(Site::Lassen, StorageKind::Vast, cfg);
+    const DlioResult gpfs = runDlio(Site::Lassen, StorageKind::Gpfs, cfg);
+    t.addRow({static_cast<double>(nodes), units::toGBs(vast.throughput.application),
+              units::toGBs(gpfs.throughput.application),
+              units::toGBs(vast.throughput.system), units::toGBs(gpfs.throughput.system)});
+  }
+  std::printf("%s\nCSV:\n%s\n", t.toString().c_str(), t.toCsv().c_str());
+  return 0;
+}

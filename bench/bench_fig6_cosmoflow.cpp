@@ -1,0 +1,34 @@
+// Fig 6 — "Cosmoflow Throughput": application and system throughput on
+// VAST vs GPFS, strong scaling, 4 epochs.
+//
+// Expected shape (paper §VI-C): GPFS serves Cosmoflow clearly better —
+// the larger dataset and the input pipeline's mere 4 I/O threads leave
+// much of VAST's I/O unhidden, so both application and system throughput
+// favour GPFS.
+
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "util/table.hpp"
+
+using namespace hcsim;
+
+int main() {
+  std::printf("== Fig 6: Cosmoflow throughput on Lassen (strong scaling) ==\n\n");
+  ResultTable t("Fig 6: Cosmoflow application vs system throughput (GB/s)");
+  t.setHeader({"nodes", "VAST app", "GPFS app", "VAST system", "GPFS system"});
+  t.setPrecision(3);
+  for (std::size_t nodes = 1; nodes <= 32; nodes *= 2) {
+    DlioConfig cfg;
+    cfg.workload = DlioWorkload::cosmoflow();
+    cfg.nodes = nodes;
+    cfg.procsPerNode = 4;
+    const DlioResult vast = runDlio(Site::Lassen, StorageKind::Vast, cfg);
+    const DlioResult gpfs = runDlio(Site::Lassen, StorageKind::Gpfs, cfg);
+    t.addRow({static_cast<double>(nodes), units::toGBs(vast.throughput.application),
+              units::toGBs(gpfs.throughput.application),
+              units::toGBs(vast.throughput.system), units::toGBs(gpfs.throughput.system)});
+  }
+  std::printf("%s\nCSV:\n%s\n", t.toString().c_str(), t.toCsv().c_str());
+  return 0;
+}

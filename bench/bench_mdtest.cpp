@@ -1,0 +1,48 @@
+// Extension bench: MDTest across the paper's deployments. Not a figure
+// in this paper, but the metadata companion every related-work
+// evaluation pairs with IOR (§II) — and a dimension where the four
+// systems differ sharply: VAST's stateless CNodes vs GPFS's token
+// manager vs Lustre's MDS pool vs the local kernel.
+
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "mdtest/mdtest.hpp"
+#include "util/table.hpp"
+
+using namespace hcsim;
+
+int main() {
+  std::printf("== MDTest: metadata rates across deployments (1 node x 16 procs) ==\n\n");
+
+  const struct {
+    Site site;
+    StorageKind kind;
+  } targets[] = {
+      {Site::Lassen, StorageKind::Vast},   {Site::Lassen, StorageKind::Gpfs},
+      {Site::Quartz, StorageKind::Lustre}, {Site::Wombat, StorageKind::Vast},
+      {Site::Wombat, StorageKind::NvmeLocal},
+  };
+
+  for (bool unique : {false, true}) {
+    ResultTable t(unique ? "unique directory per task (-u)" : "one shared directory");
+    t.setHeader({"deployment", "create ops/s", "stat ops/s", "remove ops/s"});
+    t.setPrecision(0);
+    for (const auto& tgt : targets) {
+      Environment env = makeEnvironment(tgt.site, tgt.kind, 1);
+      MdtestRunner runner(*env.bench, *env.fs);
+      MdtestConfig cfg;
+      cfg.nodes = 1;
+      cfg.procsPerNode = 16;
+      cfg.itemsPerProc = 128;
+      cfg.uniqueDirPerTask = unique;
+      cfg.repetitions = 3;
+      cfg.noiseStdDevFrac = 0.03;
+      const MdtestResult r = runner.run(cfg);
+      t.addRow({std::string(toString(tgt.kind)) + "@" + toString(tgt.site),
+                r.createOpsPerSec.mean, r.statOpsPerSec.mean, r.removeOpsPerSec.mean});
+    }
+    std::printf("%s\n", t.toString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Table I — "Clusters used for experiments": the machine inventory the
+// simulation wires (node counts, cores, GPUs, RAM, arch, network), plus
+// the per-node injection bandwidth the models derive from it.
+
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "util/table.hpp"
+
+using namespace hcsim;
+
+int main() {
+  ResultTable t("Table I: Clusters used for experiments");
+  t.setHeader({"Name", "Nodes", "CPU", "GPU", "RAM (GiB)", "Arch", "Network",
+               "Injection GB/s"});
+  for (Site site : {Site::Lassen, Site::Ruby, Site::Quartz, Site::Wombat}) {
+    const Machine m = machineFor(site);
+    t.addRow({m.name, static_cast<double>(m.nodes), static_cast<double>(m.coresPerNode),
+              static_cast<double>(m.gpusPerNode), static_cast<double>(m.ramGiB), m.arch,
+              m.network, units::toGBs(m.nodeInjection)});
+  }
+  t.setPrecision(1);
+  std::printf("%s\n", t.toString().c_str());
+  std::printf("CSV:\n%s\n", t.toCsv().c_str());
+  return 0;
+}

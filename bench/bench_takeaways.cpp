@@ -1,0 +1,40 @@
+// §VII takeaways — every quantitative claim of the conclusion, measured
+// by running the simulated experiments and compared against the paper's
+// numbers. The markdown block this prints is what EXPERIMENTS.md embeds.
+
+#include <cstdio>
+
+#include "core/takeaways.hpp"
+
+using namespace hcsim;
+
+int main() {
+  std::printf("== Paper takeaways (section VII), measured from simulation ==\n\n");
+
+  const RdmaVsTcp rt = measureRdmaVsTcp();
+  std::printf("Takeaway (system administrators): RDMA vs TCP deployment of VAST\n");
+  std::printf("  TCP  (Lassen):  write %.2f GB/s/node, read %.2f GB/s/node\n",
+              rt.tcpWriteGBsPerNode, rt.tcpReadGBsPerNode);
+  std::printf("  RDMA (Wombat):  write %.2f GB/s/node, read %.2f GB/s/node\n",
+              rt.rdmaWriteGBsPerNode, rt.rdmaReadGBsPerNode);
+  std::printf("  factors: write %.1fx, read %.1fx (paper: up to 8x)\n\n", rt.writeFactor(),
+              rt.readFactor());
+
+  const SeqVsRandom sr = measureSeqVsRandom();
+  std::printf("Takeaway (I/O researchers): sequential vs random reads\n");
+  std::printf("  GPFS: seq %.2f GB/s/node, random %.2f GB/s/node (drop %.0f%%; paper: 90%%)\n",
+              sr.gpfsSeqGBs, sr.gpfsRandGBs, sr.gpfsDropFraction() * 100.0);
+  std::printf("  VAST: seq %.2f GB/s/node, random %.2f GB/s/node (drop %.0f%%; paper: ~22%%)\n\n",
+              sr.vastSeqGBs, sr.vastRandGBs, sr.vastDropFraction() * 100.0);
+
+  const DlViability dl = measureDlViability(8);
+  std::printf("Takeaway (application users): ResNet-50 on VAST vs GPFS (8 nodes)\n");
+  std::printf("  application throughput: VAST %.3f GB/s vs GPFS %.3f GB/s (GPFS/VAST %.2fx)\n",
+              dl.vastAppGBs, dl.gpfsAppGBs, dl.appRatio());
+  std::printf("  system throughput:      VAST %.3f GB/s vs GPFS %.3f GB/s\n\n", dl.vastSysGBs,
+              dl.gpfsSysGBs);
+
+  std::printf("Paper-vs-measured checks:\n%s\n",
+              calibration::toMarkdown(runAllChecks()).c_str());
+  return 0;
+}

@@ -1,0 +1,36 @@
+// quickstart — the smallest useful hcsim program.
+//
+// Builds the paper's two headline deployments (TCP-attached VAST on
+// Lassen, RDMA-attached VAST on Wombat), runs one full-node IOR
+// sequential-write test on each, and prints the per-node bandwidths —
+// the "8x RDMA vs TCP" takeaway in ~30 lines.
+
+#include <cstdio>
+
+#include "core/calibration.hpp"
+#include "core/experiment.hpp"
+#include "util/units.hpp"
+
+int main() {
+  using namespace hcsim;
+
+  std::printf("hcsim quickstart: one IOR sequential-write test per deployment\n\n");
+
+  // TCP-deployed VAST as reached from Lassen (one gateway, single TCP link).
+  const auto tcp = runIorNodeSweep(Site::Lassen, StorageKind::Vast,
+                                   AccessPattern::SequentialWrite,
+                                   {1}, calibration::kLassenProcsPerNode);
+
+  // RDMA-deployed VAST on Wombat (nconnect=16, multipath).
+  const auto rdma = runIorNodeSweep(Site::Wombat, StorageKind::Vast,
+                                    AccessPattern::SequentialWrite,
+                                    {1}, calibration::kWombatProcsPerNode);
+
+  const double tcpGBs = tcp.front().meanGBs;
+  const double rdmaGBs = rdma.front().meanGBs;
+  std::printf("  VAST over NFS/TCP  (Lassen): %6.2f GB/s per node\n", tcpGBs);
+  std::printf("  VAST over NFS/RDMA (Wombat): %6.2f GB/s per node\n", rdmaGBs);
+  std::printf("  RDMA advantage:              %6.2fx (paper: up to 8x)\n",
+              rdmaGBs / tcpGBs);
+  return 0;
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Build everything, run the full test suite, then regenerate every table
+# and figure of the paper (plus the extension benches), teeing the
+# outputs the repo's docs reference.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build --timeout 300 2>&1 | tee test_output.txt
+
+{
+  for b in build/bench/*; do
+    if [ -f "$b" ] && [ -x "$b" ]; then
+      echo "===== $(basename "$b") ====="
+      "$b"
+      echo
+    fi
+  done
+} 2>&1 | tee bench_output.txt
+
+echo "done: test_output.txt, bench_output.txt"

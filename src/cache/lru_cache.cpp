@@ -1,0 +1,64 @@
+#include "cache/lru_cache.hpp"
+
+namespace hcsim {
+
+LruCache::LruCache(Bytes capacity) : capacity_(capacity) {}
+
+bool LruCache::touch(std::uint64_t key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return true;
+}
+
+void LruCache::insert(std::uint64_t key, Bytes bytes) {
+  if (bytes > capacity_) return;  // would evict the whole cache for one entry
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    size_ -= it->second->bytes;
+    it->second->bytes = bytes;
+    size_ += bytes;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{key, bytes});
+    map_.emplace(key, lru_.begin());
+    size_ += bytes;
+  }
+  if (size_ > capacity_) evictTo(capacity_);
+}
+
+void LruCache::evictTo(Bytes target) {
+  while (size_ > target && !lru_.empty()) {
+    const Entry& victim = lru_.back();
+    // Never evict the entry we just inserted (front).
+    if (lru_.size() == 1) break;
+    size_ -= victim.bytes;
+    map_.erase(victim.key);
+    lru_.pop_back();
+    ++evictions_;
+  }
+}
+
+void LruCache::erase(std::uint64_t key) {
+  auto it = map_.find(key);
+  if (it == map_.end()) return;
+  size_ -= it->second->bytes;
+  lru_.erase(it->second);
+  map_.erase(it);
+}
+
+void LruCache::clear() {
+  lru_.clear();
+  map_.clear();
+  size_ = 0;
+}
+
+void LruCache::resetCounters() {
+  hits_ = misses_ = evictions_ = 0;
+}
+
+}  // namespace hcsim

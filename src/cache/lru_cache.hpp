@@ -1,0 +1,65 @@
+#pragma once
+// Byte-capacity LRU cache. Keys are opaque 64-bit ids (callers pack
+// file-id + block-index). Used as the building block of the GPFS
+// pagepool / VAST DNode cache models.
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "util/units.hpp"
+
+namespace hcsim {
+
+class LruCache {
+ public:
+  explicit LruCache(Bytes capacity);
+
+  Bytes capacity() const { return capacity_; }
+  Bytes size() const { return size_; }
+  std::size_t entries() const { return map_.size(); }
+
+  /// True if the key is resident (does not touch LRU order or counters).
+  bool contains(std::uint64_t key) const { return map_.count(key) > 0; }
+
+  /// Lookup-and-promote. Counts a hit or a miss.
+  bool touch(std::uint64_t key);
+
+  /// Insert (or refresh) an entry of `bytes` size, evicting LRU entries
+  /// as needed. Entries larger than the whole capacity are not cached.
+  void insert(std::uint64_t key, Bytes bytes);
+
+  /// Remove an entry if present.
+  void erase(std::uint64_t key);
+
+  /// Drop everything (counters are kept).
+  void clear();
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+  double hitRatio() const {
+    const std::uint64_t total = hits_ + misses_;
+    return total ? static_cast<double>(hits_) / static_cast<double>(total) : 0.0;
+  }
+  void resetCounters();
+
+ private:
+  struct Entry {
+    std::uint64_t key;
+    Bytes bytes;
+  };
+  using List = std::list<Entry>;
+
+  void evictTo(Bytes target);
+
+  Bytes capacity_;
+  Bytes size_ = 0;
+  List lru_;  // front = most recent
+  std::unordered_map<std::uint64_t, List::iterator> map_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace hcsim

@@ -1,0 +1,81 @@
+#include "cache/prefetch_cache.hpp"
+
+#include <stdexcept>
+
+namespace hcsim {
+
+PrefetchCache::PrefetchCache(Bytes capacity, Bytes blockSize, std::size_t readahead,
+                             std::size_t runThreshold)
+    : lru_(capacity), blockSize_(blockSize), readahead_(readahead), runThreshold_(runThreshold) {
+  if (blockSize_ == 0) throw std::invalid_argument("PrefetchCache: blockSize must be > 0");
+}
+
+CacheReadResult PrefetchCache::read(std::uint64_t fileId, Bytes offset, Bytes size) {
+  CacheReadResult result;
+  if (size == 0) return result;
+  const std::uint64_t firstBlock = offset / blockSize_;
+  const std::uint64_t lastBlock = (offset + size - 1) / blockSize_;
+  Stream& stream = streams_[fileId];
+
+  for (std::uint64_t b = firstBlock; b <= lastBlock; ++b) {
+    // Bytes of this request inside block b.
+    const Bytes blockStart = b * blockSize_;
+    const Bytes lo = offset > blockStart ? offset : blockStart;
+    const Bytes hi = (offset + size) < (blockStart + blockSize_) ? (offset + size)
+                                                                 : (blockStart + blockSize_);
+    const Bytes span = hi - lo;
+
+    if (lru_.touch(packKey(fileId, b))) {
+      result.cachedBytes += span;
+    } else {
+      result.backendBytes += span;
+      lru_.insert(packKey(fileId, b), blockSize_);
+    }
+
+    // Sequential-run detection (per file).
+    if (stream.lastBlock != UINT64_MAX && b == stream.lastBlock + 1) {
+      ++stream.runLength;
+    } else if (b != stream.lastBlock) {
+      stream.runLength = 1;
+    }
+    stream.lastBlock = b;
+
+    if (readahead_ > 0 && stream.runLength >= runThreshold_) {
+      prefetch(fileId, b + 1, result);
+    }
+  }
+  return result;
+}
+
+void PrefetchCache::prefetch(std::uint64_t fileId, std::uint64_t fromBlock,
+                             CacheReadResult& result) {
+  for (std::size_t i = 0; i < readahead_; ++i) {
+    const std::uint64_t b = fromBlock + i;
+    const std::uint64_t key = packKey(fileId, b);
+    if (lru_.contains(key)) continue;
+    lru_.insert(key, blockSize_);
+    prefetchedBytes_ += blockSize_;
+    result.backendBytes += blockSize_;  // readahead consumes backend bandwidth
+  }
+}
+
+void PrefetchCache::writeAllocate(std::uint64_t fileId, Bytes offset, Bytes size) {
+  if (size == 0) return;
+  const std::uint64_t firstBlock = offset / blockSize_;
+  const std::uint64_t lastBlock = (offset + size - 1) / blockSize_;
+  for (std::uint64_t b = firstBlock; b <= lastBlock; ++b) {
+    lru_.insert(packKey(fileId, b), blockSize_);
+  }
+}
+
+void PrefetchCache::invalidateAll() {
+  lru_.clear();
+  streams_.clear();
+}
+
+void PrefetchCache::resetCounters() {
+  lru_.resetCounters();
+  prefetchedBytes_ = 0;
+}
+
+}  // namespace hcsim

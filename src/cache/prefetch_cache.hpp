@@ -1,0 +1,76 @@
+#pragma once
+// PrefetchCache — a sequential-readahead block cache modelled on the GPFS
+// pagepool.
+//
+// GPFS detects sequential streams and prefetches aggressively, which is
+// why the paper measures 14.5 GB/s per node for sequential reads but only
+// 1.4 GB/s for random reads ("its caching mechanisms are optimized for
+// sequential reads where the spatial locality can be exploited, but get
+// thrashed more in random access patterns"). The model: block-granular
+// LRU + per-file run detection; a detected run prefetches `readahead`
+// blocks, so subsequent sequential reads hit. Random reads both miss and
+// pollute the cache, and wasted readahead consumes backend bandwidth.
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "cache/lru_cache.hpp"
+#include "util/units.hpp"
+
+namespace hcsim {
+
+/// Outcome of one read through the cache: bytes served from memory vs
+/// bytes that must come from the backend (including readahead issued on
+/// the caller's behalf — `backendBytes` can exceed the request size).
+struct CacheReadResult {
+  Bytes cachedBytes = 0;
+  Bytes backendBytes = 0;
+};
+
+class PrefetchCache {
+ public:
+  /// `capacity` in bytes, `blockSize` of cache pages, `readahead` blocks
+  /// fetched ahead of a detected sequential run (0 disables prefetch).
+  PrefetchCache(Bytes capacity, Bytes blockSize, std::size_t readahead,
+                std::size_t runThreshold = 2);
+
+  /// Read [offset, offset+size) of file `fileId` through the cache.
+  CacheReadResult read(std::uint64_t fileId, Bytes offset, Bytes size);
+
+  /// Write-allocate: writes populate the cache (dirty-data modelling is
+  /// handled separately by WritebackBuffer).
+  void writeAllocate(std::uint64_t fileId, Bytes offset, Bytes size);
+
+  /// Drop residency but keep statistics.
+  void invalidateAll();
+
+  Bytes capacity() const { return lru_.capacity(); }
+  Bytes blockSize() const { return blockSize_; }
+
+  std::uint64_t hitBlocks() const { return lru_.hits(); }
+  std::uint64_t missBlocks() const { return lru_.misses(); }
+  Bytes prefetchedBytes() const { return prefetchedBytes_; }
+  double hitRatio() const { return lru_.hitRatio(); }
+  void resetCounters();
+
+ private:
+  static std::uint64_t packKey(std::uint64_t fileId, std::uint64_t block) {
+    return (fileId << 28) ^ block;  // files are small counts; blocks < 2^28
+  }
+
+  void prefetch(std::uint64_t fileId, std::uint64_t fromBlock, CacheReadResult& result);
+
+  LruCache lru_;
+  Bytes blockSize_;
+  std::size_t readahead_;
+  std::size_t runThreshold_;
+  Bytes prefetchedBytes_ = 0;
+
+  struct Stream {
+    std::uint64_t lastBlock = UINT64_MAX;
+    std::size_t runLength = 0;
+  };
+  std::unordered_map<std::uint64_t, Stream> streams_;
+};
+
+}  // namespace hcsim

@@ -1,0 +1,53 @@
+#include "cache/writeback_buffer.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hcsim {
+
+WritebackBuffer::WritebackBuffer(Bytes capacity, Bandwidth drainRate)
+    : capacity_(capacity), drainRate_(drainRate) {
+  if (drainRate_ <= 0.0) throw std::invalid_argument("WritebackBuffer: drainRate must be > 0");
+}
+
+void WritebackBuffer::setDrainRate(Bandwidth rate) {
+  if (rate <= 0.0) throw std::invalid_argument("WritebackBuffer: drainRate must be > 0");
+  drainRate_ = rate;
+}
+
+void WritebackBuffer::advance(Seconds now) const {
+  if (now <= lastUpdate_) return;
+  const double drained = drainRate_ * (now - lastUpdate_);
+  dirty_ = std::max(0.0, dirty_ - drained);
+  lastUpdate_ = now;
+}
+
+Bytes WritebackBuffer::dirty(Seconds now) const {
+  advance(now);
+  return static_cast<Bytes>(dirty_);
+}
+
+Bytes WritebackBuffer::absorb(Bytes bytes, Seconds now) {
+  advance(now);
+  const double room = static_cast<double>(capacity_) - dirty_;
+  const double absorbed = std::min(static_cast<double>(bytes), std::max(0.0, room));
+  dirty_ += absorbed;
+  return bytes - static_cast<Bytes>(absorbed);
+}
+
+Seconds WritebackBuffer::drainCompleteTime(Seconds now) const {
+  advance(now);
+  return now + dirty_ / drainRate_;
+}
+
+Seconds WritebackBuffer::fsyncDelay(Seconds now) const {
+  advance(now);
+  return dirty_ / drainRate_;
+}
+
+void WritebackBuffer::reset(Seconds now) {
+  advance(now);
+  dirty_ = 0.0;
+}
+
+}  // namespace hcsim

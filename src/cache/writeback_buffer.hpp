@@ -1,0 +1,51 @@
+#pragma once
+// WritebackBuffer — dirty-data buffering with background drain.
+//
+// Models (a) the OS page cache on Wombat's node-local NVMe ("Operating
+// System cache write-back is allowed on this test to replicate a
+// realistic user scenario") and (b) VAST's SCM write buffer in front of
+// the QLC tier. Writes are absorbed at memory speed until the buffer is
+// full; a background drain moves dirty bytes to the backend at
+// `drainRate`; fsync must wait for the drain.
+
+#include "util/units.hpp"
+
+namespace hcsim {
+
+class WritebackBuffer {
+ public:
+  WritebackBuffer(Bytes capacity, Bandwidth drainRate);
+
+  Bytes capacity() const { return capacity_; }
+  Bandwidth drainRate() const { return drainRate_; }
+  void setDrainRate(Bandwidth rate);
+
+  /// Dirty bytes at time `now` (credits background drain since the last
+  /// event).
+  Bytes dirty(Seconds now) const;
+
+  /// Absorb a write of `bytes` at time `now`. Returns the number of bytes
+  /// that did NOT fit (overflow) and therefore must be written through to
+  /// the backend synchronously by the caller.
+  Bytes absorb(Bytes bytes, Seconds now);
+
+  /// Time at which the buffer becomes empty if no further writes arrive.
+  Seconds drainCompleteTime(Seconds now) const;
+
+  /// fsync semantics: seconds the caller must wait at `now` for all
+  /// currently dirty bytes to reach the backend.
+  Seconds fsyncDelay(Seconds now) const;
+
+  /// Drop all dirty data (e.g. file deleted before writeback).
+  void reset(Seconds now);
+
+ private:
+  void advance(Seconds now) const;
+
+  Bytes capacity_;
+  Bandwidth drainRate_;
+  mutable double dirty_ = 0.0;
+  mutable Seconds lastUpdate_ = 0.0;
+};
+
+}  // namespace hcsim

@@ -1,0 +1,71 @@
+#include "cli/args.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace hcsim {
+
+ArgParser::ArgParser(const std::vector<std::string>& args) { parse(args); }
+
+ArgParser::ArgParser(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  parse(args);
+}
+
+void ArgParser::parse(const std::vector<std::string>& args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& tok = args[i];
+    if (tok.rfind("--", 0) == 0) {
+      const auto eq = tok.find('=');
+      if (eq != std::string::npos) {
+        options_[tok.substr(0, eq)] = tok.substr(eq + 1);
+      } else if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+        options_[tok] = args[++i];
+      } else {
+        options_[tok] = "";
+      }
+    } else {
+      positionals_.push_back(tok);
+    }
+  }
+}
+
+std::string ArgParser::positionalOr(std::size_t index, const std::string& fallback) const {
+  return index < positionals_.size() ? positionals_[index] : fallback;
+}
+
+std::optional<std::string> ArgParser::get(const std::string& key) const {
+  const auto it = options_.find(key);
+  if (it == options_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string ArgParser::getOr(const std::string& key, const std::string& fallback) const {
+  const auto v = get(key);
+  return v ? *v : fallback;
+}
+
+double ArgParser::numberOr(const std::string& key, double fallback) const {
+  const auto v = get(key);
+  if (!v || v->empty()) return fallback;
+  char* end = nullptr;
+  const double d = std::strtod(v->c_str(), &end);
+  return end && *end == '\0' ? d : fallback;
+}
+
+std::size_t ArgParser::sizeOr(const std::string& key, std::size_t fallback) const {
+  const double d = numberOr(key, -1.0);
+  return d >= 0.0 ? static_cast<std::size_t>(d) : fallback;
+}
+
+std::vector<std::string> ArgParser::unknownOptions(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : options_) {
+    if (std::find(known.begin(), known.end(), key) == known.end()) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace hcsim

@@ -1,0 +1,40 @@
+#pragma once
+// Tiny command-line parser for the hcsim CLI: positionals + --key value
+// options + --flags. Deliberately simple and fully testable.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hcsim {
+
+class ArgParser {
+ public:
+  /// Parse argv-style input (excluding the program name). Tokens
+  /// starting with "--" are options; "--key value" when the next token
+  /// is not an option, otherwise a boolean flag. Everything else is a
+  /// positional. "--key=value" is also accepted.
+  explicit ArgParser(const std::vector<std::string>& args);
+  ArgParser(int argc, const char* const* argv);  ///< skips argv[0]
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+  std::string positionalOr(std::size_t index, const std::string& fallback) const;
+
+  bool has(const std::string& key) const { return options_.count(key) > 0; }
+  std::optional<std::string> get(const std::string& key) const;
+  std::string getOr(const std::string& key, const std::string& fallback) const;
+  double numberOr(const std::string& key, double fallback) const;
+  std::size_t sizeOr(const std::string& key, std::size_t fallback) const;
+
+  /// Options that were never queried (typo detection).
+  std::vector<std::string> unknownOptions(const std::vector<std::string>& known) const;
+
+ private:
+  void parse(const std::vector<std::string>& args);
+
+  std::vector<std::string> positionals_;
+  std::map<std::string, std::string> options_;  // flag -> "" for bare flags
+};
+
+}  // namespace hcsim

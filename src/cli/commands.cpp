@@ -1,0 +1,252 @@
+#include "cli/commands.hpp"
+
+#include <ostream>
+
+#include "config/serialize.hpp"
+#include "core/calibration.hpp"
+#include "core/experiment.hpp"
+#include "core/planner.hpp"
+#include "core/takeaways.hpp"
+#include "mdtest/mdtest.hpp"
+#include "util/table.hpp"
+
+namespace hcsim::cli {
+
+namespace {
+
+bool parseSite(const std::string& s, Site& out) {
+  if (s == "lassen") out = Site::Lassen;
+  else if (s == "ruby") out = Site::Ruby;
+  else if (s == "quartz") out = Site::Quartz;
+  else if (s == "wombat") out = Site::Wombat;
+  else return false;
+  return true;
+}
+
+bool parseStorage(const std::string& s, StorageKind& out) {
+  if (s == "vast") out = StorageKind::Vast;
+  else if (s == "gpfs") out = StorageKind::Gpfs;
+  else if (s == "lustre") out = StorageKind::Lustre;
+  else if (s == "nvme") out = StorageKind::NvmeLocal;
+  else return false;
+  return true;
+}
+
+bool parsePattern(const std::string& s, AccessPattern& out) {
+  return fromJson(JsonValue(s), out);
+}
+
+bool parseTarget(const ArgParser& args, std::ostream& err, Site& site, StorageKind& kind) {
+  if (!parseSite(args.getOr("--site", ""), site)) {
+    err << "error: --site must be one of lassen|ruby|quartz|wombat\n";
+    return false;
+  }
+  if (!parseStorage(args.getOr("--storage", ""), kind)) {
+    err << "error: --storage must be one of vast|gpfs|lustre|nvme\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int cmdHelp(std::ostream& out) {
+  out << "hcsim — highly configurable storage simulator (CLUSTER'24 reproduction)\n\n"
+         "usage: hcsim <command> [options]\n\n"
+         "commands:\n"
+         "  ior         --site S --storage K --access seq-write|seq-read|rand-read\n"
+         "              [--nodes N] [--ppn P] [--segments S] [--fsync] [--per-op]\n"
+         "              [--shared-file] [--reps R] [--stonewall SEC] [--config F.json]\n"
+         "  dlio        --site S --storage K --workload resnet50|cosmoflow|unet3d\n"
+         "              [--nodes N] [--ppn P] [--config F.json]\n"
+         "  mdtest      --site S --storage K [--procs P] [--items N] [--unique-dir]\n"
+         "  plan        --machine M --pattern A --min-gbs G [--nodes N] [--ppn P]\n"
+         "  takeaways   run the paper's section-VII checks\n"
+         "  dump-config --storage vast|gpfs|lustre|nvme --site S   (preset as JSON)\n"
+         "  help        this text\n";
+  return 0;
+}
+
+int cmdIor(const ArgParser& args, std::ostream& out, std::ostream& err) {
+  Site site;
+  StorageKind kind;
+  if (!parseTarget(args, err, site, kind)) return 2;
+
+  IorConfig cfg;
+  if (const auto path = args.get("--config")) {
+    if (!loadConfig(*path, cfg)) {
+      err << "error: cannot load IOR config from " << *path << "\n";
+      return 2;
+    }
+  } else {
+    AccessPattern access;
+    if (!parsePattern(args.getOr("--access", "seq-write"), access)) {
+      err << "error: bad --access\n";
+      return 2;
+    }
+    cfg = IorConfig::scalability(access, args.sizeOr("--nodes", 4), args.sizeOr("--ppn", 16));
+    cfg.segments = args.sizeOr("--segments", 512);
+    if (args.has("--fsync")) cfg.fsyncPerWrite = true;
+    if (args.has("--per-op")) cfg.mode = IorConfig::Mode::PerOp;
+    if (args.has("--shared-file")) cfg.filePerProcess = false;
+    cfg.repetitions = args.sizeOr("--reps", 3);
+    cfg.noiseStdDevFrac = args.numberOr("--noise", 0.03);
+    cfg.stonewallSeconds = args.numberOr("--stonewall", 0.0);
+  }
+
+  Environment env = makeEnvironment(site, kind, cfg.nodes);
+  IorRunner runner(*env.bench, *env.fs);
+  const IorResult r = runner.run(cfg);
+  out << cfg.describe() << " on " << env.fs->name() << "\n";
+  out << "  bandwidth: " << formatBandwidth(r.bandwidth.mean) << " (min "
+      << formatBandwidth(r.bandwidth.min) << ", max " << formatBandwidth(r.bandwidth.max)
+      << ")\n";
+  out << "  moved " << formatBytes(r.totalBytes) << " in " << formatSeconds(r.meanElapsed)
+      << " (mean of " << r.samples.size() << " reps)\n";
+  return 0;
+}
+
+int cmdDlio(const ArgParser& args, std::ostream& out, std::ostream& err) {
+  Site site;
+  StorageKind kind;
+  if (!parseTarget(args, err, site, kind)) return 2;
+
+  DlioConfig cfg;
+  if (const auto path = args.get("--config")) {
+    if (!loadConfig(*path, cfg)) {
+      err << "error: cannot load DLIO config from " << *path << "\n";
+      return 2;
+    }
+  } else {
+    const std::string w = args.getOr("--workload", "resnet50");
+    if (w == "resnet50") cfg.workload = DlioWorkload::resnet50();
+    else if (w == "cosmoflow") cfg.workload = DlioWorkload::cosmoflow();
+    else if (w == "unet3d") cfg.workload = DlioWorkload::unet3d();
+    else {
+      err << "error: --workload must be resnet50|cosmoflow|unet3d\n";
+      return 2;
+    }
+    cfg.nodes = args.sizeOr("--nodes", 4);
+    cfg.procsPerNode = args.sizeOr("--ppn", 4);
+  }
+
+  const DlioResult r = runDlio(site, kind, cfg);
+  out << cfg.workload.name << " on " << toString(kind) << "@" << toString(site) << " ("
+      << cfg.nodes << " nodes x " << cfg.procsPerNode << " ranks)\n";
+  out << "  runtime             : " << formatSeconds(r.runtime) << "\n";
+  out << "  non-overlapping I/O : " << formatSeconds(r.breakdown.nonOverlappingIo) << "\n";
+  out << "  overlapping I/O     : " << formatSeconds(r.breakdown.overlappingIo) << "\n";
+  out << "  app throughput      : " << formatBandwidth(r.throughput.application) << "\n";
+  out << "  system throughput   : " << formatBandwidth(r.throughput.system) << "\n";
+  if (r.bytesCheckpointed > 0) {
+    out << "  checkpoints written : " << formatBytes(r.bytesCheckpointed) << "\n";
+  }
+  return 0;
+}
+
+int cmdMdtest(const ArgParser& args, std::ostream& out, std::ostream& err) {
+  Site site;
+  StorageKind kind;
+  if (!parseTarget(args, err, site, kind)) return 2;
+
+  MdtestConfig cfg;
+  cfg.nodes = args.sizeOr("--nodes", 1);
+  cfg.procsPerNode = args.sizeOr("--procs", 16);
+  cfg.itemsPerProc = args.sizeOr("--items", 128);
+  cfg.uniqueDirPerTask = args.has("--unique-dir");
+  cfg.repetitions = args.sizeOr("--reps", 3);
+  cfg.noiseStdDevFrac = args.numberOr("--noise", 0.03);
+
+  Environment env = makeEnvironment(site, kind, cfg.nodes);
+  MdtestRunner runner(*env.bench, *env.fs);
+  const MdtestResult r = runner.run(cfg);
+  out << "mdtest on " << env.fs->name() << " ("
+      << (cfg.uniqueDirPerTask ? "unique dirs" : "shared dir") << ", " << cfg.totalItems()
+      << " items)\n";
+  out << "  create: " << static_cast<long long>(r.createOpsPerSec.mean) << " ops/s\n";
+  out << "  stat  : " << static_cast<long long>(r.statOpsPerSec.mean) << " ops/s\n";
+  out << "  remove: " << static_cast<long long>(r.removeOpsPerSec.mean) << " ops/s\n";
+  return 0;
+}
+
+int cmdPlan(const ArgParser& args, std::ostream& out, std::ostream& err) {
+  Machine machine;
+  const std::string m = args.getOr("--machine", "wombat");
+  if (m == "lassen") machine = Machine::lassen();
+  else if (m == "ruby") machine = Machine::ruby();
+  else if (m == "quartz") machine = Machine::quartz();
+  else if (m == "wombat") machine = Machine::wombat();
+  else {
+    err << "error: --machine must be lassen|ruby|quartz|wombat\n";
+    return 2;
+  }
+  PlanGoal goal;
+  if (!parsePattern(args.getOr("--pattern", "seq-read"), goal.pattern)) {
+    err << "error: bad --pattern\n";
+    return 2;
+  }
+  goal.minGBsPerNode = args.numberOr("--min-gbs", 1.0);
+  goal.nodes = args.sizeOr("--nodes", 8);
+  goal.procsPerNode = args.sizeOr("--ppn", 16);
+
+  const auto candidates = planVastDeployment(machine, goal);
+  ResultTable t("deployment candidates (sorted: goal-meeting first, cheapest first)");
+  t.setHeader({"config", "GB/s per node", "meets goal", "cost units"});
+  for (const auto& c : candidates) {
+    t.addRow({c.config.name, c.measuredGBsPerNode, std::string(c.meetsGoal ? "yes" : "no"),
+              c.costUnits()});
+  }
+  out << t.toString();
+  return candidates.empty() || !candidates.front().meetsGoal ? 1 : 0;
+}
+
+int cmdTakeaways(const ArgParser&, std::ostream& out, std::ostream&) {
+  const auto checks = runAllChecks();
+  out << calibration::toMarkdown(checks);
+  for (const auto& c : checks) {
+    if (!c.pass()) return 1;
+  }
+  return 0;
+}
+
+int cmdDumpConfig(const ArgParser& args, std::ostream& out, std::ostream& err) {
+  Site site;
+  StorageKind kind;
+  if (!parseTarget(args, err, site, kind)) return 2;
+  JsonValue j;
+  switch (kind) {
+    case StorageKind::Vast:
+      j = toJson(site == Site::Lassen   ? vastOnLassen()
+                 : site == Site::Ruby   ? vastOnRuby()
+                 : site == Site::Quartz ? vastOnQuartz()
+                                        : vastOnWombat());
+      break;
+    case StorageKind::Gpfs: j = toJson(gpfsOnLassen()); break;
+    case StorageKind::Lustre: j = toJson(lustreOnQuartz()); break;
+    case StorageKind::NvmeLocal: j = toJson(nvmeOnWombat()); break;
+  }
+  out << writeJson(j, 2) << "\n";
+  return 0;
+}
+
+int run(const ArgParser& args, std::ostream& out, std::ostream& err) {
+  const std::string cmd = args.positionalOr(0, "help");
+  try {
+    if (cmd == "ior") return cmdIor(args, out, err);
+    if (cmd == "dlio") return cmdDlio(args, out, err);
+    if (cmd == "mdtest") return cmdMdtest(args, out, err);
+    if (cmd == "plan") return cmdPlan(args, out, err);
+    if (cmd == "takeaways") return cmdTakeaways(args, out, err);
+    if (cmd == "dump-config") return cmdDumpConfig(args, out, err);
+  } catch (const std::exception& ex) {
+    // Bad geometry, impossible site/storage combinations, etc. surface
+    // as clean CLI errors, not crashes.
+    err << "error: " << ex.what() << "\n";
+    return 1;
+  }
+  if (cmd == "help" || cmd == "--help") return cmdHelp(out);
+  err << "error: unknown command '" << cmd << "' (try: hcsim help)\n";
+  return 2;
+}
+
+}  // namespace hcsim::cli

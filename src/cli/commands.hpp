@@ -1,0 +1,30 @@
+#pragma once
+// The hcsim CLI commands — thin, scriptable entry points over the
+// library. Each returns a process exit code and writes to the given
+// streams, so tests can drive them without spawning processes.
+
+#include <iosfwd>
+
+#include "cli/args.hpp"
+
+namespace hcsim::cli {
+
+/// Dispatch `hcsim <subcommand> ...`. Known subcommands:
+///   ior       run an IOR experiment      (--site --storage --access ...)
+///   dlio      run a DLIO training        (--site --storage --workload ...)
+///   mdtest    run an MDTest storm        (--site --storage --procs ...)
+///   plan      search VAST deployments    (--machine --pattern --min-gbs ...)
+///   takeaways run the paper's §VII checks
+///   dump-config  print a preset config as JSON (--storage vast@wombat ...)
+///   help      usage
+int run(const ArgParser& args, std::ostream& out, std::ostream& err);
+
+int cmdIor(const ArgParser& args, std::ostream& out, std::ostream& err);
+int cmdDlio(const ArgParser& args, std::ostream& out, std::ostream& err);
+int cmdMdtest(const ArgParser& args, std::ostream& out, std::ostream& err);
+int cmdPlan(const ArgParser& args, std::ostream& out, std::ostream& err);
+int cmdTakeaways(const ArgParser& args, std::ostream& out, std::ostream& err);
+int cmdDumpConfig(const ArgParser& args, std::ostream& out, std::ostream& err);
+int cmdHelp(std::ostream& out);
+
+}  // namespace hcsim::cli

@@ -1,0 +1,78 @@
+#pragma once
+// Deployments — wiring of storage systems onto machines exactly as the
+// paper describes (§IV-B), plus TestBench, the one-stop environment that
+// owns the simulator/network and builds models against a machine.
+
+#include <memory>
+#include <vector>
+
+#include "cluster/machine.hpp"
+#include "gpfs/gpfs_model.hpp"
+#include "lustre/lustre_model.hpp"
+#include "net/topology.hpp"
+#include "nvme/nvme_local.hpp"
+#include "sim/simulator.hpp"
+#include "vast/vast_model.hpp"
+
+namespace hcsim {
+
+// ---- Storage configurations per site (paper §IV-B) ----
+
+/// VAST reached from Lassen: LC instance, NFS/TCP through ONE gateway
+/// node with 2x100 Gb Ethernet over a single TCP link.
+VastConfig vastOnLassen();
+
+/// VAST reached from Ruby: 1x40 Gb Ethernet on eight gateway nodes.
+VastConfig vastOnRuby();
+
+/// VAST reached from Quartz: 2x1 Gb Ethernet on 32 gateway nodes.
+VastConfig vastOnQuartz();
+
+/// VAST on Wombat: RDMA/RoCE, nconnect=16, multipathing, no gateway.
+VastConfig vastOnWombat();
+
+/// GPFS on Lassen (Fig 1b).
+GpfsConfig gpfsOnLassen();
+
+/// The LC Lustre instance (serves Quartz and Ruby).
+LustreConfig lustreOnQuartz();
+LustreConfig lustreOnRuby();
+
+/// Wombat's node-local NVMe.
+NvmeLocalConfig nvmeOnWombat();
+
+// ---- TestBench ----
+
+/// Owns one simulated experiment environment: simulator, flow network,
+/// topology, and the per-compute-node NIC links of a machine. Storage
+/// models are then attached to it.
+class TestBench {
+ public:
+  /// Wire `nodesUsed` compute nodes of `machine` (clamped to the machine
+  /// size).
+  TestBench(Machine machine, std::size_t nodesUsed);
+
+  TestBench(const TestBench&) = delete;
+  TestBench& operator=(const TestBench&) = delete;
+
+  Simulator& sim() { return sim_; }
+  Topology& topo() { return topo_; }
+  const Machine& machine() const { return machine_; }
+  std::size_t nodesUsed() const { return clientNics_.size(); }
+  const std::vector<LinkId>& clientNics() const { return clientNics_; }
+
+  // Attach storage models (each call creates an independent instance).
+  std::unique_ptr<VastModel> attachVast(VastConfig cfg);
+  std::unique_ptr<GpfsModel> attachGpfs(GpfsConfig cfg);
+  std::unique_ptr<LustreModel> attachLustre(LustreConfig cfg);
+  std::unique_ptr<NvmeLocalModel> attachNvme(NvmeLocalConfig cfg);
+
+ private:
+  Machine machine_;
+  Simulator sim_;
+  FlowNetwork net_;
+  Topology topo_;
+  std::vector<LinkId> clientNics_;
+};
+
+}  // namespace hcsim

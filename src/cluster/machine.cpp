@@ -1,0 +1,57 @@
+#include "cluster/machine.hpp"
+
+namespace hcsim {
+
+Machine Machine::lassen() {
+  Machine m;
+  m.name = "Lassen";
+  m.nodes = 795;
+  m.coresPerNode = 44;
+  m.gpusPerNode = 4;
+  m.ramGiB = 256;
+  m.arch = "IBM Power9";
+  m.network = "IB EDR";
+  m.nodeInjection = 2 * units::gbps(100);  // dual-rail EDR
+  return m;
+}
+
+Machine Machine::ruby() {
+  Machine m;
+  m.name = "Ruby";
+  m.nodes = 1512;
+  m.coresPerNode = 56;
+  m.gpusPerNode = 0;
+  m.ramGiB = 192;
+  m.arch = "Intel Xeon";
+  m.network = "Omni-Path";
+  m.nodeInjection = units::gbps(100);
+  return m;
+}
+
+Machine Machine::quartz() {
+  Machine m;
+  m.name = "Quartz";
+  m.nodes = 3018;
+  m.coresPerNode = 36;
+  m.gpusPerNode = 0;
+  m.ramGiB = 128;
+  m.arch = "Intel Xeon";
+  m.network = "Omni-Path";
+  m.nodeInjection = units::gbps(100);
+  return m;
+}
+
+Machine Machine::wombat() {
+  Machine m;
+  m.name = "Wombat";
+  m.nodes = 8;
+  m.coresPerNode = 48;
+  m.gpusPerNode = 2;
+  m.ramGiB = 512;
+  m.arch = "ARM Fujitsu A64fx";
+  m.network = "IB EDR";
+  m.nodeInjection = 2 * units::gbps(100);  // dual-port HDR100/EDR
+  return m;
+}
+
+}  // namespace hcsim

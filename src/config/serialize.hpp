@@ -1,0 +1,72 @@
+#pragma once
+// JSON (de)serialization for every configuration struct — the interface
+// a downstream user scripts experiments through (and what the hcsim CLI
+// consumes). Deserialization is lenient: absent keys keep the struct's
+// defaults, so a config file only states what it overrides.
+
+#include <string>
+
+#include "cluster/machine.hpp"
+#include "dlio/dlio_config.hpp"
+#include "gpfs/gpfs_config.hpp"
+#include "ior/ior_config.hpp"
+#include "lustre/lustre_config.hpp"
+#include "mdtest/mdtest.hpp"
+#include "nvme/nvme_local.hpp"
+#include "unifyfs/unifyfs_model.hpp"
+#include "util/json.hpp"
+#include "vast/vast_config.hpp"
+
+namespace hcsim {
+
+// ---- enums ----
+JsonValue toJson(AccessPattern p);
+bool fromJson(const JsonValue& j, AccessPattern& out);
+JsonValue toJson(NfsTransport t);
+bool fromJson(const JsonValue& j, NfsTransport& out);
+JsonValue toJson(ScalingMode m);
+bool fromJson(const JsonValue& j, ScalingMode& out);
+JsonValue toJson(UnifyFsPlacement p);
+bool fromJson(const JsonValue& j, UnifyFsPlacement& out);
+
+// ---- device specs ----
+JsonValue toJson(const SsdSpec& s);
+bool fromJson(const JsonValue& j, SsdSpec& out);
+JsonValue toJson(const HddSpec& s);
+bool fromJson(const JsonValue& j, HddSpec& out);
+
+// ---- machines & storage configs ----
+JsonValue toJson(const Machine& m);
+bool fromJson(const JsonValue& j, Machine& out);
+JsonValue toJson(const GatewaySpec& g);
+bool fromJson(const JsonValue& j, GatewaySpec& out);
+JsonValue toJson(const VastConfig& c);
+bool fromJson(const JsonValue& j, VastConfig& out);
+JsonValue toJson(const GpfsConfig& c);
+bool fromJson(const JsonValue& j, GpfsConfig& out);
+JsonValue toJson(const LustreConfig& c);
+bool fromJson(const JsonValue& j, LustreConfig& out);
+JsonValue toJson(const NvmeLocalConfig& c);
+bool fromJson(const JsonValue& j, NvmeLocalConfig& out);
+JsonValue toJson(const UnifyFsConfig& c);
+bool fromJson(const JsonValue& j, UnifyFsConfig& out);
+
+// ---- workload configs ----
+JsonValue toJson(const IorConfig& c);
+bool fromJson(const JsonValue& j, IorConfig& out);
+JsonValue toJson(const DlioWorkload& w);
+bool fromJson(const JsonValue& j, DlioWorkload& out);
+JsonValue toJson(const DlioConfig& c);
+bool fromJson(const JsonValue& j, DlioConfig& out);
+JsonValue toJson(const MdtestConfig& c);
+bool fromJson(const JsonValue& j, MdtestConfig& out);
+
+// ---- file helpers ----
+/// Write any serializable config to a pretty-printed JSON file.
+template <typename T>
+bool saveConfig(const T& config, const std::string& path);
+/// Load a config from a JSON file (absent keys keep defaults).
+template <typename T>
+bool loadConfig(const std::string& path, T& out);
+
+}  // namespace hcsim

@@ -1,0 +1,114 @@
+#include "contention/background_load.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hcsim {
+
+BackgroundLoad::BackgroundLoad(TestBench& bench, FileSystemModel& fs, TenantSpec spec)
+    : bench_(bench), fs_(fs), spec_(spec), rng_(spec.seed) {
+  if (spec_.tenants == 0 || spec_.procsPerTenant == 0) {
+    throw std::invalid_argument("TenantSpec: tenants and procsPerTenant must be > 0");
+  }
+  if (spec_.bytesPerBurst == 0) {
+    throw std::invalid_argument("TenantSpec: bytesPerBurst must be > 0");
+  }
+  if (spec_.meanInterarrival <= 0.0) {
+    throw std::invalid_argument("TenantSpec: meanInterarrival must be > 0");
+  }
+}
+
+void BackgroundLoad::start() {
+  stopped_ = false;
+  for (std::size_t t = 0; t < spec_.tenants; ++t) {
+    // Desynchronized first bursts.
+    bench_.sim().schedule(rng_.exponential(spec_.meanInterarrival * 0.5),
+                          [this, t] { tenantLoop(t); });
+  }
+}
+
+void BackgroundLoad::tenantLoop(std::size_t tenant) {
+  if (stopped_) return;
+  IoRequest req;
+  req.client = ClientId{static_cast<std::uint32_t>(spec_.firstNode + tenant), 0};
+  req.fileId = 0xbead0000 + tenant * 4096 + burstsCompleted_;
+  req.bytes = spec_.bytesPerBurst;
+  req.pattern = spec_.pattern;
+  req.ops = std::max<std::uint64_t>(1, spec_.bytesPerBurst / units::MiB);
+  req.streams = static_cast<std::uint32_t>(spec_.procsPerTenant);
+  fs_.submit(req, [this, tenant](const IoResult& r) {
+    bytesCompleted_ += r.bytes;
+    ++burstsCompleted_;
+    if (stopped_) return;
+    bench_.sim().schedule(rng_.exponential(spec_.meanInterarrival),
+                          [this, tenant] { tenantLoop(tenant); });
+  });
+}
+
+ContendedResult runIorUnderContention(TestBench& bench, FileSystemModel& fs,
+                                      const IorConfig& cfg, TenantSpec spec) {
+  cfg.validate();
+  if (cfg.mode != IorConfig::Mode::Coalesced) {
+    throw std::invalid_argument("runIorUnderContention: coalesced mode only");
+  }
+  if (spec.firstNode < cfg.nodes) spec.firstNode = static_cast<std::uint32_t>(cfg.nodes);
+  if (spec.firstNode + spec.tenants > bench.nodesUsed()) {
+    throw std::invalid_argument(
+        "runIorUnderContention: bench must wire foreground + tenant nodes");
+  }
+
+  PhaseSpec phase;
+  phase.pattern = cfg.access;
+  phase.requestSize = cfg.transferSize;
+  phase.nodes = static_cast<std::uint32_t>(cfg.nodes);
+  phase.procsPerNode = static_cast<std::uint32_t>(cfg.procsPerNode);
+  phase.readerDiffersFromWriter = cfg.reorderTasks;
+  phase.workingSetBytes = cfg.totalBytes();
+  fs.beginPhase(phase);
+
+  BackgroundLoad load(bench, fs, spec);
+  load.start();
+
+  Simulator& sim = bench.sim();
+  const SimTime start = sim.now();
+  SimTime lastEnd = start;
+  std::size_t outstanding = 0;
+  const std::size_t slots =
+      std::min<std::size_t>(cfg.procsPerNode, std::max<std::size_t>(1, fs.clientParallelism()));
+  for (std::uint32_t n = 0; n < cfg.nodes; ++n) {
+    for (std::uint32_t slot = 0; slot < slots; ++slot) {
+      const std::uint32_t streams =
+          static_cast<std::uint32_t>((cfg.procsPerNode - slot + slots - 1) / slots);
+      IoRequest req;
+      req.client = ClientId{n, slot};
+      req.fileId = static_cast<std::uint64_t>(n) * cfg.procsPerNode + slot + 1;
+      req.bytes = cfg.bytesPerProc() * streams;
+      req.pattern = cfg.access;
+      req.sharedFile = !cfg.filePerProcess;
+      req.ops = cfg.transfersPerProc() * streams;
+      req.streams = streams;
+      ++outstanding;
+      fs.submit(req, [&](const IoResult& r) {
+        lastEnd = std::max(lastEnd, r.endTime);
+        if (--outstanding == 0) load.stop();  // let the sim drain
+      });
+    }
+  }
+  sim.run();
+  fs.endPhase();
+  if (outstanding != 0) {
+    throw std::logic_error("runIorUnderContention: drained with outstanding foreground I/O");
+  }
+
+  ContendedResult result;
+  const Seconds elapsed = lastEnd - start;
+  result.foreground.totalBytes = cfg.totalBytes();
+  result.foreground.samples = {static_cast<double>(cfg.totalBytes()) / elapsed};
+  result.foreground.bandwidth = summarize(result.foreground.samples);
+  result.foreground.meanElapsed = elapsed;
+  result.backgroundBytes = load.bytesCompleted();
+  result.backgroundBursts = load.burstsCompleted();
+  return result;
+}
+
+}  // namespace hcsim

@@ -1,0 +1,30 @@
+#include "core/calibration.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace hcsim::calibration {
+
+double Check::ratio() const { return paperValue != 0.0 ? measured / paperValue : 0.0; }
+
+bool Check::pass() const {
+  if (paperValue == 0.0) return false;
+  const double r = ratio();
+  return r >= 1.0 / tolerance && r <= tolerance;
+}
+
+std::string toMarkdown(const std::vector<Check>& checks) {
+  std::ostringstream os;
+  os << "| Quantity | Paper | Measured (sim) | Ratio | Band | Verdict |\n";
+  os << "|---|---|---|---|---|---|\n";
+  for (const auto& c : checks) {
+    char buf[256];
+    std::snprintf(buf, sizeof buf, "| %s | %.2f | %.2f | %.2fx | within %.1fx | %s |\n",
+                  c.name.c_str(), c.paperValue, c.measured, c.ratio(), c.tolerance,
+                  c.pass() ? "PASS" : "MISS");
+    os << buf;
+  }
+  return os.str();
+}
+
+}  // namespace hcsim::calibration

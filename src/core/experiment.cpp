@@ -1,0 +1,126 @@
+#include "core/experiment.hpp"
+
+#include <stdexcept>
+
+namespace hcsim {
+
+const char* toString(Site s) {
+  switch (s) {
+    case Site::Lassen: return "Lassen";
+    case Site::Ruby: return "Ruby";
+    case Site::Quartz: return "Quartz";
+    case Site::Wombat: return "Wombat";
+  }
+  return "?";
+}
+
+const char* toString(StorageKind k) {
+  switch (k) {
+    case StorageKind::Vast: return "VAST";
+    case StorageKind::Gpfs: return "GPFS";
+    case StorageKind::Lustre: return "Lustre";
+    case StorageKind::NvmeLocal: return "NVMe";
+  }
+  return "?";
+}
+
+Machine machineFor(Site site) {
+  switch (site) {
+    case Site::Lassen: return Machine::lassen();
+    case Site::Ruby: return Machine::ruby();
+    case Site::Quartz: return Machine::quartz();
+    case Site::Wombat: return Machine::wombat();
+  }
+  throw std::invalid_argument("machineFor: unknown site");
+}
+
+Environment makeEnvironment(Site site, StorageKind kind, std::size_t nodes) {
+  Environment env;
+  env.bench = std::make_unique<TestBench>(machineFor(site), nodes);
+  switch (kind) {
+    case StorageKind::Vast:
+      switch (site) {
+        case Site::Lassen: env.fs = env.bench->attachVast(vastOnLassen()); break;
+        case Site::Ruby: env.fs = env.bench->attachVast(vastOnRuby()); break;
+        case Site::Quartz: env.fs = env.bench->attachVast(vastOnQuartz()); break;
+        case Site::Wombat: env.fs = env.bench->attachVast(vastOnWombat()); break;
+      }
+      break;
+    case StorageKind::Gpfs:
+      if (site != Site::Lassen) {
+        throw std::invalid_argument("makeEnvironment: the paper only tests GPFS on Lassen");
+      }
+      env.fs = env.bench->attachGpfs(gpfsOnLassen());
+      break;
+    case StorageKind::Lustre:
+      if (site == Site::Quartz) {
+        env.fs = env.bench->attachLustre(lustreOnQuartz());
+      } else if (site == Site::Ruby) {
+        env.fs = env.bench->attachLustre(lustreOnRuby());
+      } else {
+        throw std::invalid_argument("makeEnvironment: the paper tests Lustre on Quartz/Ruby");
+      }
+      break;
+    case StorageKind::NvmeLocal:
+      if (site != Site::Wombat) {
+        throw std::invalid_argument("makeEnvironment: node-local NVMe is only on Wombat");
+      }
+      env.fs = env.bench->attachNvme(nvmeOnWombat());
+      break;
+  }
+  return env;
+}
+
+namespace {
+BandwidthPoint toPoint(std::size_t x, const IorResult& r) {
+  BandwidthPoint p;
+  p.x = x;
+  p.meanGBs = units::toGBs(r.bandwidth.mean);
+  p.minGBs = units::toGBs(r.bandwidth.min);
+  p.maxGBs = units::toGBs(r.bandwidth.max);
+  return p;
+}
+}  // namespace
+
+std::vector<BandwidthPoint> runIorNodeSweep(Site site, StorageKind kind, AccessPattern access,
+                                            const std::vector<std::size_t>& nodeCounts,
+                                            std::size_t procsPerNode, std::size_t repetitions,
+                                            double noiseFrac) {
+  std::vector<BandwidthPoint> out;
+  out.reserve(nodeCounts.size());
+  for (std::size_t nodes : nodeCounts) {
+    // NVMe scalability reads require one extra node as the round-robin
+    // copy source; the TestBench wires nodes only, copies are uncounted.
+    Environment env = makeEnvironment(site, kind, nodes);
+    IorRunner runner(*env.bench, *env.fs);
+    IorConfig cfg = IorConfig::scalability(access, nodes, procsPerNode);
+    cfg.repetitions = repetitions;
+    cfg.noiseStdDevFrac = noiseFrac;
+    out.push_back(toPoint(nodes, runner.run(cfg)));
+  }
+  return out;
+}
+
+std::vector<BandwidthPoint> runIorProcSweep(Site site, StorageKind kind, AccessPattern access,
+                                            const std::vector<std::size_t>& procCounts,
+                                            std::size_t repetitions, double noiseFrac) {
+  std::vector<BandwidthPoint> out;
+  out.reserve(procCounts.size());
+  for (std::size_t procs : procCounts) {
+    Environment env = makeEnvironment(site, kind, 1);
+    IorRunner runner(*env.bench, *env.fs);
+    IorConfig cfg = IorConfig::singleNodeFsync(access, procs);
+    cfg.repetitions = repetitions;
+    cfg.noiseStdDevFrac = noiseFrac;
+    out.push_back(toPoint(procs, runner.run(cfg)));
+  }
+  return out;
+}
+
+DlioResult runDlio(Site site, StorageKind kind, const DlioConfig& cfg) {
+  Environment env = makeEnvironment(site, kind, cfg.nodes);
+  DlioRunner runner(*env.bench, *env.fs);
+  return runner.run(cfg);
+}
+
+}  // namespace hcsim

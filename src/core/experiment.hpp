@@ -1,0 +1,59 @@
+#pragma once
+// Experiment framework — the paper's contribution is a *methodology*:
+// evaluate a storage system across (1) diverse workloads, (2) storage
+// configurations and (3) deployment methods. This module packages that
+// methodology as a library: pick a site and a storage system, run IOR
+// node/process sweeps or DLIO training runs, get summarized series.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/deployments.hpp"
+#include "dlio/dlio_runner.hpp"
+#include "ior/ior_runner.hpp"
+
+namespace hcsim {
+
+enum class Site { Lassen, Ruby, Quartz, Wombat };
+enum class StorageKind { Vast, Gpfs, Lustre, NvmeLocal };
+
+const char* toString(Site s);
+const char* toString(StorageKind k);
+
+Machine machineFor(Site site);
+
+/// A TestBench + an attached storage model, owned together.
+struct Environment {
+  std::unique_ptr<TestBench> bench;
+  std::unique_ptr<FileSystemModel> fs;
+};
+
+/// Build the paper's deployment of `kind` as reached from `site`, with
+/// `nodes` compute nodes wired. Throws std::invalid_argument for
+/// combinations the paper does not define (e.g. GPFS on Wombat).
+Environment makeEnvironment(Site site, StorageKind kind, std::size_t nodes);
+
+/// One point of a bandwidth series.
+struct BandwidthPoint {
+  std::size_t x = 0;  ///< nodes (scalability) or processes (single-node)
+  double meanGBs = 0.0;
+  double minGBs = 0.0;
+  double maxGBs = 0.0;
+};
+
+/// Fig 2-style node sweep: full-node IOR at each node count.
+std::vector<BandwidthPoint> runIorNodeSweep(Site site, StorageKind kind, AccessPattern access,
+                                            const std::vector<std::size_t>& nodeCounts,
+                                            std::size_t procsPerNode, std::size_t repetitions = 1,
+                                            double noiseFrac = 0.0);
+
+/// Fig 3-style process sweep: single node, fsync-per-write, per-op sim.
+std::vector<BandwidthPoint> runIorProcSweep(Site site, StorageKind kind, AccessPattern access,
+                                            const std::vector<std::size_t>& procCounts,
+                                            std::size_t repetitions = 1, double noiseFrac = 0.0);
+
+/// One DLIO training run on a fresh environment.
+DlioResult runDlio(Site site, StorageKind kind, const DlioConfig& cfg);
+
+}  // namespace hcsim

@@ -1,0 +1,83 @@
+#include "core/planner.hpp"
+
+#include <algorithm>
+
+#include "cluster/deployments.hpp"
+#include "ior/ior_runner.hpp"
+
+namespace hcsim {
+
+namespace {
+
+VastConfig materialize(const PlanSpace& space, std::size_t cnodes, NfsTransport transport,
+                       std::size_t nconnect) {
+  VastConfig cfg = space.base;
+  cfg.name = "plan-" + std::to_string(cnodes) + "c-" +
+             (transport == NfsTransport::Rdma ? "rdma" : "tcp") + "-nc" +
+             std::to_string(nconnect);
+  cfg.cnodes = cnodes;
+  cfg.transport = transport;
+  cfg.nconnect = nconnect;
+  cfg.multipath = transport == NfsTransport::Rdma;
+  if (transport == NfsTransport::Tcp) {
+    cfg.gateway = space.tcpGateway;
+    if (!cfg.gateway.present) {
+      cfg.gateway.present = true;
+      cfg.gateway.nodes = 2;
+      cfg.gateway.linksPerNode = 2;
+      cfg.gateway.linkBandwidth = units::gbps(100);
+    }
+  } else {
+    cfg.gateway = GatewaySpec{};
+  }
+  return cfg;
+}
+
+}  // namespace
+
+std::vector<PlanCandidate> planVastDeployment(const Machine& machine, const PlanGoal& goal,
+                                              PlanSpace space) {
+  std::vector<PlanCandidate> out;
+  for (std::size_t cnodes : space.cnodeChoices) {
+    for (NfsTransport transport : space.transports) {
+      for (std::size_t nconnect : space.nconnectChoices) {
+        if (transport == NfsTransport::Tcp && nconnect != space.nconnectChoices.front()) {
+          continue;  // TCP mounts are single-session in the paper's setups
+        }
+        PlanCandidate cand;
+        cand.config = materialize(space, cnodes, transport,
+                                  transport == NfsTransport::Tcp ? 1 : nconnect);
+        cand.config.validate();
+
+        TestBench bench(machine, goal.nodes);
+        auto fs = bench.attachVast(cand.config);
+        IorRunner runner(bench, *fs);
+        IorConfig ior = IorConfig::scalability(goal.pattern, goal.nodes, goal.procsPerNode);
+        ior.segments = static_cast<std::size_t>(goal.probeBytesPerProc / ior.blockSize);
+        if (ior.segments == 0) ior.segments = 1;
+        const IorResult r = runner.run(ior);
+        cand.measuredGBsPerNode =
+            units::toGBs(r.bandwidth.mean) / static_cast<double>(goal.nodes);
+        cand.meetsGoal = cand.measuredGBsPerNode >= goal.minGBsPerNode;
+        out.push_back(std::move(cand));
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const PlanCandidate& a, const PlanCandidate& b) {
+    if (a.meetsGoal != b.meetsGoal) return a.meetsGoal;
+    if (a.meetsGoal) {
+      if (a.costUnits() != b.costUnits()) return a.costUnits() < b.costUnits();
+    }
+    return a.measuredGBsPerNode > b.measuredGBsPerNode;
+  });
+  return out;
+}
+
+PlanCandidate bestVastDeployment(const Machine& machine, const PlanGoal& goal,
+                                 PlanSpace space) {
+  auto all = planVastDeployment(machine, goal, std::move(space));
+  if (all.empty()) throw std::invalid_argument("planVastDeployment: empty search space");
+  return all.front();
+}
+
+}  // namespace hcsim

@@ -1,0 +1,54 @@
+#pragma once
+// Deployment planner — the constructive use of the paper's methodology:
+// given a bandwidth goal, search the VAST configuration space (CNode
+// count x frontend x nconnect) by actually simulating each candidate,
+// and return the cheapest deployment that meets it.
+
+#include <vector>
+
+#include "cluster/machine.hpp"
+#include "device/ssd.hpp"
+#include "vast/vast_config.hpp"
+
+namespace hcsim {
+
+struct PlanGoal {
+  AccessPattern pattern = AccessPattern::SequentialRead;
+  double minGBsPerNode = 1.0;
+  std::size_t nodes = 8;
+  std::size_t procsPerNode = 16;
+  /// IOR volume per process used for the probe runs (smaller = faster).
+  Bytes probeBytesPerProc = 512 * units::MiB;
+};
+
+struct PlanCandidate {
+  VastConfig config;
+  double measuredGBsPerNode = 0.0;
+  bool meetsGoal = false;
+  /// Crude cost proxy: CNodes + DBoxes weigh the hardware bill.
+  double costUnits() const {
+    return static_cast<double>(config.cnodes) + 2.0 * static_cast<double>(config.dboxes);
+  }
+};
+
+struct PlanSpace {
+  std::vector<std::size_t> cnodeChoices{4, 8, 16, 32};
+  std::vector<NfsTransport> transports{NfsTransport::Tcp, NfsTransport::Rdma};
+  std::vector<std::size_t> nconnectChoices{1, 8, 16};
+  /// Base hardware template; cnodes/transport/nconnect are overwritten.
+  VastConfig base = VastConfig::wombatInstance();
+  /// Gateway used for TCP candidates.
+  GatewaySpec tcpGateway;
+};
+
+/// Simulate every candidate in the space on `machine`; candidates are
+/// returned sorted by (meetsGoal desc, costUnits asc, bandwidth desc).
+std::vector<PlanCandidate> planVastDeployment(const Machine& machine, const PlanGoal& goal,
+                                              PlanSpace space = {});
+
+/// First element of planVastDeployment's ordering, i.e. the cheapest
+/// candidate meeting the goal (or, if none does, the fastest one).
+PlanCandidate bestVastDeployment(const Machine& machine, const PlanGoal& goal,
+                                 PlanSpace space = {});
+
+}  // namespace hcsim

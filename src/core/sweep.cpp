@@ -1,0 +1,60 @@
+#include "core/sweep.hpp"
+
+#include <map>
+#include <set>
+
+namespace hcsim {
+
+ResultTable makeFigureTable(const std::string& title, const std::string& xLabel,
+                            const std::vector<Series>& series, bool spread) {
+  ResultTable t(title);
+  std::vector<std::string> header{xLabel};
+  for (const auto& s : series) {
+    header.push_back(s.label + " GB/s");
+    if (spread) {
+      header.push_back(s.label + " min");
+      header.push_back(s.label + " max");
+    }
+  }
+  t.setHeader(std::move(header));
+
+  std::set<std::size_t> grid;
+  std::vector<std::map<std::size_t, BandwidthPoint>> byX(series.size());
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    for (const auto& p : series[i].points) {
+      grid.insert(p.x);
+      byX[i][p.x] = p;
+    }
+  }
+
+  for (std::size_t x : grid) {
+    std::vector<Cell> row;
+    row.emplace_back(static_cast<double>(x));
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      const auto it = byX[i].find(x);
+      if (it == byX[i].end()) {
+        row.emplace_back(std::string{});
+        if (spread) {
+          row.emplace_back(std::string{});
+          row.emplace_back(std::string{});
+        }
+      } else {
+        row.emplace_back(it->second.meanGBs);
+        if (spread) {
+          row.emplace_back(it->second.minGBs);
+          row.emplace_back(it->second.maxGBs);
+        }
+      }
+    }
+    t.addRow(std::move(row));
+  }
+  return t;
+}
+
+std::vector<std::size_t> powersOfTwo(std::size_t limit) {
+  std::vector<std::size_t> out;
+  for (std::size_t v = 1; v <= limit; v *= 2) out.push_back(v);
+  return out;
+}
+
+}  // namespace hcsim

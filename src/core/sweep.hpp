@@ -1,0 +1,27 @@
+#pragma once
+// Series/table helpers shared by the benchmark binaries: every figure in
+// the paper is "bandwidth (or time) vs x, one series per storage system".
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "util/table.hpp"
+
+namespace hcsim {
+
+struct Series {
+  std::string label;
+  std::vector<BandwidthPoint> points;
+};
+
+/// Build a figure-style table: first column = x, then one mean-bandwidth
+/// column per series (with min/max columns when `spread` is set). Series
+/// may have different x grids; missing cells are blank.
+ResultTable makeFigureTable(const std::string& title, const std::string& xLabel,
+                            const std::vector<Series>& series, bool spread = false);
+
+/// Geometric x grids used by the paper: {1,2,4,...,limit}.
+std::vector<std::size_t> powersOfTwo(std::size_t limit);
+
+}  // namespace hcsim

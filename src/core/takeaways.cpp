@@ -1,0 +1,97 @@
+#include "core/takeaways.hpp"
+
+#include "core/experiment.hpp"
+#include "dlio/dlio_config.hpp"
+
+namespace hcsim {
+
+namespace {
+
+double perNodeGBs(Site site, StorageKind kind, AccessPattern access, std::size_t nodes,
+                  std::size_t ppn) {
+  const auto pts = runIorNodeSweep(site, kind, access, {nodes}, ppn);
+  return pts.front().meanGBs / static_cast<double>(nodes);
+}
+
+}  // namespace
+
+RdmaVsTcp measureRdmaVsTcp() {
+  RdmaVsTcp r;
+  r.tcpWriteGBsPerNode = perNodeGBs(Site::Lassen, StorageKind::Vast,
+                                    AccessPattern::SequentialWrite, 1,
+                                    calibration::kLassenProcsPerNode);
+  r.tcpReadGBsPerNode = perNodeGBs(Site::Lassen, StorageKind::Vast,
+                                   AccessPattern::SequentialRead, 1,
+                                   calibration::kLassenProcsPerNode);
+  r.rdmaWriteGBsPerNode = perNodeGBs(Site::Wombat, StorageKind::Vast,
+                                     AccessPattern::SequentialWrite, 1,
+                                     calibration::kWombatProcsPerNode);
+  // Reads saturate VAST's 8 CNodes within a couple of nodes (Fig 2b), so
+  // the paper's "per node" read figure sits on that shoulder; 2 nodes is
+  // the closest sampling point (see EXPERIMENTS.md).
+  r.rdmaReadGBsPerNode = perNodeGBs(Site::Wombat, StorageKind::Vast,
+                                    AccessPattern::SequentialRead, 2,
+                                    calibration::kWombatProcsPerNode);
+  return r;
+}
+
+SeqVsRandom measureSeqVsRandom() {
+  SeqVsRandom r;
+  r.gpfsSeqGBs = perNodeGBs(Site::Lassen, StorageKind::Gpfs, AccessPattern::SequentialRead, 1,
+                            calibration::kLassenProcsPerNode);
+  // The paper's 1.4 GB/s/node random figure reflects cache-defeating
+  // scale (Fig 2a's upper range), where the working set dwarfs the
+  // resident core of the server caches; measure it there.
+  r.gpfsRandGBs = perNodeGBs(Site::Lassen, StorageKind::Gpfs, AccessPattern::RandomRead, 64,
+                             calibration::kLassenProcsPerNode);
+  r.vastSeqGBs = perNodeGBs(Site::Wombat, StorageKind::Vast, AccessPattern::SequentialRead, 2,
+                            calibration::kWombatProcsPerNode);
+  r.vastRandGBs = perNodeGBs(Site::Wombat, StorageKind::Vast, AccessPattern::RandomRead, 2,
+                             calibration::kWombatProcsPerNode);
+  return r;
+}
+
+DlViability measureDlViability(std::size_t nodes) {
+  DlViability v;
+  DlioConfig cfg;
+  cfg.workload = DlioWorkload::resnet50();
+  cfg.nodes = nodes;
+  cfg.procsPerNode = 4;  // one rank per Lassen GPU
+
+  const DlioResult vast = runDlio(Site::Lassen, StorageKind::Vast, cfg);
+  const DlioResult gpfs = runDlio(Site::Lassen, StorageKind::Gpfs, cfg);
+  v.vastAppGBs = units::toGBs(vast.throughput.application);
+  v.gpfsAppGBs = units::toGBs(gpfs.throughput.application);
+  v.vastSysGBs = units::toGBs(vast.throughput.system);
+  v.gpfsSysGBs = units::toGBs(gpfs.throughput.system);
+  return v;
+}
+
+std::vector<calibration::Check> runAllChecks() {
+  namespace cal = calibration;
+  std::vector<cal::Check> checks;
+
+  const RdmaVsTcp rt = measureRdmaVsTcp();
+  checks.push_back({"TCP VAST write GB/s per node", cal::kTcpPerNodeGBs,
+                    rt.tcpWriteGBsPerNode, 2.0});
+  checks.push_back({"RDMA VAST write GB/s per node", cal::kRdmaPerNodeGBs,
+                    rt.rdmaWriteGBsPerNode, 2.0});
+  checks.push_back({"RDMA/TCP write factor", cal::kRdmaVsTcpFactor, rt.writeFactor(), 2.0});
+  checks.push_back({"RDMA/TCP read factor", cal::kRdmaVsTcpFactor, rt.readFactor(), 2.0});
+
+  const SeqVsRandom sr = measureSeqVsRandom();
+  checks.push_back({"GPFS seq read GB/s per node", cal::kGpfsSeqReadPerNodeGBs, sr.gpfsSeqGBs,
+                    1.5});
+  checks.push_back({"GPFS random read GB/s per node", cal::kGpfsRandReadPerNodeGBs,
+                    sr.gpfsRandGBs, 2.0});
+  checks.push_back({"GPFS random drop fraction", cal::kGpfsRandomDropFraction,
+                    sr.gpfsDropFraction(), 1.25});
+  checks.push_back({"VAST seq read GB/s per node", cal::kVastSeqReadPerNodeGBs, sr.vastSeqGBs,
+                    2.0});
+  checks.push_back({"VAST random read GB/s per node", cal::kVastRandReadPerNodeGBs,
+                    sr.vastRandGBs, 2.0});
+
+  return checks;
+}
+
+}  // namespace hcsim

@@ -1,0 +1,62 @@
+#pragma once
+// Takeaway computations — §VII of the paper distilled into three
+// measurable quantities, each derived by actually running the simulated
+// experiments (not by reading config constants).
+
+#include <cstddef>
+
+#include "core/calibration.hpp"
+
+namespace hcsim {
+
+/// Takeaway for system administrators: per-node bandwidth of the
+/// RDMA-deployed VAST (Wombat) vs the TCP-deployed VAST (Lassen).
+struct RdmaVsTcp {
+  double tcpWriteGBsPerNode = 0.0;
+  double tcpReadGBsPerNode = 0.0;
+  double rdmaWriteGBsPerNode = 0.0;
+  double rdmaReadGBsPerNode = 0.0;
+  double writeFactor() const {
+    return tcpWriteGBsPerNode > 0 ? rdmaWriteGBsPerNode / tcpWriteGBsPerNode : 0.0;
+  }
+  double readFactor() const {
+    return tcpReadGBsPerNode > 0 ? rdmaReadGBsPerNode / tcpReadGBsPerNode : 0.0;
+  }
+};
+RdmaVsTcp measureRdmaVsTcp();
+
+/// Takeaway for I/O researchers: per-node sequential vs random read
+/// bandwidth on GPFS (HDD + prefetch caches) vs RDMA VAST (SCM/QLC).
+struct SeqVsRandom {
+  double gpfsSeqGBs = 0.0;
+  double gpfsRandGBs = 0.0;
+  double vastSeqGBs = 0.0;
+  double vastRandGBs = 0.0;
+  double gpfsDropFraction() const {
+    return gpfsSeqGBs > 0 ? 1.0 - gpfsRandGBs / gpfsSeqGBs : 0.0;
+  }
+  double vastDropFraction() const {
+    return vastSeqGBs > 0 ? 1.0 - vastRandGBs / vastSeqGBs : 0.0;
+  }
+};
+SeqVsRandom measureSeqVsRandom();
+
+/// Takeaway for application users: ResNet-50 (small dataset, one epoch)
+/// application-perceived throughput on VAST vs GPFS — "VAST can viably
+/// serve workloads with low I/O requirements".
+struct DlViability {
+  double vastAppGBs = 0.0;
+  double gpfsAppGBs = 0.0;
+  double vastSysGBs = 0.0;
+  double gpfsSysGBs = 0.0;
+  /// Application-visible slowdown of VAST relative to GPFS (close to 1 =
+  /// viable).
+  double appRatio() const { return vastAppGBs > 0 ? gpfsAppGBs / vastAppGBs : 0.0; }
+};
+DlViability measureDlViability(std::size_t nodes = 8);
+
+/// All checks against the paper's numbers, produced by running the three
+/// measurements above.
+std::vector<calibration::Check> runAllChecks();
+
+}  // namespace hcsim

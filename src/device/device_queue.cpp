@@ -1,0 +1,40 @@
+#include "device/device_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace hcsim {
+
+DeviceQueue::DeviceQueue(Simulator& sim, std::size_t servers, std::string name)
+    : sim_(sim), servers_(servers), name_(std::move(name)) {
+  if (servers_ == 0) throw std::invalid_argument("DeviceQueue: servers must be > 0");
+}
+
+void DeviceQueue::submit(Seconds serviceTime, std::function<void()> onDone) {
+  Pending op{serviceTime, std::move(onDone)};
+  if (busy_ < servers_) {
+    startService(std::move(op));
+  } else {
+    waiting_.push_back(std::move(op));
+  }
+}
+
+void DeviceQueue::startService(Pending op) {
+  ++busy_;
+  sim_.schedule(op.serviceTime, [this, done = std::move(op.onDone)]() mutable {
+    ++completed_;
+    if (done) done();
+    onServerFree();
+  });
+}
+
+void DeviceQueue::onServerFree() {
+  --busy_;
+  if (!waiting_.empty()) {
+    Pending next = std::move(waiting_.front());
+    waiting_.pop_front();
+    startService(std::move(next));
+  }
+}
+
+}  // namespace hcsim

@@ -1,0 +1,53 @@
+#pragma once
+// DeviceQueue — a c-server FIFO service center on the simulator.
+//
+// Used for latency-bound operations that serialize at a device or server:
+// fsync commits, metadata lookups, NFS RPC slots. Bandwidth-bound
+// transfers go through the FlowNetwork instead.
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+
+#include "sim/simulator.hpp"
+
+namespace hcsim {
+
+class DeviceQueue {
+ public:
+  /// `servers` = number of operations serviced concurrently (queue depth).
+  DeviceQueue(Simulator& sim, std::size_t servers, std::string name = {});
+
+  DeviceQueue(const DeviceQueue&) = delete;
+  DeviceQueue& operator=(const DeviceQueue&) = delete;
+
+  /// Enqueue an operation taking `serviceTime` once a server is free;
+  /// `onDone` fires at completion.
+  void submit(Seconds serviceTime, std::function<void()> onDone);
+
+  std::size_t queued() const { return waiting_.size(); }
+  std::size_t busy() const { return busy_; }
+  std::size_t servers() const { return servers_; }
+  const std::string& name() const { return name_; }
+
+  /// Operations completed over the queue's lifetime.
+  std::uint64_t completed() const { return completed_; }
+
+ private:
+  struct Pending {
+    Seconds serviceTime;
+    std::function<void()> onDone;
+  };
+
+  void startService(Pending op);
+  void onServerFree();
+
+  Simulator& sim_;
+  std::size_t servers_;
+  std::string name_;
+  std::size_t busy_ = 0;
+  std::uint64_t completed_ = 0;
+  std::deque<Pending> waiting_;
+};
+
+}  // namespace hcsim

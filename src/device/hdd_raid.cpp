@@ -1,0 +1,42 @@
+#include "device/hdd_raid.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hcsim {
+
+HddSpec HddSpec::nearlineSas() {
+  HddSpec s;
+  s.name = "NL-SAS-HDD";
+  s.streamBandwidth = units::gbs(0.25);  // ~250 MB/s outer tracks
+  s.seekTime = units::msec(8);           // avg seek + half-rotation @7.2k
+  return s;
+}
+
+HddRaid::HddRaid(HddSpec spec, std::size_t spindles, double parityOverhead)
+    : spec_(std::move(spec)), spindles_(spindles), parityOverhead_(parityOverhead) {
+  if (spindles_ == 0) throw std::invalid_argument("HddRaid: spindles must be > 0");
+  if (parityOverhead_ < 0.0 || parityOverhead_ >= 1.0) {
+    throw std::invalid_argument("HddRaid: parityOverhead must be in [0,1)");
+  }
+}
+
+Bandwidth HddRaid::effectiveBandwidth(AccessPattern pattern, Bytes requestSize) const {
+  const double req = std::max<double>(1.0, static_cast<double>(requestSize));
+  const Bandwidth stream = spec_.streamBandwidth;
+  Bandwidth perSpindle;
+  if (isSequential(pattern)) {
+    perSpindle = stream;
+  } else {
+    perSpindle = req / (spec_.seekTime + req / stream);
+  }
+  double total = perSpindle * static_cast<double>(spindles_);
+  if (!isRead(pattern)) total *= (1.0 - parityOverhead_);
+  return total;
+}
+
+Seconds HddRaid::requestLatency(AccessPattern pattern) const {
+  return isSequential(pattern) ? spec_.seekTime * 0.05 : spec_.seekTime;
+}
+
+}  // namespace hcsim

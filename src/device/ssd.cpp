@@ -1,0 +1,82 @@
+#include "device/ssd.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hcsim {
+
+const char* toString(AccessPattern p) {
+  switch (p) {
+    case AccessPattern::SequentialRead: return "seq-read";
+    case AccessPattern::SequentialWrite: return "seq-write";
+    case AccessPattern::RandomRead: return "rand-read";
+    case AccessPattern::RandomWrite: return "rand-write";
+  }
+  return "?";
+}
+
+SsdSpec SsdSpec::scm() {
+  SsdSpec s;
+  s.name = "SCM";
+  s.readBandwidth = units::gbs(2.4);
+  s.writeBandwidth = units::gbs(2.0);
+  s.readLatency = units::usec(10);  // paper: 100ns..30us random access
+  s.writeLatency = units::usec(10);
+  s.randomEfficiency = 0.97;
+  return s;
+}
+
+SsdSpec SsdSpec::qlc() {
+  SsdSpec s;
+  s.name = "QLC";
+  s.readBandwidth = units::gbs(3.0);
+  // Sustained QLC programming is slow; VAST's design doc leans on SCM
+  // buffering + large erasure-coded stripes precisely because of this.
+  s.writeBandwidth = units::gbs(0.45);
+  s.readLatency = units::usec(90);
+  s.writeLatency = units::msec(2);
+  s.randomEfficiency = 0.85;
+  return s;
+}
+
+SsdSpec SsdSpec::samsung970Pro() {
+  SsdSpec s;
+  s.name = "Samsung970PRO";
+  s.readBandwidth = units::gbs(3.5);
+  s.writeBandwidth = units::gbs(2.7);
+  s.readLatency = units::usec(80);
+  s.writeLatency = units::usec(30);
+  s.randomEfficiency = 0.9;
+  return s;
+}
+
+SsdSpec SsdSpec::sasSsd() {
+  SsdSpec s;
+  s.name = "SAS-SSD";
+  s.readBandwidth = units::gbs(1.1);
+  s.writeBandwidth = units::gbs(1.0);
+  s.readLatency = units::usec(120);
+  s.writeLatency = units::usec(60);
+  s.randomEfficiency = 0.9;
+  return s;
+}
+
+SsdArray::SsdArray(SsdSpec spec, std::size_t count) : spec_(std::move(spec)), count_(count) {
+  if (count_ == 0) throw std::invalid_argument("SsdArray: count must be > 0");
+}
+
+Bandwidth SsdArray::effectiveBandwidth(AccessPattern pattern, Bytes requestSize) const {
+  const bool rd = isRead(pattern);
+  const Bandwidth stream = rd ? spec_.readBandwidth : spec_.writeBandwidth;
+  const Seconds lat = rd ? spec_.readLatency : spec_.writeLatency;
+  const double eff = isSequential(pattern) ? 1.0 : spec_.randomEfficiency;
+  const double req = std::max<double>(1.0, static_cast<double>(requestSize));
+  const Bandwidth perDevice = req / (lat + req / (stream * eff));
+  return perDevice * static_cast<double>(count_);
+}
+
+Seconds SsdArray::requestLatency(AccessPattern pattern) const {
+  return isRead(pattern) ? spec_.readLatency : spec_.writeLatency;
+}
+
+}  // namespace hcsim

@@ -1,0 +1,45 @@
+#pragma once
+// DlioRunner — executes a DlioConfig against a FileSystemModel: every
+// rank runs an input pipeline (ioThreads concurrent sample fetches
+// feeding a bounded prefetch queue) and a trainer consuming batches in
+// order, computing for computeTimePerBatch each. All reads and computes
+// are recorded into a TraceLog (the DFTracer substitute), from which the
+// Fig 4-6 metrics are derived.
+
+#include <memory>
+
+#include "cluster/deployments.hpp"
+#include "dlio/dlio_config.hpp"
+#include "fs/file_system_model.hpp"
+#include "trace/overlap_analysis.hpp"
+#include "trace/trace_log.hpp"
+#include "util/random.hpp"
+
+namespace hcsim {
+
+struct DlioResult {
+  IoTimeBreakdown breakdown;
+  ThroughputReport throughput;
+  Seconds runtime = 0.0;       ///< wall time of the training run
+  Bytes bytesRead = 0;         ///< total bytes fetched (epochs included)
+  Bytes bytesCheckpointed = 0; ///< checkpoint writes (unet3d-style)
+  Bytes datasetBytes = 0;      ///< dataset size on storage
+  std::size_t batchesTrained = 0;
+  TraceLog trace;              ///< full event log (chrome-trace exportable)
+};
+
+class DlioRunner {
+ public:
+  DlioRunner(TestBench& bench, FileSystemModel& fs) : bench_(bench), fs_(fs) {}
+
+  /// Run the emulated training to completion and analyze the trace.
+  DlioResult run(const DlioConfig& cfg);
+
+ private:
+  struct Rank;
+
+  TestBench& bench_;
+  FileSystemModel& fs_;
+};
+
+}  // namespace hcsim

@@ -1,0 +1,51 @@
+#include "fs/client_session.hpp"
+
+#include <utility>
+
+namespace hcsim {
+
+void ClientSession::submit(Bytes offset, Bytes size, std::uint64_t ops, AccessPattern pattern,
+                           bool fsync, std::function<void(const IoResult&)> done) {
+  IoRequest req;
+  req.client = client_;
+  req.fileId = fileId_;
+  req.offset = offset;
+  req.bytes = size * ops;
+  req.pattern = pattern;
+  req.fsync = fsync;
+  req.ops = ops;
+  fs_->submit(req, std::move(done));
+}
+
+void ClientSession::write(Bytes size, bool fsync, std::function<void(const IoResult&)> done) {
+  submit(cursor_, size, 1, AccessPattern::SequentialWrite, fsync, std::move(done));
+  cursor_ += size;
+}
+
+void ClientSession::read(Bytes size, std::function<void(const IoResult&)> done) {
+  submit(cursor_, size, 1, AccessPattern::SequentialRead, false, std::move(done));
+  cursor_ += size;
+}
+
+void ClientSession::readAt(Bytes offset, Bytes size, std::function<void(const IoResult&)> done) {
+  submit(offset, size, 1, AccessPattern::RandomRead, false, std::move(done));
+}
+
+void ClientSession::writeRun(Bytes size, std::uint64_t ops, bool fsync,
+                             std::function<void(const IoResult&)> done) {
+  submit(cursor_, size, ops, AccessPattern::SequentialWrite, fsync, std::move(done));
+  cursor_ += size * ops;
+}
+
+void ClientSession::readRun(Bytes size, std::uint64_t ops,
+                            std::function<void(const IoResult&)> done) {
+  submit(cursor_, size, ops, AccessPattern::SequentialRead, false, std::move(done));
+  cursor_ += size * ops;
+}
+
+void ClientSession::randomReadRun(Bytes size, std::uint64_t ops,
+                                  std::function<void(const IoResult&)> done) {
+  submit(0, size, ops, AccessPattern::RandomRead, false, std::move(done));
+}
+
+}  // namespace hcsim

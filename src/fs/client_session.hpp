@@ -1,0 +1,51 @@
+#pragma once
+// ClientSession — POSIX-flavoured per-process file handle over a
+// FileSystemModel. One session == one process's sequential I/O stream
+// (IOR file-per-process, or one DLIO reader thread).
+
+#include <functional>
+
+#include "fs/file_system_model.hpp"
+
+namespace hcsim {
+
+class ClientSession {
+ public:
+  /// `fileId` identifies the file this session operates on (N-N: unique
+  /// per process; N-1: shared id across sessions).
+  ClientSession(FileSystemModel& fs, ClientId client, std::uint64_t fileId)
+      : fs_(&fs), client_(client), fileId_(fileId) {}
+
+  ClientId client() const { return client_; }
+  std::uint64_t fileId() const { return fileId_; }
+  Bytes cursor() const { return cursor_; }
+  void seek(Bytes offset) { cursor_ = offset; }
+
+  /// Write `size` bytes at the cursor (advances it). `fsync` waits for
+  /// stable storage, as IOR -e does.
+  void write(Bytes size, bool fsync, std::function<void(const IoResult&)> done);
+
+  /// Sequential read at the cursor (advances it).
+  void read(Bytes size, std::function<void(const IoResult&)> done);
+
+  /// Random read at an explicit offset (cursor unchanged).
+  void readAt(Bytes offset, Bytes size, std::function<void(const IoResult&)> done);
+
+  /// Coalesced run of `ops` sequential same-size operations (see
+  /// DESIGN.md §5); advances the cursor by ops*size.
+  void writeRun(Bytes size, std::uint64_t ops, bool fsync,
+                std::function<void(const IoResult&)> done);
+  void readRun(Bytes size, std::uint64_t ops, std::function<void(const IoResult&)> done);
+  void randomReadRun(Bytes size, std::uint64_t ops, std::function<void(const IoResult&)> done);
+
+ private:
+  void submit(Bytes offset, Bytes size, std::uint64_t ops, AccessPattern pattern, bool fsync,
+              std::function<void(const IoResult&)> done);
+
+  FileSystemModel* fs_;
+  ClientId client_;
+  std::uint64_t fileId_;
+  Bytes cursor_ = 0;
+};
+
+}  // namespace hcsim

@@ -1,0 +1,134 @@
+#pragma once
+// FileSystemModel — the contract between workload generators (IOR, DLIO)
+// and storage-system models (VAST, GPFS, Lustre, node-local NVMe).
+//
+// The API is asynchronous and phase-oriented, mirroring how the paper's
+// benchmarks behave:
+//
+//  * `beginPhase` declares a homogeneous access phase (IOR runs pure
+//    sequential-write / sequential-read / random-read phases; DLIO reads
+//    one sample size). Models use it to set pattern-dependent effective
+//    device bandwidths and reset per-phase statistics.
+//  * `submit` issues one request (or a coalesced run of `ops` identical
+//    requests from one process — see DESIGN.md §5); the callback fires at
+//    the simulated completion time.
+//  * Requests with `fsync=true` include the flush-to-stable-storage wait,
+//    reproducing IOR's -e behaviour used in the single-node tests.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "device/ssd.hpp"  // AccessPattern
+#include "sim/simulator.hpp"
+#include "util/units.hpp"
+
+namespace hcsim {
+
+/// Identifies the issuing process: compute node index + process rank on
+/// that node. Models route traffic through node `node`'s NIC.
+struct ClientId {
+  std::uint32_t node = 0;
+  std::uint32_t proc = 0;
+};
+
+struct IoRequest {
+  ClientId client;
+  std::uint64_t fileId = 0;  ///< N-N: unique per process; N-1: shared
+  Bytes offset = 0;
+  Bytes bytes = 0;  ///< TOTAL bytes of this (possibly coalesced) request
+  AccessPattern pattern = AccessPattern::SequentialRead;
+  bool fsync = false;        ///< flush after every underlying op
+  /// N-1 (shared-file) access: every op pays lock acquisition and the
+  /// stream loses efficiency to lock ping-pong — "the contention, file
+  /// locking and metadata overhead it introduces" (paper §IV-C1), the
+  /// reason the paper benchmarks N-N instead.
+  bool sharedFile = false;
+  std::uint64_t ops = 1;     ///< number of coalesced same-size operations
+  /// Number of identical concurrent processes this request aggregates
+  /// (scalability runs coalesce a node's symmetric ranks into one flow;
+  /// per-process rate ceilings are multiplied by this).
+  std::uint32_t streams = 1;
+  /// QoS weight (> 0): the share of contended links this request's
+  /// traffic receives relative to other traffic (weighted max-min).
+  double qosWeight = 1.0;
+};
+
+struct IoResult {
+  SimTime startTime = 0.0;
+  SimTime endTime = 0.0;
+  Bytes bytes = 0;
+  Seconds elapsed() const { return endTime - startTime; }
+};
+
+using IoCallback = std::function<void(const IoResult&)>;
+
+/// Metadata operations (the MDTest workload: create/stat/remove storms).
+enum class MetaOp { Create, Stat, Open, Close, Remove };
+
+const char* toString(MetaOp op);
+
+struct MetaRequest {
+  ClientId client;
+  MetaOp op = MetaOp::Stat;
+  std::uint64_t fileId = 0;
+  /// True when every process works in ONE shared directory — the
+  /// contended MDTest mode where directory locks serialize; false for
+  /// unique-directory-per-task (-u).
+  bool sharedDirectory = true;
+};
+
+/// Declared once per homogeneous benchmark phase.
+struct PhaseSpec {
+  AccessPattern pattern = AccessPattern::SequentialRead;
+  Bytes requestSize = 0;           ///< per-op transfer size
+  std::uint32_t nodes = 1;         ///< compute nodes participating
+  std::uint32_t procsPerNode = 1;  ///< ranks per node
+  /// True when the phase reads data written by a *different* client than
+  /// the reader (the paper does this deliberately to defeat client-side
+  /// read caches); models must not grant client-cache hits.
+  bool readerDiffersFromWriter = true;
+  /// Total bytes the phase touches across all clients (0 = unknown).
+  /// Server/DNode-side caches compare this against their capacity to
+  /// derive hit ratios — the mechanism behind "requests are majorly
+  /// served by GPFS's caches" for small DL datasets.
+  Bytes workingSetBytes = 0;
+  /// Every write in this phase is followed by fsync (IOR -e). Models with
+  /// volatile write caches (node-local NVMe) lose them in such phases.
+  bool fsync = false;
+};
+
+class FileSystemModel {
+ public:
+  virtual ~FileSystemModel() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// Declare the start of a homogeneous access phase.
+  virtual void beginPhase(const PhaseSpec& phase) = 0;
+
+  /// Declare the end of the phase (models may clear phase state).
+  virtual void endPhase() = 0;
+
+  /// Issue a request; `cb` fires once at completion.
+  virtual void submit(const IoRequest& req, IoCallback cb) = 0;
+
+  /// Issue a metadata operation; `cb` fires once at completion (with
+  /// bytes == 0). Models route it through their metadata service
+  /// (CNodes/SCM for VAST, token-managed NSD metadata for GPFS, the MDS
+  /// pool for Lustre, the local kernel for node-local NVMe).
+  virtual void submitMeta(const MetaRequest& req, IoCallback cb) = 0;
+
+  /// Total capacity (for reports; the paper contrasts GPFS 24 PB vs
+  /// VAST 5.2 PB).
+  virtual Bytes totalCapacity() const = 0;
+
+  /// How many distinct parallel channels one client node drives (NFS
+  /// nconnect sessions for VAST; 1 otherwise). Workload runners that
+  /// aggregate a node's ranks into flows must keep this many distinct
+  /// `client.proc` slots so every channel stays loaded.
+  virtual std::size_t clientParallelism() const { return 1; }
+};
+
+}  // namespace hcsim

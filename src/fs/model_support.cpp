@@ -1,0 +1,44 @@
+#include "fs/model_support.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "fs/file_system_model.hpp"
+
+namespace hcsim {
+
+const char* toString(MetaOp op) {
+  switch (op) {
+    case MetaOp::Create: return "create";
+    case MetaOp::Stat: return "stat";
+    case MetaOp::Open: return "open";
+    case MetaOp::Close: return "close";
+    case MetaOp::Remove: return "remove";
+  }
+  return "?";
+}
+
+Bandwidth overheadAdjustedCap(Bandwidth streamCap, Seconds perOpOverhead, Bytes reqSize) {
+  if (reqSize == 0) throw std::invalid_argument("overheadAdjustedCap: reqSize must be > 0");
+  if (perOpOverhead <= 0.0) return streamCap;
+  const double deadTimePerByte = perOpOverhead / static_cast<double>(reqSize);
+  if (!std::isfinite(streamCap) || streamCap <= 0.0) {
+    return streamCap <= 0.0 ? 0.0 : 1.0 / deadTimePerByte;
+  }
+  return 1.0 / (1.0 / streamCap + deadTimePerByte);
+}
+
+std::function<void()> completionBarrier(std::size_t count, std::function<void()> done) {
+  if (count == 0) {
+    if (done) done();
+    return [] {};
+  }
+  auto remaining = std::make_shared<std::size_t>(count);
+  return [remaining, done = std::move(done)]() {
+    if (*remaining == 0) return;  // over-signalled; ignore
+    if (--*remaining == 0 && done) done();
+  };
+}
+
+}  // namespace hcsim

@@ -1,0 +1,24 @@
+#pragma once
+// Shared helpers for storage-system model implementations.
+
+#include <functional>
+#include <memory>
+
+#include "util/units.hpp"
+
+namespace hcsim {
+
+/// Effective per-stream rate when every `reqSize`-byte operation pays a
+/// fixed `perOpOverhead` of dead time (RPC round trip, fsync commit,
+/// device latency): the harmonic composition
+///
+///   rate = 1 / (1/streamCap + perOpOverhead/reqSize)
+///
+/// ->  streamCap for large requests, reqSize/perOpOverhead for tiny ones.
+Bandwidth overheadAdjustedCap(Bandwidth streamCap, Seconds perOpOverhead, Bytes reqSize);
+
+/// Returns a callable that invokes `done` exactly once, after being
+/// called `count` times. With count == 0, `done` runs immediately.
+std::function<void()> completionBarrier(std::size_t count, std::function<void()> done);
+
+}  // namespace hcsim

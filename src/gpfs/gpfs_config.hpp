@@ -1,0 +1,73 @@
+#pragma once
+// GpfsConfig — the GPFS-on-Lassen model (paper §IV-B, Fig 1b): 16
+// PowerPC64 NSD servers, 1.4 PB each, GPFS Native RAID over HDD,
+// InfiniBand interconnect, deep server-side caching with aggressive
+// sequential prefetch.
+
+#include <cstddef>
+#include <string>
+
+#include "device/hdd_raid.hpp"
+#include "util/units.hpp"
+
+namespace hcsim {
+
+struct GpfsConfig {
+  std::string name = "GPFS";
+
+  // ---- Server side ----
+  std::size_t nsdServers = 16;
+  /// Per-NSD-server network/processing ceiling (read path streams from
+  /// RAID + cache; Lassen's GPFS delivers over a TB/s aggregate).
+  Bandwidth serverReadBandwidth = units::gbs(29.0);
+  Bandwidth serverWriteBandwidth = units::gbs(25.0);
+  HddSpec hdd = HddSpec::nearlineSas();
+  std::size_t spindlesPerServer = 140;
+  double raidParityOverhead = 0.2;
+  /// Server-side cache (pagepool + NSD/RAID caches) per server.
+  Bytes serverCacheBytes = units::GiB * 512;
+  /// Fraction of the server cache that stays useful under *random*
+  /// access: uniform random reads churn the LRU so only a thin resident
+  /// core keeps hitting. Small DL datasets (<< factor x cache) still hit
+  /// fully — the paper's ResNet observation — while IOR-scale random
+  /// working sets (>= 120 GB/node) mostly miss and pay the thrash
+  /// penalty, producing the 90% sequential->random collapse.
+  double randomCacheResidencyFactor = 0.01;
+
+  // ---- Client side ----
+  /// Per-compute-node GPFS client ceiling for streaming reads; the paper
+  /// measures ~14.5 GB/s per node for sequential reads.
+  Bandwidth clientReadCap = units::gbs(15.0);
+  Bandwidth clientWriteCap = units::gbs(3.1);
+  /// Client pagepool (only effective when the reader wrote the data —
+  /// the paper's tests deliberately defeat it).
+  Bytes clientPagepool = units::GiB * 16;
+
+  // ---- Latencies ----
+  Seconds rpcLatency = units::usec(200);
+  /// fsync: flush to NSD server stable storage (RAID write cache backed).
+  Seconds commitLatency = units::usec(800);
+  /// Extra per-op dead time on random reads: prefetch thrash, token
+  /// revocation and deep request queues. This term produces the paper's
+  /// 90% sequential->random collapse (14.5 -> 1.4 GB/s per node).
+  Seconds randomReadPenalty = units::msec(26.0);
+
+  /// Per-op metadata service at an NSD/token manager.
+  Seconds metadataServiceTime = units::usec(250);
+  /// Shared-directory token ping-pong penalty (GPFS's distributed lock
+  /// manager revokes the directory token on every create).
+  double metadataSharedDirPenalty = 4.0;
+  /// N-1 shared-file costs: byte-range write tokens ping-pong between
+  /// clients (GPFS's well-known N-1 weakness without data shipping).
+  Seconds sharedFileLockLatency = units::msec(1.2);
+  double sharedFileEfficiency = 0.55;
+
+  Bytes capacityTotal = 24 * units::PB;  ///< paper: "total capacity of 24 PB"
+
+  void validate() const;
+
+  /// The Lassen instance as described in the paper.
+  static GpfsConfig lassen();
+};
+
+}  // namespace hcsim

@@ -1,0 +1,174 @@
+#include "gpfs/gpfs_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace hcsim {
+
+namespace {
+constexpr Bandwidth kUncapped = std::numeric_limits<Bandwidth>::infinity();
+}
+
+GpfsModel::GpfsModel(Simulator& sim, Topology& topo, GpfsConfig config,
+                     std::vector<LinkId> clientNics, std::uint64_t rngSeed)
+    : StorageModelBase(sim, topo, config.name, std::move(clientNics), rngSeed),
+      cfg_(std::move(config)),
+      raid_(cfg_.hdd, cfg_.nsdServers * cfg_.spindlesPerServer, cfg_.raidParityOverhead) {
+  cfg_.validate();
+  configureMetadataPath(cfg_.nsdServers, cfg_.metadataServiceTime, cfg_.rpcLatency,
+                        cfg_.metadataSharedDirPenalty);
+  configureSharedFilePenalty(cfg_.sharedFileLockLatency, cfg_.sharedFileEfficiency);
+  serverLink_ = topology().addLink(cfg_.name + ".nsd",
+                                   static_cast<double>(cfg_.nsdServers) * cfg_.serverReadBandwidth,
+                                   cfg_.rpcLatency / 4);
+  deviceLink_ = topology().addLink(
+      cfg_.name + ".raid", raid_.effectiveBandwidth(AccessPattern::SequentialRead, units::MiB));
+}
+
+LinkId GpfsModel::clientCapLink(std::uint32_t node) {
+  auto it = clientCaps_.find(node);
+  if (it != clientCaps_.end()) return it->second;
+  // Created lazily mid-phase: capacity must match the phase in effect.
+  const Bandwidth cap =
+      !inPhase() || isRead(phase().pattern) ? cfg_.clientReadCap : cfg_.clientWriteCap;
+  const LinkId id = topology().addLink(cfg_.name + ".client.n" + std::to_string(node), cap);
+  clientCaps_.emplace(node, id);
+  return id;
+}
+
+void GpfsModel::applyCapacities() {
+  const PhaseSpec& ph = phase();
+  const Bytes req = ph.requestSize ? ph.requestSize : units::MiB;
+  FlowNetwork& net = topology().network();
+  const bool readPhase = !inPhase() || isRead(ph.pattern);
+  const double frac = nsdFraction();
+
+  net.setLinkCapacity(serverLink_, static_cast<double>(cfg_.nsdServers) * frac *
+                                       (readPhase ? cfg_.serverReadBandwidth
+                                                  : cfg_.serverWriteBandwidth));
+  net.setLinkCapacity(deviceLink_, raid_.effectiveBandwidth(ph.pattern, req) * frac);
+  for (auto& [node, id] : clientCaps_) {
+    net.setLinkCapacity(id, readPhase ? cfg_.clientReadCap : cfg_.clientWriteCap);
+  }
+}
+
+void GpfsModel::failNsdServer(std::size_t index) {
+  if (index >= cfg_.nsdServers) throw std::out_of_range("failNsdServer: bad index");
+  failedNsd_.insert(index);
+  applyCapacities();
+}
+
+void GpfsModel::restoreNsdServer(std::size_t index) {
+  failedNsd_.erase(index);
+  applyCapacities();
+}
+
+void GpfsModel::onPhaseChange() {
+  const PhaseSpec& ph = phase();
+  applyCapacities();
+  const bool readPhase = isRead(ph.pattern);
+
+  // Server cache: holds recently written/read data. Sequential prefetch
+  // makes streaming reads effectively cache-speed regardless of working
+  // set; for random reads only true residency helps.
+  if (readPhase) {
+    const Bytes cache = static_cast<Bytes>(static_cast<double>(cfg_.nsdServers) *
+                                           nsdFraction() * cfg_.serverCacheBytes);
+    if (isSequential(ph.pattern)) {
+      hitRatio_ = 1.0;  // prefetch pipeline: served at server speed
+    } else if (ph.workingSetBytes > 0) {
+      const double effective =
+          static_cast<double>(cache) * cfg_.randomCacheResidencyFactor;
+      hitRatio_ = std::min(1.0, effective / static_cast<double>(ph.workingSetBytes));
+    } else {
+      hitRatio_ = 0.0;
+    }
+  } else {
+    hitRatio_ = 0.0;
+  }
+}
+
+Bandwidth GpfsModel::deviceCapacity() const {
+  return topology().network().link(deviceLink_).capacity;
+}
+
+void GpfsModel::submit(const IoRequest& req, IoCallback cb) {
+  if (req.bytes == 0) {
+    const SimTime start = simulator().now();
+    simulator().schedule(cfg_.rpcLatency, [cb = std::move(cb), start, this] {
+      if (cb) cb(IoResult{start, simulator().now(), 0});
+    });
+    return;
+  }
+
+  // Common prefix: client NIC -> per-node GPFS client ceiling -> NSD pool.
+  Route route;
+  route.push_back(clientNic(req.client.node));
+  route.push_back(clientCapLink(req.client.node));
+  route.push_back(serverLink_);
+
+  if (!isRead(req.pattern)) {
+    Route wr = route;
+    wr.push_back(deviceLink_);  // writes stream through to RAID
+    Seconds perOp = cfg_.rpcLatency;
+    if (req.fsync) perOp += cfg_.commitLatency;
+    launchTransfer(req, req.bytes, wr, kUncapped, perOp, cfg_.rpcLatency, std::move(cb));
+    return;
+  }
+
+  // Reads: cache-hit portion served at server speed, miss portion from
+  // the RAID pool; random reads additionally pay the thrash penalty.
+  Bytes hitBytes;
+  if (req.ops <= 1) {
+    hitBytes = rng().uniform() < hitRatio_ ? req.bytes : 0;
+  } else {
+    hitBytes = static_cast<Bytes>(std::llround(static_cast<double>(req.bytes) * hitRatio_));
+  }
+  const Bytes missBytes = req.bytes - hitBytes;
+
+  // Served-from-cache reads pay the RPC only; the thrash/seek penalty is
+  // a device-side effect charged to the miss portion below.
+  const Seconds perOp = cfg_.rpcLatency;
+
+  struct Join {
+    IoCallback cb;
+    SimTime start = 0.0;
+    SimTime end = 0.0;
+    Bytes bytes = 0;
+    int outstanding = 0;
+  };
+  auto join = std::make_shared<Join>();
+  join->cb = std::move(cb);
+  join->start = simulator().now();
+  auto part = [join](const IoResult& r) {
+    join->end = std::max(join->end, r.endTime);
+    join->bytes += r.bytes;
+    if (--join->outstanding == 0 && join->cb) {
+      join->cb(IoResult{join->start, join->end, join->bytes});
+    }
+  };
+  if (hitBytes > 0) ++join->outstanding;
+  if (missBytes > 0) ++join->outstanding;
+
+  if (hitBytes > 0) {
+    IoRequest sub = req;
+    sub.bytes = hitBytes;
+    sub.ops = std::max<std::uint64_t>(1, req.ops * hitBytes / req.bytes);
+    const double frac = static_cast<double>(hitBytes) / static_cast<double>(req.bytes);
+    launchTransfer(sub, hitBytes, route, kUncapped, perOp, cfg_.rpcLatency, part, frac);
+  }
+  if (missBytes > 0) {
+    Route miss = route;
+    miss.push_back(deviceLink_);
+    IoRequest sub = req;
+    sub.bytes = missBytes;
+    sub.ops = std::max<std::uint64_t>(1, req.ops * missBytes / req.bytes);
+    Seconds missOverhead = perOp + raid_.requestLatency(req.pattern);
+    if (!isSequential(req.pattern)) missOverhead += cfg_.randomReadPenalty;
+    const double frac = static_cast<double>(missBytes) / static_cast<double>(req.bytes);
+    launchTransfer(sub, missBytes, miss, kUncapped, missOverhead, cfg_.rpcLatency, part, frac);
+  }
+}
+
+}  // namespace hcsim

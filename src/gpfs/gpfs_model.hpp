@@ -1,0 +1,70 @@
+#pragma once
+// GpfsModel — the traditional parallel-file-system baseline (Fig 1b).
+//
+// Data path:
+//
+//   client NIC -> per-node GPFS client ceiling -> NSD server pool
+//     -> {server cache | HDD RAID pool}
+//
+// Behaviours the model encodes (paper §V, §VII takeaways):
+//  * deep server-side caches + aggressive prefetch give very fast
+//    *sequential* reads (~14.5 GB/s per node, saturating ~32 nodes);
+//  * random reads thrash the prefetcher and pay HDD seeks — a ~90%
+//    per-node collapse, while aggregate capacity still scales with the
+//    large spindle count (so the Fig 2a random curve keeps growing
+//    through 128 nodes);
+//  * writes stream through the pagepool to RAID with a moderate per-node
+//    ceiling, scaling near-linearly (Fig 2a).
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "device/hdd_raid.hpp"
+#include "fs/storage_base.hpp"
+#include "gpfs/gpfs_config.hpp"
+
+namespace hcsim {
+
+class GpfsModel final : public StorageModelBase {
+ public:
+  GpfsModel(Simulator& sim, Topology& topo, GpfsConfig config, std::vector<LinkId> clientNics,
+            std::uint64_t rngSeed = 0x6bf5ull);
+
+  const GpfsConfig& config() const { return cfg_; }
+
+  void submit(const IoRequest& req, IoCallback cb) override;
+  Bytes totalCapacity() const override { return cfg_.capacityTotal; }
+
+  // ---- Failure injection ----
+  /// Fail/restore an NSD server: the server pool, RAID pool and cache
+  /// shrink proportionally; in-flight transfers re-rate immediately.
+  void failNsdServer(std::size_t index);
+  void restoreNsdServer(std::size_t index);
+  std::size_t aliveNsdServers() const { return cfg_.nsdServers - failedNsd_.size(); }
+
+  // ---- Introspection ----
+  double phaseServerCacheHitRatio() const { return hitRatio_; }
+  Bandwidth deviceCapacity() const;
+
+ protected:
+  void onPhaseChange() override;
+
+ private:
+  LinkId clientCapLink(std::uint32_t node);
+  /// Reapply phase + failure-dependent capacities.
+  void applyCapacities();
+  double nsdFraction() const {
+    return static_cast<double>(aliveNsdServers()) / static_cast<double>(cfg_.nsdServers);
+  }
+
+  GpfsConfig cfg_;
+  HddRaid raid_;
+  LinkId serverLink_{};
+  LinkId deviceLink_{};
+  std::unordered_map<std::uint32_t, LinkId> clientCaps_;
+  std::set<std::size_t> failedNsd_;
+  double hitRatio_ = 0.0;
+};
+
+}  // namespace hcsim

@@ -1,0 +1,68 @@
+#include "ior/ior_config.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace hcsim {
+
+void IorConfig::validate() const {
+  if (blockSize == 0 || transferSize == 0 || segments == 0) {
+    throw std::invalid_argument("IorConfig: geometry must be non-zero");
+  }
+  if (blockSize % transferSize != 0) {
+    throw std::invalid_argument("IorConfig: blockSize must be a multiple of transferSize");
+  }
+  if (nodes == 0 || procsPerNode == 0) {
+    throw std::invalid_argument("IorConfig: nodes and procsPerNode must be > 0");
+  }
+  if (repetitions == 0) throw std::invalid_argument("IorConfig: repetitions must be > 0");
+  if (noiseStdDevFrac < 0.0) throw std::invalid_argument("IorConfig: noise must be >= 0");
+  if (stonewallSeconds < 0.0) {
+    throw std::invalid_argument("IorConfig: stonewallSeconds must be >= 0");
+  }
+  if (stonewallSeconds > 0.0 && mode != Mode::PerOp) {
+    throw std::invalid_argument("IorConfig: stonewalling requires Mode::PerOp");
+  }
+  if (fsyncPerWrite && !isRead(access) && mode == Mode::Coalesced && transfersPerProc() > 1) {
+    // Allowed, but the per-op path is the accurate one; callers that care
+    // use singleNodeFsync(). No throw — documented approximation.
+  }
+}
+
+std::string IorConfig::describe() const {
+  std::ostringstream os;
+  os << "ior -a POSIX " << (filePerProcess ? "-F " : "") << "-b " << blockSize << " -t "
+     << transferSize << " -s " << segments << (fsyncPerWrite ? " -e" : "")
+     << (reorderTasks ? " -C" : "") << " [" << toString(access) << ", " << nodes << "x"
+     << procsPerNode << " procs]";
+  return os.str();
+}
+
+IorConfig IorConfig::scalability(AccessPattern access, std::size_t nodes,
+                                 std::size_t procsPerNode) {
+  IorConfig c;
+  c.access = access;
+  c.blockSize = units::MiB;
+  c.transferSize = units::MiB;
+  c.segments = 3000;  // ~3 GiB/proc; 44 procs -> ~129 GiB/node ("~120 GB")
+  c.nodes = nodes;
+  c.procsPerNode = procsPerNode;
+  c.mode = Mode::Coalesced;
+  c.reorderTasks = true;
+  return c;
+}
+
+IorConfig IorConfig::singleNodeFsync(AccessPattern access, std::size_t procs) {
+  IorConfig c;
+  c.access = access;
+  c.blockSize = units::MiB;
+  c.transferSize = units::MiB;
+  c.segments = 256;  // 256 MiB per process keeps the per-op run tractable
+  c.nodes = 1;
+  c.procsPerNode = procs;
+  c.fsyncPerWrite = !isRead(access);
+  c.mode = Mode::PerOp;
+  return c;
+}
+
+}  // namespace hcsim

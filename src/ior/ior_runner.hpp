@@ -1,0 +1,55 @@
+#pragma once
+// IorRunner — drives an IorConfig against a FileSystemModel on a
+// TestBench and reports aggregate bandwidth the way IOR does
+// (total bytes / wall time of the slowest rank), summarized over
+// repetitions.
+
+#include <vector>
+
+#include "cluster/deployments.hpp"
+#include "fs/file_system_model.hpp"
+#include "ior/ior_config.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+
+namespace hcsim {
+
+struct IorResult {
+  Summary bandwidth;             ///< bytes/sec across repetitions
+  std::vector<double> samples;   ///< per-repetition bandwidth
+  Bytes totalBytes = 0;          ///< per repetition
+  Seconds meanElapsed = 0.0;
+  /// Per-operation latency distribution (seconds) of the first
+  /// repetition — populated in PerOp mode only (the mode where
+  /// individual operations exist); count == 0 otherwise.
+  Summary opLatency;
+};
+
+class IorRunner {
+ public:
+  IorRunner(TestBench& bench, FileSystemModel& fs) : bench_(bench), fs_(fs) {}
+
+  /// Run the benchmark (repetitions included) to completion.
+  IorResult run(const IorConfig& cfg);
+
+ private:
+  struct RunOutcome {
+    Seconds elapsed = 0.0;
+    Bytes bytes = 0;  ///< bytes actually moved (less than the config's
+                      ///< total when stonewalling cut the run short)
+    std::vector<double> opLatencies;  ///< PerOp mode: per-op elapsed
+  };
+  RunOutcome runOnce(const IorConfig& cfg);
+  RunOutcome runCoalesced(const IorConfig& cfg);
+  RunOutcome runPerOp(const IorConfig& cfg);
+
+  PhaseSpec phaseFor(const IorConfig& cfg) const;
+  /// Client that issues rank (n,p)'s I/O: reads are re-ordered to a
+  /// different node (IOR -C) so no client-local cache can serve them.
+  ClientId issuingClient(const IorConfig& cfg, std::uint32_t node, std::uint32_t proc) const;
+
+  TestBench& bench_;
+  FileSystemModel& fs_;
+};
+
+}  // namespace hcsim

@@ -1,0 +1,113 @@
+#include "lustre/lustre_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hcsim {
+
+namespace {
+constexpr Bandwidth kUncapped = std::numeric_limits<Bandwidth>::infinity();
+}
+
+LustreModel::LustreModel(Simulator& sim, Topology& topo, LustreConfig config,
+                         std::vector<LinkId> clientNics, std::uint64_t rngSeed)
+    : StorageModelBase(sim, topo, config.name, std::move(clientNics), rngSeed),
+      cfg_(std::move(config)),
+      raid_(cfg_.hdd, cfg_.ossCount * cfg_.spindlesPerOss, cfg_.raidz2Overhead) {
+  cfg_.validate();
+  configureMetadataPath(cfg_.mdsCount, cfg_.metadataServiceTime, cfg_.mdsLatency,
+                        cfg_.metadataSharedDirPenalty);
+  configureSharedFilePenalty(cfg_.sharedFileLockLatency, cfg_.sharedFileEfficiency);
+  ossLink_ = topology().addLink(cfg_.name + ".oss",
+                                static_cast<double>(cfg_.ossCount) * cfg_.ossBandwidth,
+                                cfg_.rpcLatency / 4);
+  deviceLink_ = topology().addLink(
+      cfg_.name + ".raidz2", raid_.effectiveBandwidth(AccessPattern::SequentialRead, units::MiB));
+}
+
+LinkId LustreModel::clientCapLink(std::uint32_t node) {
+  auto it = clientCaps_.find(node);
+  if (it != clientCaps_.end()) return it->second;
+  const LinkId id =
+      topology().addLink(cfg_.name + ".client.n" + std::to_string(node), cfg_.clientCap);
+  clientCaps_.emplace(node, id);
+  return id;
+}
+
+void LustreModel::applyCapacities() {
+  const PhaseSpec& ph = phase();
+  const Bytes req = ph.requestSize ? ph.requestSize : units::MiB;
+  const double frac = ossFraction();
+  FlowNetwork& net = topology().network();
+  net.setLinkCapacity(ossLink_,
+                      static_cast<double>(cfg_.ossCount) * cfg_.ossBandwidth * frac);
+  net.setLinkCapacity(deviceLink_, raid_.effectiveBandwidth(ph.pattern, req) * frac);
+}
+
+void LustreModel::onPhaseChange() { applyCapacities(); }
+
+void LustreModel::failOss(std::size_t index) {
+  if (index >= cfg_.ossCount) throw std::out_of_range("failOss: bad index");
+  failedOss_.insert(index);
+  applyCapacities();
+}
+
+void LustreModel::restoreOss(std::size_t index) {
+  failedOss_.erase(index);
+  applyCapacities();
+}
+
+void LustreModel::failMds(std::size_t index) {
+  if (index >= cfg_.mdsCount) throw std::out_of_range("failMds: bad index");
+  failedMds_.insert(index);
+  setActiveMetadataServers(aliveMds());
+}
+
+void LustreModel::restoreMds(std::size_t index) {
+  failedMds_.erase(index);
+  setActiveMetadataServers(aliveMds());
+}
+
+Bandwidth LustreModel::deviceCapacity() const {
+  return topology().network().link(deviceLink_).capacity;
+}
+
+void LustreModel::submit(const IoRequest& req, IoCallback cb) {
+  if (req.bytes == 0) {
+    const SimTime start = simulator().now();
+    simulator().schedule(cfg_.mdsLatency, [cb = std::move(cb), start, this] {
+      if (cb) cb(IoResult{start, simulator().now(), 0});
+    });
+    return;
+  }
+
+  if (aliveOss() == 0) {
+    throw std::runtime_error(cfg_.name + ": all OSSs failed — store unavailable");
+  }
+
+  Route route;
+  route.push_back(clientNic(req.client.node));
+  route.push_back(clientCapLink(req.client.node));
+  route.push_back(ossLink_);
+  route.push_back(deviceLink_);
+
+  // RPC round trips pipeline across the file's stripes (the client keeps
+  // one RPC in flight per OST), so their dead time is divided by the
+  // stripe count; fsync commits and random seeks serialize the process.
+  Seconds pipelined = cfg_.rpcLatency / static_cast<double>(cfg_.stripeCount);
+  Seconds serial = 0.0;
+  if (!isRead(req.pattern)) {
+    if (req.fsync) serial += cfg_.commitLatency;
+  } else if (!isSequential(req.pattern)) {
+    serial += cfg_.randomReadPenalty + raid_.requestLatency(req.pattern);
+  }
+
+  // Striping bounds a single process's parallelism: one process can keep
+  // at most `stripeCount` OSTs busy.
+  const Bandwidth stripeCap = static_cast<double>(cfg_.stripeCount) * cfg_.ossBandwidth;
+
+  launchTransfer(req, req.bytes, route, stripeCap, pipelined + serial,
+                 cfg_.rpcLatency + cfg_.mdsLatency, std::move(cb));
+}
+
+}  // namespace hcsim

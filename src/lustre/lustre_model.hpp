@@ -1,0 +1,71 @@
+#pragma once
+// LustreModel — MDS/OSS parallel file system baseline.
+//
+// Data path:
+//
+//   client NIC -> per-node Omni-Path ceiling -> OSS pool -> HDD raidz2
+//
+// plus an MDS latency term on every open-like op. Striping spreads a
+// file over `stripeCount` OSTs; with file-per-process and many
+// processes, OSS load is even regardless, so the pool is aggregated and
+// striping instead affects the per-process parallelism cap.
+//
+// Behaviour targets (Fig 3b/3c): near-linear bandwidth growth with
+// process count in the single-node fsync test (per-op ZFS commit of a
+// few ms is overlapped across processes), reads growing toward the
+// Omni-Path node ceiling.
+
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "device/hdd_raid.hpp"
+#include "fs/storage_base.hpp"
+#include "lustre/lustre_config.hpp"
+
+namespace hcsim {
+
+class LustreModel final : public StorageModelBase {
+ public:
+  LustreModel(Simulator& sim, Topology& topo, LustreConfig config, std::vector<LinkId> clientNics,
+              std::uint64_t rngSeed = 0x105712ull);
+
+  const LustreConfig& config() const { return cfg_; }
+
+  void submit(const IoRequest& req, IoCallback cb) override;
+  Bytes totalCapacity() const override { return cfg_.capacityTotal; }
+
+  Bandwidth deviceCapacity() const;
+
+  // ---- Failure injection ----
+  /// Fail/restore an OSS (object storage server): pool and OST capacity
+  /// shrink proportionally; submitting with all OSSs down throws.
+  void failOss(std::size_t index);
+  void restoreOss(std::size_t index);
+  std::size_t aliveOss() const { return cfg_.ossCount - failedOss_.size(); }
+
+  /// Fail/restore an MDS: metadata ops route over the surviving pool.
+  void failMds(std::size_t index);
+  void restoreMds(std::size_t index);
+  std::size_t aliveMds() const { return cfg_.mdsCount - failedMds_.size(); }
+
+ protected:
+  void onPhaseChange() override;
+
+ private:
+  LinkId clientCapLink(std::uint32_t node);
+  void applyCapacities();
+  double ossFraction() const {
+    return static_cast<double>(aliveOss()) / static_cast<double>(cfg_.ossCount);
+  }
+
+  LustreConfig cfg_;
+  HddRaid raid_;
+  LinkId ossLink_{};
+  LinkId deviceLink_{};
+  std::unordered_map<std::uint32_t, LinkId> clientCaps_;
+  std::set<std::size_t> failedOss_;
+  std::set<std::size_t> failedMds_;
+};
+
+}  // namespace hcsim

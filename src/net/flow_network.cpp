@@ -1,0 +1,280 @@
+#include "net/flow_network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace hcsim {
+
+namespace {
+// Flows with fewer remaining bytes than this are considered complete;
+// guards against floating-point residue keeping a flow alive forever.
+constexpr double kByteEpsilon = 1e-6;
+// Relative rate change below which we do not bother rescheduling the
+// completion event (hysteresis to avoid event churn).
+constexpr double kRateHysteresis = 1e-9;
+}  // namespace
+
+LinkId FlowNetwork::addLink(std::string name, Bandwidth capacity, Seconds latency) {
+  Link l;
+  l.name = std::move(name);
+  l.capacity = capacity;
+  l.latency = latency;
+  links_.push_back(std::move(l));
+  return LinkId{static_cast<std::uint32_t>(links_.size() - 1)};
+}
+
+void FlowNetwork::setLinkCapacity(LinkId id, Bandwidth capacity) {
+  Link& l = links_.at(id.value);
+  if (l.capacity == capacity) return;
+  advanceProgress();  // credit progress at the old rates first
+  l.capacity = capacity;
+  rebalance();
+}
+
+std::size_t FlowNetwork::replaceLinkInFlows(LinkId from, LinkId to) {
+  advanceProgress();
+  std::size_t rerouted = 0;
+  for (auto& [id, f] : active_) {
+    bool touched = false;
+    for (LinkId& l : f.route) {
+      if (l == from) {
+        l = to;
+        touched = true;
+      }
+    }
+    if (touched) ++rerouted;
+  }
+  if (rerouted > 0) rebalance();
+  return rerouted;
+}
+
+Seconds FlowNetwork::routeLatency(const Route& route) const {
+  Seconds total = 0.0;
+  for (LinkId id : route) total += links_.at(id.value).latency;
+  return total;
+}
+
+FlowId FlowNetwork::startFlow(const FlowSpec& spec,
+                              std::function<void(const FlowCompletion&)> onComplete) {
+  if (!(spec.weight > 0.0)) {
+    throw std::invalid_argument("FlowNetwork: flow weight must be > 0");
+  }
+  const FlowId id = nextFlowId_++;
+  ActiveFlow flow;
+  flow.id = id;
+  flow.route = spec.route;
+  flow.rateCap = spec.rateCap;
+  flow.weight = spec.weight;
+  flow.remaining = static_cast<double>(spec.bytes);
+  flow.totalBytes = spec.bytes;
+  flow.startTime = sim_.now();
+  flow.onComplete = std::move(onComplete);
+
+  if (spec.startupLatency > 0.0) {
+    sim_.schedule(spec.startupLatency,
+                  [this, f = std::move(flow)]() mutable { activate(std::move(f)); });
+  } else {
+    activate(std::move(flow));
+  }
+  return id;
+}
+
+void FlowNetwork::activate(ActiveFlow flow) {
+  flow.lastUpdate = sim_.now();
+  if (flow.remaining <= kByteEpsilon) {
+    // Zero-byte flow: completes as soon as its startup latency elapsed.
+    FlowCompletion done{flow.id, flow.totalBytes, flow.startTime, sim_.now()};
+    auto cb = std::move(flow.onComplete);
+    if (cb) cb(done);
+    return;
+  }
+  const FlowId id = flow.id;
+  active_.emplace(id, std::move(flow));
+  advanceProgress();
+  rebalance();
+}
+
+void FlowNetwork::advanceProgress() {
+  const SimTime now = sim_.now();
+  for (auto& [id, f] : active_) {
+    const SimTime dt = now - f.lastUpdate;
+    if (dt > 0.0 && f.rate > 0.0) {
+      const double moved = std::min(f.remaining, f.rate * dt);
+      f.remaining -= moved;
+      for (LinkId lid : f.route) links_[lid.value].bytesCarried += moved;
+    }
+    f.lastUpdate = now;
+  }
+}
+
+void FlowNetwork::computeMaxMinRates() {
+  // Weighted progressive filling: raise every unfrozen flow's rate in
+  // proportion to its weight; freeze flows when a shared link saturates
+  // or the flow hits its cap.
+  std::vector<double> headroom(links_.size());
+  std::vector<double> unfrozenWeightOnLink(links_.size(), 0.0);
+  for (std::size_t i = 0; i < links_.size(); ++i) headroom[i] = links_[i].capacity;
+
+  std::vector<ActiveFlow*> flows;
+  flows.reserve(active_.size());
+  for (auto& [id, f] : active_) {
+    f.rate = 0.0;
+    flows.push_back(&f);
+    for (LinkId lid : f.route) unfrozenWeightOnLink[lid.value] += f.weight;
+  }
+  // Deterministic iteration independent of hash-map order.
+  std::sort(flows.begin(), flows.end(),
+            [](const ActiveFlow* a, const ActiveFlow* b) { return a->id < b->id; });
+
+  std::vector<bool> frozen(flows.size(), false);
+  std::size_t unfrozen = flows.size();
+
+  // Each round freezes at least one flow, so rounds are bounded; guard
+  // against regressions that would otherwise spin silently.
+  std::size_t rounds = 0;
+  const std::size_t maxRounds = flows.size() + links_.size() + 2;
+
+  while (unfrozen > 0) {
+    if (++rounds > maxRounds) {
+      throw std::logic_error("FlowNetwork: progressive filling failed to converge");
+    }
+    // Max per-unit-weight increment permitted by links...
+    double delta = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+      if (unfrozenWeightOnLink[i] > 1e-12) {
+        delta = std::min(delta, headroom[i] / unfrozenWeightOnLink[i]);
+      }
+    }
+    // ... and by per-flow caps (a flow gains weight*delta per step).
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      if (!frozen[i]) {
+        delta = std::min(delta, (flows[i]->rateCap - flows[i]->rate) / flows[i]->weight);
+      }
+    }
+    if (!std::isfinite(delta)) {
+      // No route constraints at all: every unfrozen flow is capped only by
+      // its rateCap, which must be infinite here. Treat as unbounded —
+      // physically this means "completes at startup latency"; give them a
+      // huge but finite rate so completion times stay representable.
+      delta = 1e18;
+    }
+    if (delta < 0.0) delta = 0.0;
+
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      if (frozen[i]) continue;
+      const double gain = delta * flows[i]->weight;
+      flows[i]->rate += gain;
+      for (LinkId lid : flows[i]->route) headroom[lid.value] -= gain;
+    }
+
+    // Freeze: capped flows first, then flows crossing a saturated link.
+    std::size_t newlyFrozen = 0;
+    for (std::size_t i = 0; i < flows.size(); ++i) {
+      if (frozen[i]) continue;
+      bool freeze = flows[i]->rate >= flows[i]->rateCap - 1e-12;
+      if (!freeze) {
+        for (LinkId lid : flows[i]->route) {
+          if (headroom[lid.value] <= 1e-9 * links_[lid.value].capacity + 1e-12) {
+            freeze = true;
+            break;
+          }
+        }
+      }
+      if (freeze) {
+        frozen[i] = true;
+        ++newlyFrozen;
+        for (LinkId lid : flows[i]->route) unfrozenWeightOnLink[lid.value] -= flows[i]->weight;
+      }
+    }
+    unfrozen -= newlyFrozen;
+    if (newlyFrozen == 0) {
+      // delta == 0 with nothing to freeze can only happen on degenerate
+      // zero-capacity links; freeze everything to guarantee termination.
+      for (std::size_t i = 0; i < flows.size(); ++i) {
+        if (!frozen[i]) {
+          frozen[i] = true;
+          for (LinkId lid : flows[i]->route) unfrozenWeightOnLink[lid.value] -= flows[i]->weight;
+        }
+      }
+      unfrozen = 0;
+    }
+  }
+}
+
+void FlowNetwork::rebalance() {
+  computeMaxMinRates();
+  const SimTime now = sim_.now();
+  for (auto& [id, f] : active_) {
+    if (f.rate <= 0.0) {
+      // Stalled flow (zero-capacity path): leave it unscheduled; a later
+      // rebalance schedules the completion once capacity appears.
+      if (f.completionEvent.valid()) {
+        sim_.cancel(f.completionEvent);
+        f.completionEvent = EventId{};
+        f.scheduledEta = -1.0;
+      }
+      continue;
+    }
+    // Reschedule the completion event at the new rate.
+    const Seconds eta = f.remaining / f.rate;
+    const SimTime newCompletion = now + eta;
+    if (f.completionEvent.valid()) {
+      // Skip churn if completion time barely moved.
+      if (std::fabs(eta - (f.scheduledEta - now)) <=
+          kRateHysteresis * std::max(1.0, std::fabs(eta))) {
+        continue;
+      }
+      sim_.cancel(f.completionEvent);
+    }
+    const FlowId fid = id;
+    f.scheduledEta = newCompletion;
+    f.completionEvent = sim_.scheduleAt(newCompletion, [this, fid] { finish(fid); });
+  }
+}
+
+void FlowNetwork::finish(FlowId id) {
+  auto it = active_.find(id);
+  if (it == active_.end()) return;
+  advanceProgress();
+  if (it->second.remaining > 1.0) {
+    // Defensive: floating-point drift left real bytes outstanding. Clear
+    // the fired event handle and let rebalance() schedule a fresh one.
+    it->second.completionEvent = EventId{};
+    it->second.scheduledEta = -1.0;
+    rebalance();
+    return;
+  }
+  ActiveFlow f = std::move(it->second);
+  active_.erase(it);
+  // Account any residue (float rounding) as carried.
+  if (f.remaining > 0.0) {
+    for (LinkId lid : f.route) links_[lid.value].bytesCarried += f.remaining;
+    f.remaining = 0.0;
+  }
+  FlowCompletion done{f.id, f.totalBytes, f.startTime, sim_.now()};
+  rebalance();
+  if (f.onComplete) f.onComplete(done);
+}
+
+Bandwidth FlowNetwork::flowRate(FlowId id) const {
+  const auto it = active_.find(id);
+  return it == active_.end() ? 0.0 : it->second.rate;
+}
+
+std::vector<LinkStats> FlowNetwork::linkStats() const {
+  std::vector<LinkStats> out;
+  out.reserve(links_.size());
+  std::vector<Bandwidth> alloc(links_.size(), 0.0);
+  for (const auto& [id, f] : active_) {
+    for (LinkId lid : f.route) alloc[lid.value] += f.rate;
+  }
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    out.push_back(LinkStats{links_[i].name, links_[i].capacity, links_[i].latency, alloc[i],
+                            links_[i].bytesCarried});
+  }
+  return out;
+}
+
+}  // namespace hcsim

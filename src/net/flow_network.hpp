@@ -1,0 +1,123 @@
+#pragma once
+// FlowNetwork — event-driven max-min fair bandwidth allocation.
+//
+// Transfers are "flows": a byte count moving along a Route of Links. At
+// any instant every active flow has a rate given by progressive-filling
+// max-min fairness subject to (a) each link's capacity and (b) an optional
+// per-flow rate cap (used to model single-stream TCP limits, per-NFS-
+// session serialization, and device ceilings). Whenever a flow starts or
+// finishes, the allocation is recomputed and the completion events of
+// affected flows are rescheduled — the standard flow-level network
+// simulation technique.
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "net/link.hpp"
+#include "sim/simulator.hpp"
+
+namespace hcsim {
+
+using FlowId = std::uint64_t;
+
+/// Everything needed to launch a transfer.
+struct FlowSpec {
+  Bytes bytes = 0;
+  Route route;  ///< may be empty (purely latency-bound transfer)
+  /// Per-flow ceiling, e.g. a single TCP stream over NFS cannot exceed
+  /// ~1-1.5 GB/s regardless of link speed. Infinity = uncapped.
+  Bandwidth rateCap = std::numeric_limits<Bandwidth>::infinity();
+  /// Fixed delay before the first byte moves (route latency, protocol
+  /// round trips, request setup).
+  Seconds startupLatency = 0.0;
+  /// QoS weight (> 0): progressive filling raises rates in proportion
+  /// to weight, so two flows sharing a link split it weight-wise.
+  double weight = 1.0;
+};
+
+struct FlowCompletion {
+  FlowId id = 0;
+  Bytes bytes = 0;
+  SimTime startTime = 0.0;  ///< when startFlow() was called
+  SimTime endTime = 0.0;    ///< when the last byte arrived
+};
+
+class FlowNetwork {
+ public:
+  explicit FlowNetwork(Simulator& sim) : sim_(sim) {}
+  FlowNetwork(const FlowNetwork&) = delete;
+  FlowNetwork& operator=(const FlowNetwork&) = delete;
+
+  /// Add a link; returns its id for use in routes.
+  LinkId addLink(std::string name, Bandwidth capacity, Seconds latency = 0.0);
+
+  /// Change a link's capacity at runtime (e.g. a device whose effective
+  /// throughput depends on the current access pattern). In-flight flows
+  /// are re-rated immediately.
+  void setLinkCapacity(LinkId id, Bandwidth capacity);
+
+  /// Substitute `to` for `from` in the routes of all in-flight flows and
+  /// re-rate — failover semantics (e.g. NFS retrying in-flight ops
+  /// against a surviving server after a node failure). Returns how many
+  /// flows were rerouted.
+  std::size_t replaceLinkInFlows(LinkId from, LinkId to);
+
+  std::size_t linkCount() const { return links_.size(); }
+  const Link& link(LinkId id) const { return links_.at(id.value); }
+
+  /// Sum of link latencies along a route (helper for callers building
+  /// startup latencies).
+  Seconds routeLatency(const Route& route) const;
+
+  /// Launch a flow. `onComplete` fires exactly once, at the simulated
+  /// time the final byte arrives.
+  FlowId startFlow(const FlowSpec& spec, std::function<void(const FlowCompletion&)> onComplete);
+
+  /// Number of flows currently transferring (activated, not finished).
+  std::size_t activeFlows() const { return active_.size(); }
+
+  /// Current max-min rate of an active flow (0 if unknown/finished).
+  Bandwidth flowRate(FlowId id) const;
+
+  /// Utilization snapshot of every link.
+  std::vector<LinkStats> linkStats() const;
+
+ private:
+  struct ActiveFlow {
+    FlowId id = 0;
+    Route route;
+    Bandwidth rateCap = 0.0;
+    double weight = 1.0;
+    double remaining = 0.0;  // bytes left (double: fractional progress)
+    Bytes totalBytes = 0;
+    SimTime startTime = 0.0;
+    SimTime lastUpdate = 0.0;
+    Bandwidth rate = 0.0;
+    SimTime scheduledEta = -1.0;  // absolute time of the scheduled completion
+    EventId completionEvent{};
+    std::function<void(const FlowCompletion&)> onComplete;
+  };
+
+  /// Credit progress to every active flow for time elapsed since its
+  /// lastUpdate, at its current rate.
+  void advanceProgress();
+
+  /// Recompute the max-min fair allocation and (re)schedule completions.
+  void rebalance();
+
+  /// Progressive filling over the current active set; fills `rate` fields.
+  void computeMaxMinRates();
+
+  void activate(ActiveFlow flow);
+  void finish(FlowId id);
+
+  Simulator& sim_;
+  std::vector<Link> links_;
+  FlowId nextFlowId_ = 1;
+  std::unordered_map<FlowId, ActiveFlow> active_;
+};
+
+}  // namespace hcsim

@@ -1,0 +1,10 @@
+#include "net/link.hpp"
+
+// Link is a plain data carrier; all behaviour lives in FlowNetwork.
+// This TU exists so the module has a stable object file for the archive.
+
+namespace hcsim {
+
+static_assert(sizeof(Link) > 0, "Link must be a complete type");
+
+}  // namespace hcsim

@@ -1,0 +1,47 @@
+#pragma once
+// Network links for the flow-level model.
+//
+// A Link is a capacity + propagation latency. It carries no per-packet
+// state: the FlowNetwork allocates bandwidth among the flows crossing it
+// (max-min fair), which is the right granularity for reproducing the
+// paper's results — every effect reported (gateway bottlenecks, RDMA
+// multipath scaling, CNode saturation) is a bandwidth-sharing effect.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace hcsim {
+
+/// Index of a link inside its FlowNetwork.
+struct LinkId {
+  std::uint32_t value = UINT32_MAX;
+  bool valid() const { return value != UINT32_MAX; }
+  friend bool operator==(LinkId a, LinkId b) { return a.value == b.value; }
+};
+
+/// An ordered list of links a flow traverses (client NIC -> gateway ->
+/// server NIC -> fabric -> device port, ...).
+using Route = std::vector<LinkId>;
+
+struct Link {
+  std::string name;
+  Bandwidth capacity = 0.0;  ///< bytes/sec
+  Seconds latency = 0.0;     ///< one-way propagation + switching latency
+
+  /// Lifetime counters (for tests and utilization reports).
+  double bytesCarried = 0.0;
+};
+
+/// Utilization snapshot used by reports/tests.
+struct LinkStats {
+  std::string name;
+  Bandwidth capacity = 0.0;
+  Seconds latency = 0.0;
+  Bandwidth allocated = 0.0;  ///< sum of current flow rates through it
+  double bytesCarried = 0.0;
+};
+
+}  // namespace hcsim

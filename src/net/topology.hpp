@@ -1,0 +1,68 @@
+#pragma once
+// Topology — a small registry layered over FlowNetwork that names links
+// and models multipath groups.
+//
+// Deployments in the paper differ exactly here: Lassen reaches VAST over
+// ONE gateway with one TCP session per client; Wombat reaches VAST over
+// RDMA with `nconnect=16` and multipathing, i.e. each client spreads its
+// traffic over many sessions and several physical links. A MultipathGroup
+// captures "several equivalent parallel links + round-robin placement".
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/flow_network.hpp"
+
+namespace hcsim {
+
+/// Handle to a multipath group inside a Topology.
+struct GroupId {
+  std::uint32_t value = UINT32_MAX;
+  bool valid() const { return value != UINT32_MAX; }
+};
+
+class Topology {
+ public:
+  explicit Topology(FlowNetwork& net) : net_(net) {}
+
+  FlowNetwork& network() { return net_; }
+  const FlowNetwork& network() const { return net_; }
+
+  /// Create a named link. Throws std::invalid_argument on duplicate names.
+  LinkId addLink(const std::string& name, Bandwidth capacity, Seconds latency = 0.0);
+
+  /// Look up a link created through this Topology.
+  LinkId link(const std::string& name) const;
+  bool hasLink(const std::string& name) const { return byName_.count(name) > 0; }
+
+  /// Create `count` parallel links named "<name>[i]" with identical
+  /// capacity/latency, grouped for round-robin selection.
+  GroupId addGroup(const std::string& name, std::size_t count, Bandwidth capacityEach,
+                   Seconds latency = 0.0);
+
+  /// Round-robin pick of the next link in a group (stateful).
+  LinkId pick(GroupId group);
+
+  /// Deterministic pick by index (e.g. hash a client id to a path).
+  LinkId pickAt(GroupId group, std::size_t index) const;
+
+  std::size_t groupSize(GroupId group) const;
+
+  /// Aggregate capacity of a group (sum of member links).
+  Bandwidth groupCapacity(GroupId group) const;
+
+ private:
+  struct Group {
+    std::vector<LinkId> links;
+    std::size_t next = 0;
+  };
+
+  FlowNetwork& net_;
+  std::unordered_map<std::string, LinkId> byName_;
+  std::vector<Group> groups_;
+};
+
+}  // namespace hcsim

@@ -1,0 +1,71 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace hcsim {
+
+EventId Simulator::scheduleAt(SimTime t, std::function<void()> fn) {
+  if (t < now_) t = now_;
+  const std::uint64_t seq = nextSeq_++;
+  heap_.push(Entry{t, seq, std::move(fn)});
+  pending_.insert(seq);
+  return EventId{seq};
+}
+
+bool Simulator::cancel(EventId id) {
+  if (!id.valid()) return false;
+  // Lazy deletion: drop the seq from the pending set; the heap entry is
+  // skipped when it reaches the top.
+  return pending_.erase(id.value) > 0;
+}
+
+bool Simulator::popNext(Entry& out) {
+  while (!heap_.empty()) {
+    // priority_queue::top() is const; moving out before pop() is the
+    // standard idiom for heaps of callable payloads.
+    Entry& top = const_cast<Entry&>(heap_.top());
+    const auto it = pending_.find(top.seq);
+    if (it == pending_.end()) {
+      heap_.pop();  // cancelled — discard
+      continue;
+    }
+    pending_.erase(it);
+    out = std::move(top);
+    heap_.pop();
+    return true;
+  }
+  return false;
+}
+
+bool Simulator::step() {
+  Entry e;
+  if (!popNext(e)) return false;
+  now_ = e.time;
+  ++dispatched_;
+  e.fn();
+  return true;
+}
+
+void Simulator::run() {
+  while (step()) {
+  }
+}
+
+void Simulator::runUntil(SimTime t) {
+  for (;;) {
+    Entry e;
+    if (!popNext(e)) break;
+    if (e.time > t) {
+      // Next event is beyond the horizon — reinstate it and stop.
+      pending_.insert(e.seq);
+      heap_.push(std::move(e));
+      break;
+    }
+    now_ = e.time;
+    ++dispatched_;
+    e.fn();
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace hcsim

@@ -1,0 +1,94 @@
+#pragma once
+// The discrete-event engine at the heart of hcsim.
+//
+// A Simulator owns a time-ordered queue of events (callbacks). Components
+// (network flows, device queues, DLIO worker threads, ...) schedule
+// callbacks at future simulated times; `run()` dispatches them in
+// (time, insertion-order) order, so same-timestamp events are FIFO and the
+// simulation is fully deterministic.
+//
+// Events can be cancelled (lazy deletion); the flow-level network model
+// relies on this to re-rate in-flight transfers whenever the set of active
+// flows changes.
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace hcsim {
+
+using SimTime = Seconds;
+
+/// Handle for a scheduled event; can be used to cancel it.
+struct EventId {
+  std::uint64_t value = 0;
+  bool valid() const { return value != 0; }
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time in seconds.
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` seconds from now (delay >= 0; negative
+  /// delays are clamped to zero to keep time monotone).
+  EventId schedule(SimTime delay, std::function<void()> fn) {
+    return scheduleAt(now_ + (delay > 0 ? delay : 0), std::move(fn));
+  }
+
+  /// Schedule `fn` at absolute time `t` (clamped to `now()` if in the past).
+  EventId scheduleAt(SimTime t, std::function<void()> fn);
+
+  /// Cancel a pending event. Cancelling an already-fired or already-
+  /// cancelled event is a harmless no-op. Returns true if it was pending.
+  bool cancel(EventId id);
+
+  /// Dispatch events until the queue is empty.
+  void run();
+
+  /// Dispatch events with time <= `t`, then set now() = t.
+  void runUntil(SimTime t);
+
+  /// Dispatch a single event; returns false if the queue was empty.
+  bool step();
+
+  /// Number of events dispatched since construction.
+  std::uint64_t eventsDispatched() const { return dispatched_; }
+
+  /// Pending (non-cancelled) event count.
+  std::size_t pendingEvents() const { return pending_.size(); }
+
+  bool empty() const { return pending_.empty(); }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;  // tie-break: FIFO for equal timestamps
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pop the next live (non-cancelled) entry; false if none remain.
+  bool popNext(Entry& out);
+
+  SimTime now_ = 0.0;
+  std::uint64_t nextSeq_ = 1;
+  std::uint64_t dispatched_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<std::uint64_t> pending_;  // seqs scheduled and not yet fired/cancelled
+};
+
+}  // namespace hcsim

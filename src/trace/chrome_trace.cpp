@@ -1,0 +1,35 @@
+#include "trace/chrome_trace.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace hcsim {
+
+std::string toChromeTraceJson(const TraceLog& log) {
+  // Streamed emission (traces can be large; building a JsonValue tree
+  // would double the memory).
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& e : log.events()) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << jsonEscape(e.name) << "\",\"cat\":\"" << toString(e.kind)
+       << "\",\"ph\":\"X\",\"ts\":" << e.start * 1e6 << ",\"dur\":" << e.duration * 1e6
+       << ",\"pid\":" << e.pid << ",\"tid\":" << e.tid << ",\"args\":{\"bytes\":" << e.bytes
+       << "}}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+bool writeChromeTrace(const TraceLog& log, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << toChromeTraceJson(log);
+  return static_cast<bool>(out);
+}
+
+}  // namespace hcsim

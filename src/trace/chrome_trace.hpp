@@ -1,0 +1,18 @@
+#pragma once
+// Chrome-trace export — DFTracer emits chrome://tracing-compatible JSON;
+// so do we, so captured runs can be inspected in Perfetto/chrome.
+
+#include <string>
+
+#include "trace/trace_log.hpp"
+
+namespace hcsim {
+
+/// Render the log as a chrome trace ("traceEvents" array of complete
+/// "X"-phase events; timestamps in microseconds as the format requires).
+std::string toChromeTraceJson(const TraceLog& log);
+
+/// Write the JSON to `path`. Returns false on I/O failure.
+bool writeChromeTrace(const TraceLog& log, const std::string& path);
+
+}  // namespace hcsim

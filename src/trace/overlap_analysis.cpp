@@ -1,0 +1,119 @@
+#include "trace/overlap_analysis.hpp"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace hcsim {
+
+namespace {
+
+using Interval = std::pair<Seconds, Seconds>;
+
+/// Merge possibly-overlapping intervals into a disjoint sorted set.
+std::vector<Interval> mergeIntervals(std::vector<Interval> xs) {
+  if (xs.empty()) return xs;
+  std::sort(xs.begin(), xs.end());
+  std::vector<Interval> out;
+  out.push_back(xs.front());
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    if (xs[i].first <= out.back().second) {
+      out.back().second = std::max(out.back().second, xs[i].second);
+    } else {
+      out.push_back(xs[i]);
+    }
+  }
+  return out;
+}
+
+Seconds totalLength(const std::vector<Interval>& xs) {
+  Seconds t = 0.0;
+  for (const auto& [a, b] : xs) t += b - a;
+  return t;
+}
+
+/// Length of [a,b) covered by the disjoint sorted set `merged`.
+Seconds coveredLength(Seconds a, Seconds b, const std::vector<Interval>& merged) {
+  Seconds t = 0.0;
+  // First interval whose end is beyond a.
+  auto it = std::lower_bound(merged.begin(), merged.end(), a,
+                             [](const Interval& iv, Seconds x) { return iv.second <= x; });
+  for (; it != merged.end() && it->first < b; ++it) {
+    t += std::max(0.0, std::min(b, it->second) - std::max(a, it->first));
+  }
+  return t;
+}
+
+/// Intersection of two disjoint sorted sets.
+std::vector<Interval> intersect(const std::vector<Interval>& a, const std::vector<Interval>& b) {
+  std::vector<Interval> out;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const Seconds lo = std::max(a[i].first, b[j].first);
+    const Seconds hi = std::min(a[i].second, b[j].second);
+    if (lo < hi) out.emplace_back(lo, hi);
+    if (a[i].second < b[j].second) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+IoTimeBreakdown analyzeOverlap(const TraceLog& log) {
+  IoTimeBreakdown out;
+
+  // Partition events by process.
+  std::map<std::uint32_t, std::vector<const TraceEvent*>> byPid;
+  for (const auto& e : log.events()) byPid[e.pid].push_back(&e);
+
+  for (auto& [pid, events] : byPid) {
+    std::vector<Interval> compute;
+    std::vector<Interval> io;
+    for (const TraceEvent* e : events) {
+      if (e->kind == TraceEventKind::Compute) {
+        compute.emplace_back(e->start, e->end());
+        out.totalCompute += e->duration;
+      } else if (e->kind == TraceEventKind::Read || e->kind == TraceEventKind::Write) {
+        io.emplace_back(e->start, e->end());
+        out.totalIo += e->duration;
+        out.ioBytes += e->bytes;
+      }
+    }
+    const auto mergedCompute = mergeIntervals(compute);
+    const auto mergedIo = mergeIntervals(io);
+
+    // Overlapping I/O: per I/O event, portion covered by compute. Uses
+    // raw (unmerged) I/O durations so concurrent reader threads each
+    // count their own time, matching how DFTracer sums per-event time.
+    for (const TraceEvent* e : events) {
+      if (e->kind != TraceEventKind::Read && e->kind != TraceEventKind::Write) continue;
+      const Seconds covered = coveredLength(e->start, e->end(), mergedCompute);
+      out.overlappingIo += covered;
+      out.nonOverlappingIo += e->duration - covered;
+    }
+
+    // Compute-only: merged compute minus its intersection with merged I/O.
+    out.computeOnly += totalLength(mergedCompute) - totalLength(intersect(mergedCompute, mergedIo));
+  }
+
+  const auto [lo, hi] = log.timeSpan();
+  out.runtime = hi - lo;
+  return out;
+}
+
+ThroughputReport computeThroughput(const TraceLog& log) {
+  const IoTimeBreakdown b = analyzeOverlap(log);
+  ThroughputReport r;
+  r.ioBytes = b.ioBytes;
+  r.application = b.nonOverlappingIo > 0.0
+                      ? static_cast<double>(b.ioBytes) / b.nonOverlappingIo
+                      : 0.0;
+  r.system = b.totalIo > 0.0 ? static_cast<double>(b.ioBytes) / b.totalIo : 0.0;
+  return r;
+}
+
+}  // namespace hcsim

@@ -1,0 +1,44 @@
+#pragma once
+// Overlap analysis — the paper's Fig 4-6 metrics (§VI-A).
+//
+// The runtime splits into three groups:
+//  * non-overlapping I/O — read time during which the process's compute
+//    is stalled (no concurrent compute event);
+//  * overlapping I/O     — read time hidden behind concurrent compute;
+//  * compute             — time spent only computing.
+//
+// From these:
+//  * application throughput = bytes / non-overlapping I/O ("the
+//    application only has the ability to perceive as I/O the time that
+//    [it] actually stalls its computation");
+//  * system throughput      = bytes / total I/O time ("the system
+//    resources are occupied to read the input").
+
+#include "trace/trace_log.hpp"
+
+namespace hcsim {
+
+struct IoTimeBreakdown {
+  Seconds nonOverlappingIo = 0.0;
+  Seconds overlappingIo = 0.0;
+  Seconds computeOnly = 0.0;  ///< compute time with no concurrent I/O
+  Seconds totalIo = 0.0;      ///< nonOverlapping + overlapping
+  Seconds totalCompute = 0.0;
+  Seconds runtime = 0.0;  ///< wall span of the trace
+  Bytes ioBytes = 0;
+};
+
+struct ThroughputReport {
+  Bandwidth application = 0.0;  ///< bytes / non-overlapping I/O
+  Bandwidth system = 0.0;       ///< bytes / total I/O
+  Bytes ioBytes = 0;
+};
+
+/// Analyze per-process: I/O of pid P overlaps only with compute of pid P
+/// (matching DFTracer's per-process log analysis). The breakdown sums
+/// over processes.
+IoTimeBreakdown analyzeOverlap(const TraceLog& log);
+
+ThroughputReport computeThroughput(const TraceLog& log);
+
+}  // namespace hcsim

@@ -1,0 +1,56 @@
+#include "trace/trace_import.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace hcsim {
+
+namespace {
+
+TraceEventKind kindFromCat(const std::string& cat) {
+  if (cat == "read") return TraceEventKind::Read;
+  if (cat == "write") return TraceEventKind::Write;
+  if (cat == "compute") return TraceEventKind::Compute;
+  return TraceEventKind::Other;
+}
+
+}  // namespace
+
+bool parseChromeTraceJson(const std::string& json, TraceLog& out) {
+  JsonValue root;
+  if (!parseJson(json, root) || !root.isObject()) return false;
+  const JsonValue* events = root.find("traceEvents");
+  if (!events || !events->isArray()) return false;
+
+  TraceLog parsed;
+  for (const JsonValue& ev : *events->array()) {
+    if (!ev.isObject()) return false;
+    if (ev.stringOr("ph", "") != "X") continue;  // only complete events
+
+    TraceEvent te;
+    te.name = ev.stringOr("name", "");
+    te.kind = kindFromCat(ev.stringOr("cat", ""));
+    te.pid = static_cast<std::uint32_t>(ev.numberOr("pid", 0));
+    te.tid = static_cast<std::uint32_t>(ev.numberOr("tid", 0));
+    te.start = ev.numberOr("ts", 0) * 1e-6;
+    te.duration = ev.numberOr("dur", 0) * 1e-6;
+    if (const JsonValue* args = ev.find("args"); args && args->isObject()) {
+      te.bytes = static_cast<Bytes>(args->numberOr("bytes", 0));
+    }
+    parsed.record(std::move(te));
+  }
+  for (const auto& e : parsed.events()) out.record(e);
+  return true;
+}
+
+bool readChromeTrace(const std::string& path, TraceLog& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parseChromeTraceJson(buf.str(), out);
+}
+
+}  // namespace hcsim

@@ -1,0 +1,22 @@
+#pragma once
+// Chrome-trace import — round-trip support for the DFTracer-substitute:
+// parse the JSON emitted by toChromeTraceJson() (or DFTracer-compatible
+// complete-event traces) back into a TraceLog, so captured runs can be
+// re-analysed offline.
+
+#include <string>
+
+#include "trace/trace_log.hpp"
+
+namespace hcsim {
+
+/// Parse a chrome trace from a JSON string. Accepts "X" (complete)
+/// events with ts/dur in microseconds; the `cat` field maps to the event
+/// kind ("read"/"write"/"compute", anything else -> Other). Non-"X"
+/// events are skipped. Returns false on malformed input (log untouched).
+bool parseChromeTraceJson(const std::string& json, TraceLog& out);
+
+/// Read and parse a trace file. Returns false on I/O or parse failure.
+bool readChromeTrace(const std::string& path, TraceLog& out);
+
+}  // namespace hcsim

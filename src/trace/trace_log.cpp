@@ -1,0 +1,67 @@
+#include "trace/trace_log.hpp"
+
+#include <algorithm>
+
+namespace hcsim {
+
+const char* toString(TraceEventKind k) {
+  switch (k) {
+    case TraceEventKind::Read: return "read";
+    case TraceEventKind::Write: return "write";
+    case TraceEventKind::Compute: return "compute";
+    case TraceEventKind::Other: return "other";
+  }
+  return "?";
+}
+
+void TraceLog::recordRead(std::uint32_t pid, std::uint32_t tid, Seconds start, Seconds duration,
+                          Bytes bytes, std::string name) {
+  record(TraceEvent{std::move(name), TraceEventKind::Read, pid, tid, start, duration, bytes});
+}
+
+void TraceLog::recordCompute(std::uint32_t pid, std::uint32_t tid, Seconds start,
+                             Seconds duration, std::string name) {
+  record(TraceEvent{std::move(name), TraceEventKind::Compute, pid, tid, start, duration, 0});
+}
+
+void TraceLog::sortByStart() {
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) { return a.start < b.start; });
+}
+
+std::size_t TraceLog::count(TraceEventKind kind) const {
+  std::size_t n = 0;
+  for (const auto& e : events_) {
+    if (e.kind == kind) ++n;
+  }
+  return n;
+}
+
+Bytes TraceLog::totalBytes(TraceEventKind kind) const {
+  Bytes n = 0;
+  for (const auto& e : events_) {
+    if (e.kind == kind) n += e.bytes;
+  }
+  return n;
+}
+
+Seconds TraceLog::totalDuration(TraceEventKind kind) const {
+  Seconds t = 0.0;
+  for (const auto& e : events_) {
+    if (e.kind == kind) t += e.duration;
+  }
+  return t;
+}
+
+std::pair<Seconds, Seconds> TraceLog::timeSpan() const {
+  if (events_.empty()) return {0.0, 0.0};
+  Seconds lo = events_.front().start;
+  Seconds hi = events_.front().end();
+  for (const auto& e : events_) {
+    lo = std::min(lo, e.start);
+    hi = std::max(hi, e.end());
+  }
+  return {lo, hi};
+}
+
+}  // namespace hcsim

@@ -1,0 +1,64 @@
+#pragma once
+// TraceLog — DFTracer-style event capture (paper §IV-C2, §VI-A).
+//
+// DFTracer records system-level calls as "read" and "compute" events with
+// timestamps and durations; the paper's Fig 4-6 analysis is computed from
+// those logs. TraceLog is the in-simulator equivalent: DLIO worker
+// threads record read events, trainers record compute events, and the
+// analysis pass (overlap_analysis.hpp) derives non-overlapping vs
+// overlapping I/O and application vs system throughput.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace hcsim {
+
+enum class TraceEventKind { Read, Write, Compute, Other };
+
+const char* toString(TraceEventKind k);
+
+struct TraceEvent {
+  std::string name;
+  TraceEventKind kind = TraceEventKind::Other;
+  std::uint32_t pid = 0;  ///< process (DLIO: one per rank)
+  std::uint32_t tid = 0;  ///< thread within the process
+  Seconds start = 0.0;
+  Seconds duration = 0.0;
+  Bytes bytes = 0;  ///< payload moved (0 for compute)
+
+  Seconds end() const { return start + duration; }
+};
+
+class TraceLog {
+ public:
+  void record(TraceEvent ev) { events_.push_back(std::move(ev)); }
+
+  /// Convenience recorders.
+  void recordRead(std::uint32_t pid, std::uint32_t tid, Seconds start, Seconds duration,
+                  Bytes bytes, std::string name = "read");
+  void recordCompute(std::uint32_t pid, std::uint32_t tid, Seconds start, Seconds duration,
+                     std::string name = "compute");
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  void clear() { events_.clear(); }
+
+  /// Stable-sort events by start time (analysis requires it).
+  void sortByStart();
+
+  std::size_t count(TraceEventKind kind) const;
+  Bytes totalBytes(TraceEventKind kind) const;
+  Seconds totalDuration(TraceEventKind kind) const;
+
+  /// [earliest start, latest end] across all events; (0,0) when empty.
+  std::pair<Seconds, Seconds> timeSpan() const;
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace hcsim

@@ -1,0 +1,91 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/units.hpp"
+
+namespace hcsim {
+
+Histogram::Histogram(double minValue, double maxValue, std::size_t bins)
+    : lo_(minValue), hi_(maxValue) {
+  if (!(minValue > 0.0) || !(maxValue > minValue)) {
+    throw std::invalid_argument("Histogram: need 0 < minValue < maxValue");
+  }
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be >= 1");
+  logLo_ = std::log(lo_);
+  logStep_ = (std::log(hi_) - logLo_) / static_cast<double>(bins);
+  counts_.assign(bins, 0);
+}
+
+std::size_t Histogram::binFor(double value) const {
+  const double idx = (std::log(value) - logLo_) / logStep_;
+  return static_cast<std::size_t>(idx);
+}
+
+void Histogram::add(double value) {
+  ++total_;
+  if (!(value >= lo_)) {  // also catches NaN and <= 0
+    ++underflow_;
+    return;
+  }
+  if (value >= hi_) {
+    ++overflow_;
+    return;
+  }
+  ++counts_[std::min(binFor(value), counts_.size() - 1)];
+}
+
+void Histogram::add(const std::vector<double>& values) {
+  for (double v : values) add(v);
+}
+
+double Histogram::binLowerBound(std::size_t bin) const {
+  return std::exp(logLo_ + logStep_ * static_cast<double>(bin));
+}
+
+double Histogram::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total_);
+  double cum = static_cast<double>(underflow_);
+  if (target <= cum) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cum + static_cast<double>(counts_[i]);
+    if (target <= next && counts_[i] > 0) {
+      const double frac = (target - cum) / static_cast<double>(counts_[i]);
+      // Interpolate in log space (bins are log-spaced).
+      return std::exp(std::log(binLowerBound(i)) +
+                      frac * (std::log(binUpperBound(i)) - std::log(binLowerBound(i))));
+    }
+    cum = next;
+  }
+  return hi_;
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (std::uint64_t c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  if (underflow_ > 0) {
+    os << "        < " << formatSeconds(lo_) << "  " << underflow_ << "\n";
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const std::size_t bar = std::max<std::size_t>(
+        1, static_cast<std::size_t>(static_cast<double>(counts_[i]) * width / peak));
+    char label[64];
+    std::snprintf(label, sizeof label, "%10s..%-10s", formatSeconds(binLowerBound(i)).c_str(),
+                  formatSeconds(binUpperBound(i)).c_str());
+    os << label << ' ' << std::string(bar, '#') << ' ' << counts_[i] << "\n";
+  }
+  if (overflow_ > 0) {
+    os << "       >= " << formatSeconds(hi_) << "  " << overflow_ << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace hcsim

@@ -1,0 +1,52 @@
+#pragma once
+// Log-scale histogram for latency distributions (per-op IOR latencies,
+// DLIO sample-read times). Fixed logarithmically spaced bins between a
+// floor and a ceiling, with underflow/overflow buckets, approximate
+// quantiles, and an ASCII rendering for CLI/bench output.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hcsim {
+
+class Histogram {
+ public:
+  /// Bins span [minValue, maxValue) in `bins` logarithmic steps;
+  /// requires 0 < minValue < maxValue and bins >= 1.
+  Histogram(double minValue, double maxValue, std::size_t bins);
+
+  void add(double value);
+  void add(const std::vector<double>& values);
+
+  std::size_t binCount() const { return counts_.size(); }
+  std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+
+  /// Lower edge of bin i (upper edge of the last bin == maxValue).
+  double binLowerBound(std::size_t bin) const;
+  double binUpperBound(std::size_t bin) const { return binLowerBound(bin + 1); }
+
+  /// Approximate quantile (q in [0,1]): linear interpolation within the
+  /// containing bin; under/overflow resolve to the range edges.
+  double quantile(double q) const;
+
+  /// ASCII rendering: one line per non-empty bin, bar scaled to `width`.
+  std::string render(std::size_t width = 40) const;
+
+ private:
+  std::size_t binFor(double value) const;
+
+  double lo_;
+  double hi_;
+  double logLo_;
+  double logStep_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace hcsim

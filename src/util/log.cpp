@@ -1,0 +1,38 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdarg>
+
+namespace hcsim::log {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+const char* name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void setLevel(LogLevel lvl) { g_level.store(lvl, std::memory_order_relaxed); }
+
+LogLevel level() { return g_level.load(std::memory_order_relaxed); }
+
+void write(LogLevel lvl, const char* fmt, ...) {
+  if (lvl < level()) return;
+  std::fprintf(stderr, "[hcsim %s] ", name(lvl));
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stderr, fmt, ap);
+  va_end(ap);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace hcsim::log

@@ -1,0 +1,29 @@
+#pragma once
+// Minimal leveled logging. Benchmarks and tests run with Warn by default;
+// examples raise it to Info to narrate what the simulator is doing.
+
+#include <cstdio>
+#include <string>
+
+namespace hcsim {
+
+enum class LogLevel { Trace = 0, Debug, Info, Warn, Error, Off };
+
+namespace log {
+
+/// Process-wide threshold; messages below it are discarded.
+void setLevel(LogLevel level);
+LogLevel level();
+
+/// printf-style logging; appends a newline.
+void write(LogLevel lvl, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+}  // namespace log
+
+#define HCSIM_LOG_TRACE(...) ::hcsim::log::write(::hcsim::LogLevel::Trace, __VA_ARGS__)
+#define HCSIM_LOG_DEBUG(...) ::hcsim::log::write(::hcsim::LogLevel::Debug, __VA_ARGS__)
+#define HCSIM_LOG_INFO(...) ::hcsim::log::write(::hcsim::LogLevel::Info, __VA_ARGS__)
+#define HCSIM_LOG_WARN(...) ::hcsim::log::write(::hcsim::LogLevel::Warn, __VA_ARGS__)
+#define HCSIM_LOG_ERROR(...) ::hcsim::log::write(::hcsim::LogLevel::Error, __VA_ARGS__)
+
+}  // namespace hcsim

@@ -1,0 +1,90 @@
+#pragma once
+// Deterministic, fast pseudo-random number generation for the simulator.
+//
+// We do not use std::mt19937 because its state is large and its stream is
+// not guaranteed stable across standard library implementations for the
+// distribution adapters; hcsim needs bit-reproducible runs for regression
+// tests, so both the generator (xoshiro256**) and all distributions are
+// implemented here.
+
+#include <cstdint>
+#include <limits>
+
+namespace hcsim {
+
+/// SplitMix64 — used to seed xoshiro from a single 64-bit seed.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** by Blackman & Vigna — 256-bit state, excellent statistical
+/// quality, sub-ns generation. Deterministic across platforms.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9c0ffee123456789ull) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : s_) s = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n) without modulo bias (Lemire's method).
+  std::uint64_t uniformInt(std::uint64_t n);
+
+  /// Exponentially distributed value with the given mean (mean > 0).
+  double exponential(double mean);
+
+  /// Normally distributed value (Marsaglia polar method).
+  double normal(double mean, double stddev);
+
+  /// Lognormal with the given *underlying* normal mu/sigma.
+  double lognormal(double mu, double sigma);
+
+  /// Normal clipped to be >= floor (used for noisy-but-positive latencies).
+  double normalAtLeast(double mean, double stddev, double floor);
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  std::uint64_t s_[4]{};
+  bool haveSpare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace hcsim

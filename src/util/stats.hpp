@@ -1,0 +1,57 @@
+#pragma once
+// Streaming and batch statistics used by the experiment framework.
+//
+// The paper repeats every measurement 10 times on a shared machine and
+// reports the spread; `RunningStats` (Welford) and `Summary` provide the
+// same min/mean/max/stdev/percentile reductions.
+
+#include <cstddef>
+#include <vector>
+
+namespace hcsim {
+
+/// Numerically stable streaming mean/variance (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Batch summary of a sample vector.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Compute a Summary. The input is copied and sorted internally.
+Summary summarize(std::vector<double> samples);
+
+/// Linear-interpolation percentile of a *sorted* vector, q in [0, 100].
+double percentileSorted(const std::vector<double>& sorted, double q);
+
+}  // namespace hcsim

@@ -1,0 +1,55 @@
+#include "util/units.hpp"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace hcsim {
+
+std::string formatBytes(Bytes n) {
+  static constexpr std::array<const char*, 6> suffix{"B", "KiB", "MiB", "GiB", "TiB", "PiB"};
+  double v = static_cast<double>(n);
+  std::size_t i = 0;
+  while (v >= 1024.0 && i + 1 < suffix.size()) {
+    v /= 1024.0;
+    ++i;
+  }
+  char buf[64];
+  if (i == 0) {
+    std::snprintf(buf, sizeof buf, "%.0f %s", v, suffix[i]);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f %s", v, suffix[i]);
+  }
+  return buf;
+}
+
+std::string formatBandwidth(Bandwidth bytesPerSec) {
+  char buf[64];
+  if (bytesPerSec >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2f GB/s", bytesPerSec / 1e9);
+  } else if (bytesPerSec >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2f MB/s", bytesPerSec / 1e6);
+  } else if (bytesPerSec >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.2f KB/s", bytesPerSec / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f B/s", bytesPerSec);
+  }
+  return buf;
+}
+
+std::string formatSeconds(Seconds t) {
+  char buf[64];
+  const double a = std::fabs(t);
+  if (a >= 1.0) {
+    std::snprintf(buf, sizeof buf, "%.3f s", t);
+  } else if (a >= 1e-3) {
+    std::snprintf(buf, sizeof buf, "%.3f ms", t * 1e3);
+  } else if (a >= 1e-6) {
+    std::snprintf(buf, sizeof buf, "%.3f us", t * 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1f ns", t * 1e9);
+  }
+  return buf;
+}
+
+}  // namespace hcsim

@@ -1,0 +1,60 @@
+#pragma once
+// Units used throughout hcsim.
+//
+// Conventions:
+//  * sizes are in bytes, held in std::uint64_t (`hcsim::Bytes`);
+//  * simulated time is in seconds, held in double (`hcsim::Seconds`);
+//  * bandwidth is in bytes per second, held in double (`hcsim::Bandwidth`).
+//
+// Reporting helpers format bandwidth in decimal GB/s (the unit the paper
+// reports) and sizes in binary units (KiB/MiB/GiB, the unit IOR uses).
+
+#include <cstdint>
+#include <string>
+
+namespace hcsim {
+
+using Bytes = std::uint64_t;
+using Seconds = double;
+using Bandwidth = double;  ///< bytes per second
+
+namespace units {
+
+inline constexpr Bytes KiB = 1024ull;
+inline constexpr Bytes MiB = 1024ull * KiB;
+inline constexpr Bytes GiB = 1024ull * MiB;
+inline constexpr Bytes TiB = 1024ull * GiB;
+inline constexpr Bytes PiB = 1024ull * TiB;
+
+inline constexpr Bytes KB = 1000ull;
+inline constexpr Bytes MB = 1000ull * KB;
+inline constexpr Bytes GB = 1000ull * MB;
+inline constexpr Bytes TB = 1000ull * GB;
+inline constexpr Bytes PB = 1000ull * TB;
+
+/// Gigabits/sec expressed in bytes/sec — network links are usually quoted
+/// in Gb/s (e.g. "2x100Gb Ethernet").
+inline constexpr Bandwidth gbps(double gigabits) { return gigabits * 1e9 / 8.0; }
+
+/// Decimal GB/s expressed in bytes/sec — the unit the paper reports.
+inline constexpr Bandwidth gbs(double gigabytes) { return gigabytes * 1e9; }
+
+/// Bytes/sec -> decimal GB/s.
+inline constexpr double toGBs(Bandwidth bytesPerSec) { return bytesPerSec / 1e9; }
+
+inline constexpr Seconds usec(double us) { return us * 1e-6; }
+inline constexpr Seconds msec(double ms) { return ms * 1e-3; }
+inline constexpr Seconds nsec(double ns) { return ns * 1e-9; }
+
+}  // namespace units
+
+/// "1.50 GiB", "256.00 KiB", ... (binary units; IOR-style).
+std::string formatBytes(Bytes n);
+
+/// "12.34 GB/s" (decimal units; paper-style).
+std::string formatBandwidth(Bandwidth bytesPerSec);
+
+/// "1.234 s", "12.3 ms", "45.6 us" — chooses a readable scale.
+std::string formatSeconds(Seconds t);
+
+}  // namespace hcsim

@@ -1,0 +1,184 @@
+#include "workloads/app_workloads.hpp"
+
+#include <stdexcept>
+
+namespace hcsim {
+
+namespace workloads {
+
+namespace {
+
+IorConfig base(AccessPattern access, std::size_t nodes, std::size_t ppn, Bytes transfer,
+               Bytes perProcBytes) {
+  IorConfig c;
+  c.access = access;
+  c.transferSize = transfer;
+  c.blockSize = transfer;
+  c.segments = static_cast<std::size_t>(perProcBytes / transfer);
+  if (c.segments == 0) c.segments = 1;
+  c.nodes = nodes;
+  c.procsPerNode = ppn;
+  return c;
+}
+
+}  // namespace
+
+AppWorkload cm1(std::size_t nodes, std::size_t ppn) {
+  AppWorkload w;
+  w.name = "CM1";
+  w.domain = "scientific";
+  w.description = "atmospheric simulation writing >750 x 16 MB history files";
+  // 768 files of 16 MB spread over the job: per process share.
+  const Bytes total = 768ull * 16 * units::MB;
+  const Bytes perProc = std::max<Bytes>(16 * units::MB, total / (nodes * ppn));
+  AppPhase write{"history-write",
+                 base(AccessPattern::SequentialWrite, nodes, ppn, units::MiB, perProc), 1};
+  w.phases.push_back(std::move(write));
+  return w;
+}
+
+AppWorkload haccIo(std::size_t nodes, std::size_t ppn) {
+  AppWorkload w;
+  w.name = "HACC-I/O";
+  w.domain = "scientific";
+  w.description = "cosmology checkpoint/restart kernel";
+  const Bytes perProc = units::GiB;
+  AppPhase ckpt{"checkpoint",
+                base(AccessPattern::SequentialWrite, nodes, ppn, units::MiB, perProc), 1};
+  ckpt.ior.fsyncPerWrite = false;
+  AppPhase restart{"restart",
+                   base(AccessPattern::SequentialRead, nodes, ppn, units::MiB, perProc), 1};
+  restart.ior.reorderTasks = true;  // restart typically lands on other nodes
+  w.phases.push_back(std::move(ckpt));
+  w.phases.push_back(std::move(restart));
+  return w;
+}
+
+AppWorkload bdCats(std::size_t nodes, std::size_t ppn) {
+  AppWorkload w;
+  w.name = "BD-CATS";
+  w.domain = "analytics";
+  w.description = "trillion-particle clustering over ONE shared HDF5 file (N-1 reads)";
+  AppPhase read{"shared-hdf5-read",
+                base(AccessPattern::SequentialRead, nodes, ppn, units::MiB, units::GiB), 1};
+  read.ior.filePerProcess = false;  // the defining property
+  w.phases.push_back(std::move(read));
+  return w;
+}
+
+AppWorkload kmeans(std::size_t nodes, std::size_t ppn, std::size_t iterations) {
+  AppWorkload w;
+  w.name = "KMeans";
+  w.domain = "analytics";
+  w.description = "iterative full passes over point files until convergence";
+  AppPhase pass{"iteration",
+                base(AccessPattern::SequentialRead, nodes, ppn, units::MiB, units::GiB / 2),
+                iterations};
+  w.phases.push_back(std::move(pass));
+  return w;
+}
+
+AppWorkload linearRegression(std::size_t nodes, std::size_t ppn) {
+  AppWorkload w;
+  w.name = "LinearRegression";
+  w.domain = "ML/DL";
+  w.description = "SGD over tabular data: random batch reads";
+  AppPhase scan{"batch-reads",
+                base(AccessPattern::RandomRead, nodes, ppn, units::MiB, units::GiB / 2), 1};
+  w.phases.push_back(std::move(scan));
+  return w;
+}
+
+AppWorkload resnet50(std::size_t nodes) {
+  AppWorkload w;
+  w.name = "ResNet-50";
+  w.domain = "ML/DL";
+  w.description = "JPEG classification, 150 KB samples, 1 epoch (DLIO)";
+  w.isDlio = true;
+  w.dlio.workload = DlioWorkload::resnet50();
+  w.dlio.nodes = nodes;
+  w.dlio.procsPerNode = 4;
+  return w;
+}
+
+AppWorkload cosmoflow(std::size_t nodes) {
+  AppWorkload w;
+  w.name = "Cosmoflow";
+  w.domain = "ML/DL";
+  w.description = "dark-matter CNN, TFRecords in 256 KB transfers, 4 epochs (DLIO)";
+  w.isDlio = true;
+  w.dlio.workload = DlioWorkload::cosmoflow();
+  w.dlio.nodes = nodes;
+  w.dlio.procsPerNode = 4;
+  return w;
+}
+
+AppWorkload cosmicTagger(std::size_t nodes) {
+  AppWorkload w;
+  w.name = "CosmicTagger";
+  w.domain = "ML/DL";
+  w.description = "UNet over sparse HDF5 events via h5py, file striped in memory";
+  w.isDlio = true;
+  DlioWorkload d = DlioWorkload::cosmoflow();
+  d.name = "cosmic-tagger";
+  d.samples = 512;
+  d.sampleSize = units::MB * 16 / 10;  // ~1.6 MB sparse event tensors
+  d.transferSize = 512 * units::KB;    // h5py chunked reads
+  d.epochs = 2;
+  d.ioThreads = 2;  // h5py GIL-bound reader
+  d.computeTimePerBatch = units::msec(90);
+  d.scaling = ScalingMode::Strong;
+  w.dlio.workload = d;
+  w.dlio.nodes = nodes;
+  w.dlio.procsPerNode = 4;
+  return w;
+}
+
+std::vector<AppWorkload> suite(std::size_t nodes, std::size_t ppn) {
+  return {cm1(nodes, ppn),   haccIo(nodes, ppn),          bdCats(nodes, ppn),
+          kmeans(nodes, ppn), linearRegression(nodes, ppn), resnet50(nodes),
+          cosmoflow(nodes),  cosmicTagger(nodes)};
+}
+
+}  // namespace workloads
+
+AppWorkloadResult runAppWorkload(Site site, StorageKind kind, const AppWorkload& workload) {
+  AppWorkloadResult result;
+  result.name = workload.name;
+
+  if (workload.isDlio) {
+    const DlioResult r = runDlio(site, kind, workload.dlio);
+    AppPhaseResult phase;
+    phase.label = "training";
+    phase.elapsed = r.runtime;
+    phase.bytes = r.bytesRead;
+    phase.bandwidthGBs = r.runtime > 0 ? static_cast<double>(r.bytesRead) / r.runtime / 1e9 : 0.0;
+    result.phases.push_back(phase);
+    result.totalTime = r.runtime;
+    result.totalBytes = r.bytesRead;
+    result.appThroughputGBs = units::toGBs(r.throughput.application);
+    result.sysThroughputGBs = units::toGBs(r.throughput.system);
+    return result;
+  }
+
+  Environment env = makeEnvironment(site, kind, workload.phases.empty()
+                                                   ? 1
+                                                   : workload.phases.front().ior.nodes);
+  IorRunner runner(*env.bench, *env.fs);
+  for (const AppPhase& phase : workload.phases) {
+    for (std::size_t it = 0; it < phase.iterations; ++it) {
+      const IorResult r = runner.run(phase.ior);
+      AppPhaseResult pr;
+      pr.label = phase.iterations > 1 ? phase.label + "#" + std::to_string(it) : phase.label;
+      pr.elapsed = r.meanElapsed;
+      pr.bytes = r.totalBytes;
+      pr.bandwidthGBs = units::toGBs(r.bandwidth.mean);
+      result.totalTime += r.meanElapsed;
+      result.totalBytes += r.totalBytes;
+      result.phases.push_back(std::move(pr));
+    }
+  }
+  return result;
+}
+
+}  // namespace hcsim

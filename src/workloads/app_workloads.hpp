@@ -1,0 +1,104 @@
+#pragma once
+// Application workload suite — the real applications §III-B cites as the
+// motivation for "diverse workloads", expressed as the I/O patterns the
+// paper maps them to:
+//
+//   scientific simulations (bulk-synchronous sequential writes):
+//     * CM1       — atmospheric model, "more than 750 files each of
+//                   16 MB in size"
+//     * HACC-I/O  — cosmology checkpoint/restart kernel (write a
+//                   checkpoint, later read it back)
+//   data analytics (embarrassingly parallel sequential reads):
+//     * BD-CATS   — clustering "on a shared HDF5 file using MPI-IO"
+//                   (N-1 reads!)
+//     * KMeans    — iterative passes over point files
+//   ML / DL:
+//     * linear-regression-style scan (random batch reads)
+//     * ResNet-50, Cosmoflow, Cosmic Tagger (DLIO emulation)
+//
+// Each workload runs one or more phases against a FileSystemModel and
+// reports an aggregate bandwidth plus per-phase detail.
+
+#include <string>
+#include <vector>
+
+#include "cluster/deployments.hpp"
+#include "core/experiment.hpp"  // Site, StorageKind
+#include "dlio/dlio_runner.hpp"
+#include "ior/ior_runner.hpp"
+
+namespace hcsim {
+
+/// One I/O phase of an application (IOR-expressible).
+struct AppPhase {
+  std::string label;
+  IorConfig ior;
+  /// Repeat count (KMeans iterates; HACC restart follows checkpoint).
+  std::size_t iterations = 1;
+};
+
+struct AppWorkload {
+  std::string name;
+  std::string domain;  ///< "scientific" | "analytics" | "ML/DL"
+  std::string description;
+  /// Either a list of IOR phases...
+  std::vector<AppPhase> phases;
+  /// ...or a DLIO training config (phases empty).
+  bool isDlio = false;
+  DlioConfig dlio;
+};
+
+struct AppPhaseResult {
+  std::string label;
+  double bandwidthGBs = 0.0;
+  Seconds elapsed = 0.0;
+  Bytes bytes = 0;
+};
+
+struct AppWorkloadResult {
+  std::string name;
+  std::vector<AppPhaseResult> phases;
+  Seconds totalTime = 0.0;
+  Bytes totalBytes = 0;
+  double aggregateGBs() const {
+    return totalTime > 0 ? static_cast<double>(totalBytes) / totalTime / 1e9 : 0.0;
+  }
+  /// DLIO-only metrics (zero for IOR workloads).
+  double appThroughputGBs = 0.0;
+  double sysThroughputGBs = 0.0;
+};
+
+namespace workloads {
+
+/// CM1: each process writes its share of ~750 x 16 MB history files.
+AppWorkload cm1(std::size_t nodes, std::size_t procsPerNode);
+
+/// HACC-I/O: checkpoint write (~1 GiB/proc) then restart read by a
+/// different node.
+AppWorkload haccIo(std::size_t nodes, std::size_t procsPerNode);
+
+/// BD-CATS: parallel sequential reads of ONE shared HDF5 file (N-1).
+AppWorkload bdCats(std::size_t nodes, std::size_t procsPerNode);
+
+/// KMeans: `iterations` full sequential passes over the point files.
+AppWorkload kmeans(std::size_t nodes, std::size_t procsPerNode, std::size_t iterations = 8);
+
+/// Linear-regression-style training scan: random batch reads.
+AppWorkload linearRegression(std::size_t nodes, std::size_t procsPerNode);
+
+/// DLIO-emulated DL applications.
+AppWorkload resnet50(std::size_t nodes);
+AppWorkload cosmoflow(std::size_t nodes);
+/// Cosmic Tagger: HDF5 samples via h5py, file "striped in memory" —
+/// bigger samples, few I/O threads.
+AppWorkload cosmicTagger(std::size_t nodes);
+
+/// The full suite at a given scale.
+std::vector<AppWorkload> suite(std::size_t nodes, std::size_t procsPerNode);
+
+}  // namespace workloads
+
+/// Execute a workload on an environment (fresh TestBench + model).
+AppWorkloadResult runAppWorkload(Site site, StorageKind kind, const AppWorkload& workload);
+
+}  // namespace hcsim

@@ -1,0 +1,163 @@
+#include "cli/args.hpp"
+#include "cli/commands.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "config/serialize.hpp"
+
+namespace hcsim {
+namespace {
+
+ArgParser parse(std::initializer_list<std::string> args) {
+  return ArgParser(std::vector<std::string>(args));
+}
+
+TEST(ArgParser, SeparatesPositionalsAndOptions) {
+  const ArgParser a = parse({"ior", "--site", "wombat", "--fsync", "extra"});
+  ASSERT_EQ(a.positionals().size(), 2u);
+  EXPECT_EQ(a.positionals()[0], "ior");
+  EXPECT_EQ(a.positionals()[1], "extra");
+  EXPECT_EQ(a.getOr("--site", ""), "wombat");
+  EXPECT_TRUE(a.has("--fsync"));
+  EXPECT_FALSE(a.has("--missing"));
+}
+
+TEST(ArgParser, EqualsSyntax) {
+  const ArgParser a = parse({"--nodes=8", "--name=x=y"});
+  EXPECT_EQ(a.getOr("--nodes", ""), "8");
+  EXPECT_EQ(a.getOr("--name", ""), "x=y");
+}
+
+TEST(ArgParser, FlagFollowedByOptionIsBare) {
+  const ArgParser a = parse({"--fsync", "--nodes", "4"});
+  EXPECT_TRUE(a.has("--fsync"));
+  EXPECT_EQ(*a.get("--fsync"), "");
+  EXPECT_EQ(a.sizeOr("--nodes", 0), 4u);
+}
+
+TEST(ArgParser, NumericHelpers) {
+  const ArgParser a = parse({"--x", "2.5", "--n", "12", "--bad", "abc"});
+  EXPECT_DOUBLE_EQ(a.numberOr("--x", 0), 2.5);
+  EXPECT_EQ(a.sizeOr("--n", 0), 12u);
+  EXPECT_DOUBLE_EQ(a.numberOr("--bad", 7), 7.0);
+  EXPECT_DOUBLE_EQ(a.numberOr("--missing", 9), 9.0);
+}
+
+TEST(ArgParser, PositionalOrFallback) {
+  const ArgParser a = parse({"only"});
+  EXPECT_EQ(a.positionalOr(0, "x"), "only");
+  EXPECT_EQ(a.positionalOr(5, "x"), "x");
+}
+
+TEST(ArgParser, UnknownOptionsDetected) {
+  const ArgParser a = parse({"--good", "1", "--typo", "2"});
+  const auto unknown = a.unknownOptions({"--good"});
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_EQ(unknown[0], "--typo");
+}
+
+TEST(ArgParser, ArgcArgvConstructorSkipsProgramName) {
+  const char* argv[] = {"hcsim", "help"};
+  const ArgParser a(2, argv);
+  EXPECT_EQ(a.positionalOr(0, ""), "help");
+}
+
+// ---- command dispatch ----
+
+int runCli(std::initializer_list<std::string> args, std::string* outText = nullptr,
+           std::string* errText = nullptr) {
+  std::ostringstream out, err;
+  const int rc = cli::run(parse(args), out, err);
+  if (outText) *outText = out.str();
+  if (errText) *errText = err.str();
+  return rc;
+}
+
+TEST(Cli, HelpListsCommands) {
+  std::string out;
+  EXPECT_EQ(runCli({"help"}, &out), 0);
+  for (const char* cmd : {"ior", "dlio", "mdtest", "plan", "takeaways", "dump-config"}) {
+    EXPECT_NE(out.find(cmd), std::string::npos) << cmd;
+  }
+}
+
+TEST(Cli, NoArgsShowsHelp) {
+  std::string out;
+  EXPECT_EQ(runCli({}, &out), 0);
+  EXPECT_NE(out.find("usage"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails) {
+  std::string err;
+  EXPECT_EQ(runCli({"frobnicate"}, nullptr, &err), 2);
+  EXPECT_NE(err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, IorRequiresValidTarget) {
+  std::string err;
+  EXPECT_EQ(runCli({"ior", "--site", "mars", "--storage", "vast"}, nullptr, &err), 2);
+  EXPECT_NE(err.find("--site"), std::string::npos);
+  EXPECT_EQ(runCli({"ior", "--site", "wombat", "--storage", "tape"}, nullptr, &err), 2);
+}
+
+TEST(Cli, IorRunsAndReportsBandwidth) {
+  std::string out;
+  const int rc = runCli({"ior", "--site", "wombat", "--storage", "vast", "--access",
+                         "seq-write", "--nodes", "2", "--ppn", "8", "--segments", "64",
+                         "--reps", "1"},
+                        &out);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("bandwidth:"), std::string::npos);
+  EXPECT_NE(out.find("GB/s"), std::string::npos);
+}
+
+TEST(Cli, DlioRunsWorkloadPreset) {
+  std::string out;
+  const int rc = runCli({"dlio", "--site", "lassen", "--storage", "gpfs", "--workload",
+                         "resnet50", "--nodes", "1", "--ppn", "2"},
+                        &out);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("non-overlapping I/O"), std::string::npos);
+  std::string err;
+  EXPECT_EQ(runCli({"dlio", "--site", "lassen", "--storage", "gpfs", "--workload", "bogus"},
+                   nullptr, &err),
+            2);
+}
+
+TEST(Cli, MdtestRuns) {
+  std::string out;
+  const int rc = runCli({"mdtest", "--site", "wombat", "--storage", "nvme", "--procs", "4",
+                         "--items", "16", "--reps", "1"},
+                        &out);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("create:"), std::string::npos);
+}
+
+TEST(Cli, DumpConfigEmitsValidJson) {
+  std::string out;
+  EXPECT_EQ(runCli({"dump-config", "--site", "wombat", "--storage", "vast"}, &out), 0);
+  JsonValue v;
+  ASSERT_TRUE(parseJson(out.substr(0, out.find_last_not_of('\n') + 1), v));
+  EXPECT_EQ(v.stringOr("name", ""), "VAST@Wombat");
+  EXPECT_DOUBLE_EQ(v.numberOr("nconnect", 0), 16.0);
+}
+
+TEST(Cli, IorLoadsConfigFile) {
+  const std::string path = "/tmp/hcsim_cli_ior.json";
+  IorConfig cfg = IorConfig::scalability(AccessPattern::SequentialRead, 2, 4);
+  cfg.segments = 32;
+  cfg.repetitions = 1;
+  ASSERT_TRUE(saveConfig(cfg, path));
+  std::string out;
+  const int rc = runCli(
+      {"ior", "--site", "wombat", "--storage", "vast", "--config", path}, &out);
+  std::remove(path.c_str());
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("seq-read"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hcsim

@@ -1,0 +1,129 @@
+#include "cluster/deployments.hpp"
+#include "cluster/machine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hcsim {
+namespace {
+
+TEST(Machine, TableOneValues) {
+  const Machine lassen = Machine::lassen();
+  EXPECT_EQ(lassen.nodes, 795u);
+  EXPECT_EQ(lassen.coresPerNode, 44u);
+  EXPECT_EQ(lassen.gpusPerNode, 4u);
+  EXPECT_EQ(lassen.ramGiB, 256u);
+  EXPECT_EQ(lassen.arch, "IBM Power9");
+  EXPECT_EQ(lassen.network, "IB EDR");
+
+  const Machine ruby = Machine::ruby();
+  EXPECT_EQ(ruby.nodes, 1512u);
+  EXPECT_EQ(ruby.coresPerNode, 56u);
+  EXPECT_EQ(ruby.network, "Omni-Path");
+
+  const Machine quartz = Machine::quartz();
+  EXPECT_EQ(quartz.nodes, 3018u);
+  EXPECT_EQ(quartz.coresPerNode, 36u);
+  EXPECT_EQ(quartz.ramGiB, 128u);
+
+  const Machine wombat = Machine::wombat();
+  EXPECT_EQ(wombat.nodes, 8u);
+  EXPECT_EQ(wombat.coresPerNode, 48u);
+  EXPECT_EQ(wombat.gpusPerNode, 2u);
+  EXPECT_EQ(wombat.arch, "ARM Fujitsu A64fx");
+}
+
+TEST(Machine, FullNodeProcsMatchPaperRuns) {
+  // "44 processes per node on Lassen and 48 processes per node on Wombat".
+  EXPECT_EQ(Machine::lassen().fullNodeProcs(), 44u);
+  EXPECT_EQ(Machine::wombat().fullNodeProcs(), 48u);
+}
+
+TEST(Deployments, GatewaysMatchSectionIvB) {
+  const VastConfig lassen = vastOnLassen();
+  EXPECT_EQ(lassen.gateway.nodes, 1u);          // single gateway node
+  EXPECT_EQ(lassen.gateway.linksPerNode, 2u);   // 2x100Gb
+  EXPECT_DOUBLE_EQ(lassen.gateway.linkBandwidth, units::gbps(100));
+
+  const VastConfig ruby = vastOnRuby();
+  EXPECT_EQ(ruby.gateway.nodes, 8u);  // 1x40Gb on eight gateways
+  EXPECT_EQ(ruby.gateway.linksPerNode, 1u);
+  EXPECT_DOUBLE_EQ(ruby.gateway.linkBandwidth, units::gbps(40));
+
+  const VastConfig quartz = vastOnQuartz();
+  EXPECT_EQ(quartz.gateway.nodes, 32u);  // 2x1Gb on 32 gateways
+  EXPECT_EQ(quartz.gateway.linksPerNode, 2u);
+  EXPECT_DOUBLE_EQ(quartz.gateway.linkBandwidth, units::gbps(1));
+
+  EXPECT_FALSE(vastOnWombat().gateway.present);  // RDMA, no gateway
+}
+
+TEST(Deployments, ConfigsValidate) {
+  vastOnLassen().validate();
+  vastOnRuby().validate();
+  vastOnQuartz().validate();
+  vastOnWombat().validate();
+  gpfsOnLassen().validate();
+  lustreOnQuartz().validate();
+  lustreOnRuby().validate();
+  nvmeOnWombat().validate();
+}
+
+TEST(TestBench, WiresRequestedNodes) {
+  TestBench bench(Machine::lassen(), 16);
+  EXPECT_EQ(bench.nodesUsed(), 16u);
+  EXPECT_EQ(bench.clientNics().size(), 16u);
+  EXPECT_EQ(bench.machine().name, "Lassen");
+  // NIC links exist in the topology with the machine's injection rate.
+  const Link& nic = bench.topo().network().link(bench.clientNics().front());
+  EXPECT_DOUBLE_EQ(nic.capacity, Machine::lassen().nodeInjection);
+}
+
+TEST(TestBench, ClampsToMachineSize) {
+  TestBench bench(Machine::wombat(), 100);
+  EXPECT_EQ(bench.nodesUsed(), 8u);  // Wombat only has 8 nodes
+  TestBench zero(Machine::wombat(), 0);
+  EXPECT_EQ(zero.nodesUsed(), 1u);
+}
+
+TEST(TestBench, AttachesAllStorageKinds) {
+  TestBench bench(Machine::lassen(), 2);
+  auto vast = bench.attachVast(vastOnLassen());
+  auto gpfs = bench.attachGpfs(gpfsOnLassen());
+  EXPECT_EQ(vast->name(), "VAST@Lassen");
+  EXPECT_EQ(gpfs->name(), "GPFS@Lassen");
+
+  TestBench wombat(Machine::wombat(), 2);
+  auto nvme = wombat.attachNvme(nvmeOnWombat());
+  EXPECT_EQ(nvme->name(), "NVMe@Wombat");
+
+  TestBench quartz(Machine::quartz(), 2);
+  auto lustre = quartz.attachLustre(lustreOnQuartz());
+  EXPECT_EQ(lustre->name(), "Lustre@Quartz");
+}
+
+TEST(TestBench, TwoModelsCoexistOnOneBench) {
+  // The paper compares fs on the same machine; both models must wire
+  // into one topology without name clashes.
+  TestBench bench(Machine::lassen(), 2);
+  auto vast = bench.attachVast(vastOnLassen());
+  auto gpfs = bench.attachGpfs(gpfsOnLassen());
+  PhaseSpec ph;
+  ph.pattern = AccessPattern::SequentialWrite;
+  ph.requestSize = units::MiB;
+  vast->beginPhase(ph);
+  gpfs->beginPhase(ph);
+  SimTime endV = 0, endG = 0;
+  IoRequest req;
+  req.client = {0, 0};
+  req.fileId = 1;
+  req.bytes = units::MiB;
+  req.pattern = AccessPattern::SequentialWrite;
+  vast->submit(req, [&](const IoResult& r) { endV = r.endTime; });
+  gpfs->submit(req, [&](const IoResult& r) { endG = r.endTime; });
+  bench.sim().run();
+  EXPECT_GT(endV, 0.0);
+  EXPECT_GT(endG, 0.0);
+}
+
+}  // namespace
+}  // namespace hcsim

@@ -1,0 +1,189 @@
+#include "config/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "cluster/deployments.hpp"
+
+namespace hcsim {
+namespace {
+
+template <typename T>
+T roundTrip(const T& in) {
+  T out{};
+  const JsonValue j = toJson(in);
+  EXPECT_TRUE(fromJson(j, out));
+  return out;
+}
+
+TEST(ConfigSerialize, EnumsRoundTrip) {
+  for (AccessPattern p : {AccessPattern::SequentialRead, AccessPattern::SequentialWrite,
+                          AccessPattern::RandomRead, AccessPattern::RandomWrite}) {
+    AccessPattern out{};
+    EXPECT_TRUE(fromJson(toJson(p), out));
+    EXPECT_EQ(out, p);
+  }
+  NfsTransport t{};
+  EXPECT_TRUE(fromJson(toJson(NfsTransport::Rdma), t));
+  EXPECT_EQ(t, NfsTransport::Rdma);
+  ScalingMode m{};
+  EXPECT_TRUE(fromJson(toJson(ScalingMode::Strong), m));
+  EXPECT_EQ(m, ScalingMode::Strong);
+  UnifyFsPlacement pl{};
+  EXPECT_TRUE(fromJson(toJson(UnifyFsPlacement::Striped), pl));
+  EXPECT_EQ(pl, UnifyFsPlacement::Striped);
+  AccessPattern bad{};
+  EXPECT_FALSE(fromJson(JsonValue("bogus"), bad));
+  EXPECT_FALSE(fromJson(JsonValue(3.0), bad));
+}
+
+TEST(ConfigSerialize, MachineRoundTrip) {
+  const Machine out = roundTrip(Machine::lassen());
+  EXPECT_EQ(out.name, "Lassen");
+  EXPECT_EQ(out.nodes, 795u);
+  EXPECT_EQ(out.coresPerNode, 44u);
+  EXPECT_DOUBLE_EQ(out.nodeInjection, Machine::lassen().nodeInjection);
+}
+
+TEST(ConfigSerialize, VastConfigRoundTrip) {
+  VastConfig in = vastOnWombat();
+  in.dataReductionRatio = 0.42;
+  in.dnodeCacheBytes = 3 * units::TB;
+  const VastConfig out = roundTrip(in);
+  EXPECT_EQ(out.name, in.name);
+  EXPECT_EQ(out.cnodes, in.cnodes);
+  EXPECT_EQ(out.transport, NfsTransport::Rdma);
+  EXPECT_EQ(out.nconnect, 16u);
+  EXPECT_DOUBLE_EQ(out.dataReductionRatio, 0.42);
+  EXPECT_EQ(out.dnodeCacheBytes, 3 * units::TB);
+  EXPECT_DOUBLE_EQ(out.qlcSpec.writeBandwidth, in.qlcSpec.writeBandwidth);
+  out.validate();  // still structurally sound
+}
+
+TEST(ConfigSerialize, VastGatewayRoundTrip) {
+  const VastConfig out = roundTrip(vastOnQuartz());
+  EXPECT_TRUE(out.gateway.present);
+  EXPECT_EQ(out.gateway.nodes, 32u);
+  EXPECT_EQ(out.gateway.linksPerNode, 2u);
+  EXPECT_DOUBLE_EQ(out.gateway.linkBandwidth, units::gbps(1));
+}
+
+TEST(ConfigSerialize, GpfsLustreNvmeUnifyRoundTrip) {
+  const GpfsConfig g = roundTrip(gpfsOnLassen());
+  EXPECT_EQ(g.nsdServers, 16u);
+  EXPECT_EQ(g.capacityTotal, 24 * units::PB);
+
+  LustreConfig l0 = lustreOnQuartz();
+  l0.stripeCount = 4;
+  const LustreConfig l = roundTrip(l0);
+  EXPECT_EQ(l.stripeCount, 4u);
+  EXPECT_EQ(l.ossCount, 36u);
+
+  const NvmeLocalConfig n = roundTrip(nvmeOnWombat());
+  EXPECT_EQ(n.drivesPerNode, 3u);
+  EXPECT_EQ(n.drive.name, "Samsung970PRO");
+
+  UnifyFsConfig u0;
+  u0.placement = UnifyFsPlacement::Striped;
+  const UnifyFsConfig u = roundTrip(u0);
+  EXPECT_EQ(u.placement, UnifyFsPlacement::Striped);
+}
+
+TEST(ConfigSerialize, IorConfigRoundTrip) {
+  IorConfig in = IorConfig::singleNodeFsync(AccessPattern::SequentialWrite, 8);
+  in.stonewallSeconds = 2.5;
+  in.filePerProcess = false;
+  const IorConfig out = roundTrip(in);
+  EXPECT_EQ(out.access, AccessPattern::SequentialWrite);
+  EXPECT_EQ(out.mode, IorConfig::Mode::PerOp);
+  EXPECT_TRUE(out.fsyncPerWrite);
+  EXPECT_FALSE(out.filePerProcess);
+  EXPECT_DOUBLE_EQ(out.stonewallSeconds, 2.5);
+  EXPECT_EQ(out.procsPerNode, 8u);
+}
+
+TEST(ConfigSerialize, DlioRoundTrip) {
+  DlioConfig in;
+  in.workload = DlioWorkload::unet3d();
+  in.nodes = 16;
+  in.procsPerNode = 4;
+  const DlioConfig out = roundTrip(in);
+  EXPECT_EQ(out.workload.name, "unet3d");
+  EXPECT_EQ(out.workload.checkpointEvery, in.workload.checkpointEvery);
+  EXPECT_EQ(out.workload.checkpointBytes, in.workload.checkpointBytes);
+  EXPECT_EQ(out.workload.scaling, ScalingMode::Weak);
+  EXPECT_EQ(out.nodes, 16u);
+}
+
+TEST(ConfigSerialize, MdtestRoundTrip) {
+  MdtestConfig in;
+  in.itemsPerProc = 99;
+  in.uniqueDirPerTask = true;
+  const MdtestConfig out = roundTrip(in);
+  EXPECT_EQ(out.itemsPerProc, 99u);
+  EXPECT_TRUE(out.uniqueDirPerTask);
+}
+
+TEST(ConfigSerialize, PartialJsonKeepsDefaults) {
+  JsonValue j;
+  ASSERT_TRUE(parseJson(R"({"cnodes": 4, "transport": "tcp",
+                            "gateway": {"present": true, "linkBandwidth": 1e9}})", j));
+  VastConfig out = VastConfig::wombatInstance();  // defaults to overwrite
+  ASSERT_TRUE(fromJson(j, out));
+  EXPECT_EQ(out.cnodes, 4u);
+  EXPECT_EQ(out.transport, NfsTransport::Tcp);
+  EXPECT_TRUE(out.gateway.present);
+  EXPECT_DOUBLE_EQ(out.gateway.linkBandwidth, 1e9);
+  // Untouched keys keep the preset's values.
+  EXPECT_EQ(out.nconnect, 16u);
+  EXPECT_EQ(out.dboxes, 4u);
+}
+
+TEST(ConfigSerialize, WrongShapeRejected) {
+  VastConfig out;
+  EXPECT_FALSE(fromJson(JsonValue(3.0), out));
+  EXPECT_FALSE(fromJson(JsonValue("x"), out));
+}
+
+TEST(ConfigSerialize, SaveAndLoadFile) {
+  const std::string path = "/tmp/hcsim_cfg_test.json";
+  VastConfig in = vastOnLassen();
+  in.cnodes = 24;
+  ASSERT_TRUE(saveConfig(in, path));
+  VastConfig out;
+  ASSERT_TRUE(loadConfig(path, out));
+  EXPECT_EQ(out.cnodes, 24u);
+  EXPECT_EQ(out.name, "VAST@Lassen");
+  std::remove(path.c_str());
+  EXPECT_FALSE(loadConfig("/nonexistent/cfg.json", out));
+}
+
+TEST(ConfigSerialize, LoadedConfigDrivesASimulation) {
+  // The full loop: serialize -> file -> load -> run.
+  const std::string path = "/tmp/hcsim_cfg_run.json";
+  ASSERT_TRUE(saveConfig(vastOnWombat(), path));
+  VastConfig cfg;
+  ASSERT_TRUE(loadConfig(path, cfg));
+  cfg.name = "fromfile";
+  std::remove(path.c_str());
+
+  TestBench bench(Machine::wombat(), 1);
+  auto fs = bench.attachVast(cfg);
+  PhaseSpec ph;
+  ph.pattern = AccessPattern::SequentialWrite;
+  ph.requestSize = units::MiB;
+  fs->beginPhase(ph);
+  IoRequest req;
+  req.client = {0, 0};
+  req.fileId = 1;
+  req.bytes = units::MiB;
+  req.pattern = AccessPattern::SequentialWrite;
+  SimTime end = 0;
+  fs->submit(req, [&](const IoResult& r) { end = r.endTime; });
+  bench.sim().run();
+  EXPECT_GT(end, 0.0);
+}
+
+}  // namespace
+}  // namespace hcsim

@@ -1,0 +1,105 @@
+#include "contention/background_load.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hcsim {
+namespace {
+
+IorConfig smallIor(std::size_t nodes) {
+  IorConfig cfg = IorConfig::scalability(AccessPattern::SequentialRead, nodes, 8);
+  cfg.segments = 256;
+  return cfg;
+}
+
+TEST(TenantSpec, Validation) {
+  TestBench bench(Machine::lassen(), 2);
+  auto fs = bench.attachGpfs(gpfsOnLassen());
+  TenantSpec bad;
+  bad.tenants = 0;
+  EXPECT_THROW(BackgroundLoad(bench, *fs, bad), std::invalid_argument);
+  bad = TenantSpec{};
+  bad.bytesPerBurst = 0;
+  EXPECT_THROW(BackgroundLoad(bench, *fs, bad), std::invalid_argument);
+  bad = TenantSpec{};
+  bad.meanInterarrival = 0.0;
+  EXPECT_THROW(BackgroundLoad(bench, *fs, bad), std::invalid_argument);
+}
+
+TEST(Contention, RequiresEnoughWiredNodes) {
+  TestBench bench(Machine::lassen(), 2);  // no room for tenants
+  auto fs = bench.attachGpfs(gpfsOnLassen());
+  TenantSpec spec;
+  spec.tenants = 4;
+  EXPECT_THROW(runIorUnderContention(bench, *fs, smallIor(2), spec),
+               std::invalid_argument);
+}
+
+TEST(Contention, BackgroundTenantsActuallyRun) {
+  TestBench bench(Machine::lassen(), 8);
+  auto fs = bench.attachGpfs(gpfsOnLassen());
+  TenantSpec spec;
+  spec.tenants = 4;
+  spec.meanInterarrival = 0.2;
+  const ContendedResult r = runIorUnderContention(bench, *fs, smallIor(2), spec);
+  EXPECT_GT(r.backgroundBursts, 0u);
+  EXPECT_GT(r.backgroundBytes, 0u);
+  EXPECT_GT(r.foreground.bandwidth.mean, 0.0);
+}
+
+TEST(Contention, SlowsTheForegroundDown) {
+  // Baseline without tenants.
+  const auto baseline = [] {
+    TestBench bench(Machine::lassen(), 8);
+    auto fs = bench.attachGpfs(gpfsOnLassen());
+    IorRunner runner(bench, *fs);
+    return runner.run(smallIor(2)).bandwidth.mean;
+  }();
+  // Contended: tenants saturating the same NSD pool from 6 other nodes.
+  TestBench bench(Machine::lassen(), 8);
+  auto fs = bench.attachGpfs(gpfsOnLassen());
+  TenantSpec spec;
+  spec.tenants = 6;
+  spec.procsPerTenant = 44;
+  spec.bytesPerBurst = 8ull * units::GiB;
+  spec.meanInterarrival = 0.05;  // near-continuous load
+  const ContendedResult r = runIorUnderContention(bench, *fs, smallIor(2), spec);
+  EXPECT_LT(r.foreground.bandwidth.mean, baseline * 0.999);
+}
+
+TEST(Contention, SpreadEmergesFromTenantSeeds) {
+  // Different tenant phasings -> different foreground results, i.e. the
+  // run-to-run variability the paper handles by repeating 10 times.
+  std::vector<double> samples;
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+    TestBench bench(Machine::lassen(), 8);
+    auto fs = bench.attachGpfs(gpfsOnLassen());
+    TenantSpec spec;
+    spec.tenants = 4;
+    spec.procsPerTenant = 44;
+    spec.bytesPerBurst = 2ull * units::GiB;
+    spec.meanInterarrival = 0.5;
+    spec.seed = seed;
+    samples.push_back(
+        runIorUnderContention(bench, *fs, smallIor(2), spec).foreground.bandwidth.mean);
+  }
+  const Summary s = summarize(samples);
+  EXPECT_GT(s.max, s.min);  // phasing matters
+}
+
+TEST(Contention, StoppedLoadIssuesNothing) {
+  TestBench bench(Machine::lassen(), 8);
+  auto fs = bench.attachGpfs(gpfsOnLassen());
+  TenantSpec spec;
+  spec.firstNode = 2;
+  BackgroundLoad load(bench, *fs, spec);
+  EXPECT_TRUE(load.stopped());
+  load.start();
+  load.stop();
+  bench.sim().run();  // first bursts may fire, then the loops end
+  const auto bursts = load.burstsCompleted();
+  bench.sim().runUntil(bench.sim().now() + 100.0);
+  EXPECT_EQ(load.burstsCompleted(), bursts);  // nothing new after stop
+}
+
+}  // namespace
+}  // namespace hcsim

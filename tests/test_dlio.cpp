@@ -1,0 +1,232 @@
+#include "dlio/dlio_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace hcsim {
+namespace {
+
+DlioConfig smallConfig(DlioWorkload w, std::size_t nodes = 1) {
+  DlioConfig cfg;
+  w.samples = 32;  // keep tests quick
+  cfg.workload = w;
+  cfg.nodes = nodes;
+  cfg.procsPerNode = 2;
+  return cfg;
+}
+
+TEST(DlioConfig, ValidateRejectsBadValues) {
+  DlioConfig c;
+  c.workload = DlioWorkload::resnet50();
+  c.workload.samples = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.workload = DlioWorkload::resnet50();
+  c.workload.ioThreads = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.workload = DlioWorkload::resnet50();
+  c.nodes = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c.nodes = 1;
+  c.workload.prefetchDepth = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(DlioWorkload, PresetsMatchPaperDescriptions) {
+  const DlioWorkload r = DlioWorkload::resnet50();
+  EXPECT_EQ(r.sampleSize, 150 * units::KB);  // "1024 JPEG samples, each 150 KB"
+  EXPECT_EQ(r.batchSize, 1u);                // "one batch-sized"
+  EXPECT_EQ(r.epochs, 1u);                   // "one full epoch"
+  EXPECT_EQ(r.ioThreads, 8u);
+  EXPECT_EQ(r.scaling, ScalingMode::Weak);
+
+  const DlioWorkload c = DlioWorkload::cosmoflow();
+  EXPECT_EQ(c.samples, 1024u);               // "1024 TFRecord samples"
+  EXPECT_EQ(c.transferSize, 256 * units::KB);  // "constant at 256 KB"
+  EXPECT_EQ(c.epochs, 4u);                   // "four full epochs"
+  EXPECT_EQ(c.ioThreads, 4u);                // "four threads for the I/O pipeline"
+  EXPECT_EQ(c.computeThreads, 8u);           // "eight threads ... computation"
+  EXPECT_EQ(c.scaling, ScalingMode::Strong);
+}
+
+TEST(DlioConfig, WeakScalingGrowsDataset) {
+  DlioConfig c;
+  c.workload = DlioWorkload::resnet50();
+  c.nodes = 1;
+  c.procsPerNode = 4;
+  const Bytes one = c.datasetBytes();
+  c.nodes = 4;
+  EXPECT_EQ(c.datasetBytes(), 4 * one);
+  EXPECT_EQ(c.samplesPerRank(), c.workload.samples);
+}
+
+TEST(DlioConfig, StrongScalingSplitsDataset) {
+  DlioConfig c;
+  c.workload = DlioWorkload::cosmoflow();
+  c.nodes = 4;
+  c.procsPerNode = 4;
+  EXPECT_EQ(c.samplesPerRank(), 1024u / 16u);
+  const Bytes ds = c.datasetBytes();
+  c.nodes = 8;
+  EXPECT_EQ(c.datasetBytes(), ds);  // dataset constant under strong scaling
+}
+
+TEST(DlioConfig, TransfersPerSampleCeils) {
+  DlioWorkload w = DlioWorkload::cosmoflow();
+  w.sampleSize = 1000 * units::KB;
+  w.transferSize = 256 * units::KB;
+  EXPECT_EQ(w.transfersPerSample(), 4u);
+}
+
+TEST(DlioRunner, TrainsAllBatchesAndReadsAllBytes) {
+  Environment env = makeEnvironment(Site::Lassen, StorageKind::Gpfs, 1);
+  DlioRunner runner(*env.bench, *env.fs);
+  const DlioConfig cfg = smallConfig(DlioWorkload::resnet50());
+  const DlioResult r = runner.run(cfg);
+  // 32 samples x 2 ranks, batch 1, 1 epoch.
+  EXPECT_EQ(r.batchesTrained, 64u);
+  EXPECT_EQ(r.bytesRead, 64u * 150 * units::KB);
+  EXPECT_GT(r.runtime, 0.0);
+  EXPECT_EQ(r.trace.count(TraceEventKind::Read), 64u);
+  EXPECT_EQ(r.trace.count(TraceEventKind::Compute), 64u);
+}
+
+TEST(DlioRunner, MultipleEpochsRereadDataset) {
+  Environment env = makeEnvironment(Site::Lassen, StorageKind::Gpfs, 1);
+  DlioRunner runner(*env.bench, *env.fs);
+  DlioWorkload w = DlioWorkload::cosmoflow();
+  w.scaling = ScalingMode::Weak;
+  DlioConfig cfg = smallConfig(w);
+  const DlioResult r = runner.run(cfg);
+  EXPECT_EQ(r.batchesTrained, 32u * 2u * 4u);  // samples x ranks x epochs
+}
+
+TEST(DlioRunner, ComputeBoundWorkloadHidesIo) {
+  Environment env = makeEnvironment(Site::Lassen, StorageKind::Gpfs, 1);
+  DlioRunner runner(*env.bench, *env.fs);
+  DlioWorkload w = DlioWorkload::resnet50();
+  w.computeTimePerBatch = units::msec(500);  // huge compute per batch
+  const DlioResult r = runner.run(smallConfig(w));
+  // Steady-state I/O fully hidden; only pipeline warmup is exposed.
+  EXPECT_LT(r.breakdown.nonOverlappingIo, 0.1 * r.breakdown.totalIo + 0.1);
+}
+
+TEST(DlioRunner, ZeroComputeExposesAllIo) {
+  Environment env = makeEnvironment(Site::Lassen, StorageKind::Gpfs, 1);
+  DlioRunner runner(*env.bench, *env.fs);
+  DlioWorkload w = DlioWorkload::resnet50();
+  w.computeTimePerBatch = 0.0;
+  DlioConfig cfg = smallConfig(w);
+  cfg.computeJitterFrac = 0.0;
+  const DlioResult r = runner.run(cfg);
+  EXPECT_NEAR(r.breakdown.overlappingIo, 0.0, 1e-9);
+  EXPECT_GT(r.breakdown.nonOverlappingIo, 0.0);
+}
+
+TEST(DlioRunner, MoreIoThreadsReduceStalls) {
+  const auto stall = [](std::size_t threads) {
+    Environment env = makeEnvironment(Site::Lassen, StorageKind::Vast, 1);
+    DlioRunner runner(*env.bench, *env.fs);
+    DlioWorkload w = DlioWorkload::cosmoflow();
+    w.scaling = ScalingMode::Weak;
+    w.ioThreads = threads;
+    w.prefetchDepth = threads;
+    return runner.run(smallConfig(w)).breakdown.nonOverlappingIo;
+  };
+  EXPECT_LT(stall(8), stall(1));
+}
+
+TEST(DlioRunner, DeterministicForSameSeed) {
+  const auto once = [] {
+    Environment env = makeEnvironment(Site::Lassen, StorageKind::Vast, 1);
+    DlioRunner runner(*env.bench, *env.fs);
+    return runner.run(smallConfig(DlioWorkload::resnet50())).runtime;
+  };
+  EXPECT_DOUBLE_EQ(once(), once());
+}
+
+TEST(DlioRunner, ThrowsWhenNodesExceedBench) {
+  Environment env = makeEnvironment(Site::Lassen, StorageKind::Gpfs, 1);
+  DlioRunner runner(*env.bench, *env.fs);
+  DlioConfig cfg = smallConfig(DlioWorkload::resnet50(), 4);
+  EXPECT_THROW(runner.run(cfg), std::invalid_argument);
+}
+
+TEST(DlioRunner, ThroughputConsistentWithBreakdown) {
+  Environment env = makeEnvironment(Site::Lassen, StorageKind::Vast, 1);
+  DlioRunner runner(*env.bench, *env.fs);
+  const DlioResult r = runner.run(smallConfig(DlioWorkload::resnet50()));
+  if (r.breakdown.nonOverlappingIo > 0) {
+    EXPECT_NEAR(r.throughput.application,
+                static_cast<double>(r.bytesRead) / r.breakdown.nonOverlappingIo,
+                r.throughput.application * 1e-9);
+  }
+  EXPECT_NEAR(r.throughput.system, static_cast<double>(r.bytesRead) / r.breakdown.totalIo,
+              r.throughput.system * 1e-9);
+}
+
+TEST(DlioRunner, ScalingModeToString) {
+  EXPECT_STREQ(toString(ScalingMode::Weak), "weak");
+  EXPECT_STREQ(toString(ScalingMode::Strong), "strong");
+}
+
+TEST(DlioWorkload, Unet3dPresetIsCheckpointHeavy) {
+  const DlioWorkload w = DlioWorkload::unet3d();
+  EXPECT_GT(w.sampleSize, 100 * units::MB);  // huge 3D volumes
+  EXPECT_GT(w.checkpointEvery, 0u);
+  EXPECT_GE(w.checkpointBytes, units::GB);
+  EXPECT_EQ(w.scaling, ScalingMode::Weak);
+}
+
+TEST(DlioRunner, CheckpointsAreWrittenByRankZeroOnly) {
+  Environment env = makeEnvironment(Site::Lassen, StorageKind::Gpfs, 1);
+  DlioRunner runner(*env.bench, *env.fs);
+  DlioConfig cfg;
+  cfg.workload = DlioWorkload::unet3d();
+  cfg.workload.samples = 12;
+  cfg.workload.checkpointEvery = 4;
+  cfg.workload.checkpointBytes = 64 * units::MiB;
+  cfg.nodes = 1;
+  cfg.procsPerNode = 2;
+  const DlioResult r = runner.run(cfg);
+  // 12 samples x 2 epochs = 24 batches; checkpoints after batch 4..20
+  // (not the final one): 5 checkpoints, rank 0 only.
+  EXPECT_EQ(r.trace.count(TraceEventKind::Write), 5u);
+  EXPECT_EQ(r.bytesCheckpointed, 5u * 64 * units::MiB);
+  for (const auto& e : r.trace.events()) {
+    if (e.kind == TraceEventKind::Write) EXPECT_EQ(e.pid % 2, 0u);
+  }
+}
+
+TEST(DlioRunner, CheckpointingExtendsRuntime) {
+  const auto runtime = [](std::size_t every) {
+    Environment env = makeEnvironment(Site::Lassen, StorageKind::Vast, 1);
+    DlioRunner runner(*env.bench, *env.fs);
+    DlioConfig cfg;
+    cfg.workload = DlioWorkload::unet3d();
+    cfg.workload.samples = 12;
+    cfg.workload.sampleSize = 4 * units::MB;  // shrink reads, keep ckpts
+    cfg.workload.checkpointEvery = every;
+    cfg.workload.checkpointBytes = 256 * units::MiB;
+    cfg.nodes = 1;
+    cfg.procsPerNode = 2;
+    return runner.run(cfg).runtime;
+  };
+  EXPECT_GT(runtime(2), runtime(0) * 1.1);
+}
+
+TEST(DlioRunner, CheckpointBytesCountTowardSystemIoTime) {
+  Environment env = makeEnvironment(Site::Lassen, StorageKind::Gpfs, 1);
+  DlioRunner runner(*env.bench, *env.fs);
+  DlioConfig cfg;
+  cfg.workload = DlioWorkload::unet3d();
+  cfg.workload.samples = 8;
+  cfg.workload.checkpointEvery = 4;
+  cfg.nodes = 1;
+  cfg.procsPerNode = 1;
+  const DlioResult r = runner.run(cfg);
+  EXPECT_GT(r.breakdown.ioBytes, r.bytesRead);  // includes checkpoint bytes
+}
+
+}  // namespace
+}  // namespace hcsim

@@ -1,0 +1,160 @@
+// Failure-injection tests: the HA behaviour of §III-A — stateless
+// CNodes fail over, DBoxes are dual-DNode High Availability enclosures.
+
+#include <gtest/gtest.h>
+
+#include "cluster/deployments.hpp"
+#include "ior/ior_runner.hpp"
+
+namespace hcsim {
+namespace {
+
+struct Harness {
+  Harness() : bench(Machine::wombat(), 4), fs(bench.attachVast(vastOnWombat())) {}
+  TestBench bench;
+  std::unique_ptr<VastModel> fs;
+
+  double writeGBs() {
+    IorRunner runner(bench, *fs);
+    IorConfig cfg = IorConfig::scalability(AccessPattern::SequentialWrite, 4, 16);
+    cfg.segments = 256;
+    return units::toGBs(runner.run(cfg).bandwidth.mean);
+  }
+  double readGBs() {
+    IorRunner runner(bench, *fs);
+    IorConfig cfg = IorConfig::scalability(AccessPattern::SequentialRead, 4, 16);
+    cfg.segments = 256;
+    return units::toGBs(runner.run(cfg).bandwidth.mean);
+  }
+};
+
+TEST(FailureInjection, CNodeLossDegradesWriteProportionally) {
+  Harness h;
+  const double healthy = h.writeGBs();
+  h.fs->failCNode(0);
+  h.fs->failCNode(1);
+  const double degraded = h.writeGBs();
+  // Writes are CNode-bound on Wombat: 6/8 CNodes -> ~75%.
+  EXPECT_NEAR(degraded / healthy, 0.75, 0.1);
+  EXPECT_EQ(h.fs->failedCNodes(), 2u);
+  EXPECT_EQ(h.fs->aliveCNodes(), 6u);
+}
+
+TEST(FailureInjection, RestoreCNodeRecoversFully) {
+  Harness h;
+  const double healthy = h.writeGBs();
+  h.fs->failCNode(3);
+  h.fs->restoreCNode(3);
+  EXPECT_NEAR(h.writeGBs(), healthy, healthy * 1e-6);
+  EXPECT_EQ(h.fs->failedCNodes(), 0u);
+}
+
+TEST(FailureInjection, FailoverKeepsServiceAvailable) {
+  // Sessions pinned to a failed CNode must remap, not stall.
+  Harness h;
+  for (std::size_t i = 0; i < 7; ++i) h.fs->failCNode(i);
+  const double oneCnode = h.writeGBs();
+  EXPECT_GT(oneCnode, 0.0);
+  EXPECT_LT(oneCnode, 0.3 * 8.0);  // single CNode's write path
+}
+
+TEST(FailureInjection, AllCNodesFailedIsAnOutage) {
+  Harness h;
+  for (std::size_t i = 0; i < 8; ++i) h.fs->failCNode(i);
+  IoRequest req;
+  req.client = {0, 0};
+  req.fileId = 1;
+  req.bytes = units::MiB;
+  req.pattern = AccessPattern::SequentialWrite;
+  EXPECT_THROW(h.fs->submit(req, nullptr), std::runtime_error);
+}
+
+TEST(FailureInjection, DnodeHaDegradationHalvesBoxFabric) {
+  Harness h;
+  const double healthy = h.readGBs();
+  // Degrade every HA pair: fabric halves, but reads (CNode-bound at 24
+  // vs fabric 50->25 GB/s) survive with grace.
+  for (std::size_t b = 0; b < 4; ++b) h.fs->failDNode(b);
+  const double degraded = h.readGBs();
+  EXPECT_GT(degraded, 0.0);
+  EXPECT_GE(healthy, degraded);
+  for (std::size_t b = 0; b < 4; ++b) h.fs->restoreDNode(b);
+  EXPECT_NEAR(h.readGBs(), healthy, healthy * 1e-6);
+}
+
+TEST(FailureInjection, DboxLossShrinksDevicePools) {
+  Harness h;
+  h.fs->beginPhase([] {
+    PhaseSpec ph;
+    ph.pattern = AccessPattern::SequentialRead;
+    ph.requestSize = units::MiB;
+    return ph;
+  }());
+  const Bandwidth healthy = h.fs->deviceReadCapacity();
+  h.fs->failDBox(0);
+  EXPECT_NEAR(h.fs->deviceReadCapacity() / healthy, 0.75, 1e-6);
+  EXPECT_EQ(h.fs->aliveDBoxes(), 3u);
+  h.fs->restoreDBox(0);
+  EXPECT_NEAR(h.fs->deviceReadCapacity(), healthy, healthy * 1e-9);
+}
+
+TEST(FailureInjection, MidRunCNodeFailureReratesInFlight) {
+  Harness h;
+  PhaseSpec ph;
+  ph.pattern = AccessPattern::SequentialWrite;
+  ph.requestSize = units::MiB;
+  ph.nodes = 4;
+  ph.procsPerNode = 16;
+  h.fs->beginPhase(ph);
+  SimTime end = 0;
+  std::size_t done = 0;
+  for (std::uint32_t n = 0; n < 4; ++n) {
+    for (std::uint32_t s = 0; s < 16; ++s) {
+      IoRequest req;
+      req.client = {n, s};
+      req.fileId = n * 16 + s + 1;
+      req.bytes = 256 * units::MiB;
+      req.pattern = AccessPattern::SequentialWrite;
+      req.ops = 256;
+      h.fs->submit(req, [&](const IoResult& r) {
+        end = std::max(end, r.endTime);
+        ++done;
+      });
+    }
+  }
+  // Baseline completion time without failure.
+  // (Measured separately on an identical harness.)
+  Harness ref;
+  ref.fs->beginPhase(ph);
+  SimTime refEnd = 0;
+  for (std::uint32_t n = 0; n < 4; ++n) {
+    for (std::uint32_t s = 0; s < 16; ++s) {
+      IoRequest req;
+      req.client = {n, s};
+      req.fileId = n * 16 + s + 1;
+      req.bytes = 256 * units::MiB;
+      req.pattern = AccessPattern::SequentialWrite;
+      req.ops = 256;
+      ref.fs->submit(req, [&](const IoResult& r) { refEnd = std::max(refEnd, r.endTime); });
+    }
+  }
+  ref.bench.sim().run();
+
+  // Fail half the CNodes mid-transfer: completion must be LATER.
+  h.bench.sim().schedule(refEnd * 0.25, [&] {
+    for (std::size_t i = 0; i < 4; ++i) h.fs->failCNode(i);
+  });
+  h.bench.sim().run();
+  EXPECT_EQ(done, 64u);
+  EXPECT_GT(end, refEnd * 1.2);
+}
+
+TEST(FailureInjection, OutOfRangeIndicesThrow) {
+  Harness h;
+  EXPECT_THROW(h.fs->failCNode(99), std::out_of_range);
+  EXPECT_THROW(h.fs->failDBox(99), std::out_of_range);
+  EXPECT_THROW(h.fs->failDNode(99), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace hcsim

@@ -1,0 +1,116 @@
+// Failure injection on the parallel-file-system baselines: GPFS NSD
+// servers and Lustre OSS/MDS pools degrade capacity proportionally and
+// recover on restore.
+
+#include <gtest/gtest.h>
+
+#include "cluster/deployments.hpp"
+#include "ior/ior_runner.hpp"
+
+namespace hcsim {
+namespace {
+
+double gpfsReadGBs(GpfsModel& fs, TestBench& bench) {
+  IorRunner runner(bench, fs);
+  IorConfig cfg = IorConfig::scalability(AccessPattern::SequentialRead, 4, 44);
+  cfg.segments = 256;
+  return units::toGBs(runner.run(cfg).bandwidth.mean);
+}
+
+TEST(GpfsFailure, NsdLossDegradesAggregateProportionally) {
+  TestBench bench(Machine::lassen(), 64);
+  auto fs = bench.attachGpfs(gpfsOnLassen());
+  // Saturate the server pool: 64 nodes of sequential reads.
+  IorRunner runner(bench, *fs);
+  IorConfig cfg = IorConfig::scalability(AccessPattern::SequentialRead, 64, 44);
+  cfg.segments = 128;
+  const double healthy = units::toGBs(runner.run(cfg).bandwidth.mean);
+  fs->failNsdServer(0);
+  fs->failNsdServer(1);
+  fs->failNsdServer(2);
+  fs->failNsdServer(3);
+  const double degraded = units::toGBs(runner.run(cfg).bandwidth.mean);
+  EXPECT_NEAR(degraded / healthy, 0.75, 0.08);  // 12/16 servers
+  EXPECT_EQ(fs->aliveNsdServers(), 12u);
+  fs->restoreNsdServer(1);
+  EXPECT_EQ(fs->aliveNsdServers(), 13u);
+}
+
+TEST(GpfsFailure, RestoreRecoversFully) {
+  TestBench bench(Machine::lassen(), 4);
+  auto fs = bench.attachGpfs(gpfsOnLassen());
+  const double healthy = gpfsReadGBs(*fs, bench);
+  fs->failNsdServer(5);
+  fs->restoreNsdServer(5);
+  EXPECT_NEAR(gpfsReadGBs(*fs, bench), healthy, healthy * 1e-6);
+}
+
+TEST(GpfsFailure, OutOfRangeThrows) {
+  TestBench bench(Machine::lassen(), 1);
+  auto fs = bench.attachGpfs(gpfsOnLassen());
+  EXPECT_THROW(fs->failNsdServer(99), std::out_of_range);
+}
+
+TEST(LustreFailure, OssLossShrinksPool) {
+  TestBench bench(Machine::quartz(), 1);
+  auto fs = bench.attachLustre(lustreOnQuartz());
+  // Many processes so the OSS pool (not the client NIC) is the gate.
+  LustreConfig cfg = lustreOnQuartz();
+  (void)cfg;
+  IorRunner runner(bench, *fs);
+  IorConfig ior = IorConfig::scalability(AccessPattern::SequentialRead, 1, 32);
+  ior.segments = 256;
+  const double healthy = units::toGBs(runner.run(ior).bandwidth.mean);
+  for (std::size_t i = 0; i < 18; ++i) fs->failOss(i);  // half the OSSs
+  EXPECT_EQ(fs->aliveOss(), 18u);
+  const double degraded = units::toGBs(runner.run(ior).bandwidth.mean);
+  EXPECT_LE(degraded, healthy * 1.001);
+  for (std::size_t i = 0; i < 18; ++i) fs->restoreOss(i);
+  EXPECT_NEAR(units::toGBs(runner.run(ior).bandwidth.mean), healthy, healthy * 1e-6);
+}
+
+TEST(LustreFailure, MdsLossSlowsMetadata) {
+  TestBench bench(Machine::quartz(), 1);
+  auto fs = bench.attachLustre(lustreOnQuartz());
+  const auto metaStorm = [&] {
+    SimTime last = 0;
+    std::size_t outstanding = 0;
+    for (std::uint64_t i = 0; i < 64; ++i) {
+      MetaRequest req;
+      req.client = {0, static_cast<std::uint32_t>(i % 8)};
+      req.op = MetaOp::Create;
+      req.fileId = i;
+      req.sharedDirectory = false;
+      ++outstanding;
+      fs->submitMeta(req, [&](const IoResult& r) {
+        last = std::max(last, r.endTime);
+        --outstanding;
+      });
+    }
+    const SimTime start = bench.sim().now();
+    bench.sim().run();
+    EXPECT_EQ(outstanding, 0u);
+    return last - start;
+  };
+  const Seconds healthy = metaStorm();
+  for (std::size_t i = 0; i < 12; ++i) fs->failMds(i);  // 4 of 16 left
+  EXPECT_EQ(fs->aliveMds(), 4u);
+  const Seconds degraded = metaStorm();
+  EXPECT_GT(degraded, healthy * 1.5);
+  EXPECT_THROW(fs->failMds(99), std::out_of_range);
+}
+
+TEST(LustreFailure, AllOssFailedIsOutage) {
+  TestBench bench(Machine::quartz(), 1);
+  auto fs = bench.attachLustre(lustreOnQuartz());
+  for (std::size_t i = 0; i < 36; ++i) fs->failOss(i);
+  IoRequest req;
+  req.client = {0, 0};
+  req.fileId = 1;
+  req.bytes = units::MiB;
+  req.pattern = AccessPattern::SequentialWrite;
+  EXPECT_THROW(fs->submit(req, nullptr), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace hcsim

@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "fs/client_session.hpp"
+#include "fs/model_support.hpp"
+#include "util/units.hpp"
+
+#include <limits>
+#include <vector>
+
+namespace hcsim {
+namespace {
+
+constexpr Bandwidth kInf = std::numeric_limits<Bandwidth>::infinity();
+
+TEST(OverheadAdjustedCap, NoOverheadReturnsStreamCap) {
+  EXPECT_DOUBLE_EQ(overheadAdjustedCap(100.0, 0.0, 1024), 100.0);
+  EXPECT_DOUBLE_EQ(overheadAdjustedCap(100.0, -1.0, 1024), 100.0);
+}
+
+TEST(OverheadAdjustedCap, ZeroRequestThrows) {
+  EXPECT_THROW(overheadAdjustedCap(100.0, 0.1, 0), std::invalid_argument);
+}
+
+TEST(OverheadAdjustedCap, HarmonicComposition) {
+  // 1 MiB requests, 1 GB/s stream, 1 ms overhead:
+  // rate = 1 / (1e-9 + 1e-3/2^20) = ~511 MB/s.
+  const Bandwidth r = overheadAdjustedCap(1e9, 1e-3, units::MiB);
+  EXPECT_NEAR(r, 1.0 / (1e-9 + 1e-3 / static_cast<double>(units::MiB)), 1.0);
+  EXPECT_LT(r, 1e9);
+}
+
+TEST(OverheadAdjustedCap, InfiniteStreamCapBecomesPureOverheadRate) {
+  // Pure dead-time bound: reqSize / overhead.
+  const Bandwidth r = overheadAdjustedCap(kInf, 1e-3, units::MiB);
+  EXPECT_NEAR(r, static_cast<double>(units::MiB) / 1e-3, 1.0);
+}
+
+TEST(OverheadAdjustedCap, ZeroStreamCapIsZero) {
+  EXPECT_DOUBLE_EQ(overheadAdjustedCap(0.0, 1e-3, 1024), 0.0);
+}
+
+TEST(OverheadAdjustedCap, LargerRequestsAmortizeBetter) {
+  const Bandwidth small = overheadAdjustedCap(1e9, 1e-3, 4096);
+  const Bandwidth large = overheadAdjustedCap(1e9, 1e-3, units::MiB);
+  EXPECT_LT(small, large);
+}
+
+TEST(CompletionBarrier, FiresAfterNCalls) {
+  int fired = 0;
+  auto cb = completionBarrier(3, [&] { ++fired; });
+  cb();
+  cb();
+  EXPECT_EQ(fired, 0);
+  cb();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(CompletionBarrier, OverSignalIgnored) {
+  int fired = 0;
+  auto cb = completionBarrier(1, [&] { ++fired; });
+  cb();
+  cb();
+  cb();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(CompletionBarrier, ZeroCountFiresImmediately) {
+  int fired = 0;
+  completionBarrier(0, [&] { ++fired; });
+  EXPECT_EQ(fired, 1);
+}
+
+// ---- ClientSession against a recording fake ----
+
+class FakeFs final : public FileSystemModel {
+ public:
+  const std::string& name() const override { return name_; }
+  void beginPhase(const PhaseSpec&) override {}
+  void endPhase() override {}
+  Bytes totalCapacity() const override { return 0; }
+  void submit(const IoRequest& req, IoCallback cb) override {
+    requests.push_back(req);
+    if (cb) cb(IoResult{0.0, 1.0, req.bytes});
+  }
+  void submitMeta(const MetaRequest& req, IoCallback cb) override {
+    metaRequests.push_back(req);
+    if (cb) cb(IoResult{0.0, 0.1, 0});
+  }
+  std::vector<IoRequest> requests;
+  std::vector<MetaRequest> metaRequests;
+
+ private:
+  std::string name_ = "fake";
+};
+
+TEST(ClientSession, WriteAdvancesCursorAndSetsFields) {
+  FakeFs fs;
+  ClientSession s(fs, ClientId{3, 7}, 42);
+  s.write(1000, true, nullptr);
+  s.write(500, false, nullptr);
+  ASSERT_EQ(fs.requests.size(), 2u);
+  EXPECT_EQ(fs.requests[0].client.node, 3u);
+  EXPECT_EQ(fs.requests[0].client.proc, 7u);
+  EXPECT_EQ(fs.requests[0].fileId, 42u);
+  EXPECT_EQ(fs.requests[0].offset, 0u);
+  EXPECT_EQ(fs.requests[0].bytes, 1000u);
+  EXPECT_TRUE(fs.requests[0].fsync);
+  EXPECT_EQ(fs.requests[1].offset, 1000u);
+  EXPECT_FALSE(fs.requests[1].fsync);
+  EXPECT_EQ(s.cursor(), 1500u);
+}
+
+TEST(ClientSession, ReadUsesSequentialPattern) {
+  FakeFs fs;
+  ClientSession s(fs, ClientId{0, 0}, 1);
+  s.read(256, nullptr);
+  EXPECT_EQ(fs.requests[0].pattern, AccessPattern::SequentialRead);
+  EXPECT_EQ(s.cursor(), 256u);
+}
+
+TEST(ClientSession, ReadAtIsRandomAndKeepsCursor) {
+  FakeFs fs;
+  ClientSession s(fs, ClientId{0, 0}, 1);
+  s.seek(100);
+  s.readAt(5000, 64, nullptr);
+  EXPECT_EQ(fs.requests[0].pattern, AccessPattern::RandomRead);
+  EXPECT_EQ(fs.requests[0].offset, 5000u);
+  EXPECT_EQ(s.cursor(), 100u);
+}
+
+TEST(ClientSession, RunsCoalesceOps) {
+  FakeFs fs;
+  ClientSession s(fs, ClientId{0, 0}, 1);
+  s.writeRun(1024, 8, false, nullptr);
+  EXPECT_EQ(fs.requests[0].ops, 8u);
+  EXPECT_EQ(fs.requests[0].bytes, 8192u);
+  EXPECT_EQ(s.cursor(), 8192u);
+  s.readRun(1024, 4, nullptr);
+  EXPECT_EQ(fs.requests[1].offset, 8192u);
+  EXPECT_EQ(s.cursor(), 8192u + 4096u);
+  s.randomReadRun(1024, 16, nullptr);
+  EXPECT_EQ(fs.requests[2].pattern, AccessPattern::RandomRead);
+  EXPECT_EQ(fs.requests[2].ops, 16u);
+}
+
+TEST(ClientSession, CallbackReceivesResult) {
+  FakeFs fs;
+  ClientSession s(fs, ClientId{0, 0}, 1);
+  IoResult got{};
+  s.write(100, false, [&](const IoResult& r) { got = r; });
+  EXPECT_EQ(got.bytes, 100u);
+  EXPECT_DOUBLE_EQ(got.elapsed(), 1.0);
+}
+
+TEST(FileSystemModel, DefaultClientParallelismIsOne) {
+  FakeFs fs;
+  EXPECT_EQ(fs.clientParallelism(), 1u);
+}
+
+}  // namespace
+}  // namespace hcsim

@@ -1,0 +1,153 @@
+#include "gpfs/gpfs_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/deployments.hpp"
+
+namespace hcsim {
+namespace {
+
+PhaseSpec phase(AccessPattern p, Bytes ws = 0) {
+  PhaseSpec ph;
+  ph.pattern = p;
+  ph.requestSize = units::MiB;
+  ph.nodes = 1;
+  ph.procsPerNode = 1;
+  ph.workingSetBytes = ws;
+  return ph;
+}
+
+Bandwidth measure(GpfsModel& fs, TestBench& bench, AccessPattern pattern, Bytes ws,
+                  std::uint32_t streams = 44) {
+  PhaseSpec ph = phase(pattern, ws);
+  ph.procsPerNode = streams;
+  fs.beginPhase(ph);
+  IoRequest req;
+  req.client = {0, 0};
+  req.fileId = 1;
+  req.bytes = static_cast<Bytes>(streams) * units::GiB;
+  req.pattern = pattern;
+  req.ops = static_cast<std::uint64_t>(streams) * 1024;
+  req.streams = streams;
+  SimTime end = 0;
+  fs.submit(req, [&](const IoResult& r) { end = r.endTime; });
+  const SimTime start = bench.sim().now();
+  bench.sim().run();
+  fs.endPhase();
+  return static_cast<double>(req.bytes) / (end - start);
+}
+
+TEST(GpfsConfig, ValidateRejectsBadValues) {
+  GpfsConfig c;
+  c.nsdServers = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = GpfsConfig{};
+  c.raidParityOverhead = 1.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = GpfsConfig{};
+  c.clientReadCap = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(GpfsConfig, LassenPresetMatchesPaper) {
+  const GpfsConfig c = GpfsConfig::lassen();
+  EXPECT_EQ(c.nsdServers, 16u);  // "16 PowerPC64 storage nodes"
+  EXPECT_EQ(c.capacityTotal, 24 * units::PB);
+}
+
+TEST(GpfsModel, SequentialReadHitsCacheFully) {
+  TestBench bench(Machine::lassen(), 1);
+  auto fs = bench.attachGpfs(gpfsOnLassen());
+  fs->beginPhase(phase(AccessPattern::SequentialRead, 100 * units::TB));
+  EXPECT_DOUBLE_EQ(fs->phaseServerCacheHitRatio(), 1.0);
+}
+
+TEST(GpfsModel, RandomReadHitRatioShrinksWithWorkingSet) {
+  TestBench bench(Machine::lassen(), 1);
+  auto fs = bench.attachGpfs(gpfsOnLassen());
+  fs->beginPhase(phase(AccessPattern::RandomRead, units::GiB));
+  const double small = fs->phaseServerCacheHitRatio();
+  fs->endPhase();
+  fs->beginPhase(phase(AccessPattern::RandomRead, 100 * units::TB));
+  const double large = fs->phaseServerCacheHitRatio();
+  EXPECT_DOUBLE_EQ(small, 1.0);
+  EXPECT_LT(large, 0.05);
+}
+
+TEST(GpfsModel, SequentialReadNearClientCap) {
+  TestBench bench(Machine::lassen(), 1);
+  auto fs = bench.attachGpfs(gpfsOnLassen());
+  const Bandwidth bw = measure(*fs, bench, AccessPattern::SequentialRead, 44 * units::GiB);
+  EXPECT_GT(bw, 0.9 * gpfsOnLassen().clientReadCap);
+  EXPECT_LE(bw, gpfsOnLassen().clientReadCap * 1.01);
+}
+
+TEST(GpfsModel, RandomReadCollapsesAtScale) {
+  // The paper's 90% drop: random read per node far below sequential when
+  // the working set defeats the caches.
+  TestBench bench(Machine::lassen(), 1);
+  auto fs = bench.attachGpfs(gpfsOnLassen());
+  const Bandwidth seq = measure(*fs, bench, AccessPattern::SequentialRead, 50 * units::TB);
+  const Bandwidth rnd = measure(*fs, bench, AccessPattern::RandomRead, 50 * units::TB);
+  EXPECT_LT(rnd, 0.25 * seq);
+}
+
+TEST(GpfsModel, WritesUseWriteCap) {
+  TestBench bench(Machine::lassen(), 1);
+  auto fs = bench.attachGpfs(gpfsOnLassen());
+  const Bandwidth bw = measure(*fs, bench, AccessPattern::SequentialWrite, 0);
+  EXPECT_LE(bw, gpfsOnLassen().clientWriteCap * 1.01);
+  EXPECT_GT(bw, 0.8 * gpfsOnLassen().clientWriteCap);
+}
+
+TEST(GpfsModel, FsyncAddsCommitLatency) {
+  TestBench bench(Machine::lassen(), 1);
+  auto fs = bench.attachGpfs(gpfsOnLassen());
+  fs->beginPhase(phase(AccessPattern::SequentialWrite));
+  const auto runOp = [&](bool fsync) {
+    IoRequest req;
+    req.client = {0, 0};
+    req.fileId = 1;
+    req.bytes = units::MiB;
+    req.pattern = AccessPattern::SequentialWrite;
+    req.fsync = fsync;
+    SimTime start = bench.sim().now(), end = 0;
+    fs->submit(req, [&](const IoResult& r) { end = r.endTime; });
+    bench.sim().run();
+    return end - start;
+  };
+  const Seconds async = runOp(false);
+  const Seconds sync = runOp(true);
+  EXPECT_NEAR(sync - async, gpfsOnLassen().commitLatency, async * 0.5);
+}
+
+TEST(GpfsModel, ZeroByteRequestIsRpc) {
+  TestBench bench(Machine::lassen(), 1);
+  auto fs = bench.attachGpfs(gpfsOnLassen());
+  IoRequest req;
+  req.client = {0, 0};
+  req.bytes = 0;
+  SimTime end = 0;
+  fs->submit(req, [&](const IoResult& r) { end = r.endTime; });
+  bench.sim().run();
+  EXPECT_NEAR(end, gpfsOnLassen().rpcLatency, 1e-9);
+}
+
+TEST(GpfsModel, CapacityIs24PB) {
+  TestBench bench(Machine::lassen(), 1);
+  auto fs = bench.attachGpfs(gpfsOnLassen());
+  EXPECT_EQ(fs->totalCapacity(), 24 * units::PB);
+}
+
+TEST(GpfsModel, DeviceCapacityTracksPattern) {
+  TestBench bench(Machine::lassen(), 1);
+  auto fs = bench.attachGpfs(gpfsOnLassen());
+  fs->beginPhase(phase(AccessPattern::SequentialRead));
+  const Bandwidth seqDev = fs->deviceCapacity();
+  fs->endPhase();
+  fs->beginPhase(phase(AccessPattern::RandomRead));
+  EXPECT_LT(fs->deviceCapacity(), seqDev);
+}
+
+}  // namespace
+}  // namespace hcsim

@@ -1,0 +1,112 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/random.hpp"
+
+namespace hcsim {
+namespace {
+
+TEST(Histogram, ValidatesConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(-1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 2.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, LogSpacedBinEdges) {
+  Histogram h(1e-6, 1e-2, 4);  // decades: 1e-6,1e-5,1e-4,1e-3,1e-2
+  EXPECT_NEAR(h.binLowerBound(0), 1e-6, 1e-12);
+  EXPECT_NEAR(h.binLowerBound(1), 1e-5, 1e-11);
+  EXPECT_NEAR(h.binLowerBound(4), 1e-2, 1e-8);
+}
+
+TEST(Histogram, CountsLandInRightBins) {
+  Histogram h(1e-6, 1e-2, 4);
+  h.add(5e-6);   // bin 0
+  h.add(5e-5);   // bin 1
+  h.add(5e-4);   // bin 2
+  h.add(5e-3);   // bin 3
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(3), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderAndOverflow) {
+  Histogram h(1e-3, 1.0, 3);
+  h.add(1e-5);
+  h.add(2.0);
+  h.add(1.0);  // boundary: >= hi -> overflow
+  h.add(1e-3); // boundary: == lo -> bin 0
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, NonFiniteGoesToUnderflow) {
+  Histogram h(1e-3, 1.0, 3);
+  h.add(std::nan(""));
+  h.add(-5.0);
+  EXPECT_EQ(h.underflow(), 2u);
+}
+
+TEST(Histogram, QuantileEmptyIsZero) {
+  Histogram h(1e-3, 1.0, 3);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(Histogram, QuantileApproximatesTrueQuantiles) {
+  Histogram h(1e-5, 1.0, 64);
+  Rng rng(99);
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) {
+    const double v = rng.lognormal(-6.0, 1.0);  // median e^-6 ~ 2.5e-3
+    xs.push_back(v);
+    h.add(v);
+  }
+  std::sort(xs.begin(), xs.end());
+  const double trueP50 = xs[xs.size() / 2];
+  const double trueP99 = xs[static_cast<std::size_t>(0.99 * xs.size())];
+  EXPECT_NEAR(h.quantile(0.5) / trueP50, 1.0, 0.15);
+  EXPECT_NEAR(h.quantile(0.99) / trueP99, 1.0, 0.2);
+}
+
+TEST(Histogram, QuantileMonotone) {
+  Histogram h(1e-4, 1.0, 16);
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) h.add(rng.uniform(1e-4, 0.9));
+  double last = 0.0;
+  for (double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, last);
+    last = v;
+  }
+}
+
+TEST(Histogram, RenderShowsBarsAndEdgeBuckets) {
+  Histogram h(1e-3, 1.0, 4);
+  h.add(2e-3);
+  h.add(2e-3);
+  h.add(1e-5);
+  h.add(5.0);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find('#'), std::string::npos);
+  EXPECT_NE(out.find("<"), std::string::npos);
+  EXPECT_NE(out.find(">="), std::string::npos);
+  EXPECT_NE(out.find("2"), std::string::npos);
+}
+
+TEST(Histogram, AddVector) {
+  Histogram h(1e-3, 1.0, 4);
+  h.add(std::vector<double>{2e-3, 3e-3, 0.5});
+  EXPECT_EQ(h.total(), 3u);
+}
+
+}  // namespace
+}  // namespace hcsim

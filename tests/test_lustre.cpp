@@ -1,0 +1,149 @@
+#include "lustre/lustre_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/deployments.hpp"
+
+namespace hcsim {
+namespace {
+
+TEST(LustreConfig, ValidateRejectsBadValues) {
+  LustreConfig c;
+  c.ossCount = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = LustreConfig{};
+  c.stripeCount = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = LustreConfig{};
+  c.raidz2Overhead = 1.5;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(LustreConfig, LcPresetMatchesPaper) {
+  const LustreConfig c = LustreConfig::lcInstance();
+  EXPECT_EQ(c.mdsCount, 16u);       // "16 Metadata Servers"
+  EXPECT_EQ(c.ossCount, 36u);       // "36 Object Storage Servers"
+  EXPECT_EQ(c.spindlesPerOss, 80u); // "80 SAS HDD raidz2 groups"
+}
+
+struct Harness {
+  Harness() : bench(Machine::quartz(), 1), fs(bench.attachLustre(lustreOnQuartz())) {}
+  TestBench bench;
+  std::unique_ptr<LustreModel> fs;
+
+  Seconds oneOp(AccessPattern p, Bytes bytes, bool fsync) {
+    PhaseSpec ph;
+    ph.pattern = p;
+    ph.requestSize = bytes;
+    fs->beginPhase(ph);
+    IoRequest req;
+    req.client = {0, 0};
+    req.fileId = 1;
+    req.bytes = bytes;
+    req.pattern = p;
+    req.fsync = fsync;
+    const SimTime start = bench.sim().now();
+    SimTime end = 0;
+    fs->submit(req, [&](const IoResult& r) { end = r.endTime; });
+    bench.sim().run();
+    fs->endPhase();
+    return end - start;
+  }
+};
+
+TEST(LustreModel, FsyncCommitDominatesSmallWrites) {
+  Harness h;
+  const Seconds sync = h.oneOp(AccessPattern::SequentialWrite, units::MiB, true);
+  const Seconds async = h.oneOp(AccessPattern::SequentialWrite, units::MiB, false);
+  EXPECT_GT(sync, async + lustreOnQuartz().commitLatency * 0.9);
+}
+
+TEST(LustreModel, RandomReadPaysPenalty) {
+  Harness h;
+  const Seconds seq = h.oneOp(AccessPattern::SequentialRead, units::MiB, false);
+  const Seconds rnd = h.oneOp(AccessPattern::RandomRead, units::MiB, false);
+  EXPECT_GT(rnd, seq + lustreOnQuartz().randomReadPenalty * 0.9);
+}
+
+TEST(LustreModel, StripeCountBoundsSingleProcessRate) {
+  const auto oneGiB = [](std::size_t stripes) {
+    TestBench bench(Machine::quartz(), 1);
+    LustreConfig cfg = lustreOnQuartz();
+    cfg.name = "Lustre-s" + std::to_string(stripes);
+    cfg.stripeCount = stripes;
+    auto fs = bench.attachLustre(cfg);
+    PhaseSpec ph;
+    ph.pattern = AccessPattern::SequentialRead;
+    ph.requestSize = units::MiB;
+    fs->beginPhase(ph);
+    IoRequest req;
+    req.client = {0, 0};
+    req.fileId = 1;
+    req.bytes = units::GiB;
+    req.pattern = AccessPattern::SequentialRead;
+    req.ops = 1024;
+    SimTime end = 0;
+    fs->submit(req, [&](const IoResult& r) { end = r.endTime; });
+    bench.sim().run();
+    return static_cast<double>(units::GiB) / end;
+  };
+  const Bandwidth one = oneGiB(1);
+  const Bandwidth four = oneGiB(4);
+  EXPECT_GT(four, 2.0 * one);
+  EXPECT_LE(one, lustreOnQuartz().ossBandwidth * 1.05);
+}
+
+TEST(LustreModel, MetadataOpUsesMdsLatency) {
+  Harness h;
+  IoRequest req;
+  req.client = {0, 0};
+  req.bytes = 0;
+  SimTime end = 0;
+  h.fs->submit(req, [&](const IoResult& r) { end = r.endTime; });
+  h.bench.sim().run();
+  EXPECT_NEAR(end, lustreOnQuartz().mdsLatency, 1e-9);
+}
+
+TEST(LustreModel, DeviceCapacityTracksPattern) {
+  Harness h;
+  PhaseSpec ph;
+  ph.pattern = AccessPattern::SequentialRead;
+  ph.requestSize = units::MiB;
+  h.fs->beginPhase(ph);
+  const Bandwidth seq = h.fs->deviceCapacity();
+  h.fs->endPhase();
+  ph.pattern = AccessPattern::RandomRead;
+  h.fs->beginPhase(ph);
+  EXPECT_LT(h.fs->deviceCapacity(), seq);
+}
+
+TEST(LustreModel, ManyProcessesScaleTowardNodeCap) {
+  TestBench bench(Machine::quartz(), 1);
+  auto fs = bench.attachLustre(lustreOnQuartz());
+  PhaseSpec ph;
+  ph.pattern = AccessPattern::SequentialRead;
+  ph.requestSize = units::MiB;
+  ph.procsPerNode = 32;
+  fs->beginPhase(ph);
+  IoRequest req;
+  req.client = {0, 0};
+  req.fileId = 1;
+  req.bytes = 32ull * units::GiB;
+  req.pattern = AccessPattern::SequentialRead;
+  req.ops = 32ull * 1024;
+  req.streams = 32;
+  SimTime end = 0;
+  fs->submit(req, [&](const IoResult& r) { end = r.endTime; });
+  bench.sim().run();
+  const Bandwidth bw = static_cast<double>(req.bytes) / end;
+  EXPECT_LE(bw, lustreOnQuartz().clientCap * 1.01);
+  EXPECT_GT(bw, 0.7 * lustreOnQuartz().clientCap);
+}
+
+TEST(LustreModel, CapacityReported) {
+  Harness h;
+  EXPECT_EQ(h.fs->totalCapacity(), lustreOnQuartz().capacityTotal);
+}
+
+}  // namespace
+}  // namespace hcsim

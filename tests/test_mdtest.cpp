@@ -1,0 +1,122 @@
+#include "mdtest/mdtest.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hcsim {
+namespace {
+
+TEST(MdtestConfig, ValidateRejectsBadValues) {
+  MdtestConfig c;
+  c.nodes = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = MdtestConfig{};
+  c.itemsPerProc = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = MdtestConfig{};
+  c.repetitions = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(MdtestConfig, Totals) {
+  MdtestConfig c;
+  c.nodes = 2;
+  c.procsPerNode = 4;
+  c.itemsPerProc = 10;
+  EXPECT_EQ(c.totalProcs(), 8u);
+  EXPECT_EQ(c.totalItems(), 80u);
+}
+
+MdtestResult runOn(FileSystemModel& fs, TestBench& bench, bool uniqueDir,
+                   std::size_t procs = 8) {
+  MdtestRunner runner(bench, fs);
+  MdtestConfig cfg;
+  cfg.nodes = 1;
+  cfg.procsPerNode = procs;
+  cfg.itemsPerProc = 32;
+  cfg.uniqueDirPerTask = uniqueDir;
+  return runner.run(cfg);
+}
+
+TEST(MdtestRunner, ReportsPositiveRatesForAllPhases) {
+  TestBench bench(Machine::wombat(), 1);
+  auto fs = bench.attachVast(vastOnWombat());
+  const MdtestResult r = runOn(*fs, bench, false);
+  EXPECT_GT(r.createOpsPerSec.mean, 0.0);
+  EXPECT_GT(r.statOpsPerSec.mean, 0.0);
+  EXPECT_GT(r.removeOpsPerSec.mean, 0.0);
+  EXPECT_EQ(r.totalItems, 8u * 32u);
+}
+
+TEST(MdtestRunner, UniqueDirectoriesBeatSharedDirectory) {
+  // The classic MDTest result: -u avoids directory-lock serialization.
+  TestBench bench(Machine::lassen(), 1);
+  auto fs = bench.attachGpfs(gpfsOnLassen());
+  const MdtestResult shared = runOn(*fs, bench, false);
+  const MdtestResult unique = runOn(*fs, bench, true);
+  EXPECT_GT(unique.createOpsPerSec.mean, 1.5 * shared.createOpsPerSec.mean);
+}
+
+TEST(MdtestRunner, SharedDirectoryDoesNotScaleWithProcs) {
+  TestBench bench(Machine::lassen(), 1);
+  auto fs = bench.attachGpfs(gpfsOnLassen());
+  const MdtestResult few = runOn(*fs, bench, false, 2);
+  const MdtestResult many = runOn(*fs, bench, false, 16);
+  // Serialized on the directory lock: throughput roughly flat.
+  EXPECT_LT(many.createOpsPerSec.mean, 1.6 * few.createOpsPerSec.mean);
+}
+
+TEST(MdtestRunner, UniqueDirScalesWithServers) {
+  TestBench bench(Machine::quartz(), 1);
+  auto fs = bench.attachLustre(lustreOnQuartz());
+  const MdtestResult few = runOn(*fs, bench, true, 2);
+  const MdtestResult many = runOn(*fs, bench, true, 16);
+  EXPECT_GT(many.createOpsPerSec.mean, 3.0 * few.createOpsPerSec.mean);
+}
+
+TEST(MdtestRunner, NodeLocalNvmeIsFastestAndIgnoresSharedFlag) {
+  TestBench wombat(Machine::wombat(), 2);
+  auto nvme = wombat.attachNvme(nvmeOnWombat());
+  auto vast = wombat.attachVast(vastOnWombat());
+  MdtestRunner nvmeRunner(wombat, *nvme);
+  MdtestRunner vastRunner(wombat, *vast);
+  MdtestConfig cfg;
+  cfg.nodes = 2;
+  cfg.procsPerNode = 4;
+  cfg.itemsPerProc = 32;
+  cfg.uniqueDirPerTask = false;
+  const double nvmeOps = nvmeRunner.run(cfg).createOpsPerSec.mean;
+  const double vastOps = vastRunner.run(cfg).createOpsPerSec.mean;
+  EXPECT_GT(nvmeOps, vastOps);  // no network round trip, no shared lock
+}
+
+TEST(MdtestRunner, RepetitionsWithNoiseProduceSpread) {
+  TestBench bench(Machine::wombat(), 1);
+  auto fs = bench.attachVast(vastOnWombat());
+  MdtestRunner runner(bench, *fs);
+  MdtestConfig cfg;
+  cfg.procsPerNode = 4;
+  cfg.itemsPerProc = 16;
+  cfg.repetitions = 5;
+  cfg.noiseStdDevFrac = 0.05;
+  const MdtestResult r = runner.run(cfg);
+  EXPECT_EQ(r.createOpsPerSec.count, 5u);
+  EXPECT_LT(r.createOpsPerSec.min, r.createOpsPerSec.max);
+}
+
+TEST(MdtestRunner, ThrowsWhenNodesExceedBench) {
+  TestBench bench(Machine::wombat(), 1);
+  auto fs = bench.attachVast(vastOnWombat());
+  MdtestRunner runner(bench, *fs);
+  MdtestConfig cfg;
+  cfg.nodes = 4;
+  EXPECT_THROW(runner.run(cfg), std::invalid_argument);
+}
+
+TEST(MetaOps, ToString) {
+  EXPECT_STREQ(toString(MetaOp::Create), "create");
+  EXPECT_STREQ(toString(MetaOp::Remove), "remove");
+  EXPECT_STREQ(toString(MetaOp::Stat), "stat");
+}
+
+}  // namespace
+}  // namespace hcsim

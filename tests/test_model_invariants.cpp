@@ -1,0 +1,140 @@
+// Invariants every storage model must satisfy, swept across all the
+// paper-defined (site, storage) environments.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace hcsim {
+namespace {
+
+struct Target {
+  Site site;
+  StorageKind kind;
+};
+
+const Target kTargets[] = {
+    {Site::Lassen, StorageKind::Vast},   {Site::Lassen, StorageKind::Gpfs},
+    {Site::Ruby, StorageKind::Vast},     {Site::Ruby, StorageKind::Lustre},
+    {Site::Quartz, StorageKind::Vast},   {Site::Quartz, StorageKind::Lustre},
+    {Site::Wombat, StorageKind::Vast},   {Site::Wombat, StorageKind::NvmeLocal},
+};
+
+class ModelInvariantTest : public ::testing::TestWithParam<int> {
+ protected:
+  Target target() const { return kTargets[static_cast<std::size_t>(GetParam())]; }
+};
+
+TEST_P(ModelInvariantTest, BasicShape) {
+  Environment env = makeEnvironment(target().site, target().kind, 2);
+  EXPECT_FALSE(env.fs->name().empty());
+  EXPECT_GT(env.fs->totalCapacity(), 0u);
+  EXPECT_GE(env.fs->clientParallelism(), 1u);
+}
+
+TEST_P(ModelInvariantTest, DataRequestConservesBytesAndTakesTime) {
+  Environment env = makeEnvironment(target().site, target().kind, 2);
+  for (AccessPattern p : {AccessPattern::SequentialWrite, AccessPattern::SequentialRead,
+                          AccessPattern::RandomRead}) {
+    PhaseSpec ph;
+    ph.pattern = p;
+    ph.requestSize = units::MiB;
+    ph.nodes = 2;
+    ph.procsPerNode = 4;
+    ph.workingSetBytes = 256 * units::MiB;
+    env.fs->beginPhase(ph);
+    IoRequest req;
+    req.client = {0, 0};
+    req.fileId = 1;
+    req.bytes = 32 * units::MiB;
+    req.pattern = p;
+    req.ops = 32;
+    IoResult got{};
+    bool done = false;
+    env.fs->submit(req, [&](const IoResult& r) {
+      got = r;
+      done = true;
+    });
+    env.bench->sim().run();
+    env.fs->endPhase();
+    ASSERT_TRUE(done) << toString(p);
+    EXPECT_EQ(got.bytes, req.bytes) << toString(p);
+    EXPECT_GT(got.elapsed(), 0.0) << toString(p);
+    // Sanity ceiling: nothing moves 32 MiB in under a microsecond.
+    EXPECT_GT(got.elapsed(), 1e-6) << toString(p);
+  }
+}
+
+TEST_P(ModelInvariantTest, MetadataOpCompletesQuickly) {
+  Environment env = makeEnvironment(target().site, target().kind, 1);
+  MetaRequest req;
+  req.client = {0, 0};
+  req.op = MetaOp::Create;
+  req.fileId = 7;
+  SimTime end = 0;
+  env.fs->submitMeta(req, [&](const IoResult& r) { end = r.endTime; });
+  env.bench->sim().run();
+  EXPECT_GT(end, 0.0);
+  EXPECT_LT(end, 0.1);  // metadata is sub-100ms everywhere
+}
+
+TEST_P(ModelInvariantTest, ConcurrentRequestsAllComplete) {
+  Environment env = makeEnvironment(target().site, target().kind, 2);
+  PhaseSpec ph;
+  ph.pattern = AccessPattern::SequentialWrite;
+  ph.requestSize = units::MiB;
+  ph.nodes = 2;
+  ph.procsPerNode = 8;
+  env.fs->beginPhase(ph);
+  std::size_t done = 0;
+  for (std::uint32_t n = 0; n < 2; ++n) {
+    for (std::uint32_t p = 0; p < 8; ++p) {
+      IoRequest req;
+      req.client = {n, p};
+      req.fileId = n * 8 + p + 1;
+      req.bytes = 16 * units::MiB;
+      req.pattern = AccessPattern::SequentialWrite;
+      req.ops = 16;
+      env.fs->submit(req, [&](const IoResult&) { ++done; });
+    }
+  }
+  env.bench->sim().run();
+  EXPECT_EQ(done, 16u);
+  EXPECT_TRUE(env.bench->sim().empty());
+}
+
+TEST_P(ModelInvariantTest, FasterPatternNeverSlowerThanRandom) {
+  // Sequential reads are never slower than random reads of the same
+  // volume on any modelled system.
+  Environment env = makeEnvironment(target().site, target().kind, 1);
+  const auto timeFor = [&](AccessPattern p) {
+    PhaseSpec ph;
+    ph.pattern = p;
+    ph.requestSize = units::MiB;
+    ph.nodes = 1;
+    ph.procsPerNode = 4;
+    ph.workingSetBytes = 50ull * units::TB;  // defeat caches uniformly
+    env.fs->beginPhase(ph);
+    IoRequest req;
+    req.client = {0, 0};
+    req.fileId = 1;
+    req.bytes = 64 * units::MiB;
+    req.pattern = p;
+    req.ops = 64;
+    req.streams = 4;
+    SimTime end = 0;
+    env.fs->submit(req, [&](const IoResult& r) { end = r.endTime; });
+    const SimTime start = env.bench->sim().now();
+    env.bench->sim().run();
+    env.fs->endPhase();
+    return end - start;
+  };
+  EXPECT_LE(timeFor(AccessPattern::SequentialRead),
+            timeFor(AccessPattern::RandomRead) * 1.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTargets, ModelInvariantTest,
+                         ::testing::Range(0, static_cast<int>(std::size(kTargets))));
+
+}  // namespace
+}  // namespace hcsim

@@ -1,0 +1,144 @@
+#include "nvme/nvme_local.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/deployments.hpp"
+
+namespace hcsim {
+namespace {
+
+TEST(NvmeLocalConfig, ValidateRejectsBadValues) {
+  NvmeLocalConfig c;
+  c.drivesPerNode = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = NvmeLocalConfig{};
+  c.memoryBandwidth = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(NvmeLocalConfig, WombatPresetMatchesPaper) {
+  const NvmeLocalConfig c = NvmeLocalConfig::wombatInstance();
+  EXPECT_EQ(c.drivesPerNode, 3u);  // "three Samsung 970 PRO SSDs"
+  EXPECT_EQ(c.drive.name, "Samsung970PRO");
+}
+
+struct Harness {
+  explicit Harness(std::size_t nodes = 1)
+      : bench(Machine::wombat(), nodes), fs(bench.attachNvme(nvmeOnWombat())) {}
+  TestBench bench;
+  std::unique_ptr<NvmeLocalModel> fs;
+
+  Bandwidth phaseBandwidth(AccessPattern p, Bytes perProcBytes, std::uint32_t streams,
+                           bool fsync, Bytes ws) {
+    PhaseSpec ph;
+    ph.pattern = p;
+    ph.requestSize = units::MiB;
+    ph.nodes = 1;
+    ph.procsPerNode = streams;
+    ph.fsync = fsync;
+    ph.workingSetBytes = ws;
+    fs->beginPhase(ph);
+    IoRequest req;
+    req.client = {0, 0};
+    req.fileId = 1;
+    req.bytes = perProcBytes * streams;
+    req.pattern = p;
+    req.fsync = fsync;
+    req.ops = perProcBytes / units::MiB * streams;
+    req.streams = streams;
+    const SimTime start = bench.sim().now();
+    SimTime end = 0;
+    fs->submit(req, [&](const IoResult& r) { end = r.endTime; });
+    bench.sim().run();
+    fs->endPhase();
+    return static_cast<double>(req.bytes) / (end - start);
+  }
+};
+
+TEST(NvmeLocalModel, ReadsRunAtAggregateDriveSpeed) {
+  Harness h;
+  const Bandwidth bw =
+      h.phaseBandwidth(AccessPattern::SequentialRead, units::GiB, 8, false, 0);
+  // 3 drives x ~2.7 GB/s effective at 1 MiB requests.
+  EXPECT_GT(bw, units::gbs(6.0));
+  EXPECT_LT(bw, units::gbs(11.0));
+}
+
+TEST(NvmeLocalModel, RandomReadsCloseToSequential) {
+  // Flash: no seek penalty — the property that distinguishes NVMe/VAST
+  // from GPFS in the paper.
+  Harness h;
+  const Bandwidth seq =
+      h.phaseBandwidth(AccessPattern::SequentialRead, units::GiB, 8, false, 0);
+  const Bandwidth rnd = h.phaseBandwidth(AccessPattern::RandomRead, units::GiB, 8, false, 0);
+  EXPECT_GT(rnd, 0.8 * seq);
+}
+
+TEST(NvmeLocalModel, FsyncWritesCollapseToFlushRate) {
+  Harness h;
+  const Bandwidth async =
+      h.phaseBandwidth(AccessPattern::SequentialWrite, units::GiB / 4, 8, false,
+                       8ull * units::GiB / 4);
+  const Bandwidth sync =
+      h.phaseBandwidth(AccessPattern::SequentialWrite, units::GiB / 4, 8, true, 0);
+  // Paper Fig 3d: VAST beats NVMe ~5x because fsync costs a FLUSH.
+  EXPECT_LT(sync, 0.3 * async);
+  EXPECT_GT(sync, units::gbs(0.5));
+  EXPECT_LT(sync, units::gbs(2.0));
+}
+
+TEST(NvmeLocalModel, WritebackAbsorbsSmallBursts) {
+  Harness h;
+  // 8 GiB total << 50 GB dirty limit: page cache absorbs at memory speed.
+  const Bandwidth small =
+      h.phaseBandwidth(AccessPattern::SequentialWrite, units::GiB, 8, false, 8ull * units::GiB);
+  // 120 GB/node >> dirty limit: throttled near device speed.
+  const Bandwidth large = h.phaseBandwidth(AccessPattern::SequentialWrite, 15 * units::GiB, 8,
+                                           false, 120ull * units::GB);
+  EXPECT_GT(small, 1.5 * large);
+}
+
+TEST(NvmeLocalModel, NodesAreIndependent) {
+  Harness h(2);
+  PhaseSpec ph;
+  ph.pattern = AccessPattern::SequentialRead;
+  ph.requestSize = units::MiB;
+  ph.nodes = 2;
+  ph.procsPerNode = 8;
+  h.fs->beginPhase(ph);
+  SimTime end0 = 0, end1 = 0;
+  for (std::uint32_t n = 0; n < 2; ++n) {
+    IoRequest req;
+    req.client = {n, 0};
+    req.fileId = n + 1;
+    req.bytes = units::GiB;
+    req.pattern = AccessPattern::SequentialRead;
+    req.ops = 1024;
+    req.streams = 8;
+    h.fs->submit(req, [&, n](const IoResult& r) { (n == 0 ? end0 : end1) = r.endTime; });
+  }
+  h.bench.sim().run();
+  // No shared bottleneck: both nodes finish at the single-node time.
+  EXPECT_NEAR(end0, end1, 1e-9);
+  EXPECT_GT(h.fs->nodeReadCapacity(0), 0.0);
+  EXPECT_GT(h.fs->nodeReadCapacity(1), 0.0);
+}
+
+TEST(NvmeLocalModel, SyscallLatencyForZeroByteOp) {
+  Harness h;
+  IoRequest req;
+  req.client = {0, 0};
+  req.bytes = 0;
+  SimTime end = 0;
+  h.fs->submit(req, [&](const IoResult& r) { end = r.endTime; });
+  h.bench.sim().run();
+  EXPECT_NEAR(end, nvmeOnWombat().syscallLatency, 1e-9);
+}
+
+TEST(NvmeLocalModel, CapacityScalesWithNodes) {
+  Harness one(1), four(4);
+  EXPECT_EQ(four.fs->totalCapacity(), 4 * one.fs->totalCapacity());
+}
+
+}  // namespace
+}  // namespace hcsim

@@ -1,0 +1,87 @@
+#include "core/planner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hcsim {
+namespace {
+
+PlanSpace smallSpace() {
+  PlanSpace space;
+  space.cnodeChoices = {4, 16};
+  space.nconnectChoices = {1, 16};
+  return space;
+}
+
+PlanGoal quickGoal(double minGBs) {
+  PlanGoal goal;
+  goal.pattern = AccessPattern::SequentialWrite;
+  goal.minGBsPerNode = minGBs;
+  goal.nodes = 4;
+  goal.procsPerNode = 16;
+  goal.probeBytesPerProc = 128 * units::MiB;
+  return goal;
+}
+
+TEST(Planner, EnumeratesTheSearchSpace) {
+  const auto candidates = planVastDeployment(Machine::wombat(), quickGoal(1.0), smallSpace());
+  // 2 cnode choices x (1 TCP + 2 RDMA nconnects) = 6.
+  EXPECT_EQ(candidates.size(), 6u);
+  for (const auto& c : candidates) {
+    EXPECT_GT(c.measuredGBsPerNode, 0.0);
+  }
+}
+
+TEST(Planner, GoalMeetingCandidatesSortFirstCheapestAmongThem) {
+  const auto candidates = planVastDeployment(Machine::wombat(), quickGoal(1.0), smallSpace());
+  ASSERT_FALSE(candidates.empty());
+  bool seenMiss = false;
+  double lastCost = 0.0;
+  for (const auto& c : candidates) {
+    if (!c.meetsGoal) {
+      seenMiss = true;
+    } else {
+      EXPECT_FALSE(seenMiss) << "goal-meeting candidate sorted after a miss";
+      EXPECT_GE(c.costUnits(), lastCost);
+      lastCost = c.costUnits();
+    }
+  }
+}
+
+TEST(Planner, BestPrefersRdmaForHighGoals) {
+  // 1 GB/s per node is out of reach for the TCP gateway candidates.
+  const PlanCandidate best = bestVastDeployment(Machine::wombat(), quickGoal(1.0), smallSpace());
+  EXPECT_TRUE(best.meetsGoal);
+  EXPECT_EQ(best.config.transport, NfsTransport::Rdma);
+}
+
+TEST(Planner, TrivialGoalPicksCheapestHardware) {
+  const PlanCandidate best = bestVastDeployment(Machine::wombat(), quickGoal(0.01), smallSpace());
+  EXPECT_TRUE(best.meetsGoal);
+  EXPECT_EQ(best.config.cnodes, 4u);  // cheapest CNode count suffices
+}
+
+TEST(Planner, ImpossibleGoalReturnsFastestMiss) {
+  const PlanCandidate best = bestVastDeployment(Machine::wombat(), quickGoal(1e6), smallSpace());
+  EXPECT_FALSE(best.meetsGoal);
+  // Still the fastest of the misses.
+  const auto all = planVastDeployment(Machine::wombat(), quickGoal(1e6), smallSpace());
+  for (const auto& c : all) {
+    EXPECT_LE(c.measuredGBsPerNode, best.measuredGBsPerNode + 1e-9);
+  }
+}
+
+TEST(Planner, TcpCandidatesCollapseNconnect) {
+  // TCP mounts are single-session: only one TCP candidate per cnode count.
+  const auto candidates = planVastDeployment(Machine::wombat(), quickGoal(1.0), smallSpace());
+  std::size_t tcp = 0;
+  for (const auto& c : candidates) {
+    if (c.config.transport == NfsTransport::Tcp) {
+      ++tcp;
+      EXPECT_EQ(c.config.nconnect, 1u);
+    }
+  }
+  EXPECT_EQ(tcp, 2u);
+}
+
+}  // namespace
+}  // namespace hcsim

@@ -1,0 +1,142 @@
+#include "util/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace hcsim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LE(same, 1);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  const auto first = a.next();
+  a.next();
+  a.reseed(7);
+  EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRange) {
+  Rng r(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = r.uniform(5.0, 6.0);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 6.0);
+  }
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng r(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.uniformInt(17), 17u);
+  }
+}
+
+TEST(Rng, UniformIntZeroAndOne) {
+  Rng r(6);
+  EXPECT_EQ(r.uniformInt(0), 0u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(r.uniformInt(1), 0u);
+}
+
+TEST(Rng, UniformIntCoversAllResidues) {
+  Rng r(8);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(r.uniformInt(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng r(9);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialMeanAndPositivity) {
+  Rng r(10);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.exponential(2.0);
+    EXPECT_GT(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / n, 2.0, 0.05);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(11);
+  double sum = 0, sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = r.normal(3.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, LognormalMatchesExpOfNormal) {
+  Rng r(12);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GT(r.lognormal(0.0, 0.5), 0.0);
+  }
+}
+
+TEST(Rng, NormalAtLeastRespectsFloor) {
+  Rng r(13);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(r.normalAtLeast(0.0, 10.0, 0.25), 0.25);
+  }
+}
+
+TEST(SplitMix64, KnownSequenceIsStable) {
+  SplitMix64 a(0), b(0);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+// Property sweep: uniformInt is unbiased enough across bound choices.
+class RngBoundsTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RngBoundsTest, UniformIntMeanNearHalfBound) {
+  const std::uint64_t bound = GetParam();
+  Rng r(bound * 2654435761u + 1);
+  double sum = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(r.uniformInt(bound));
+  const double expected = (static_cast<double>(bound) - 1.0) / 2.0;
+  EXPECT_NEAR(sum / n, expected, 0.02 * static_cast<double>(bound) + 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, RngBoundsTest,
+                         ::testing::Values(2, 3, 7, 10, 100, 1000, 1u << 20));
+
+}  // namespace
+}  // namespace hcsim

@@ -1,0 +1,146 @@
+// Regression tests pinning the paper's headline results. These run the
+// actual experiments (smaller repetitions) and assert the SHAPES the
+// paper reports: who wins, by what rough factor, where saturation falls.
+// If a model change breaks a finding, these fail.
+
+#include <gtest/gtest.h>
+
+#include "core/calibration.hpp"
+#include "core/experiment.hpp"
+#include "core/takeaways.hpp"
+
+namespace hcsim {
+namespace {
+
+TEST(Regression, RdmaVastBeatsTcpVastByRoughly8x) {
+  const RdmaVsTcp r = measureRdmaVsTcp();
+  EXPECT_GT(r.writeFactor(), 4.0);
+  EXPECT_LT(r.writeFactor(), 16.0);
+  EXPECT_GT(r.readFactor(), 4.0);
+  EXPECT_NEAR(r.tcpWriteGBsPerNode, calibration::kTcpPerNodeGBs, 0.5);
+  EXPECT_NEAR(r.rdmaWriteGBsPerNode, calibration::kRdmaPerNodeGBs, 3.0);
+}
+
+TEST(Regression, VastOnLassenStagnatesAfter32NodesWhileGpfsScales) {
+  // Fig 2a: "the abrupt stagnation of VAST after 32 nodes ... while GPFS
+  // increases"; VAST grows ~1 GB/s per node until the gateway network
+  // saturates, then flatlines at "the maximum available bandwidth on the
+  // network".
+  const auto vast = runIorNodeSweep(Site::Lassen, StorageKind::Vast,
+                                    AccessPattern::RandomRead, {4, 32, 64, 128}, 44);
+  const auto gpfs = runIorNodeSweep(Site::Lassen, StorageKind::Gpfs,
+                                    AccessPattern::SequentialWrite, {4, 64}, 44);
+  EXPECT_GT(vast[1].meanGBs, 3.0 * vast[0].meanGBs);          // grows to 32
+  EXPECT_NEAR(vast[2].meanGBs / vast[1].meanGBs, 1.0, 0.15);  // flat after
+  EXPECT_NEAR(vast[3].meanGBs / vast[1].meanGBs, 1.0, 0.15);
+  // Plateau == the gateway's physical network budget (2x100 GbE).
+  EXPECT_NEAR(vast[3].meanGBs, units::toGBs(vastOnLassen().gateway.totalBandwidth()), 7.0);
+  EXPECT_GT(gpfs[1].meanGBs / gpfs[0].meanGBs, 8.0);  // ~linear
+}
+
+TEST(Regression, GpfsSequentialReadSaturatesNear32Nodes) {
+  const auto pts = runIorNodeSweep(Site::Lassen, StorageKind::Gpfs,
+                                   AccessPattern::SequentialRead, {16, 32, 64, 128}, 44);
+  // Growing up to 32, flat beyond.
+  EXPECT_GT(pts[1].meanGBs, pts[0].meanGBs * 1.5);
+  EXPECT_NEAR(pts[2].meanGBs / pts[1].meanGBs, 1.0, 0.15);
+  EXPECT_NEAR(pts[3].meanGBs / pts[1].meanGBs, 1.0, 0.15);
+}
+
+TEST(Regression, GpfsRandomReadsCollapseVsSequential) {
+  // Takeaway: ~14.5 GB/s sequential vs ~1.4 GB/s random per node (90%).
+  const SeqVsRandom sr = measureSeqVsRandom();
+  EXPECT_GT(sr.gpfsDropFraction(), 0.75);
+  EXPECT_NEAR(sr.gpfsSeqGBs, calibration::kGpfsSeqReadPerNodeGBs, 3.0);
+  EXPECT_NEAR(sr.gpfsRandGBs, calibration::kGpfsRandReadPerNodeGBs, 1.0);
+}
+
+TEST(Regression, VastReadsConsistentAcrossPatterns) {
+  // Takeaway: "RDMA-based VAST stays consistent" seq vs random.
+  const SeqVsRandom sr = measureSeqVsRandom();
+  EXPECT_LT(sr.vastDropFraction(), 0.35);
+  EXPECT_GT(sr.vastRandGBs, 0.6 * sr.vastSeqGBs);
+}
+
+TEST(Regression, VastOutperformsNvmeAtSmallScaleReads) {
+  // Fig 2b: "VAST is able to outperform the NVMe in smaller scales".
+  const auto vast = runIorNodeSweep(Site::Wombat, StorageKind::Vast,
+                                    AccessPattern::SequentialRead, {1, 8}, 48);
+  const auto nvme = runIorNodeSweep(Site::Wombat, StorageKind::NvmeLocal,
+                                    AccessPattern::SequentialRead, {1, 8}, 48);
+  EXPECT_GT(vast[0].meanGBs, 1.5 * nvme[0].meanGBs);  // 1 node: VAST wins
+  EXPECT_GT(nvme[1].meanGBs, vast[1].meanGBs);        // 8 nodes: NVMe wins
+}
+
+TEST(Regression, WombatVastMlPeaksThenSaturates) {
+  // "global maximum bandwidth of 22.5 GB/s ... saturates on eight nodes".
+  const auto pts = runIorNodeSweep(Site::Wombat, StorageKind::Vast,
+                                   AccessPattern::RandomRead, {4, 8}, 48);
+  EXPECT_NEAR(pts[0].meanGBs, calibration::kWombatMlPeakGBs, 6.0);
+  EXPECT_NEAR(pts[1].meanGBs / pts[0].meanGBs, 1.0, 0.1);  // saturated
+}
+
+TEST(Regression, SingleNodeFsyncVastBeatsNvmeBy5x) {
+  // Fig 3d: "VAST performs almost 5x better ... than the NVMe".
+  const auto vast = runIorProcSweep(Site::Wombat, StorageKind::Vast,
+                                    AccessPattern::SequentialWrite, {32});
+  const auto nvme = runIorProcSweep(Site::Wombat, StorageKind::NvmeLocal,
+                                    AccessPattern::SequentialWrite, {32});
+  const double factor = vast[0].meanGBs / nvme[0].meanGBs;
+  EXPECT_GT(factor, 3.0);
+  EXPECT_LT(factor, 8.0);
+  EXPECT_NEAR(vast[0].meanGBs, calibration::kWombatSingleNodeWriteGBs, 2.0);
+}
+
+TEST(Regression, QuartzVastIsGatewayStarved) {
+  // Fig 3b: VAST flat and tiny on Quartz (2x1Gb gateway links).
+  const auto vast = runIorProcSweep(Site::Quartz, StorageKind::Vast,
+                                    AccessPattern::SequentialRead, {32});
+  const auto lustre = runIorProcSweep(Site::Quartz, StorageKind::Lustre,
+                                      AccessPattern::SequentialRead, {32});
+  EXPECT_LT(vast[0].meanGBs, 0.5);
+  EXPECT_GT(lustre[0].meanGBs, 10.0 * vast[0].meanGBs);
+}
+
+TEST(Regression, LustreFsyncWritesScaleAlmostLinearly) {
+  // Fig 3b/3c: "Lustre ... almost linear increase in bandwidth".
+  const auto pts = runIorProcSweep(Site::Ruby, StorageKind::Lustre,
+                                   AccessPattern::SequentialWrite, {4, 16});
+  EXPECT_GT(pts[1].meanGBs, 3.0 * pts[0].meanGBs);
+}
+
+TEST(Regression, ResNetIoMostlyOverlapsOnVastAtModerateScale) {
+  // Fig 4a/5: VAST spends more I/O time than GPFS but hides most of it.
+  DlioConfig cfg;
+  cfg.workload = DlioWorkload::resnet50();
+  cfg.nodes = 4;
+  cfg.procsPerNode = 4;
+  const DlioResult vast = runDlio(Site::Lassen, StorageKind::Vast, cfg);
+  const DlioResult gpfs = runDlio(Site::Lassen, StorageKind::Gpfs, cfg);
+  EXPECT_GT(vast.breakdown.totalIo, gpfs.breakdown.totalIo);        // more I/O on VAST
+  EXPECT_GT(vast.breakdown.overlappingIo, vast.breakdown.nonOverlappingIo);
+  EXPECT_GT(gpfs.throughput.system, vast.throughput.system);        // Fig 5b
+}
+
+TEST(Regression, CosmoflowFavorsGpfs) {
+  // Fig 6: "GPFS serves Cosmoflow better than VAST".
+  DlioConfig cfg;
+  cfg.workload = DlioWorkload::cosmoflow();
+  cfg.nodes = 8;
+  cfg.procsPerNode = 4;
+  const DlioResult vast = runDlio(Site::Lassen, StorageKind::Vast, cfg);
+  const DlioResult gpfs = runDlio(Site::Lassen, StorageKind::Gpfs, cfg);
+  EXPECT_GT(gpfs.throughput.application, vast.throughput.application);
+  EXPECT_GT(gpfs.throughput.system, vast.throughput.system);
+  EXPECT_GT(vast.breakdown.nonOverlappingIo, gpfs.breakdown.nonOverlappingIo);
+}
+
+TEST(Regression, AllCalibrationChecksPass) {
+  for (const auto& check : runAllChecks()) {
+    EXPECT_TRUE(check.pass()) << check.name << ": paper=" << check.paperValue
+                              << " measured=" << check.measured;
+  }
+}
+
+}  // namespace
+}  // namespace hcsim

@@ -1,0 +1,126 @@
+#include "replay/trace_replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "dlio/dlio_runner.hpp"
+
+namespace hcsim {
+namespace {
+
+TraceLog syntheticTrace(std::size_t pids, std::size_t readsPerPid, Bytes bytes) {
+  TraceLog log;
+  for (std::uint32_t pid = 0; pid < pids; ++pid) {
+    Seconds t = 0.0;
+    for (std::size_t i = 0; i < readsPerPid; ++i) {
+      log.recordRead(pid, 1, t, 0.01, bytes);
+      t += 0.01;
+      log.recordCompute(pid, 0, t, 0.05);
+      t += 0.05;
+    }
+  }
+  return log;
+}
+
+TEST(TraceReplay, ValidatesConfig) {
+  TestBench bench(Machine::wombat(), 1);
+  auto fs = bench.attachVast(vastOnWombat());
+  TraceReplayer replayer(bench, *fs);
+  ReplayConfig cfg;
+  cfg.pidsPerNode = 0;
+  EXPECT_THROW(replayer.replay(TraceLog{}, cfg), std::invalid_argument);
+  cfg = ReplayConfig{};
+  cfg.transferSize = 0;
+  EXPECT_THROW(replayer.replay(TraceLog{}, cfg), std::invalid_argument);
+}
+
+TEST(TraceReplay, EmptyTraceIsEmptyResult) {
+  TestBench bench(Machine::wombat(), 1);
+  auto fs = bench.attachVast(vastOnWombat());
+  TraceReplayer replayer(bench, *fs);
+  const ReplayResult r = replayer.replay(TraceLog{});
+  EXPECT_TRUE(r.trace.empty());
+  EXPECT_DOUBLE_EQ(r.ioSlowdown(), 0.0);
+}
+
+TEST(TraceReplay, ReplaysAllEventsWithSameBytes) {
+  TestBench bench(Machine::wombat(), 2);
+  auto fs = bench.attachVast(vastOnWombat());
+  TraceReplayer replayer(bench, *fs);
+  const TraceLog input = syntheticTrace(4, 8, units::MiB);
+  const ReplayResult r = replayer.replay(input);
+  EXPECT_EQ(r.trace.count(TraceEventKind::Read), input.count(TraceEventKind::Read));
+  EXPECT_EQ(r.trace.count(TraceEventKind::Compute), input.count(TraceEventKind::Compute));
+  EXPECT_EQ(r.trace.totalBytes(TraceEventKind::Read),
+            input.totalBytes(TraceEventKind::Read));
+  EXPECT_GT(r.replayedIoTime, 0.0);
+}
+
+TEST(TraceReplay, SkipComputeCompressesTimeline) {
+  TestBench bench(Machine::wombat(), 1);
+  auto fs = bench.attachVast(vastOnWombat());
+  TraceReplayer replayer(bench, *fs);
+  const TraceLog input = syntheticTrace(2, 8, units::MiB);
+
+  ReplayConfig withCompute;
+  const ReplayResult a = replayer.replay(input, withCompute);
+  ReplayConfig noCompute;
+  noCompute.replayCompute = false;
+  const ReplayResult b = replayer.replay(input, noCompute);
+
+  const auto spanOf = [](const TraceLog& t) {
+    const auto [lo, hi] = t.timeSpan();
+    return hi - lo;
+  };
+  EXPECT_LT(spanOf(b.trace), spanOf(a.trace));
+  EXPECT_EQ(b.trace.count(TraceEventKind::Compute), 0u);
+}
+
+TEST(TraceReplay, SlowerTargetYieldsHigherSlowdown) {
+  // Capture a ResNet-50 run on GPFS, then replay it on TCP-attached VAST
+  // (slower) and on GPFS again (similar): the slowdown factors order.
+  DlioConfig cfg;
+  cfg.workload = DlioWorkload::resnet50();
+  cfg.workload.samples = 32;
+  cfg.nodes = 1;
+  cfg.procsPerNode = 2;
+  const DlioResult captured = runDlio(Site::Lassen, StorageKind::Gpfs, cfg);
+
+  Environment slow = makeEnvironment(Site::Lassen, StorageKind::Vast, 1);
+  TraceReplayer slowReplayer(*slow.bench, *slow.fs);
+  ReplayConfig rc;
+  rc.pidsPerNode = 2;
+  rc.transferSize = 150 * units::KB;
+  const ReplayResult onVast = slowReplayer.replay(captured.trace, rc);
+
+  Environment same = makeEnvironment(Site::Lassen, StorageKind::Gpfs, 1);
+  TraceReplayer sameReplayer(*same.bench, *same.fs);
+  const ReplayResult onGpfs = sameReplayer.replay(captured.trace, rc);
+
+  EXPECT_GT(onVast.ioSlowdown(), onGpfs.ioSlowdown());
+  EXPECT_GT(onVast.ioSlowdown(), 1.5);  // TCP VAST clearly slower
+}
+
+TEST(TraceReplay, PerPidOrderingPreserved) {
+  TestBench bench(Machine::wombat(), 1);
+  auto fs = bench.attachVast(vastOnWombat());
+  TraceReplayer replayer(bench, *fs);
+  // Two reads per pid; the replayed second read must start after the
+  // first ends (sequential per-process semantics).
+  TraceLog input;
+  input.recordRead(0, 1, 0.0, 0.1, units::MiB, "first");
+  input.recordRead(0, 1, 0.2, 0.1, units::MiB, "second");
+  const ReplayResult r = replayer.replay(input);
+  ASSERT_EQ(r.trace.size(), 2u);
+  const TraceEvent* first = nullptr;
+  const TraceEvent* second = nullptr;
+  for (const auto& e : r.trace.events()) {
+    if (e.name == "first") first = &e;
+    if (e.name == "second") second = &e;
+  }
+  ASSERT_TRUE(first && second);
+  EXPECT_GE(second->start, first->end() - 1e-12);
+}
+
+}  // namespace
+}  // namespace hcsim

@@ -1,0 +1,185 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hcsim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZeroEmpty) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0.0);
+  EXPECT_TRUE(sim.empty());
+  EXPECT_EQ(sim.pendingEvents(), 0u);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, DispatchesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(3.0, [&] { order.push_back(3); });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 3.0);
+}
+
+TEST(Simulator, EqualTimestampsAreFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, NowAdvancesToEventTime) {
+  Simulator sim;
+  SimTime seen = -1;
+  sim.schedule(5.5, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 5.5);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  sim.schedule(2.0, [&] {
+    sim.schedule(-10.0, [&] { EXPECT_DOUBLE_EQ(sim.now(), 2.0); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(sim.now(), 2.0);
+}
+
+TEST(Simulator, ScheduleAtPastClampsToNow) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule(3.0, [&] {
+    sim.scheduleAt(1.0, [&] {
+      ran = true;
+      EXPECT_DOUBLE_EQ(sim.now(), 3.0);
+    });
+  });
+  sim.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, CancelPreventsDispatch) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule(1.0, [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(Simulator, CancelTwiceIsFalse) {
+  Simulator sim;
+  const EventId id = sim.schedule(1.0, [] {});
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, CancelFiredEventIsFalse) {
+  Simulator sim;
+  const EventId id = sim.schedule(1.0, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(id));
+}
+
+TEST(Simulator, CancelInvalidIdIsFalse) {
+  Simulator sim;
+  EXPECT_FALSE(sim.cancel(EventId{}));
+  EXPECT_FALSE(sim.cancel(EventId{999}));
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) sim.schedule(1.0, chain);
+  };
+  sim.schedule(1.0, chain);
+  sim.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  std::vector<int> seen;
+  sim.schedule(1.0, [&] { seen.push_back(1); });
+  sim.schedule(2.0, [&] { seen.push_back(2); });
+  sim.schedule(3.0, [&] { seen.push_back(3); });
+  sim.runUntil(2.5);
+  EXPECT_EQ(seen, (std::vector<int>{1, 2}));
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+  sim.run();
+  EXPECT_EQ(seen, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, RunUntilAdvancesTimeEvenWhenIdle) {
+  Simulator sim;
+  sim.runUntil(10.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(Simulator, RunUntilDispatchesEventExactlyAtHorizon) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule(2.0, [&] { ran = true; });
+  sim.runUntil(2.0);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, CountsDispatchedAndPending) {
+  Simulator sim;
+  sim.schedule(1.0, [] {});
+  sim.schedule(2.0, [] {});
+  const EventId id = sim.schedule(3.0, [] {});
+  sim.cancel(id);
+  EXPECT_EQ(sim.pendingEvents(), 2u);
+  sim.run();
+  EXPECT_EQ(sim.eventsDispatched(), 2u);
+  EXPECT_TRUE(sim.empty());
+}
+
+TEST(Simulator, StepDispatchesExactlyOne) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule(1.0, [&] { ++count; });
+  sim.schedule(2.0, [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulator, CancelInsideEventAffectsPendingEvent) {
+  Simulator sim;
+  bool secondRan = false;
+  EventId second{};
+  second = sim.schedule(2.0, [&] { secondRan = true; });
+  sim.schedule(1.0, [&] { EXPECT_TRUE(sim.cancel(second)); });
+  sim.run();
+  EXPECT_FALSE(secondRan);
+}
+
+TEST(Simulator, ManyEventsStressOrdering) {
+  Simulator sim;
+  SimTime last = -1.0;
+  for (int i = 0; i < 5000; ++i) {
+    sim.schedule((i * 7919) % 1000 * 0.001, [&, i] {
+      EXPECT_GE(sim.now(), last);
+      last = sim.now();
+    });
+  }
+  sim.run();
+  EXPECT_EQ(sim.eventsDispatched(), 5000u);
+}
+
+}  // namespace
+}  // namespace hcsim

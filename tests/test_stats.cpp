@@ -1,0 +1,133 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/random.hpp"
+
+namespace hcsim {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 5.0);
+}
+
+TEST(RunningStats, KnownSmallSample) {
+  RunningStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum of squared deviations = 32; 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MatchesNaiveTwoPass) {
+  Rng r(17);
+  std::vector<double> xs;
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(-100, 100);
+    xs.push_back(v);
+    s.add(v);
+  }
+  double mean = 0;
+  for (double v : xs) mean += v;
+  mean /= static_cast<double>(xs.size());
+  double var = 0;
+  for (double v : xs) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(xs.size() - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-7);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng r(18);
+  RunningStats whole, a, b;
+  for (int i = 0; i < 500; ++i) {
+    const double v = r.normal(0, 3);
+    whole.add(v);
+    (i % 2 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-7);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsNoop) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  RunningStats b;
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(Percentile, EmptyAndSingle) {
+  EXPECT_EQ(percentileSorted({}, 50), 0.0);
+  EXPECT_EQ(percentileSorted({3.0}, 99), 3.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentileSorted(xs, 0), 0.0);
+  EXPECT_DOUBLE_EQ(percentileSorted(xs, 50), 5.0);
+  EXPECT_DOUBLE_EQ(percentileSorted(xs, 100), 10.0);
+  EXPECT_DOUBLE_EQ(percentileSorted(xs, 25), 2.5);
+}
+
+TEST(Percentile, ClampsOutOfRangeQ) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentileSorted(xs, -10), 1.0);
+  EXPECT_DOUBLE_EQ(percentileSorted(xs, 200), 3.0);
+}
+
+TEST(Summarize, EmptyVector) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Summarize, UnsortedInputHandled) {
+  const Summary s = summarize({9.0, 1.0, 5.0});
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 5.0);
+}
+
+TEST(Summarize, PercentileOrderingInvariant) {
+  Rng r(19);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(r.uniform());
+  const Summary s = summarize(xs);
+  EXPECT_LE(s.min, s.p50);
+  EXPECT_LE(s.p50, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_LE(s.p99, s.max);
+}
+
+}  // namespace
+}  // namespace hcsim

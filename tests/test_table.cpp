@@ -1,0 +1,99 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hcsim {
+namespace {
+
+ResultTable sample() {
+  ResultTable t("demo");
+  t.setHeader({"name", "value"});
+  t.addRow({std::string("alpha"), 1.5});
+  t.addRow({std::string("beta"), 22.25});
+  return t;
+}
+
+TEST(ResultTable, CountsRowsAndColumns) {
+  const ResultTable t = sample();
+  EXPECT_EQ(t.rowCount(), 2u);
+  EXPECT_EQ(t.columnCount(), 2u);
+  EXPECT_EQ(t.title(), "demo");
+}
+
+TEST(ResultTable, CellAccess) {
+  const ResultTable t = sample();
+  EXPECT_EQ(std::get<std::string>(t.at(0, 0)), "alpha");
+  EXPECT_DOUBLE_EQ(std::get<double>(t.at(1, 1)), 22.25);
+  EXPECT_THROW(t.at(5, 0), std::out_of_range);
+  EXPECT_THROW(t.at(0, 5), std::out_of_range);
+}
+
+TEST(ResultTable, ShortRowsArePadded) {
+  ResultTable t;
+  t.setHeader({"a", "b", "c"});
+  t.addRow({1.0});
+  EXPECT_EQ(std::get<std::string>(t.at(0, 2)), "");
+}
+
+TEST(ResultTable, ToStringContainsHeaderAndValues) {
+  const std::string s = sample().toString();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22.25"), std::string::npos);
+}
+
+TEST(ResultTable, PrecisionControlsDigits) {
+  ResultTable t;
+  t.setHeader({"v"});
+  t.addRow({1.23456});
+  t.setPrecision(4);
+  EXPECT_NE(t.toString().find("1.2346"), std::string::npos);
+  t.setPrecision(0);
+  EXPECT_NE(t.toString().find("1"), std::string::npos);
+}
+
+TEST(ResultTable, CsvBasic) {
+  const std::string csv = sample().toCsv();
+  EXPECT_EQ(csv, "name,value\nalpha,1.50\nbeta,22.25\n");
+}
+
+TEST(ResultTable, CsvQuotesSpecialCharacters) {
+  ResultTable t;
+  t.setHeader({"x"});
+  t.addRow({std::string("a,b")});
+  t.addRow({std::string("say \"hi\"")});
+  const std::string csv = t.toCsv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(ResultTable, StreamOperatorMatchesToString) {
+  const ResultTable t = sample();
+  std::ostringstream os;
+  os << t;
+  EXPECT_EQ(os.str(), t.toString());
+}
+
+TEST(ResultTable, NumbersRightAlignedTextLeftAligned) {
+  ResultTable t;
+  t.setHeader({"col"});
+  t.addRow({std::string("ab")});
+  t.addRow({1.0});
+  const std::string s = t.toString();
+  // "ab  " (left) vs "1.00" (right, same width).
+  EXPECT_NE(s.find("| ab   |"), std::string::npos);
+  EXPECT_NE(s.find("| 1.00 |"), std::string::npos);
+}
+
+TEST(ResultTable, EmptyTableRenders) {
+  ResultTable t;
+  t.setHeader({"only"});
+  EXPECT_NE(t.toString().find("only"), std::string::npos);
+  EXPECT_EQ(t.toCsv(), "only\n");
+}
+
+}  // namespace
+}  // namespace hcsim

@@ -1,0 +1,90 @@
+#include "net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hcsim {
+namespace {
+
+struct Harness {
+  Simulator sim;
+  FlowNetwork net{sim};
+  Topology topo{net};
+};
+
+TEST(Topology, AddAndLookupLink) {
+  Harness h;
+  const LinkId id = h.topo.addLink("nic", 100.0, 0.5);
+  EXPECT_TRUE(id.valid());
+  EXPECT_TRUE(h.topo.hasLink("nic"));
+  EXPECT_EQ(h.topo.link("nic").value, id.value);
+  EXPECT_DOUBLE_EQ(h.net.link(id).capacity, 100.0);
+  EXPECT_DOUBLE_EQ(h.net.link(id).latency, 0.5);
+}
+
+TEST(Topology, DuplicateNameThrows) {
+  Harness h;
+  h.topo.addLink("x", 1.0);
+  EXPECT_THROW(h.topo.addLink("x", 2.0), std::invalid_argument);
+}
+
+TEST(Topology, UnknownLookupThrows) {
+  Harness h;
+  EXPECT_THROW(h.topo.link("missing"), std::out_of_range);
+  EXPECT_FALSE(h.topo.hasLink("missing"));
+}
+
+TEST(Topology, GroupCreatesIndexedLinks) {
+  Harness h;
+  const GroupId g = h.topo.addGroup("gw", 3, 10.0, 0.1);
+  EXPECT_EQ(h.topo.groupSize(g), 3u);
+  EXPECT_TRUE(h.topo.hasLink("gw[0]"));
+  EXPECT_TRUE(h.topo.hasLink("gw[1]"));
+  EXPECT_TRUE(h.topo.hasLink("gw[2]"));
+  EXPECT_DOUBLE_EQ(h.topo.groupCapacity(g), 30.0);
+}
+
+TEST(Topology, EmptyGroupThrows) {
+  Harness h;
+  EXPECT_THROW(h.topo.addGroup("g", 0, 1.0), std::invalid_argument);
+}
+
+TEST(Topology, RoundRobinPickCyclesThroughMembers) {
+  Harness h;
+  const GroupId g = h.topo.addGroup("g", 3, 1.0);
+  const LinkId a = h.topo.pick(g);
+  const LinkId b = h.topo.pick(g);
+  const LinkId c = h.topo.pick(g);
+  const LinkId a2 = h.topo.pick(g);
+  EXPECT_NE(a.value, b.value);
+  EXPECT_NE(b.value, c.value);
+  EXPECT_NE(a.value, c.value);
+  EXPECT_EQ(a.value, a2.value);
+}
+
+TEST(Topology, PickAtIsDeterministicModuloSize) {
+  Harness h;
+  const GroupId g = h.topo.addGroup("g", 4, 1.0);
+  EXPECT_EQ(h.topo.pickAt(g, 1).value, h.topo.pickAt(g, 5).value);
+  EXPECT_NE(h.topo.pickAt(g, 0).value, h.topo.pickAt(g, 1).value);
+}
+
+TEST(Topology, GroupsAreIndependent) {
+  Harness h;
+  const GroupId g1 = h.topo.addGroup("g1", 2, 1.0);
+  const GroupId g2 = h.topo.addGroup("g2", 2, 2.0);
+  EXPECT_EQ(h.topo.groupSize(g1), 2u);
+  EXPECT_DOUBLE_EQ(h.topo.groupCapacity(g2), 4.0);
+  // Picking from g1 does not advance g2's cursor.
+  h.topo.pick(g1);
+  EXPECT_EQ(h.topo.pick(g2).value, h.topo.link("g2[0]").value);
+}
+
+TEST(Topology, NetworkAccessors) {
+  Harness h;
+  EXPECT_EQ(&h.topo.network(), &h.net);
+  const Topology& constRef = h.topo;
+  EXPECT_EQ(&constRef.network(), &h.net);
+}
+
+}  // namespace
+}  // namespace hcsim

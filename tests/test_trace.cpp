@@ -1,0 +1,286 @@
+#include "trace/chrome_trace.hpp"
+#include "trace/overlap_analysis.hpp"
+#include "trace/trace_import.hpp"
+#include "trace/trace_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace hcsim {
+namespace {
+
+TEST(TraceLog, RecordAndCount) {
+  TraceLog log;
+  log.recordRead(0, 1, 0.0, 1.0, 100);
+  log.recordCompute(0, 0, 1.0, 2.0);
+  log.recordRead(1, 1, 0.5, 0.5, 50);
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.count(TraceEventKind::Read), 2u);
+  EXPECT_EQ(log.count(TraceEventKind::Compute), 1u);
+  EXPECT_EQ(log.totalBytes(TraceEventKind::Read), 150u);
+  EXPECT_DOUBLE_EQ(log.totalDuration(TraceEventKind::Read), 1.5);
+}
+
+TEST(TraceLog, TimeSpan) {
+  TraceLog log;
+  EXPECT_EQ(log.timeSpan(), (std::pair<Seconds, Seconds>{0.0, 0.0}));
+  log.recordRead(0, 0, 2.0, 3.0, 1);
+  log.recordCompute(0, 0, 1.0, 0.5);
+  const auto [lo, hi] = log.timeSpan();
+  EXPECT_DOUBLE_EQ(lo, 1.0);
+  EXPECT_DOUBLE_EQ(hi, 5.0);
+}
+
+TEST(TraceLog, SortByStart) {
+  TraceLog log;
+  log.recordRead(0, 0, 5.0, 1.0, 1);
+  log.recordRead(0, 0, 1.0, 1.0, 1);
+  log.sortByStart();
+  EXPECT_DOUBLE_EQ(log.events()[0].start, 1.0);
+}
+
+TEST(TraceLog, ClearEmpties) {
+  TraceLog log;
+  log.recordRead(0, 0, 0.0, 1.0, 1);
+  log.clear();
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(TraceEventKind, Names) {
+  EXPECT_STREQ(toString(TraceEventKind::Read), "read");
+  EXPECT_STREQ(toString(TraceEventKind::Compute), "compute");
+}
+
+TEST(ChromeTrace, ProducesWellFormedJson) {
+  TraceLog log;
+  log.recordRead(1, 2, 0.001, 0.002, 4096, "sample\"quoted\"");
+  log.recordCompute(1, 0, 0.003, 0.004);
+  const std::string json = toChromeTraceJson(log);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);  // escaped
+  EXPECT_NE(json.find("\"bytes\":4096"), std::string::npos);
+  // Timestamps in microseconds.
+  EXPECT_NE(json.find("\"ts\":1000"), std::string::npos);
+}
+
+TEST(ChromeTrace, WritesFile) {
+  TraceLog log;
+  log.recordRead(0, 0, 0.0, 1.0, 1);
+  const std::string path = "/tmp/hcsim_trace_test.json";
+  ASSERT_TRUE(writeChromeTrace(log, path));
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, toChromeTraceJson(log));
+  std::remove(path.c_str());
+}
+
+TEST(ChromeTrace, FailsOnBadPath) {
+  TraceLog log;
+  EXPECT_FALSE(writeChromeTrace(log, "/nonexistent-dir/x.json"));
+}
+
+// ---- Import / round trip ----
+
+TEST(TraceImport, RoundTripsEmittedJson) {
+  TraceLog original;
+  original.recordRead(1, 2, 0.5, 0.25, 4096, "sample-read");
+  original.recordCompute(1, 0, 0.75, 1.5, "train-step");
+  original.record(TraceEvent{"ckpt", TraceEventKind::Write, 3, 1, 2.0, 0.125, 1024});
+
+  TraceLog parsed;
+  ASSERT_TRUE(parseChromeTraceJson(toChromeTraceJson(original), parsed));
+  ASSERT_EQ(parsed.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const TraceEvent& a = original.events()[i];
+    const TraceEvent& b = parsed.events()[i];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.kind, b.kind);
+    EXPECT_EQ(a.pid, b.pid);
+    EXPECT_EQ(a.tid, b.tid);
+    EXPECT_NEAR(a.start, b.start, 1e-9);
+    EXPECT_NEAR(a.duration, b.duration, 1e-9);
+    EXPECT_EQ(a.bytes, b.bytes);
+  }
+}
+
+TEST(TraceImport, RoundTripPreservesAnalysis) {
+  TraceLog original;
+  original.recordCompute(0, 0, 1.0, 10.0);
+  original.recordRead(0, 1, 0.0, 4.0, 100);
+  TraceLog parsed;
+  ASSERT_TRUE(parseChromeTraceJson(toChromeTraceJson(original), parsed));
+  const IoTimeBreakdown a = analyzeOverlap(original);
+  const IoTimeBreakdown b = analyzeOverlap(parsed);
+  EXPECT_NEAR(a.nonOverlappingIo, b.nonOverlappingIo, 1e-9);
+  EXPECT_NEAR(a.overlappingIo, b.overlappingIo, 1e-9);
+  EXPECT_EQ(a.ioBytes, b.ioBytes);
+}
+
+TEST(TraceImport, EscapedStringsSurvive) {
+  TraceLog original;
+  original.recordRead(0, 0, 0.0, 1.0, 1, "a \"b\"\n\tc\\d");
+  TraceLog parsed;
+  ASSERT_TRUE(parseChromeTraceJson(toChromeTraceJson(original), parsed));
+  EXPECT_EQ(parsed.events()[0].name, "a \"b\"\n\tc\\d");
+}
+
+TEST(TraceImport, RejectsMalformedJson) {
+  TraceLog out;
+  EXPECT_FALSE(parseChromeTraceJson("", out));
+  EXPECT_FALSE(parseChromeTraceJson("{", out));
+  EXPECT_FALSE(parseChromeTraceJson("[]", out));
+  EXPECT_FALSE(parseChromeTraceJson("{\"traceEvents\":42}", out));
+  EXPECT_FALSE(parseChromeTraceJson("{\"traceEvents\":[{\"ph\":\"X\"}", out));
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(TraceImport, SkipsNonCompleteEvents) {
+  const std::string json =
+      "{\"traceEvents\":[{\"ph\":\"B\",\"name\":\"x\"},"
+      "{\"ph\":\"X\",\"name\":\"y\",\"cat\":\"read\",\"ts\":0,\"dur\":1000,"
+      "\"pid\":0,\"tid\":0,\"args\":{\"bytes\":7}}]}";
+  TraceLog out;
+  ASSERT_TRUE(parseChromeTraceJson(json, out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.events()[0].name, "y");
+  EXPECT_EQ(out.events()[0].bytes, 7u);
+}
+
+TEST(TraceImport, UnknownCategoryMapsToOther) {
+  const std::string json =
+      "{\"traceEvents\":[{\"ph\":\"X\",\"cat\":\"mystery\",\"ts\":0,\"dur\":1}]}";
+  TraceLog out;
+  ASSERT_TRUE(parseChromeTraceJson(json, out));
+  EXPECT_EQ(out.events()[0].kind, TraceEventKind::Other);
+}
+
+TEST(TraceImport, ReadsFileWrittenByExporter) {
+  TraceLog original;
+  original.recordRead(0, 0, 0.0, 1.0, 128);
+  const std::string path = "/tmp/hcsim_trace_roundtrip.json";
+  ASSERT_TRUE(writeChromeTrace(original, path));
+  TraceLog parsed;
+  ASSERT_TRUE(readChromeTrace(path, parsed));
+  EXPECT_EQ(parsed.size(), 1u);
+  std::remove(path.c_str());
+  EXPECT_FALSE(readChromeTrace("/nonexistent/x.json", parsed));
+}
+
+// ---- Overlap analysis ----
+
+TEST(OverlapAnalysis, EmptyLog) {
+  const IoTimeBreakdown b = analyzeOverlap(TraceLog{});
+  EXPECT_DOUBLE_EQ(b.totalIo, 0.0);
+  EXPECT_DOUBLE_EQ(b.runtime, 0.0);
+  EXPECT_EQ(b.ioBytes, 0u);
+}
+
+TEST(OverlapAnalysis, FullyOverlappedIo) {
+  TraceLog log;
+  log.recordCompute(0, 0, 0.0, 10.0);
+  log.recordRead(0, 1, 2.0, 3.0, 100);
+  const IoTimeBreakdown b = analyzeOverlap(log);
+  EXPECT_DOUBLE_EQ(b.overlappingIo, 3.0);
+  EXPECT_DOUBLE_EQ(b.nonOverlappingIo, 0.0);
+  EXPECT_DOUBLE_EQ(b.totalIo, 3.0);
+  EXPECT_DOUBLE_EQ(b.computeOnly, 7.0);
+  EXPECT_EQ(b.ioBytes, 100u);
+}
+
+TEST(OverlapAnalysis, FullyExposedIo) {
+  TraceLog log;
+  log.recordRead(0, 1, 0.0, 2.0, 100);
+  log.recordCompute(0, 0, 2.0, 5.0);
+  const IoTimeBreakdown b = analyzeOverlap(log);
+  EXPECT_DOUBLE_EQ(b.nonOverlappingIo, 2.0);
+  EXPECT_DOUBLE_EQ(b.overlappingIo, 0.0);
+  EXPECT_DOUBLE_EQ(b.runtime, 7.0);
+}
+
+TEST(OverlapAnalysis, PartialOverlapSplits) {
+  TraceLog log;
+  log.recordRead(0, 1, 0.0, 4.0, 100);   // I/O [0,4)
+  log.recordCompute(0, 0, 2.0, 4.0);     // compute [2,6)
+  const IoTimeBreakdown b = analyzeOverlap(log);
+  EXPECT_DOUBLE_EQ(b.overlappingIo, 2.0);     // [2,4)
+  EXPECT_DOUBLE_EQ(b.nonOverlappingIo, 2.0);  // [0,2)
+  EXPECT_DOUBLE_EQ(b.computeOnly, 2.0);       // [4,6)
+}
+
+TEST(OverlapAnalysis, CrossPidDoesNotOverlap) {
+  // I/O of pid 0 is not hidden by compute of pid 1.
+  TraceLog log;
+  log.recordRead(0, 1, 0.0, 2.0, 100);
+  log.recordCompute(1, 0, 0.0, 10.0);
+  const IoTimeBreakdown b = analyzeOverlap(log);
+  EXPECT_DOUBLE_EQ(b.nonOverlappingIo, 2.0);
+  EXPECT_DOUBLE_EQ(b.overlappingIo, 0.0);
+}
+
+TEST(OverlapAnalysis, ConcurrentReaderThreadsEachCount) {
+  // Two reader threads overlapping the same compute: both durations count
+  // (DFTracer sums per-event time).
+  TraceLog log;
+  log.recordCompute(0, 0, 0.0, 10.0);
+  log.recordRead(0, 1, 1.0, 2.0, 10);
+  log.recordRead(0, 2, 1.0, 2.0, 10);
+  const IoTimeBreakdown b = analyzeOverlap(log);
+  EXPECT_DOUBLE_EQ(b.overlappingIo, 4.0);
+  EXPECT_DOUBLE_EQ(b.totalIo, 4.0);
+}
+
+TEST(OverlapAnalysis, FragmentedComputeIntervalsMerge) {
+  TraceLog log;
+  log.recordCompute(0, 0, 0.0, 2.0);
+  log.recordCompute(0, 0, 1.0, 3.0);  // overlaps -> merged [0,4)
+  log.recordRead(0, 1, 3.5, 1.0, 10);
+  const IoTimeBreakdown b = analyzeOverlap(log);
+  EXPECT_DOUBLE_EQ(b.overlappingIo, 0.5);
+  EXPECT_DOUBLE_EQ(b.nonOverlappingIo, 0.5);
+}
+
+TEST(OverlapAnalysis, WriteEventsCountAsIo) {
+  TraceLog log;
+  log.record(TraceEvent{"w", TraceEventKind::Write, 0, 0, 0.0, 1.0, 42});
+  const IoTimeBreakdown b = analyzeOverlap(log);
+  EXPECT_DOUBLE_EQ(b.totalIo, 1.0);
+  EXPECT_EQ(b.ioBytes, 42u);
+}
+
+TEST(Throughput, ApplicationVsSystemDefinitions) {
+  TraceLog log;
+  // 100 bytes, 4s total I/O of which 1s exposed.
+  log.recordCompute(0, 0, 1.0, 10.0);
+  log.recordRead(0, 1, 0.0, 4.0, 100);
+  const ThroughputReport t = computeThroughput(log);
+  EXPECT_DOUBLE_EQ(t.application, 100.0 / 1.0);
+  EXPECT_DOUBLE_EQ(t.system, 100.0 / 4.0);
+  EXPECT_EQ(t.ioBytes, 100u);
+}
+
+TEST(Throughput, ZeroIoIsZero) {
+  TraceLog log;
+  log.recordCompute(0, 0, 0.0, 1.0);
+  const ThroughputReport t = computeThroughput(log);
+  EXPECT_DOUBLE_EQ(t.system, 0.0);
+  EXPECT_DOUBLE_EQ(t.application, 0.0);
+}
+
+TEST(Throughput, FullyHiddenIoHasInfiniteLikeAppThroughput) {
+  // No non-overlapping I/O: application throughput reported as 0 (no
+  // stall to divide by) — callers treat it as "I/O fully hidden".
+  TraceLog log;
+  log.recordCompute(0, 0, 0.0, 10.0);
+  log.recordRead(0, 1, 1.0, 2.0, 100);
+  const ThroughputReport t = computeThroughput(log);
+  EXPECT_DOUBLE_EQ(t.application, 0.0);
+  EXPECT_GT(t.system, 0.0);
+}
+
+}  // namespace
+}  // namespace hcsim

@@ -1,0 +1,127 @@
+#include "unifyfs/unifyfs_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/deployments.hpp"
+#include "ior/ior_runner.hpp"
+
+namespace hcsim {
+namespace {
+
+UnifyFsConfig defaultCfg(UnifyFsPlacement placement, const std::string& tag) {
+  UnifyFsConfig cfg;
+  cfg.name = "UnifyFS-" + tag;
+  cfg.placement = placement;
+  return cfg;
+}
+
+struct Harness {
+  explicit Harness(std::size_t nodes, UnifyFsPlacement placement,
+                   const std::string& tag = "t")
+      : bench(Machine::lassen(), nodes),
+        fs(std::make_unique<UnifyFsModel>(bench.sim(), bench.topo(),
+                                          defaultCfg(placement, tag), bench.clientNics())) {}
+  TestBench bench;
+  std::unique_ptr<UnifyFsModel> fs;
+
+  double bandwidthGBs(AccessPattern access, std::size_t nodes, bool reorder = true) {
+    IorRunner runner(bench, *fs);
+    IorConfig cfg = IorConfig::scalability(access, nodes, 8);
+    cfg.segments = 256;
+    cfg.reorderTasks = reorder;
+    return units::toGBs(runner.run(cfg).bandwidth.mean);
+  }
+};
+
+TEST(UnifyFsConfig, ValidateRejectsBadValues) {
+  UnifyFsConfig c;
+  c.spillDevicesPerNode = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = UnifyFsConfig{};
+  c.memoryBandwidth = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = UnifyFsConfig{};
+  c.serverThreadsPerNode = 0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(UnifyFsModel, PlacementToString) {
+  EXPECT_STREQ(toString(UnifyFsPlacement::LocalFirst), "local-first");
+  EXPECT_STREQ(toString(UnifyFsPlacement::Striped), "striped");
+}
+
+TEST(UnifyFsModel, LocalFirstWritesScaleWithNodes) {
+  Harness two(2, UnifyFsPlacement::LocalFirst, "w2");
+  Harness eight(8, UnifyFsPlacement::LocalFirst, "w8");
+  const double bw2 = two.bandwidthGBs(AccessPattern::SequentialWrite, 2);
+  const double bw8 = eight.bandwidthGBs(AccessPattern::SequentialWrite, 8);
+  EXPECT_NEAR(bw8 / bw2, 4.0, 0.5);  // embarrassingly parallel
+}
+
+TEST(UnifyFsModel, LocalFirstWritesBeatStripedWrites) {
+  Harness local(4, UnifyFsPlacement::LocalFirst, "lw");
+  Harness striped(4, UnifyFsPlacement::Striped, "sw");
+  const double lw = local.bandwidthGBs(AccessPattern::SequentialWrite, 4);
+  const double sw = striped.bandwidthGBs(AccessPattern::SequentialWrite, 4);
+  EXPECT_GT(lw, sw);  // striping pushes (N-1)/N of bytes over the fabric
+}
+
+TEST(UnifyFsModel, RemoteReadsSlowerThanLocalReads) {
+  // Reader == writer: local-log reads. Reader != writer: cross-node.
+  Harness h(4, UnifyFsPlacement::LocalFirst, "rr");
+  const double localRead = h.bandwidthGBs(AccessPattern::SequentialRead, 4, /*reorder=*/false);
+  const double remoteRead = h.bandwidthGBs(AccessPattern::SequentialRead, 4, /*reorder=*/true);
+  EXPECT_GT(localRead, remoteRead);
+}
+
+TEST(UnifyFsModel, StripedReadsBalancedRegardlessOfReader) {
+  Harness h(4, UnifyFsPlacement::Striped, "sr");
+  const double same = h.bandwidthGBs(AccessPattern::SequentialRead, 4, false);
+  const double other = h.bandwidthGBs(AccessPattern::SequentialRead, 4, true);
+  EXPECT_NEAR(same / other, 1.0, 0.15);
+}
+
+TEST(UnifyFsModel, SharedFileBarelyPenalized) {
+  // UnifyFS exists to make N-1 checkpointing cheap.
+  Harness h(4, UnifyFsPlacement::LocalFirst, "n1");
+  IorRunner runner(h.bench, *h.fs);
+  IorConfig nn = IorConfig::scalability(AccessPattern::SequentialWrite, 4, 8);
+  nn.segments = 256;
+  IorConfig n1 = nn;
+  n1.filePerProcess = false;
+  const double nnBw = units::toGBs(runner.run(nn).bandwidth.mean);
+  const double n1Bw = units::toGBs(runner.run(n1).bandwidth.mean);
+  EXPECT_GT(n1Bw, 0.9 * nnBw);
+}
+
+TEST(UnifyFsModel, FlushPersistsToBackingStore) {
+  TestBench bench(Machine::lassen(), 4);
+  UnifyFsModel unify(bench.sim(), bench.topo(), defaultCfg(UnifyFsPlacement::LocalFirst, "fl"),
+                     bench.clientNics());
+  auto gpfs = bench.attachGpfs(gpfsOnLassen());
+  bool flushed = false;
+  const SimTime start = bench.sim().now();
+  unify.flushToBackingStore(*gpfs, units::GiB, [&] { flushed = true; });
+  bench.sim().run();
+  EXPECT_TRUE(flushed);
+  EXPECT_GT(bench.sim().now(), start);  // took simulated time
+}
+
+TEST(UnifyFsModel, MetadataOpCompletesAtKvLatency) {
+  Harness h(2, UnifyFsPlacement::LocalFirst, "md");
+  IoRequest req;
+  req.client = {0, 0};
+  req.bytes = 0;
+  SimTime end = 0;
+  h.fs->submit(req, [&](const IoResult& r) { end = r.endTime; });
+  h.bench.sim().run();
+  EXPECT_NEAR(end, h.fs->config().metadataLatency, 1e-9);
+}
+
+TEST(UnifyFsModel, CapacityScalesWithNodes) {
+  Harness h(4, UnifyFsPlacement::LocalFirst, "cap");
+  EXPECT_EQ(h.fs->totalCapacity(), 4 * h.fs->config().capacityPerNode);
+}
+
+}  // namespace
+}  // namespace hcsim

@@ -1,0 +1,64 @@
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hcsim {
+namespace {
+
+TEST(Units, BinaryConstants) {
+  EXPECT_EQ(units::KiB, 1024u);
+  EXPECT_EQ(units::MiB, 1024u * 1024u);
+  EXPECT_EQ(units::GiB, 1024u * 1024u * 1024u);
+  EXPECT_EQ(units::TiB, units::GiB * 1024u);
+  EXPECT_EQ(units::PiB, units::TiB * 1024u);
+}
+
+TEST(Units, DecimalConstants) {
+  EXPECT_EQ(units::KB, 1000u);
+  EXPECT_EQ(units::MB, 1000u * 1000u);
+  EXPECT_EQ(units::GB, 1000u * 1000u * 1000u);
+  EXPECT_EQ(units::PB, units::TB * 1000u);
+}
+
+TEST(Units, GbpsConvertsGigabitsToBytesPerSecond) {
+  EXPECT_DOUBLE_EQ(units::gbps(8), 1e9);          // 8 Gb/s = 1 GB/s
+  EXPECT_DOUBLE_EQ(units::gbps(100), 12.5e9);     // EDR InfiniBand
+  EXPECT_DOUBLE_EQ(units::gbps(1), 0.125e9);      // Quartz gateway link
+}
+
+TEST(Units, GbsRoundTripsThroughToGBs) {
+  EXPECT_DOUBLE_EQ(units::toGBs(units::gbs(12.34)), 12.34);
+  EXPECT_DOUBLE_EQ(units::toGBs(units::gbs(0.0)), 0.0);
+}
+
+TEST(Units, TimeHelpers) {
+  EXPECT_DOUBLE_EQ(units::usec(1), 1e-6);
+  EXPECT_DOUBLE_EQ(units::msec(2.5), 2.5e-3);
+  EXPECT_DOUBLE_EQ(units::nsec(100), 1e-7);
+}
+
+TEST(FormatBytes, ChoosesScale) {
+  EXPECT_EQ(formatBytes(512), "512 B");
+  EXPECT_EQ(formatBytes(units::KiB), "1.00 KiB");
+  EXPECT_EQ(formatBytes(units::MiB + units::MiB / 2), "1.50 MiB");
+  EXPECT_EQ(formatBytes(3 * units::GiB), "3.00 GiB");
+}
+
+TEST(FormatBytes, Zero) { EXPECT_EQ(formatBytes(0), "0 B"); }
+
+TEST(FormatBandwidth, ChoosesScale) {
+  EXPECT_EQ(formatBandwidth(units::gbs(12.5)), "12.50 GB/s");
+  EXPECT_EQ(formatBandwidth(2.5e6), "2.50 MB/s");
+  EXPECT_EQ(formatBandwidth(1.5e3), "1.50 KB/s");
+  EXPECT_EQ(formatBandwidth(12.0), "12.00 B/s");
+}
+
+TEST(FormatSeconds, ChoosesScale) {
+  EXPECT_EQ(formatSeconds(1.5), "1.500 s");
+  EXPECT_EQ(formatSeconds(2.5e-3), "2.500 ms");
+  EXPECT_EQ(formatSeconds(42e-6), "42.000 us");
+  EXPECT_EQ(formatSeconds(5e-9), "5.0 ns");
+}
+
+}  // namespace
+}  // namespace hcsim

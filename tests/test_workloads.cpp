@@ -1,0 +1,115 @@
+#include "workloads/app_workloads.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hcsim {
+namespace {
+
+TEST(AppWorkloads, SuiteCoversAllThreeDomains) {
+  const auto all = workloads::suite(2, 8);
+  EXPECT_GE(all.size(), 8u);
+  std::size_t scientific = 0, analytics = 0, ml = 0;
+  for (const auto& w : all) {
+    if (w.domain == "scientific") ++scientific;
+    if (w.domain == "analytics") ++analytics;
+    if (w.domain == "ML/DL") ++ml;
+    EXPECT_FALSE(w.name.empty());
+    EXPECT_FALSE(w.description.empty());
+  }
+  EXPECT_GE(scientific, 2u);
+  EXPECT_GE(analytics, 2u);
+  EXPECT_GE(ml, 3u);
+}
+
+TEST(AppWorkloads, Cm1MatchesPaperDescription) {
+  // "generates more than 750 files each of 16 MB in size".
+  const AppWorkload w = workloads::cm1(1, 8);
+  ASSERT_EQ(w.phases.size(), 1u);
+  EXPECT_EQ(w.phases[0].ior.access, AccessPattern::SequentialWrite);
+  const Bytes total = w.phases[0].ior.totalBytes();
+  EXPECT_GE(total, 750ull * 16 * units::MB);
+}
+
+TEST(AppWorkloads, HaccIoIsCheckpointThenRestart) {
+  const AppWorkload w = workloads::haccIo(2, 4);
+  ASSERT_EQ(w.phases.size(), 2u);
+  EXPECT_EQ(w.phases[0].ior.access, AccessPattern::SequentialWrite);
+  EXPECT_EQ(w.phases[1].ior.access, AccessPattern::SequentialRead);
+  EXPECT_TRUE(w.phases[1].ior.reorderTasks);  // restart on other nodes
+}
+
+TEST(AppWorkloads, BdCatsUsesOneSharedFile) {
+  // "operates on a shared HDF5 file using MPI-IO".
+  const AppWorkload w = workloads::bdCats(2, 4);
+  EXPECT_FALSE(w.phases[0].ior.filePerProcess);
+}
+
+TEST(AppWorkloads, KmeansIterates) {
+  const AppWorkload w = workloads::kmeans(1, 4, 5);
+  EXPECT_EQ(w.phases[0].iterations, 5u);
+  EXPECT_EQ(w.phases[0].ior.access, AccessPattern::SequentialRead);
+}
+
+TEST(AppWorkloads, DlWorkloadsAreDlio) {
+  for (const AppWorkload& w :
+       {workloads::resnet50(2), workloads::cosmoflow(2), workloads::cosmicTagger(2)}) {
+    EXPECT_TRUE(w.isDlio);
+    EXPECT_EQ(w.dlio.nodes, 2u);
+  }
+  // Cosmic Tagger's defining constraints: few reader threads, HDF5 chunks.
+  const AppWorkload ct = workloads::cosmicTagger(2);
+  EXPECT_LE(ct.dlio.workload.ioThreads, 2u);
+  EXPECT_EQ(ct.dlio.workload.transferSize, 512 * units::KB);
+}
+
+TEST(RunAppWorkload, IorWorkloadProducesPerPhaseResults) {
+  AppWorkload w = workloads::haccIo(2, 4);
+  // Shrink for test speed.
+  for (auto& p : w.phases) p.ior.segments = 64;
+  const AppWorkloadResult r = runAppWorkload(Site::Wombat, StorageKind::Vast, w);
+  ASSERT_EQ(r.phases.size(), 2u);
+  EXPECT_GT(r.phases[0].bandwidthGBs, 0.0);
+  EXPECT_GT(r.phases[1].bandwidthGBs, 0.0);
+  EXPECT_GT(r.totalBytes, 0u);
+  EXPECT_GT(r.aggregateGBs(), 0.0);
+}
+
+TEST(RunAppWorkload, IterationsProduceOneResultEach) {
+  AppWorkload w = workloads::kmeans(1, 4, 3);
+  w.phases[0].ior.segments = 32;
+  const AppWorkloadResult r = runAppWorkload(Site::Wombat, StorageKind::Vast, w);
+  EXPECT_EQ(r.phases.size(), 3u);
+}
+
+TEST(RunAppWorkload, KmeansLaterPassesBenefitFromCaches) {
+  // Iterative analytics re-read the same working set: on VAST the DNode
+  // cache serves repeat passes, so later iterations are not slower.
+  AppWorkload w = workloads::kmeans(1, 8, 2);
+  w.phases[0].ior.segments = 128;
+  const AppWorkloadResult r = runAppWorkload(Site::Wombat, StorageKind::Vast, w);
+  ASSERT_EQ(r.phases.size(), 2u);
+  EXPECT_GE(r.phases[1].bandwidthGBs, 0.9 * r.phases[0].bandwidthGBs);
+}
+
+TEST(RunAppWorkload, DlioWorkloadReportsThroughputs) {
+  AppWorkload w = workloads::resnet50(1);
+  w.dlio.workload.samples = 16;
+  const AppWorkloadResult r = runAppWorkload(Site::Lassen, StorageKind::Gpfs, w);
+  EXPECT_GT(r.sysThroughputGBs, 0.0);
+  EXPECT_GT(r.totalBytes, 0u);
+  EXPECT_GT(r.totalTime, 0.0);
+}
+
+TEST(RunAppWorkload, BdCatsSharedFileSlowerThanFilePerProcess) {
+  AppWorkload shared = workloads::bdCats(2, 8);
+  shared.phases[0].ior.segments = 128;
+  AppWorkload nn = shared;
+  nn.phases[0].ior.filePerProcess = true;
+  const double sharedBw =
+      runAppWorkload(Site::Lassen, StorageKind::Gpfs, shared).phases[0].bandwidthGBs;
+  const double nnBw = runAppWorkload(Site::Lassen, StorageKind::Gpfs, nn).phases[0].bandwidthGBs;
+  EXPECT_LT(sharedBw, nnBw);
+}
+
+}  // namespace
+}  // namespace hcsim

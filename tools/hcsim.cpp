@@ -1,0 +1,11 @@
+// hcsim — command-line front end over the simulation library.
+// See `hcsim help` for usage.
+
+#include <iostream>
+
+#include "cli/commands.hpp"
+
+int main(int argc, char** argv) {
+  const hcsim::ArgParser args(argc, argv);
+  return hcsim::cli::run(args, std::cout, std::cerr);
+}
