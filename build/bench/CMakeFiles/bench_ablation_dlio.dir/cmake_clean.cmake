@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dlio.dir/bench_ablation_dlio.cpp.o"
+  "CMakeFiles/bench_ablation_dlio.dir/bench_ablation_dlio.cpp.o.d"
+  "bench_ablation_dlio"
+  "bench_ablation_dlio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dlio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_frontend.dir/bench_ablation_frontend.cpp.o"
+  "CMakeFiles/bench_ablation_frontend.dir/bench_ablation_frontend.cpp.o.d"
+  "bench_ablation_frontend"
+  "bench_ablation_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

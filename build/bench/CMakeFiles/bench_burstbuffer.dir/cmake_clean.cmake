@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_burstbuffer.dir/bench_burstbuffer.cpp.o"
+  "CMakeFiles/bench_burstbuffer.dir/bench_burstbuffer.cpp.o.d"
+  "bench_burstbuffer"
+  "bench_burstbuffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_burstbuffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_cosmoflow.dir/bench_fig6_cosmoflow.cpp.o"
+  "CMakeFiles/bench_fig6_cosmoflow.dir/bench_fig6_cosmoflow.cpp.o.d"
+  "bench_fig6_cosmoflow"
+  "bench_fig6_cosmoflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_cosmoflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

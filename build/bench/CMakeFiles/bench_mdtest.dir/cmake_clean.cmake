@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mdtest.dir/bench_mdtest.cpp.o"
+  "CMakeFiles/bench_mdtest.dir/bench_mdtest.cpp.o.d"
+  "bench_mdtest"
+  "bench_mdtest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mdtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

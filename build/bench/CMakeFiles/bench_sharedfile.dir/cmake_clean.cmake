@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sharedfile.dir/bench_sharedfile.cpp.o"
+  "CMakeFiles/bench_sharedfile.dir/bench_sharedfile.cpp.o.d"
+  "bench_sharedfile"
+  "bench_sharedfile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sharedfile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

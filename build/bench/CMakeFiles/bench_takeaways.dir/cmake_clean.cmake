@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_takeaways.dir/bench_takeaways.cpp.o"
+  "CMakeFiles/bench_takeaways.dir/bench_takeaways.cpp.o.d"
+  "bench_takeaways"
+  "bench_takeaways.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_takeaways.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compare_storage.dir/compare_storage.cpp.o"
+  "CMakeFiles/compare_storage.dir/compare_storage.cpp.o.d"
+  "compare_storage"
+  "compare_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compare_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

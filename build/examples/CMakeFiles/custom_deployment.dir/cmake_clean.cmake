@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_deployment.dir/custom_deployment.cpp.o"
+  "CMakeFiles/custom_deployment.dir/custom_deployment.cpp.o.d"
+  "custom_deployment"
+  "custom_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/what_if_replay.dir/what_if_replay.cpp.o"
+  "CMakeFiles/what_if_replay.dir/what_if_replay.cpp.o.d"
+  "what_if_replay"
+  "what_if_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/what_if_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

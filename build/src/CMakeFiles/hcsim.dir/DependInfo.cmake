@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/lru_cache.cpp" "src/CMakeFiles/hcsim.dir/cache/lru_cache.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/cache/lru_cache.cpp.o.d"
+  "/root/repo/src/cache/prefetch_cache.cpp" "src/CMakeFiles/hcsim.dir/cache/prefetch_cache.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/cache/prefetch_cache.cpp.o.d"
+  "/root/repo/src/cache/writeback_buffer.cpp" "src/CMakeFiles/hcsim.dir/cache/writeback_buffer.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/cache/writeback_buffer.cpp.o.d"
+  "/root/repo/src/cli/args.cpp" "src/CMakeFiles/hcsim.dir/cli/args.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/cli/args.cpp.o.d"
+  "/root/repo/src/cli/commands.cpp" "src/CMakeFiles/hcsim.dir/cli/commands.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/cli/commands.cpp.o.d"
+  "/root/repo/src/cluster/deployments.cpp" "src/CMakeFiles/hcsim.dir/cluster/deployments.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/cluster/deployments.cpp.o.d"
+  "/root/repo/src/cluster/machine.cpp" "src/CMakeFiles/hcsim.dir/cluster/machine.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/cluster/machine.cpp.o.d"
+  "/root/repo/src/config/serialize.cpp" "src/CMakeFiles/hcsim.dir/config/serialize.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/config/serialize.cpp.o.d"
+  "/root/repo/src/contention/background_load.cpp" "src/CMakeFiles/hcsim.dir/contention/background_load.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/contention/background_load.cpp.o.d"
+  "/root/repo/src/core/calibration.cpp" "src/CMakeFiles/hcsim.dir/core/calibration.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/core/calibration.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/hcsim.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/planner.cpp" "src/CMakeFiles/hcsim.dir/core/planner.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/core/planner.cpp.o.d"
+  "/root/repo/src/core/sweep.cpp" "src/CMakeFiles/hcsim.dir/core/sweep.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/core/sweep.cpp.o.d"
+  "/root/repo/src/core/takeaways.cpp" "src/CMakeFiles/hcsim.dir/core/takeaways.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/core/takeaways.cpp.o.d"
+  "/root/repo/src/device/device_queue.cpp" "src/CMakeFiles/hcsim.dir/device/device_queue.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/device/device_queue.cpp.o.d"
+  "/root/repo/src/device/hdd_raid.cpp" "src/CMakeFiles/hcsim.dir/device/hdd_raid.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/device/hdd_raid.cpp.o.d"
+  "/root/repo/src/device/ssd.cpp" "src/CMakeFiles/hcsim.dir/device/ssd.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/device/ssd.cpp.o.d"
+  "/root/repo/src/dlio/dlio_config.cpp" "src/CMakeFiles/hcsim.dir/dlio/dlio_config.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/dlio/dlio_config.cpp.o.d"
+  "/root/repo/src/dlio/dlio_runner.cpp" "src/CMakeFiles/hcsim.dir/dlio/dlio_runner.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/dlio/dlio_runner.cpp.o.d"
+  "/root/repo/src/fs/client_session.cpp" "src/CMakeFiles/hcsim.dir/fs/client_session.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/fs/client_session.cpp.o.d"
+  "/root/repo/src/fs/model_support.cpp" "src/CMakeFiles/hcsim.dir/fs/model_support.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/fs/model_support.cpp.o.d"
+  "/root/repo/src/fs/storage_base.cpp" "src/CMakeFiles/hcsim.dir/fs/storage_base.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/fs/storage_base.cpp.o.d"
+  "/root/repo/src/gpfs/gpfs_config.cpp" "src/CMakeFiles/hcsim.dir/gpfs/gpfs_config.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/gpfs/gpfs_config.cpp.o.d"
+  "/root/repo/src/gpfs/gpfs_model.cpp" "src/CMakeFiles/hcsim.dir/gpfs/gpfs_model.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/gpfs/gpfs_model.cpp.o.d"
+  "/root/repo/src/ior/ior_config.cpp" "src/CMakeFiles/hcsim.dir/ior/ior_config.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/ior/ior_config.cpp.o.d"
+  "/root/repo/src/ior/ior_runner.cpp" "src/CMakeFiles/hcsim.dir/ior/ior_runner.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/ior/ior_runner.cpp.o.d"
+  "/root/repo/src/lustre/lustre_config.cpp" "src/CMakeFiles/hcsim.dir/lustre/lustre_config.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/lustre/lustre_config.cpp.o.d"
+  "/root/repo/src/lustre/lustre_model.cpp" "src/CMakeFiles/hcsim.dir/lustre/lustre_model.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/lustre/lustre_model.cpp.o.d"
+  "/root/repo/src/mdtest/mdtest.cpp" "src/CMakeFiles/hcsim.dir/mdtest/mdtest.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/mdtest/mdtest.cpp.o.d"
+  "/root/repo/src/net/flow_network.cpp" "src/CMakeFiles/hcsim.dir/net/flow_network.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/net/flow_network.cpp.o.d"
+  "/root/repo/src/net/link.cpp" "src/CMakeFiles/hcsim.dir/net/link.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/net/link.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/CMakeFiles/hcsim.dir/net/topology.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/net/topology.cpp.o.d"
+  "/root/repo/src/nvme/nvme_local.cpp" "src/CMakeFiles/hcsim.dir/nvme/nvme_local.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/nvme/nvme_local.cpp.o.d"
+  "/root/repo/src/replay/trace_replay.cpp" "src/CMakeFiles/hcsim.dir/replay/trace_replay.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/replay/trace_replay.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/hcsim.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/trace/chrome_trace.cpp" "src/CMakeFiles/hcsim.dir/trace/chrome_trace.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/trace/chrome_trace.cpp.o.d"
+  "/root/repo/src/trace/overlap_analysis.cpp" "src/CMakeFiles/hcsim.dir/trace/overlap_analysis.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/trace/overlap_analysis.cpp.o.d"
+  "/root/repo/src/trace/trace_import.cpp" "src/CMakeFiles/hcsim.dir/trace/trace_import.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/trace/trace_import.cpp.o.d"
+  "/root/repo/src/trace/trace_log.cpp" "src/CMakeFiles/hcsim.dir/trace/trace_log.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/trace/trace_log.cpp.o.d"
+  "/root/repo/src/unifyfs/unifyfs_model.cpp" "src/CMakeFiles/hcsim.dir/unifyfs/unifyfs_model.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/unifyfs/unifyfs_model.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "src/CMakeFiles/hcsim.dir/util/histogram.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/util/histogram.cpp.o.d"
+  "/root/repo/src/util/json.cpp" "src/CMakeFiles/hcsim.dir/util/json.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/util/json.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/hcsim.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/random.cpp" "src/CMakeFiles/hcsim.dir/util/random.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/util/random.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/hcsim.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/hcsim.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/units.cpp" "src/CMakeFiles/hcsim.dir/util/units.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/util/units.cpp.o.d"
+  "/root/repo/src/vast/vast_config.cpp" "src/CMakeFiles/hcsim.dir/vast/vast_config.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/vast/vast_config.cpp.o.d"
+  "/root/repo/src/vast/vast_model.cpp" "src/CMakeFiles/hcsim.dir/vast/vast_model.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/vast/vast_model.cpp.o.d"
+  "/root/repo/src/workloads/app_workloads.cpp" "src/CMakeFiles/hcsim.dir/workloads/app_workloads.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/workloads/app_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

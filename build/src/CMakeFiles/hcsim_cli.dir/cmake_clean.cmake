@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hcsim_cli.dir/__/tools/hcsim.cpp.o"
+  "CMakeFiles/hcsim_cli.dir/__/tools/hcsim.cpp.o.d"
+  "hcsim"
+  "hcsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hcsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_caches.dir/test_caches.cpp.o"
+  "CMakeFiles/test_caches.dir/test_caches.cpp.o.d"
+  "test_caches"
+  "test_caches.pdb"
+  "test_caches[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_caches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

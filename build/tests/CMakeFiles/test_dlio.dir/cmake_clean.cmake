@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dlio.dir/test_dlio.cpp.o"
+  "CMakeFiles/test_dlio.dir/test_dlio.cpp.o.d"
+  "test_dlio"
+  "test_dlio.pdb"
+  "test_dlio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dlio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

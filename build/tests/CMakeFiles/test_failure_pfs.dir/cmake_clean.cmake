@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_failure_pfs.dir/test_failure_pfs.cpp.o"
+  "CMakeFiles/test_failure_pfs.dir/test_failure_pfs.cpp.o.d"
+  "test_failure_pfs"
+  "test_failure_pfs.pdb"
+  "test_failure_pfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_failure_pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

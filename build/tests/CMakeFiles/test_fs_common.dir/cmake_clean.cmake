@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fs_common.dir/test_fs_common.cpp.o"
+  "CMakeFiles/test_fs_common.dir/test_fs_common.cpp.o.d"
+  "test_fs_common"
+  "test_fs_common.pdb"
+  "test_fs_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

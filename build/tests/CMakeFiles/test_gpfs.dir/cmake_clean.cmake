@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpfs.dir/test_gpfs.cpp.o"
+  "CMakeFiles/test_gpfs.dir/test_gpfs.cpp.o.d"
+  "test_gpfs"
+  "test_gpfs.pdb"
+  "test_gpfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

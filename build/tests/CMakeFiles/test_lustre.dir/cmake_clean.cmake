@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lustre.dir/test_lustre.cpp.o"
+  "CMakeFiles/test_lustre.dir/test_lustre.cpp.o.d"
+  "test_lustre"
+  "test_lustre.pdb"
+  "test_lustre[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lustre.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

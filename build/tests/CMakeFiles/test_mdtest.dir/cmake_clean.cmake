@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mdtest.dir/test_mdtest.cpp.o"
+  "CMakeFiles/test_mdtest.dir/test_mdtest.cpp.o.d"
+  "test_mdtest"
+  "test_mdtest.pdb"
+  "test_mdtest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mdtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model_invariants.dir/test_model_invariants.cpp.o"
+  "CMakeFiles/test_model_invariants.dir/test_model_invariants.cpp.o.d"
+  "test_model_invariants"
+  "test_model_invariants.pdb"
+  "test_model_invariants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nvme.dir/test_nvme.cpp.o"
+  "CMakeFiles/test_nvme.dir/test_nvme.cpp.o.d"
+  "test_nvme"
+  "test_nvme.pdb"
+  "test_nvme[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nvme.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_unifyfs.dir/test_unifyfs.cpp.o"
+  "CMakeFiles/test_unifyfs.dir/test_unifyfs.cpp.o.d"
+  "test_unifyfs"
+  "test_unifyfs.pdb"
+  "test_unifyfs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_unifyfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

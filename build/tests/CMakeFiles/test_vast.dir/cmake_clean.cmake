@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vast.dir/test_vast.cpp.o"
+  "CMakeFiles/test_vast.dir/test_vast.cpp.o.d"
+  "test_vast"
+  "test_vast.pdb"
+  "test_vast[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
