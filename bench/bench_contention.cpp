@@ -10,6 +10,7 @@
 
 #include "cluster/deployments.hpp"
 #include "contention/background_load.hpp"
+#include "core/experiment.hpp"
 #include "util/table.hpp"
 
 using namespace hcsim;

@@ -1,0 +1,87 @@
+// Fig 2 scalability grid, driven through the hcsim::sweep engine: the
+// same storage x access x nodes series as bench_fig2_scalability, but
+// expanded from a declarative spec and executed on the work-stealing
+// pool. Prints one figure-style table per access pattern plus the
+// aggregate accumulator the engine maintains.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hpp"
+#include "sweep/result_sink.hpp"
+#include "sweep/sweep_runner.hpp"
+#include "util/table.hpp"
+
+using namespace hcsim;
+
+namespace {
+
+sweep::SweepSpec fig2Spec() {
+  sweep::SweepSpec spec;
+  spec.name = "fig2-lassen";
+  spec.experiment = "ior";
+  JsonObject ior;
+  ior["segments"] = 400;
+  ior["procsPerNode"] = 16;
+  ior["repetitions"] = 1;
+  JsonObject base;
+  base["site"] = "lassen";
+  base["ior"] = JsonValue(std::move(ior));
+  spec.base = JsonValue(std::move(base));
+  spec.axes.push_back({"storage", {JsonValue("gpfs"), JsonValue("vast")}});
+  spec.axes.push_back(
+      {"ior.access", {JsonValue("seq-write"), JsonValue("seq-read"), JsonValue("rand-read")}});
+  sweep::Axis nodes;
+  nodes.path = "ior.nodes";
+  for (std::size_t n : powersOfTwo(32)) nodes.values.push_back(static_cast<double>(n));
+  spec.axes.push_back(std::move(nodes));
+  return spec;
+}
+
+}  // namespace
+
+int main() {
+  const sweep::SweepSpec spec = fig2Spec();
+  const std::size_t jobs = sweep::defaultJobs();
+  std::printf("expanding '%s' to %zu trials, running on %zu jobs\n", spec.name.c_str(),
+              spec.trialCount(), jobs);
+  const sweep::SweepOutcome out = sweep::runSweep(spec, jobs);
+
+  // Re-group the flat trial list into the paper's figure layout: one
+  // table per access pattern, one series per storage system.
+  const std::vector<std::string> accesses = {"seq-write", "seq-read", "rand-read"};
+  const std::vector<std::string> storages = {"gpfs", "vast"};
+  for (const std::string& access : accesses) {
+    std::vector<Series> series;
+    for (const std::string& storage : storages) {
+      Series s;
+      s.label = storage;
+      for (const auto& r : out.results) {
+        if (!r.metrics.ok) continue;
+        const JsonValue* a = sweep::jsonPathGet(r.trial.config, "ior.access");
+        const JsonValue* st = sweep::jsonPathGet(r.trial.config, "storage");
+        const JsonValue* n = sweep::jsonPathGet(r.trial.config, "ior.nodes");
+        if (!a || !st || !n || !a->str() || !st->str() || !n->number()) continue;
+        if (*a->str() != access || *st->str() != storage) continue;
+        BandwidthPoint p;
+        p.x = static_cast<std::size_t>(*n->number());
+        p.meanGBs = r.metrics.meanGBs;
+        p.minGBs = r.metrics.minGBs;
+        p.maxGBs = r.metrics.maxGBs;
+        s.points.push_back(p);
+      }
+      series.push_back(std::move(s));
+    }
+    const ResultTable t =
+        makeFigureTable("Fig 2 via sweep engine — " + access + " (reduced geometry)", "nodes",
+                        series);
+    std::printf("%s", t.toString().c_str());
+  }
+
+  std::printf("aggregate: %zu ok trials, mean %.2f GB/s (min %.2f, max %.2f), %zu failed\n",
+              out.bandwidthGBs.count(), out.bandwidthGBs.mean(), out.bandwidthGBs.min(),
+              out.bandwidthGBs.max(), out.failures);
+  std::printf("%s", sweep::toCsv(out).c_str());
+  return 0;
+}

@@ -234,5 +234,8 @@ bench/CMakeFiles/bench_contention.dir/bench_contention.cpp.o: \
  /root/repo/src/vast/vast_model.hpp /root/repo/src/vast/vast_config.hpp \
  /root/repo/src/contention/background_load.hpp \
  /root/repo/src/ior/ior_runner.hpp /root/repo/src/ior/ior_config.hpp \
- /root/repo/src/util/stats.hpp /root/repo/src/util/table.hpp \
+ /root/repo/src/util/stats.hpp /root/repo/src/core/experiment.hpp \
+ /root/repo/src/dlio/dlio_runner.hpp /root/repo/src/dlio/dlio_config.hpp \
+ /root/repo/src/trace/overlap_analysis.hpp \
+ /root/repo/src/trace/trace_log.hpp /root/repo/src/util/table.hpp \
  /usr/include/c++/12/variant /usr/include/c++/12/bits/parse_numbers.h

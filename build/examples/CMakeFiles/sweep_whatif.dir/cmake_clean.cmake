@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_whatif.dir/sweep_whatif.cpp.o"
+  "CMakeFiles/sweep_whatif.dir/sweep_whatif.cpp.o.d"
+  "sweep_whatif"
+  "sweep_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

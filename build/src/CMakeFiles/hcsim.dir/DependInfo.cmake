@@ -43,6 +43,9 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/nvme/nvme_local.cpp" "src/CMakeFiles/hcsim.dir/nvme/nvme_local.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/nvme/nvme_local.cpp.o.d"
   "/root/repo/src/replay/trace_replay.cpp" "src/CMakeFiles/hcsim.dir/replay/trace_replay.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/replay/trace_replay.cpp.o.d"
   "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/hcsim.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sweep/result_sink.cpp" "src/CMakeFiles/hcsim.dir/sweep/result_sink.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/sweep/result_sink.cpp.o.d"
+  "/root/repo/src/sweep/sweep_runner.cpp" "src/CMakeFiles/hcsim.dir/sweep/sweep_runner.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/sweep/sweep_runner.cpp.o.d"
+  "/root/repo/src/sweep/sweep_spec.cpp" "src/CMakeFiles/hcsim.dir/sweep/sweep_spec.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/sweep/sweep_spec.cpp.o.d"
   "/root/repo/src/trace/chrome_trace.cpp" "src/CMakeFiles/hcsim.dir/trace/chrome_trace.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/trace/chrome_trace.cpp.o.d"
   "/root/repo/src/trace/overlap_analysis.cpp" "src/CMakeFiles/hcsim.dir/trace/overlap_analysis.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/trace/overlap_analysis.cpp.o.d"
   "/root/repo/src/trace/trace_import.cpp" "src/CMakeFiles/hcsim.dir/trace/trace_import.cpp.o" "gcc" "src/CMakeFiles/hcsim.dir/trace/trace_import.cpp.o.d"

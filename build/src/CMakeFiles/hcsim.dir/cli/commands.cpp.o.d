@@ -242,4 +242,7 @@ src/CMakeFiles/hcsim.dir/cli/commands.cpp.o: \
  /root/repo/src/trace/overlap_analysis.hpp \
  /root/repo/src/trace/trace_log.hpp /root/repo/src/ior/ior_runner.hpp \
  /root/repo/src/core/planner.hpp /root/repo/src/core/takeaways.hpp \
- /root/repo/src/util/table.hpp
+ /root/repo/src/sweep/result_sink.hpp \
+ /root/repo/src/sweep/sweep_runner.hpp \
+ /root/repo/src/sweep/sweep_spec.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/src/util/table.hpp

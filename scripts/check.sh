@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Release-build gate: configure + build EVERYTHING (library, tests,
+# benches, examples — a bench that fails to compile fails this script),
+# run the full test suite, then smoke-test the sweep engine end to end.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${HCSIM_CHECK_BUILD_DIR:-$ROOT/build-check}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -S "$ROOT" -B "$BUILD" -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD" -j"$JOBS"
+
+ctest --test-dir "$BUILD" --output-on-failure -j"$JOBS"
+
+# Sweep smoke: the fig2 grid must complete, emit parseable JSONL/CSV,
+# and be independent of the job count.
+OUT="$BUILD/check-sweep"
+"$BUILD/src/hcsim" sweep --spec "$ROOT/examples/specs/fig2.json" --jobs 8 \
+    --out "$OUT-8.jsonl" --csv "$OUT-8.csv" >/dev/null
+"$BUILD/src/hcsim" sweep --spec "$ROOT/examples/specs/fig2.json" --jobs 1 \
+    --out "$OUT-1.jsonl" >/dev/null
+cmp "$OUT-8.jsonl" "$OUT-1.jsonl"
+test "$(wc -l < "$OUT-8.jsonl")" -ge 24
+grep -q '"ok":true' "$OUT-8.jsonl"
+head -1 "$OUT-8.csv" | grep -q '^trial,'
+
+echo "check.sh: OK"

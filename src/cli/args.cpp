@@ -5,6 +5,23 @@
 
 namespace hcsim {
 
+namespace {
+
+/// Options that never take a value. "--flag token" must leave `token` a
+/// positional instead of swallowing it as the flag's value; every other
+/// option follows the "--key value" rule.
+bool isBareFlag(const std::string& name) {
+  static const char* const kBareFlags[] = {
+      "--fsync", "--per-op", "--shared-file", "--unique-dir", "--help",
+  };
+  for (const char* flag : kBareFlags) {
+    if (name == flag) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 ArgParser::ArgParser(const std::vector<std::string>& args) { parse(args); }
 
 ArgParser::ArgParser(int argc, const char* const* argv) {
@@ -20,7 +37,8 @@ void ArgParser::parse(const std::vector<std::string>& args) {
       const auto eq = tok.find('=');
       if (eq != std::string::npos) {
         options_[tok.substr(0, eq)] = tok.substr(eq + 1);
-      } else if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+      } else if (!isBareFlag(tok) && i + 1 < args.size() &&
+                 args[i + 1].rfind("--", 0) != 0) {
         options_[tok] = args[++i];
       } else {
         options_[tok] = "";

@@ -13,8 +13,10 @@ class ArgParser {
  public:
   /// Parse argv-style input (excluding the program name). Tokens
   /// starting with "--" are options; "--key value" when the next token
-  /// is not an option, otherwise a boolean flag. Everything else is a
-  /// positional. "--key=value" is also accepted.
+  /// is not an option, otherwise a boolean flag. Known boolean flags
+  /// (--fsync, --per-op, --shared-file, --unique-dir, --help) never
+  /// consume a value. Everything else is a positional. "--key=value" is
+  /// also accepted.
   explicit ArgParser(const std::vector<std::string>& args);
   ArgParser(int argc, const char* const* argv);  ///< skips argv[0]
 

@@ -8,6 +8,8 @@
 #include "core/planner.hpp"
 #include "core/takeaways.hpp"
 #include "mdtest/mdtest.hpp"
+#include "sweep/result_sink.hpp"
+#include "sweep/sweep_runner.hpp"
 #include "util/table.hpp"
 
 namespace hcsim::cli {
@@ -62,6 +64,8 @@ int cmdHelp(std::ostream& out) {
          "  mdtest      --site S --storage K [--procs P] [--items N] [--unique-dir]\n"
          "  plan        --machine M --pattern A --min-gbs G [--nodes N] [--ppn P]\n"
          "  takeaways   run the paper's section-VII checks\n"
+         "  sweep       --spec F.json [--jobs N] [--out results.jsonl] [--csv results.csv]\n"
+         "              [--baseline prior.jsonl]   (parallel what-if config sweep)\n"
          "  dump-config --storage vast|gpfs|lustre|nvme --site S   (preset as JSON)\n"
          "  help        this text\n";
   return 0;
@@ -209,6 +213,80 @@ int cmdTakeaways(const ArgParser&, std::ostream& out, std::ostream&) {
   return 0;
 }
 
+int cmdSweep(const ArgParser& args, std::ostream& out, std::ostream& err) {
+  const auto specPath = args.get("--spec");
+  if (!specPath) {
+    err << "error: sweep requires --spec <file.json>\n";
+    return 2;
+  }
+  sweep::SweepSpec spec;
+  if (!sweep::loadSpec(*specPath, spec)) {
+    err << "error: cannot load sweep spec from " << *specPath << "\n";
+    return 2;
+  }
+  std::size_t jobs = args.sizeOr("--jobs", sweep::defaultJobs());
+  if (jobs == 0) jobs = sweep::defaultJobs();
+  const sweep::SweepOutcome result = sweep::runSweep(spec, jobs);
+
+  ResultTable t("sweep '" + spec.name + "': " + std::to_string(result.results.size()) +
+                " trials on " + std::to_string(jobs) + " jobs");
+  t.setHeader({"trial", "params", "GB/s", "min", "max", "elapsed"});
+  for (const auto& r : result.results) {
+    if (r.metrics.ok) {
+      t.addRow({std::to_string(r.trial.index), sweep::paramsKey(r.trial), r.metrics.meanGBs,
+                r.metrics.minGBs, r.metrics.maxGBs, formatSeconds(r.metrics.elapsedSec)});
+    } else {
+      t.addRow({std::to_string(r.trial.index), sweep::paramsKey(r.trial),
+                std::string("FAILED"), std::string(), std::string(), r.metrics.error});
+    }
+  }
+  out << t.toString();
+  if (result.bandwidthGBs.count() > 0) {
+    out << "aggregate over " << result.bandwidthGBs.count() << " ok trials: mean "
+        << result.bandwidthGBs.mean() << " GB/s (min " << result.bandwidthGBs.min() << ", max "
+        << result.bandwidthGBs.max() << ", stddev " << result.bandwidthGBs.stddev() << ")\n";
+  }
+  if (result.failures > 0) {
+    out << result.failures << " trial(s) failed\n";
+  }
+
+  if (const auto outPath = args.get("--out")) {
+    if (!sweep::writeJsonl(result, *outPath)) {
+      err << "error: cannot write " << *outPath << "\n";
+      return 1;
+    }
+    out << "wrote " << *outPath << "\n";
+  }
+  if (const auto csvPath = args.get("--csv")) {
+    if (!sweep::writeCsv(result, *csvPath)) {
+      err << "error: cannot write " << *csvPath << "\n";
+      return 1;
+    }
+    out << "wrote " << *csvPath << "\n";
+  }
+  if (const auto basePath = args.get("--baseline")) {
+    std::map<std::string, double> baseline;
+    if (!sweep::loadBaseline(*basePath, baseline)) {
+      err << "error: cannot load baseline from " << *basePath << "\n";
+      return 1;
+    }
+    ResultTable d("delta vs " + *basePath);
+    d.setHeader({"trial", "params", "baseline GB/s", "now GB/s", "delta %"});
+    for (const auto& delta : sweep::compareToBaseline(result, baseline)) {
+      if (delta.matched) {
+        d.addRow({std::to_string(delta.index), delta.key, delta.baselineGBs, delta.currentGBs,
+                  delta.deltaPct});
+      } else {
+        d.addRow({std::to_string(delta.index), delta.key, std::string("(new)"),
+                  delta.currentGBs, std::string()});
+      }
+    }
+    out << d.toString();
+  }
+  const bool allFailed = !result.results.empty() && result.failures == result.results.size();
+  return allFailed ? 1 : 0;
+}
+
 int cmdDumpConfig(const ArgParser& args, std::ostream& out, std::ostream& err) {
   Site site;
   StorageKind kind;
@@ -237,6 +315,7 @@ int run(const ArgParser& args, std::ostream& out, std::ostream& err) {
     if (cmd == "mdtest") return cmdMdtest(args, out, err);
     if (cmd == "plan") return cmdPlan(args, out, err);
     if (cmd == "takeaways") return cmdTakeaways(args, out, err);
+    if (cmd == "sweep") return cmdSweep(args, out, err);
     if (cmd == "dump-config") return cmdDumpConfig(args, out, err);
   } catch (const std::exception& ex) {
     // Bad geometry, impossible site/storage combinations, etc. surface

@@ -15,6 +15,7 @@ namespace hcsim::cli {
 ///   mdtest    run an MDTest storm        (--site --storage --procs ...)
 ///   plan      search VAST deployments    (--machine --pattern --min-gbs ...)
 ///   takeaways run the paper's §VII checks
+///   sweep     run a what-if config sweep   (--spec --jobs --out --baseline)
 ///   dump-config  print a preset config as JSON (--storage vast@wombat ...)
 ///   help      usage
 int run(const ArgParser& args, std::ostream& out, std::ostream& err);
@@ -24,6 +25,7 @@ int cmdDlio(const ArgParser& args, std::ostream& out, std::ostream& err);
 int cmdMdtest(const ArgParser& args, std::ostream& out, std::ostream& err);
 int cmdPlan(const ArgParser& args, std::ostream& out, std::ostream& err);
 int cmdTakeaways(const ArgParser& args, std::ostream& out, std::ostream& err);
+int cmdSweep(const ArgParser& args, std::ostream& out, std::ostream& err);
 int cmdDumpConfig(const ArgParser& args, std::ostream& out, std::ostream& err);
 int cmdHelp(std::ostream& out);
 

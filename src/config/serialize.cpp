@@ -267,6 +267,8 @@ JsonValue toJson(const GpfsConfig& c) {
   o["raidParityOverhead"] = c.raidParityOverhead;
   o["serverCacheBytes"] = static_cast<double>(c.serverCacheBytes);
   o["randomCacheResidencyFactor"] = c.randomCacheResidencyFactor;
+  o["randomCacheDecayBytes"] = static_cast<double>(c.randomCacheDecayBytes);
+  o["prefetchChurnPerGiB"] = c.prefetchChurnPerGiB;
   o["clientReadCap"] = c.clientReadCap;
   o["clientWriteCap"] = c.clientWriteCap;
   o["clientPagepool"] = static_cast<double>(c.clientPagepool);
@@ -292,6 +294,8 @@ bool fromJson(const JsonValue& j, GpfsConfig& out) {
   get(j, "raidParityOverhead", out.raidParityOverhead);
   get(j, "serverCacheBytes", out.serverCacheBytes);
   get(j, "randomCacheResidencyFactor", out.randomCacheResidencyFactor);
+  get(j, "randomCacheDecayBytes", out.randomCacheDecayBytes);
+  get(j, "prefetchChurnPerGiB", out.prefetchChurnPerGiB);
   get(j, "clientReadCap", out.clientReadCap);
   get(j, "clientWriteCap", out.clientWriteCap);
   get(j, "clientPagepool", out.clientPagepool);

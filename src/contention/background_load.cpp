@@ -1,7 +1,9 @@
 #include "contention/background_load.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <stdexcept>
+#include <vector>
 
 namespace hcsim {
 
@@ -72,28 +74,60 @@ ContendedResult runIorUnderContention(TestBench& bench, FileSystemModel& fs,
   Simulator& sim = bench.sim();
   const SimTime start = sim.now();
   SimTime lastEnd = start;
-  std::size_t outstanding = 0;
+  std::size_t outstanding = 0;  // live foreground chains
   const std::size_t slots =
       std::min<std::size_t>(cfg.procsPerNode, std::max<std::size_t>(1, fs.clientParallelism()));
+
+  // The foreground issues segment by segment (one block per submit)
+  // instead of one coalesced flow for the whole run: each segment
+  // samples the storage model's contention state at its own submit time,
+  // so tenant phasing shows up in the elapsed time the way it does on a
+  // real shared machine.
+  struct Chain {
+    FileSystemModel* fs = nullptr;
+    BackgroundLoad* load = nullptr;
+    IoRequest req;                // one segment's worth
+    std::uint64_t remaining = 0;  // segments left
+    SimTime* lastEnd = nullptr;
+    std::size_t* outstanding = nullptr;
+
+    void issue() {
+      fs->submit(req, [this](const IoResult& r) {
+        *lastEnd = std::max(*lastEnd, r.endTime);
+        if (--remaining > 0) {
+          issue();
+        } else if (--*outstanding == 0) {
+          load->stop();  // let the sim drain
+        }
+      });
+    }
+  };
+  std::vector<std::unique_ptr<Chain>> chains;
+  chains.reserve(cfg.nodes * slots);
+  const std::uint64_t opsPerBlock =
+      std::max<std::uint64_t>(1, cfg.blockSize / cfg.transferSize);
   for (std::uint32_t n = 0; n < cfg.nodes; ++n) {
     for (std::uint32_t slot = 0; slot < slots; ++slot) {
       const std::uint32_t streams =
           static_cast<std::uint32_t>((cfg.procsPerNode - slot + slots - 1) / slots);
-      IoRequest req;
-      req.client = ClientId{n, slot};
-      req.fileId = static_cast<std::uint64_t>(n) * cfg.procsPerNode + slot + 1;
-      req.bytes = cfg.bytesPerProc() * streams;
-      req.pattern = cfg.access;
-      req.sharedFile = !cfg.filePerProcess;
-      req.ops = cfg.transfersPerProc() * streams;
-      req.streams = streams;
+      auto chain = std::make_unique<Chain>();
+      chain->fs = &fs;
+      chain->load = &load;
+      chain->req.client = ClientId{n, slot};
+      chain->req.fileId = static_cast<std::uint64_t>(n) * cfg.procsPerNode + slot + 1;
+      chain->req.bytes = cfg.blockSize * streams;
+      chain->req.pattern = cfg.access;
+      chain->req.sharedFile = !cfg.filePerProcess;
+      chain->req.ops = opsPerBlock * streams;
+      chain->req.streams = streams;
+      chain->remaining = cfg.segments;
+      chain->lastEnd = &lastEnd;
+      chain->outstanding = &outstanding;
       ++outstanding;
-      fs.submit(req, [&](const IoResult& r) {
-        lastEnd = std::max(lastEnd, r.endTime);
-        if (--outstanding == 0) load.stop();  // let the sim drain
-      });
+      chains.push_back(std::move(chain));
     }
   }
+  for (auto& chain : chains) chain->issue();
   sim.run();
   fs.endPhase();
   if (outstanding != 0) {

@@ -78,9 +78,15 @@ void GpfsModel::onPhaseChange() {
     if (isSequential(ph.pattern)) {
       hitRatio_ = 1.0;  // prefetch pipeline: served at server speed
     } else if (ph.workingSetBytes > 0) {
-      const double effective =
+      // Working sets inside the churn-resistant resident core hit fully;
+      // beyond it the hit ratio decays exponentially with the excess.
+      const double resident =
           static_cast<double>(cache) * cfg_.randomCacheResidencyFactor;
-      hitRatio_ = std::min(1.0, effective / static_cast<double>(ph.workingSetBytes));
+      const double ws = static_cast<double>(ph.workingSetBytes);
+      hitRatio_ = ws <= resident
+                      ? 1.0
+                      : std::exp(-(ws - resident) /
+                                 static_cast<double>(cfg_.randomCacheDecayBytes));
     } else {
       hitRatio_ = 0.0;
     }
@@ -102,6 +108,23 @@ void GpfsModel::submit(const IoRequest& req, IoCallback cb) {
     return;
   }
 
+  // Requests from clients outside the active phase's node range are
+  // background tenants sharing the machine; track their in-flight bytes
+  // so phase clients can be charged the prefetch churn that competing
+  // traffic causes at the NSD pool.
+  Seconds stall = 0.0;
+  if (inPhase() && req.client.node >= phase().nodes) {
+    backgroundInFlight_ += req.bytes;
+    cb = [this, bytes = req.bytes, inner = std::move(cb)](const IoResult& r) {
+      backgroundInFlight_ -= bytes;
+      if (inner) inner(r);
+    };
+  } else {
+    stall = cfg_.prefetchChurnPerGiB *
+            (static_cast<double>(backgroundInFlight_) / static_cast<double>(units::GiB));
+  }
+  const Seconds perOpBase = cfg_.rpcLatency + stall;
+
   // Common prefix: client NIC -> per-node GPFS client ceiling -> NSD pool.
   Route route;
   route.push_back(clientNic(req.client.node));
@@ -109,66 +132,30 @@ void GpfsModel::submit(const IoRequest& req, IoCallback cb) {
   route.push_back(serverLink_);
 
   if (!isRead(req.pattern)) {
-    Route wr = route;
-    wr.push_back(deviceLink_);  // writes stream through to RAID
-    Seconds perOp = cfg_.rpcLatency;
+    route.push_back(deviceLink_);  // writes stream through to RAID
+    Seconds perOp = perOpBase;
     if (req.fsync) perOp += cfg_.commitLatency;
-    launchTransfer(req, req.bytes, wr, kUncapped, perOp, cfg_.rpcLatency, std::move(cb));
+    launchTransfer(req, req.bytes, route, kUncapped, perOp, perOpBase, std::move(cb));
     return;
   }
 
-  // Reads: cache-hit portion served at server speed, miss portion from
-  // the RAID pool; random reads additionally pay the thrash penalty.
-  Bytes hitBytes;
-  if (req.ops <= 1) {
-    hitBytes = rng().uniform() < hitRatio_ ? req.bytes : 0;
-  } else {
-    hitBytes = static_cast<Bytes>(std::llround(static_cast<double>(req.bytes) * hitRatio_));
+  // Reads: the ops of a stream sample the server cache at the phase hit
+  // ratio, so the stream pays the hit/miss *mixture* of per-op dead
+  // times — hits cost the RPC only, misses add the RAID request latency
+  // and (for random access) the prefetch-thrash penalty. Charging the
+  // mixture to one flow, instead of splitting into concurrent hit/miss
+  // flows whose completion the slower portion dominates, makes aggregate
+  // bandwidth degrade smoothly as the working set outgrows the resident
+  // cache core. Single-op requests resolve the draw individually.
+  const double hit = req.ops <= 1 ? (rng().uniform() < hitRatio_ ? 1.0 : 0.0) : hitRatio_;
+  Seconds perOp = perOpBase;
+  if (hit < 1.0) {
+    route.push_back(deviceLink_);  // misses fall through to the RAID pool
+    Seconds missExtra = raid_.requestLatency(req.pattern);
+    if (!isSequential(req.pattern)) missExtra += cfg_.randomReadPenalty;
+    perOp += (1.0 - hit) * missExtra;
   }
-  const Bytes missBytes = req.bytes - hitBytes;
-
-  // Served-from-cache reads pay the RPC only; the thrash/seek penalty is
-  // a device-side effect charged to the miss portion below.
-  const Seconds perOp = cfg_.rpcLatency;
-
-  struct Join {
-    IoCallback cb;
-    SimTime start = 0.0;
-    SimTime end = 0.0;
-    Bytes bytes = 0;
-    int outstanding = 0;
-  };
-  auto join = std::make_shared<Join>();
-  join->cb = std::move(cb);
-  join->start = simulator().now();
-  auto part = [join](const IoResult& r) {
-    join->end = std::max(join->end, r.endTime);
-    join->bytes += r.bytes;
-    if (--join->outstanding == 0 && join->cb) {
-      join->cb(IoResult{join->start, join->end, join->bytes});
-    }
-  };
-  if (hitBytes > 0) ++join->outstanding;
-  if (missBytes > 0) ++join->outstanding;
-
-  if (hitBytes > 0) {
-    IoRequest sub = req;
-    sub.bytes = hitBytes;
-    sub.ops = std::max<std::uint64_t>(1, req.ops * hitBytes / req.bytes);
-    const double frac = static_cast<double>(hitBytes) / static_cast<double>(req.bytes);
-    launchTransfer(sub, hitBytes, route, kUncapped, perOp, cfg_.rpcLatency, part, frac);
-  }
-  if (missBytes > 0) {
-    Route miss = route;
-    miss.push_back(deviceLink_);
-    IoRequest sub = req;
-    sub.bytes = missBytes;
-    sub.ops = std::max<std::uint64_t>(1, req.ops * missBytes / req.bytes);
-    Seconds missOverhead = perOp + raid_.requestLatency(req.pattern);
-    if (!isSequential(req.pattern)) missOverhead += cfg_.randomReadPenalty;
-    const double frac = static_cast<double>(missBytes) / static_cast<double>(req.bytes);
-    launchTransfer(sub, missBytes, miss, kUncapped, missOverhead, cfg_.rpcLatency, part, frac);
-  }
+  launchTransfer(req, req.bytes, route, kUncapped, perOp, perOpBase, std::move(cb));
 }
 
 }  // namespace hcsim

@@ -46,6 +46,9 @@ class GpfsModel final : public StorageModelBase {
   // ---- Introspection ----
   double phaseServerCacheHitRatio() const { return hitRatio_; }
   Bandwidth deviceCapacity() const;
+  /// Bytes currently in flight from clients outside the active phase's
+  /// node range (background tenants on the shared machine).
+  Bytes backgroundBytesInFlight() const { return backgroundInFlight_; }
 
  protected:
   void onPhaseChange() override;
@@ -65,6 +68,7 @@ class GpfsModel final : public StorageModelBase {
   std::unordered_map<std::uint32_t, LinkId> clientCaps_;
   std::set<std::size_t> failedNsd_;
   double hitRatio_ = 0.0;
+  Bytes backgroundInFlight_ = 0;
 };
 
 }  // namespace hcsim

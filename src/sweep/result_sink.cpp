@@ -1,0 +1,136 @@
+#include "sweep/result_sink.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace hcsim::sweep {
+
+namespace {
+
+JsonValue paramsObject(const Trial& trial) {
+  JsonObject o;
+  for (const auto& [path, v] : trial.params) o[path] = deepCopy(v);
+  return JsonValue(std::move(o));
+}
+
+std::string csvField(const JsonValue& v) {
+  if (const std::string* s = v.str()) {
+    if (s->find_first_of(",\"\n") == std::string::npos) return *s;
+    std::string quoted = "\"";
+    for (char c : *s) {
+      if (c == '"') quoted += '"';
+      quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+  }
+  return writeJson(v);
+}
+
+std::string formatDouble(double d) {
+  return writeJson(JsonValue(d));  // same formatting as the JSONL output
+}
+
+}  // namespace
+
+std::string paramsKey(const Trial& trial) { return writeJson(paramsObject(trial)); }
+
+std::string toJsonlLine(const TrialResult& r) {
+  JsonObject o;
+  o["trial"] = static_cast<double>(r.trial.index);
+  o["params"] = paramsObject(r.trial);
+  JsonObject m;
+  m["ok"] = r.metrics.ok;
+  if (r.metrics.ok) {
+    m["meanGBs"] = r.metrics.meanGBs;
+    m["minGBs"] = r.metrics.minGBs;
+    m["maxGBs"] = r.metrics.maxGBs;
+    m["elapsedSec"] = r.metrics.elapsedSec;
+    m["bytes"] = r.metrics.bytesMoved;
+  } else {
+    m["error"] = r.metrics.error;
+  }
+  o["metrics"] = JsonValue(std::move(m));
+  return writeJson(JsonValue(std::move(o)));
+}
+
+bool writeJsonl(const SweepOutcome& out, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  for (const TrialResult& r : out.results) f << toJsonlLine(r) << "\n";
+  return static_cast<bool>(f);
+}
+
+std::string toCsv(const SweepOutcome& out) {
+  std::ostringstream os;
+  os << "trial";
+  if (!out.results.empty()) {
+    for (const auto& [path, v] : out.results.front().trial.params) {
+      (void)v;
+      os << "," << path;
+    }
+  }
+  os << ",ok,meanGBs,minGBs,maxGBs,elapsedSec,bytes,error\n";
+  for (const TrialResult& r : out.results) {
+    os << r.trial.index;
+    for (const auto& [path, v] : r.trial.params) {
+      (void)path;
+      os << "," << csvField(v);
+    }
+    if (r.metrics.ok) {
+      os << ",1," << formatDouble(r.metrics.meanGBs) << "," << formatDouble(r.metrics.minGBs)
+         << "," << formatDouble(r.metrics.maxGBs) << "," << formatDouble(r.metrics.elapsedSec)
+         << "," << formatDouble(r.metrics.bytesMoved) << ",\n";
+    } else {
+      os << ",0,,,,,," << csvField(JsonValue(r.metrics.error)) << "\n";
+    }
+  }
+  return os.str();
+}
+
+bool writeCsv(const SweepOutcome& out, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << toCsv(out);
+  return static_cast<bool>(f);
+}
+
+bool loadBaseline(const std::string& path, std::map<std::string, double>& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    JsonValue j;
+    if (!parseJson(line, j)) return false;
+    const JsonValue* params = j.find("params");
+    const JsonValue* metrics = j.find("metrics");
+    if (!params || !metrics) return false;
+    if (!metrics->boolOr("ok", false)) continue;
+    out[writeJson(*params)] = metrics->numberOr("meanGBs", 0.0);
+  }
+  return true;
+}
+
+std::vector<BaselineDelta> compareToBaseline(const SweepOutcome& out,
+                                             const std::map<std::string, double>& baseline) {
+  std::vector<BaselineDelta> deltas;
+  for (const TrialResult& r : out.results) {
+    if (!r.metrics.ok) continue;
+    BaselineDelta d;
+    d.index = r.trial.index;
+    d.key = paramsKey(r.trial);
+    d.currentGBs = r.metrics.meanGBs;
+    const auto it = baseline.find(d.key);
+    if (it != baseline.end()) {
+      d.matched = true;
+      d.baselineGBs = it->second;
+      d.deltaPct =
+          d.baselineGBs != 0.0 ? 100.0 * (d.currentGBs - d.baselineGBs) / d.baselineGBs : 0.0;
+    }
+    deltas.push_back(std::move(d));
+  }
+  return deltas;
+}
+
+}  // namespace hcsim::sweep

@@ -1,0 +1,217 @@
+#include "sweep/sweep_runner.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "config/serialize.hpp"
+#include "core/experiment.hpp"
+
+namespace hcsim::sweep {
+
+namespace {
+
+bool parseSiteName(const std::string& s, Site& out) {
+  if (s == "lassen") out = Site::Lassen;
+  else if (s == "ruby") out = Site::Ruby;
+  else if (s == "quartz") out = Site::Quartz;
+  else if (s == "wombat") out = Site::Wombat;
+  else return false;
+  return true;
+}
+
+bool parseStorageName(const std::string& s, StorageKind& out) {
+  if (s == "vast") out = StorageKind::Vast;
+  else if (s == "gpfs") out = StorageKind::Gpfs;
+  else if (s == "lustre") out = StorageKind::Lustre;
+  else if (s == "nvme") out = StorageKind::NvmeLocal;
+  else return false;
+  return true;
+}
+
+/// makeEnvironment, but with the trial's optional "storageConfig"
+/// overrides merged onto the site's preset deployment. fromJson is
+/// lenient, so the overrides object only states what it changes.
+Environment makeTrialEnvironment(Site site, StorageKind kind, std::size_t nodes,
+                                 const JsonValue* overrides) {
+  Environment env;
+  env.bench = std::make_unique<TestBench>(machineFor(site), nodes);
+  const auto badOverrides = [] {
+    return std::invalid_argument("sweep: 'storageConfig' overrides do not parse");
+  };
+  switch (kind) {
+    case StorageKind::Vast: {
+      VastConfig c = site == Site::Lassen   ? vastOnLassen()
+                     : site == Site::Ruby   ? vastOnRuby()
+                     : site == Site::Quartz ? vastOnQuartz()
+                                            : vastOnWombat();
+      if (overrides && !fromJson(*overrides, c)) throw badOverrides();
+      env.fs = env.bench->attachVast(std::move(c));
+      break;
+    }
+    case StorageKind::Gpfs: {
+      if (site != Site::Lassen) {
+        throw std::invalid_argument("sweep: the paper only tests GPFS on Lassen");
+      }
+      GpfsConfig c = gpfsOnLassen();
+      if (overrides && !fromJson(*overrides, c)) throw badOverrides();
+      env.fs = env.bench->attachGpfs(std::move(c));
+      break;
+    }
+    case StorageKind::Lustre: {
+      if (site != Site::Quartz && site != Site::Ruby) {
+        throw std::invalid_argument("sweep: the paper tests Lustre on Quartz/Ruby");
+      }
+      LustreConfig c = site == Site::Quartz ? lustreOnQuartz() : lustreOnRuby();
+      if (overrides && !fromJson(*overrides, c)) throw badOverrides();
+      env.fs = env.bench->attachLustre(std::move(c));
+      break;
+    }
+    case StorageKind::NvmeLocal: {
+      if (site != Site::Wombat) {
+        throw std::invalid_argument("sweep: node-local NVMe is only on Wombat");
+      }
+      NvmeLocalConfig c = nvmeOnWombat();
+      if (overrides && !fromJson(*overrides, c)) throw badOverrides();
+      env.fs = env.bench->attachNvme(std::move(c));
+      break;
+    }
+  }
+  return env;
+}
+
+TrialMetrics runIorTrial(const JsonValue& config, Site site, StorageKind kind) {
+  IorConfig cfg;
+  if (const JsonValue* j = config.find("ior")) {
+    if (!fromJson(*j, cfg)) throw std::invalid_argument("sweep: 'ior' section does not parse");
+  }
+  cfg.validate();
+  Environment env = makeTrialEnvironment(site, kind, cfg.nodes, config.find("storageConfig"));
+  IorRunner runner(*env.bench, *env.fs);
+  const IorResult r = runner.run(cfg);
+  TrialMetrics m;
+  m.ok = true;
+  m.meanGBs = units::toGBs(r.bandwidth.mean);
+  m.minGBs = units::toGBs(r.bandwidth.min);
+  m.maxGBs = units::toGBs(r.bandwidth.max);
+  m.elapsedSec = r.meanElapsed;
+  m.bytesMoved = static_cast<double>(r.totalBytes);
+  return m;
+}
+
+TrialMetrics runDlioTrial(const JsonValue& config, Site site, StorageKind kind) {
+  DlioConfig cfg;
+  if (const JsonValue* j = config.find("dlio")) {
+    if (!fromJson(*j, cfg)) throw std::invalid_argument("sweep: 'dlio' section does not parse");
+  }
+  Environment env = makeTrialEnvironment(site, kind, cfg.nodes, config.find("storageConfig"));
+  DlioRunner runner(*env.bench, *env.fs);
+  const DlioResult r = runner.run(cfg);
+  TrialMetrics m;
+  m.ok = true;
+  m.meanGBs = m.minGBs = m.maxGBs = units::toGBs(r.throughput.application);
+  m.elapsedSec = r.runtime;
+  m.bytesMoved = static_cast<double>(r.bytesRead + r.bytesCheckpointed);
+  return m;
+}
+
+}  // namespace
+
+std::size_t defaultJobs() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1 : static_cast<std::size_t>(hc);
+}
+
+TrialMetrics runTrial(const std::string& experiment, const JsonValue& config) {
+  TrialMetrics m;
+  try {
+    Site site;
+    if (!parseSiteName(config.stringOr("site", "lassen"), site)) {
+      throw std::invalid_argument("sweep: 'site' must be lassen|ruby|quartz|wombat");
+    }
+    StorageKind kind;
+    if (!parseStorageName(config.stringOr("storage", "vast"), kind)) {
+      throw std::invalid_argument("sweep: 'storage' must be vast|gpfs|lustre|nvme");
+    }
+    if (experiment == "ior") return runIorTrial(config, site, kind);
+    if (experiment == "dlio") return runDlioTrial(config, site, kind);
+    throw std::invalid_argument("sweep: experiment must be 'ior' or 'dlio'");
+  } catch (const std::exception& ex) {
+    m.ok = false;
+    m.error = ex.what();
+  }
+  return m;
+}
+
+SweepOutcome runSweep(const SweepSpec& spec, std::size_t jobs) {
+  std::vector<Trial> trials = expandTrials(spec);
+  SweepOutcome out;
+  out.name = spec.name;
+  out.experiment = spec.experiment;
+  out.results.resize(trials.size());
+  const std::size_t n = trials.size();
+  if (n == 0) return out;
+  const std::size_t workers =
+      std::max<std::size_t>(1, std::min(jobs == 0 ? defaultJobs() : jobs, n));
+
+  struct WorkDeque {
+    std::mutex mu;
+    std::deque<std::size_t> q;
+  };
+  std::vector<WorkDeque> deques(workers);
+  for (std::size_t i = 0; i < n; ++i) deques[i % workers].q.push_back(i);
+
+  const auto popOwn = [&deques](std::size_t w, std::size_t& idx) {
+    std::lock_guard<std::mutex> lk(deques[w].mu);
+    if (deques[w].q.empty()) return false;
+    idx = deques[w].q.front();
+    deques[w].q.pop_front();
+    return true;
+  };
+  const auto steal = [&deques, workers](std::size_t w, std::size_t& idx) {
+    for (std::size_t off = 1; off < workers; ++off) {
+      WorkDeque& d = deques[(w + off) % workers];
+      std::lock_guard<std::mutex> lk(d.mu);
+      if (d.q.empty()) continue;
+      idx = d.q.back();
+      d.q.pop_back();
+      return true;
+    }
+    return false;
+  };
+
+  // Each trial index is claimed by exactly one worker, and each result
+  // slot is written exactly once, so the only synchronization needed is
+  // the deque locks and the final join.
+  const auto work = [&](std::size_t w) {
+    std::size_t idx = 0;
+    while (popOwn(w, idx) || steal(w, idx)) {
+      TrialResult& slot = out.results[idx];
+      slot.trial = std::move(trials[idx]);
+      slot.metrics = runTrial(spec.experiment, slot.trial.config);
+    }
+  };
+
+  if (workers == 1) {
+    work(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(work, w);
+    for (std::thread& t : pool) t.join();
+  }
+
+  for (const TrialResult& r : out.results) {
+    if (!r.metrics.ok) {
+      ++out.failures;
+      continue;
+    }
+    out.bandwidthGBs.add(r.metrics.meanGBs);
+    out.elapsedSec.add(r.metrics.elapsedSec);
+  }
+  return out;
+}
+
+}  // namespace hcsim::sweep

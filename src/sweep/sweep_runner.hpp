@@ -1,0 +1,57 @@
+#pragma once
+// Parallel what-if sweep execution.
+//
+// Every trial builds its own TestBench — and therefore its own
+// Simulator, Topology and storage model — so trials share no mutable
+// state and can run concurrently. The pool is work-stealing: trials are
+// dealt round-robin across workers, and a worker that drains its own
+// deque steals from the back of a neighbour's, so a few slow trials
+// (big node counts) do not idle the rest of the pool. Results land in a
+// slot-per-trial vector, so the outcome is identical — byte for byte in
+// the emitted JSONL/CSV — whatever the job count.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sweep/sweep_spec.hpp"
+#include "util/stats.hpp"
+
+namespace hcsim::sweep {
+
+struct TrialMetrics {
+  bool ok = false;
+  std::string error;  ///< populated when !ok (bad config, impossible deployment)
+  double meanGBs = 0.0;
+  double minGBs = 0.0;
+  double maxGBs = 0.0;
+  double elapsedSec = 0.0;
+  double bytesMoved = 0.0;
+};
+
+struct TrialResult {
+  Trial trial;
+  TrialMetrics metrics;
+};
+
+struct SweepOutcome {
+  std::string name;
+  std::string experiment;
+  std::vector<TrialResult> results;  ///< ordered by trial index
+  RunningStats bandwidthGBs;         ///< merged over successful trials
+  RunningStats elapsedSec;
+  std::size_t failures = 0;
+};
+
+/// The --jobs default: hardware concurrency (1 when unknown).
+std::size_t defaultJobs();
+
+/// Run one trial config ("site"/"storage"/workload section/optional
+/// "storageConfig" overrides) on a fresh environment. Never throws:
+/// failures come back as !ok with the reason in .error.
+TrialMetrics runTrial(const std::string& experiment, const JsonValue& config);
+
+/// Expand the spec and run every trial on `jobs` workers (0 = default).
+SweepOutcome runSweep(const SweepSpec& spec, std::size_t jobs);
+
+}  // namespace hcsim::sweep

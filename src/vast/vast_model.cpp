@@ -251,7 +251,10 @@ void VastModel::submitRead(const IoRequest& req, IoCallback cb) {
   }
   const Bytes missBytes = req.bytes - hitBytes;
 
-  const Seconds rpc = cfg_.rpcLatency();
+  // Every NFS op pays the network round trip over the mount path — in
+  // particular the Ethernet gateway hop on the LC TCP deployments, which
+  // is what makes small-transfer workloads so much slower there.
+  const Seconds rpc = cfg_.rpcLatency() + topology().network().routeLatency(route);
   const Seconds hitOverhead = rpc + scmPool_.requestLatency(AccessPattern::RandomRead);
   const Seconds missOverhead = rpc + qlcPool_.requestLatency(req.pattern);
 
@@ -301,7 +304,8 @@ void VastModel::submitWrite(const IoRequest& req, IoCallback cb) {
 
   scm_.absorb(req.bytes, simulator().now());
 
-  const Seconds rpc = cfg_.rpcLatency();
+  // As on the read path, each op carries the mount path's round trip.
+  const Seconds rpc = cfg_.rpcLatency() + topology().network().routeLatency(route);
   if (req.fsync && req.ops == 1) {
     // Accurate path (used by the single-node fsync tests): transfer the
     // payload, then wait in the serialized per-CNode commit queue for the

@@ -1,0 +1,223 @@
+// hcsim::sweep — spec parsing, JSON-path editing, grid/random
+// expansion, parallel-vs-serial determinism and the result sinks.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "sweep/result_sink.hpp"
+#include "sweep/sweep_runner.hpp"
+#include "sweep/sweep_spec.hpp"
+
+using namespace hcsim;
+using namespace hcsim::sweep;
+
+namespace {
+
+SweepSpec smallIorSpec() {
+  SweepSpec spec;
+  spec.name = "unit";
+  spec.experiment = "ior";
+  JsonObject ior;
+  ior["segments"] = 32;
+  ior["procsPerNode"] = 2;
+  ior["repetitions"] = 2;
+  ior["noiseStdDevFrac"] = 0.02;
+  JsonObject base;
+  base["site"] = "lassen";
+  base["ior"] = JsonValue(std::move(ior));
+  spec.base = JsonValue(std::move(base));
+  spec.axes.push_back({"storage", {JsonValue("gpfs"), JsonValue("vast")}});
+  spec.axes.push_back({"ior.access", {JsonValue("seq-write"), JsonValue("seq-read")}});
+  spec.axes.push_back({"ior.nodes", {JsonValue(1), JsonValue(2)}});
+  return spec;
+}
+
+std::string jsonl(const SweepOutcome& out) {
+  std::string all;
+  for (const auto& r : out.results) all += toJsonlLine(r) + "\n";
+  return all;
+}
+
+}  // namespace
+
+TEST(SweepSpec, JsonRoundTrip) {
+  SweepSpec in = smallIorSpec();
+  in.sampling.mode = Sampling::Mode::Random;
+  in.sampling.samples = 5;
+  in.sampling.seed = 42;
+
+  SweepSpec out;
+  ASSERT_TRUE(fromJson(toJson(in), out));
+  EXPECT_EQ(out.name, in.name);
+  EXPECT_EQ(out.experiment, in.experiment);
+  ASSERT_EQ(out.axes.size(), 3u);
+  EXPECT_EQ(out.axes[0].path, "storage");
+  ASSERT_EQ(out.axes[2].values.size(), 2u);
+  EXPECT_EQ(*out.axes[2].values[1].number(), 2.0);
+  EXPECT_EQ(out.sampling.mode, Sampling::Mode::Random);
+  EXPECT_EQ(out.sampling.samples, 5u);
+  EXPECT_EQ(out.sampling.seed, 42u);
+  EXPECT_EQ(out.base.stringOr("site", ""), "lassen");
+  EXPECT_EQ(writeJson(toJson(out)), writeJson(toJson(in)));
+}
+
+TEST(SweepSpec, RejectsMalformedAxes) {
+  JsonObject ax;
+  ax["path"] = "ior.nodes";
+  ax["values"] = JsonValue(JsonArray{});  // empty values
+  JsonObject o;
+  o["axes"] = JsonValue(JsonArray{JsonValue(std::move(ax))});
+  SweepSpec out;
+  EXPECT_FALSE(fromJson(JsonValue(std::move(o)), out));
+}
+
+TEST(SweepSpec, JsonPathSetCreatesIntermediates) {
+  JsonValue root;
+  ASSERT_TRUE(jsonPathSet(root, "storageConfig.gateway.latency", JsonValue(1.5e-4)));
+  const JsonValue* v = jsonPathGet(root, "storageConfig.gateway.latency");
+  ASSERT_NE(v, nullptr);
+  EXPECT_DOUBLE_EQ(*v->number(), 1.5e-4);
+  // A scalar in the way is a refusal, not an overwrite.
+  ASSERT_TRUE(jsonPathSet(root, "site", JsonValue("lassen")));
+  EXPECT_FALSE(jsonPathSet(root, "site.nested", JsonValue(1)));
+  EXPECT_EQ(jsonPathGet(root, "site.nested"), nullptr);
+  EXPECT_EQ(jsonPathGet(root, "missing.key"), nullptr);
+}
+
+TEST(SweepSpec, DeepCopyDoesNotAlias) {
+  JsonValue a;
+  ASSERT_TRUE(jsonPathSet(a, "ior.nodes", JsonValue(1)));
+  JsonValue shallow = a;           // shares the object tree
+  JsonValue deep = deepCopy(a);    // must not
+  ASSERT_TRUE(jsonPathSet(a, "ior.nodes", JsonValue(8)));
+  EXPECT_DOUBLE_EQ(*jsonPathGet(shallow, "ior.nodes")->number(), 8.0);
+  EXPECT_DOUBLE_EQ(*jsonPathGet(deep, "ior.nodes")->number(), 1.0);
+}
+
+TEST(SweepExpand, GridCountAndOrder) {
+  const SweepSpec spec = smallIorSpec();
+  EXPECT_EQ(spec.gridSize(), 8u);
+  const std::vector<Trial> trials = expandTrials(spec);
+  ASSERT_EQ(trials.size(), 8u);
+  // Row-major with the last axis (ior.nodes) fastest.
+  EXPECT_DOUBLE_EQ(*jsonPathGet(trials[0].config, "ior.nodes")->number(), 1.0);
+  EXPECT_DOUBLE_EQ(*jsonPathGet(trials[1].config, "ior.nodes")->number(), 2.0);
+  EXPECT_EQ(*jsonPathGet(trials[0].config, "storage")->str(), "gpfs");
+  EXPECT_EQ(*jsonPathGet(trials[7].config, "storage")->str(), "vast");
+  EXPECT_EQ(*jsonPathGet(trials[7].config, "ior.access")->str(), "seq-read");
+  // Base fields survive, axis params are recorded per trial.
+  EXPECT_EQ(trials[5].config.stringOr("site", ""), "lassen");
+  ASSERT_EQ(trials[5].params.size(), 3u);
+  EXPECT_EQ(trials[5].params[0].first, "storage");
+  for (std::size_t i = 0; i < trials.size(); ++i) EXPECT_EQ(trials[i].index, i);
+}
+
+TEST(SweepExpand, RandomSamplerIsSeedDeterministic) {
+  SweepSpec spec = smallIorSpec();
+  spec.sampling.mode = Sampling::Mode::Random;
+  spec.sampling.samples = 16;
+  spec.sampling.seed = 7;
+  const std::vector<Trial> a = expandTrials(spec);
+  const std::vector<Trial> b = expandTrials(spec);
+  ASSERT_EQ(a.size(), 16u);
+  ASSERT_EQ(b.size(), 16u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(paramsKey(a[i]), paramsKey(b[i]));
+    EXPECT_EQ(writeJson(a[i].config), writeJson(b[i].config));
+  }
+  spec.sampling.seed = 8;
+  const std::vector<Trial> c = expandTrials(spec);
+  bool anyDiffer = false;
+  for (std::size_t i = 0; i < a.size(); ++i) anyDiffer |= paramsKey(a[i]) != paramsKey(c[i]);
+  EXPECT_TRUE(anyDiffer);
+}
+
+TEST(SweepRun, ParallelMatchesSerialByteForByte) {
+  const SweepSpec spec = smallIorSpec();
+  const SweepOutcome serial = runSweep(spec, 1);
+  const SweepOutcome parallel = runSweep(spec, 8);
+  ASSERT_EQ(serial.results.size(), 8u);
+  ASSERT_EQ(parallel.results.size(), 8u);
+  EXPECT_EQ(serial.failures, 0u);
+  EXPECT_EQ(parallel.failures, 0u);
+  EXPECT_EQ(jsonl(serial), jsonl(parallel));
+  EXPECT_EQ(toCsv(serial), toCsv(parallel));
+  EXPECT_DOUBLE_EQ(serial.bandwidthGBs.mean(), parallel.bandwidthGBs.mean());
+  for (const auto& r : serial.results) EXPECT_GT(r.metrics.meanGBs, 0.0);
+}
+
+TEST(SweepRun, ImpossibleDeploymentFailsThatTrialOnly) {
+  SweepSpec spec = smallIorSpec();
+  spec.axes[0].values.push_back(JsonValue("nvme"));  // NVMe is Wombat-only
+  const SweepOutcome out = runSweep(spec, 2);
+  ASSERT_EQ(out.results.size(), 12u);
+  EXPECT_EQ(out.failures, 4u);
+  for (const auto& r : out.results) {
+    const std::string storage = r.trial.config.stringOr("storage", "");
+    EXPECT_EQ(r.metrics.ok, storage != "nvme");
+    if (!r.metrics.ok) EXPECT_FALSE(r.metrics.error.empty());
+  }
+}
+
+TEST(SweepRun, StorageConfigOverridesChangeTheOutcome) {
+  SweepSpec spec;
+  spec.experiment = "ior";
+  JsonObject ior;
+  ior["access"] = "seq-read";
+  ior["nodes"] = 2;
+  ior["procsPerNode"] = 4;
+  ior["segments"] = 64;
+  JsonObject base;
+  base["site"] = "lassen";
+  base["storage"] = "vast";
+  base["ior"] = JsonValue(std::move(ior));
+  spec.base = JsonValue(std::move(base));
+  // Session-capped NFS reads: doubling the per-client cap must help.
+  spec.axes.push_back(
+      {"storageConfig.tcpSessionCap", {JsonValue(1.15e9), JsonValue(2.3e9)}});
+  const SweepOutcome out = runSweep(spec, 2);
+  ASSERT_EQ(out.results.size(), 2u);
+  ASSERT_TRUE(out.results[0].metrics.ok) << out.results[0].metrics.error;
+  ASSERT_TRUE(out.results[1].metrics.ok) << out.results[1].metrics.error;
+  EXPECT_GT(out.results[1].metrics.meanGBs, out.results[0].metrics.meanGBs * 1.2);
+}
+
+TEST(SweepSink, CsvHasHeaderAxisColumnsAndRows) {
+  SweepSpec spec = smallIorSpec();
+  spec.axes.resize(1);  // storage only -> 2 trials
+  const SweepOutcome out = runSweep(spec, 2);
+  const std::string csv = toCsv(out);
+  EXPECT_NE(csv.find("trial,storage,ok,meanGBs"), std::string::npos);
+  std::size_t lines = 0;
+  for (char c : csv) lines += c == '\n';
+  EXPECT_EQ(lines, 3u);  // header + 2 trials
+}
+
+TEST(SweepSink, BaselineSelfCompareIsZeroDelta) {
+  SweepSpec spec = smallIorSpec();
+  spec.axes.resize(2);  // 4 trials
+  const SweepOutcome out = runSweep(spec, 4);
+  const std::string path = "/tmp/hcsim_sweep_baseline_test.jsonl";
+  ASSERT_TRUE(writeJsonl(out, path));
+  std::map<std::string, double> baseline;
+  ASSERT_TRUE(loadBaseline(path, baseline));
+  std::remove(path.c_str());
+  EXPECT_EQ(baseline.size(), 4u);
+  const auto deltas = compareToBaseline(out, baseline);
+  ASSERT_EQ(deltas.size(), 4u);
+  for (const auto& d : deltas) {
+    EXPECT_TRUE(d.matched) << d.key;
+    EXPECT_DOUBLE_EQ(d.deltaPct, 0.0);
+  }
+}
+
+TEST(SweepSink, UnmatchedTrialReportsNew) {
+  SweepSpec spec = smallIorSpec();
+  spec.axes.resize(1);
+  const SweepOutcome out = runSweep(spec, 1);
+  const auto deltas = compareToBaseline(out, {});
+  ASSERT_EQ(deltas.size(), 2u);
+  for (const auto& d : deltas) EXPECT_FALSE(d.matched);
+}
