@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Release-build gate: configure + build EVERYTHING (library, tests,
 # benches, examples — a bench that fails to compile fails this script),
-# run the full test suite, then smoke-test the sweep engine end to end.
+# run the full test suite, then smoke-test the sweep engine and the
+# regression oracle end to end. A second profile repeats the tests and
+# an oracle smoke run under ASan+UBSan with sanitizers fatal; export
+# HCSIM_CHECK_SANITIZE=0 to skip it.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -24,5 +27,30 @@ cmp "$OUT-8.jsonl" "$OUT-1.jsonl"
 test "$(wc -l < "$OUT-8.jsonl")" -ge 24
 grep -q '"ok":true' "$OUT-8.jsonl"
 head -1 "$OUT-8.csv" | grep -q '^trial,'
+
+# Oracle gates: the metamorphic catalog must hold at full depth, and the
+# golden-figure check must pass against the committed snapshots AND be
+# byte-identical whatever the job count.
+"$BUILD/src/hcsim" oracle relations --cases 50 >/dev/null
+"$BUILD/src/hcsim" oracle check --dir "$ROOT/tests/golden" --jobs 8 \
+    > "$BUILD/check-oracle-8.txt"
+"$BUILD/src/hcsim" oracle check --dir "$ROOT/tests/golden" --jobs 1 \
+    > "$BUILD/check-oracle-1.txt"
+cmp "$BUILD/check-oracle-8.txt" "$BUILD/check-oracle-1.txt"
+
+# ASan+UBSan profile: rebuild the library + tests with sanitizers fatal
+# and re-run the full suite plus an oracle smoke. Benches/examples are
+# skipped (nothing new to catch there, halves the build).
+if [ "${HCSIM_CHECK_SANITIZE:-1}" != "0" ]; then
+  SAN_BUILD="${HCSIM_CHECK_ASAN_BUILD_DIR:-$ROOT/build-check-asan}"
+  cmake -S "$ROOT" -B "$SAN_BUILD" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DHCSIM_BUILD_BENCH=OFF -DHCSIM_BUILD_EXAMPLES=OFF \
+      -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all"
+  cmake --build "$SAN_BUILD" -j"$JOBS"
+  export UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1
+  ctest --test-dir "$SAN_BUILD" --output-on-failure -j"$JOBS"
+  "$SAN_BUILD/src/hcsim" oracle relations --cases 5 >/dev/null
+  "$SAN_BUILD/src/hcsim" oracle check --dir "$ROOT/tests/golden" >/dev/null
+fi
 
 echo "check.sh: OK"

@@ -13,6 +13,7 @@ namespace {
 bool isBareFlag(const std::string& name) {
   static const char* const kBareFlags[] = {
       "--fsync", "--per-op", "--shared-file", "--unique-dir", "--help",
+      "--no-shrink", "--full",
   };
   for (const char* flag : kBareFlags) {
     if (name == flag) return true;

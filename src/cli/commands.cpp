@@ -8,6 +8,8 @@
 #include "core/planner.hpp"
 #include "core/takeaways.hpp"
 #include "mdtest/mdtest.hpp"
+#include "oracle/golden.hpp"
+#include "oracle/relation.hpp"
 #include "sweep/result_sink.hpp"
 #include "sweep/sweep_runner.hpp"
 #include "util/table.hpp"
@@ -66,6 +68,12 @@ int cmdHelp(std::ostream& out) {
          "  takeaways   run the paper's section-VII checks\n"
          "  sweep       --spec F.json [--jobs N] [--out results.jsonl] [--csv results.csv]\n"
          "              [--baseline prior.jsonl]   (parallel what-if config sweep)\n"
+         "  oracle      list | relations | record | check   (regression harness)\n"
+         "              relations [--cases N] [--seed S] [--jobs J] [--relation NAME]\n"
+         "                        [--no-shrink]      (metamorphic relation suite)\n"
+         "              record    [--dir tests/golden] [--jobs J] [--figure F]\n"
+         "              check     [--dir tests/golden] [--jobs J] [--figure F]\n"
+         "                        [--tolerance PCT] [--full]   (golden-figure drift)\n"
          "  dump-config --storage vast|gpfs|lustre|nvme --site S   (preset as JSON)\n"
          "  help        this text\n";
   return 0;
@@ -287,6 +295,109 @@ int cmdSweep(const ArgParser& args, std::ostream& out, std::ostream& err) {
   return allFailed ? 1 : 0;
 }
 
+namespace {
+
+int oracleList(std::ostream& out) {
+  const auto& registry = oracle::RelationRegistry::builtin();
+  out << "metamorphic relations (" << registry.all().size() << "):\n";
+  for (const auto& r : registry.all()) {
+    out << "  " << r.name << "  [" << r.storage << ", " << oracle::toString(r.kind) << "]\n"
+        << "      " << r.claim << "\n";
+  }
+  out << "golden figures (" << oracle::builtinFigures().size() << "):\n";
+  for (const auto& f : oracle::builtinFigures()) {
+    out << "  " << f.name << "  (" << f.spec.trialCount() << " cells)  " << f.title << "\n";
+  }
+  return 0;
+}
+
+int oracleRelations(const ArgParser& args, std::ostream& out, std::ostream& err) {
+  oracle::SuiteOptions options;
+  options.casesPerRelation = args.sizeOr("--cases", 50);
+  options.seed = static_cast<std::uint64_t>(args.numberOr("--seed", 1.0));
+  options.jobs = args.sizeOr("--jobs", 0);
+  options.shrink = !args.has("--no-shrink");
+
+  const auto& registry = oracle::RelationRegistry::builtin();
+  std::vector<oracle::RelationReport> reports;
+  if (const auto name = args.get("--relation")) {
+    const oracle::MetamorphicRelation* rel = registry.find(*name);
+    if (!rel) {
+      err << "error: unknown relation '" << *name << "' (try: hcsim oracle list)\n";
+      return 2;
+    }
+    reports.push_back(oracle::runRelation(*rel, options));
+  } else {
+    reports = oracle::runSuite(registry, options);
+  }
+  out << oracle::toMarkdown(reports);
+  for (const auto& r : reports) {
+    if (!r.pass()) return 1;
+  }
+  return 0;
+}
+
+/// The figures a record/check run covers: all of them, or --figure F.
+bool selectFigures(const ArgParser& args, std::ostream& err,
+                   std::vector<const oracle::GoldenFigure*>& out) {
+  if (const auto name = args.get("--figure")) {
+    const oracle::GoldenFigure* fig = oracle::findFigure(*name);
+    if (!fig) {
+      err << "error: unknown figure '" << *name << "' (try: hcsim oracle list)\n";
+      return false;
+    }
+    out.push_back(fig);
+    return true;
+  }
+  for (const auto& f : oracle::builtinFigures()) out.push_back(&f);
+  return true;
+}
+
+int oracleRecord(const ArgParser& args, std::ostream& out, std::ostream& err) {
+  const std::string dir = args.getOr("--dir", "tests/golden");
+  const std::size_t jobs = args.sizeOr("--jobs", 0);
+  std::vector<const oracle::GoldenFigure*> figures;
+  if (!selectFigures(args, err, figures)) return 2;
+  for (const oracle::GoldenFigure* fig : figures) {
+    std::string error;
+    if (!oracle::recordFigure(*fig, dir, jobs, error)) {
+      err << "error: " << error << "\n";
+      return 1;
+    }
+    out << "recorded " << oracle::goldenPath(dir, fig->name) << " ("
+        << fig->spec.trialCount() << " cells)\n";
+  }
+  return 0;
+}
+
+int oracleCheck(const ArgParser& args, std::ostream& out, std::ostream& err) {
+  const std::string dir = args.getOr("--dir", "tests/golden");
+  const std::size_t jobs = args.sizeOr("--jobs", 0);
+  const double tolerance = args.numberOr("--tolerance", 2.0);
+  std::vector<const oracle::GoldenFigure*> figures;
+  if (!selectFigures(args, err, figures)) return 2;
+  bool pass = true;
+  for (const oracle::GoldenFigure* fig : figures) {
+    const oracle::FigureCheck check = oracle::checkFigure(*fig, dir, jobs, tolerance);
+    out << oracle::deltaTable(check, tolerance, args.has("--full"));
+    pass = pass && check.pass();
+  }
+  out << (pass ? "oracle golden check: PASS" : "oracle golden check: FAIL") << "\n";
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+
+int cmdOracle(const ArgParser& args, std::ostream& out, std::ostream& err) {
+  const std::string sub = args.positionalOr(1, "list");
+  if (sub == "list") return oracleList(out);
+  if (sub == "relations") return oracleRelations(args, out, err);
+  if (sub == "record") return oracleRecord(args, out, err);
+  if (sub == "check") return oracleCheck(args, out, err);
+  err << "error: oracle subcommand must be list|relations|record|check\n";
+  return 2;
+}
+
 int cmdDumpConfig(const ArgParser& args, std::ostream& out, std::ostream& err) {
   Site site;
   StorageKind kind;
@@ -316,6 +427,7 @@ int run(const ArgParser& args, std::ostream& out, std::ostream& err) {
     if (cmd == "plan") return cmdPlan(args, out, err);
     if (cmd == "takeaways") return cmdTakeaways(args, out, err);
     if (cmd == "sweep") return cmdSweep(args, out, err);
+    if (cmd == "oracle") return cmdOracle(args, out, err);
     if (cmd == "dump-config") return cmdDumpConfig(args, out, err);
   } catch (const std::exception& ex) {
     // Bad geometry, impossible site/storage combinations, etc. surface

@@ -16,6 +16,8 @@ namespace hcsim::cli {
 ///   plan      search VAST deployments    (--machine --pattern --min-gbs ...)
 ///   takeaways run the paper's §VII checks
 ///   sweep     run a what-if config sweep   (--spec --jobs --out --baseline)
+///   oracle    metamorphic & golden-figure regression harness
+///             (list | relations | record | check)
 ///   dump-config  print a preset config as JSON (--storage vast@wombat ...)
 ///   help      usage
 int run(const ArgParser& args, std::ostream& out, std::ostream& err);
@@ -26,6 +28,7 @@ int cmdMdtest(const ArgParser& args, std::ostream& out, std::ostream& err);
 int cmdPlan(const ArgParser& args, std::ostream& out, std::ostream& err);
 int cmdTakeaways(const ArgParser& args, std::ostream& out, std::ostream& err);
 int cmdSweep(const ArgParser& args, std::ostream& out, std::ostream& err);
+int cmdOracle(const ArgParser& args, std::ostream& out, std::ostream& err);
 int cmdDumpConfig(const ArgParser& args, std::ostream& out, std::ostream& err);
 int cmdHelp(std::ostream& out);
 

@@ -1,0 +1,71 @@
+#include "config/paths.hpp"
+
+namespace hcsim {
+
+namespace {
+
+JsonPathInfo::Kind kindOf(const JsonValue& v) {
+  if (v.isBool()) return JsonPathInfo::Kind::Boolean;
+  if (v.isNumber()) return JsonPathInfo::Kind::Number;
+  if (v.isString()) return JsonPathInfo::Kind::String;
+  if (v.isArray()) return JsonPathInfo::Kind::Array;
+  return JsonPathInfo::Kind::Null;
+}
+
+void walk(const JsonValue& v, const std::string& prefix, std::vector<JsonPathInfo>& out) {
+  const JsonObject* obj = v.object();
+  if (!obj) {
+    out.push_back({prefix, kindOf(v)});
+    return;
+  }
+  for (const auto& [key, child] : *obj) {
+    walk(child, prefix.empty() ? key : prefix + "." + key, out);
+  }
+}
+
+const JsonValue* resolve(const JsonValue& root, const std::string& path) {
+  const JsonValue* cur = &root;
+  std::string key;
+  for (std::size_t i = 0; i <= path.size(); ++i) {
+    if (i < path.size() && path[i] != '.') {
+      key.push_back(path[i]);
+      continue;
+    }
+    if (key.empty()) return nullptr;
+    cur = cur->find(key);
+    if (!cur) return nullptr;
+    key.clear();
+  }
+  return cur;
+}
+
+}  // namespace
+
+const char* toString(JsonPathInfo::Kind k) {
+  switch (k) {
+    case JsonPathInfo::Kind::Null: return "null";
+    case JsonPathInfo::Kind::Boolean: return "bool";
+    case JsonPathInfo::Kind::Number: return "number";
+    case JsonPathInfo::Kind::String: return "string";
+    case JsonPathInfo::Kind::Array: return "array";
+  }
+  return "?";
+}
+
+std::vector<JsonPathInfo> enumerateJsonPaths(const JsonValue& root) {
+  std::vector<JsonPathInfo> out;
+  if (root.object()) walk(root, "", out);
+  return out;
+}
+
+bool hasNumericPath(const JsonValue& root, const std::string& path) {
+  const JsonValue* v = resolve(root, path);
+  return v && v->isNumber();
+}
+
+double numberAtPath(const JsonValue& root, const std::string& path, double fallback) {
+  const JsonValue* v = resolve(root, path);
+  return v && v->isNumber() ? *v->number() : fallback;
+}
+
+}  // namespace hcsim

@@ -1,0 +1,36 @@
+#pragma once
+// Dotted-path enumeration over serialized configs. The sweep and oracle
+// subsystems address individual knobs by the dotted JSON paths the
+// config serializers emit ("gateway.linkBandwidth", "ior.segments");
+// this module makes that address space inspectable, so generators can
+// validate their knob tables against the serializer instead of silently
+// drifting when a field is renamed.
+
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace hcsim {
+
+/// One addressable leaf of a serialized config tree.
+struct JsonPathInfo {
+  enum class Kind { Null, Boolean, Number, String, Array };
+  std::string path;  ///< dotted, e.g. "gateway.linkBandwidth"
+  Kind kind = Kind::Null;
+};
+
+const char* toString(JsonPathInfo::Kind k);
+
+/// Every leaf path of `root` in lexicographic order (JsonObject is a
+/// std::map, so the walk is deterministic). Objects recurse; any other
+/// value — including arrays — is a leaf.
+std::vector<JsonPathInfo> enumerateJsonPaths(const JsonValue& root);
+
+/// True when `path` resolves to a numeric leaf in `root`.
+bool hasNumericPath(const JsonValue& root, const std::string& path);
+
+/// The numeric value at `path`, or `fallback` when absent / non-numeric.
+double numberAtPath(const JsonValue& root, const std::string& path, double fallback);
+
+}  // namespace hcsim

@@ -1,0 +1,66 @@
+#pragma once
+// Seeded trial-config generators for the oracle's metamorphic relations.
+//
+// A generator starts from a site's preset deployment, perturbs a curated
+// set of storage knobs — each addressed by the dotted JSON path the
+// config serializer emits and validated against the serializer's path
+// enumeration at construction, so a renamed field fails loudly instead
+// of silently un-perturbing a knob — and randomizes the IOR geometry
+// within paper-scale bounds. Every case is deterministic in its seed.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "util/json.hpp"
+
+namespace hcsim::oracle {
+
+/// One perturbable storage knob: a dotted path into the serialized
+/// storage config plus the multiplicative range drawn from when the
+/// knob is perturbed. Integer knobs round and clamp to >= 1.
+struct Knob {
+  std::string path;
+  double lo = 0.75;
+  double hi = 1.5;
+  bool integer = false;
+};
+
+const char* siteName(Site s);
+const char* storageName(StorageKind k);
+
+/// The serialized preset deployment of `kind` as reached from `site`
+/// (what `hcsim dump-config` prints).
+JsonValue presetJson(Site site, StorageKind kind);
+
+/// The default knob table for a storage system: knobs whose perturbation
+/// must preserve every relation the catalog states about that system.
+std::vector<Knob> defaultKnobs(StorageKind kind);
+
+class ConfigGenerator {
+ public:
+  /// Throws std::logic_error when a knob path does not resolve to a
+  /// numeric leaf of the preset's serialization (serializer drift).
+  ConfigGenerator(Site site, StorageKind kind, std::vector<Knob> knobs);
+  ConfigGenerator(Site site, StorageKind kind)
+      : ConfigGenerator(site, kind, defaultKnobs(kind)) {}
+
+  Site site() const { return site_; }
+  StorageKind kind() const { return kind_; }
+  const std::vector<Knob>& knobs() const { return knobs_; }
+
+  /// A base trial config {"site","storage","ior":{...},"storageConfig":
+  /// {...}} for one case: paper-scale coalesced IOR geometry (noise 0,
+  /// repetitions 1) and each knob perturbed with probability 1/2.
+  /// Deterministic in (site, kind, knob table, seed, access).
+  JsonValue makeBase(std::uint64_t seed, AccessPattern access) const;
+
+ private:
+  Site site_;
+  StorageKind kind_;
+  std::vector<Knob> knobs_;
+  JsonValue preset_;
+};
+
+}  // namespace hcsim::oracle

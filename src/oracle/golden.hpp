@@ -1,0 +1,67 @@
+#pragma once
+// Golden-figure regression layer.
+//
+// A GoldenFigure is a named sweep spec reproducing one figure of the
+// paper (Fig 2a/2b scaling curves, Fig 4/6 DLIO throughput). `record`
+// runs the sweep and snapshots the results as JSONL under tests/golden/;
+// `check` re-runs the identical sweep and compares every cell against
+// the snapshot, failing on out-of-tolerance drift with a per-cell delta
+// table. Cells are keyed by sweep::paramsKey, so the comparison survives
+// axis reordering and trial renumbering between revisions.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sweep/sweep_spec.hpp"
+
+namespace hcsim::oracle {
+
+struct GoldenFigure {
+  std::string name;   ///< snapshot basename, e.g. "fig2a"
+  std::string title;  ///< what the figure shows
+  sweep::SweepSpec spec;
+};
+
+/// The recorded figures: fig2a (Lassen GPFS/VAST IOR scaling), fig2b
+/// (Wombat VAST/NVMe), fig4 (resnet50 DLIO), fig6 (cosmoflow DLIO).
+const std::vector<GoldenFigure>& builtinFigures();
+const GoldenFigure* findFigure(const std::string& name);
+
+/// dir + "/" + name + ".jsonl"
+std::string goldenPath(const std::string& dir, const std::string& name);
+
+struct CellDelta {
+  std::string key;  ///< paramsKey of the cell
+  double goldenGBs = 0.0;
+  double currentGBs = 0.0;
+  double deltaPct = 0.0;
+  bool violated = false;
+  std::string note;  ///< non-empty for structural drift (missing cell, new failure)
+};
+
+struct FigureCheck {
+  std::string figure;
+  std::string error;  ///< non-empty when the snapshot could not be read
+  std::size_t cells = 0;
+  std::size_t violations = 0;
+  std::vector<CellDelta> deltas;  ///< every current cell in trial order, then unmatched golden cells
+  bool pass() const { return error.empty() && violations == 0; }
+};
+
+/// Run the figure's sweep and write dir/name.jsonl. Refuses to snapshot
+/// a sweep with failed trials (goldens must be all-green).
+bool recordFigure(const GoldenFigure& fig, const std::string& dir, std::size_t jobs,
+                  std::string& error);
+
+/// Re-run the figure's sweep and compare per cell. Drift beyond
+/// tolerancePct (in either direction), cells that now fail, and cells
+/// present on only one side all count as violations.
+FigureCheck checkFigure(const GoldenFigure& fig, const std::string& dir, std::size_t jobs,
+                        double tolerancePct);
+
+/// Deterministic per-cell delta table (no timings, no job counts).
+/// `fullTable` prints every cell; otherwise only violated cells.
+std::string deltaTable(const FigureCheck& check, double tolerancePct, bool fullTable);
+
+}  // namespace hcsim::oracle

@@ -145,14 +145,8 @@ TrialMetrics runTrial(const std::string& experiment, const JsonValue& config) {
   return m;
 }
 
-SweepOutcome runSweep(const SweepSpec& spec, std::size_t jobs) {
-  std::vector<Trial> trials = expandTrials(spec);
-  SweepOutcome out;
-  out.name = spec.name;
-  out.experiment = spec.experiment;
-  out.results.resize(trials.size());
-  const std::size_t n = trials.size();
-  if (n == 0) return out;
+void parallelFor(std::size_t n, std::size_t jobs, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
   const std::size_t workers =
       std::max<std::size_t>(1, std::min(jobs == 0 ? defaultJobs() : jobs, n));
 
@@ -182,16 +176,11 @@ SweepOutcome runSweep(const SweepSpec& spec, std::size_t jobs) {
     return false;
   };
 
-  // Each trial index is claimed by exactly one worker, and each result
-  // slot is written exactly once, so the only synchronization needed is
-  // the deque locks and the final join.
+  // Each index is claimed by exactly one worker, so the only
+  // synchronization needed is the deque locks and the final join.
   const auto work = [&](std::size_t w) {
     std::size_t idx = 0;
-    while (popOwn(w, idx) || steal(w, idx)) {
-      TrialResult& slot = out.results[idx];
-      slot.trial = std::move(trials[idx]);
-      slot.metrics = runTrial(spec.experiment, slot.trial.config);
-    }
+    while (popOwn(w, idx) || steal(w, idx)) fn(idx);
   };
 
   if (workers == 1) {
@@ -202,6 +191,27 @@ SweepOutcome runSweep(const SweepSpec& spec, std::size_t jobs) {
     for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(work, w);
     for (std::thread& t : pool) t.join();
   }
+}
+
+std::vector<TrialMetrics> runTrialBatch(const std::string& experiment,
+                                        const std::vector<JsonValue>& configs, std::size_t jobs) {
+  std::vector<TrialMetrics> out(configs.size());
+  parallelFor(configs.size(), jobs,
+              [&](std::size_t i) { out[i] = runTrial(experiment, configs[i]); });
+  return out;
+}
+
+SweepOutcome runSweep(const SweepSpec& spec, std::size_t jobs) {
+  std::vector<Trial> trials = expandTrials(spec);
+  SweepOutcome out;
+  out.name = spec.name;
+  out.experiment = spec.experiment;
+  out.results.resize(trials.size());
+  parallelFor(trials.size(), jobs, [&](std::size_t idx) {
+    TrialResult& slot = out.results[idx];
+    slot.trial = std::move(trials[idx]);
+    slot.metrics = runTrial(spec.experiment, slot.trial.config);
+  });
 
   for (const TrialResult& r : out.results) {
     if (!r.metrics.ok) {

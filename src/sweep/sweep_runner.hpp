@@ -11,6 +11,7 @@
 // the emitted JSONL/CSV — whatever the job count.
 
 #include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -50,6 +51,20 @@ std::size_t defaultJobs();
 /// "storageConfig" overrides) on a fresh environment. Never throws:
 /// failures come back as !ok with the reason in .error.
 TrialMetrics runTrial(const std::string& experiment, const JsonValue& config);
+
+/// Work-stealing parallel loop over [0, n): each index is claimed by
+/// exactly one worker, so `fn` may write its own result slot without
+/// synchronization. jobs == 0 means defaultJobs().
+void parallelFor(std::size_t n, std::size_t jobs, const std::function<void(std::size_t)>& fn);
+
+/// Run many independent trial configs on the work-stealing pool — the
+/// reusable core under runSweep, exposed for other subsystems (the
+/// oracle evaluates metamorphic-relation cases through it). Results are
+/// slot-per-config, so the output is identical whatever the job count.
+/// Configs are only read, never mutated, so callers may pass shallow
+/// copies that share JSON trees.
+std::vector<TrialMetrics> runTrialBatch(const std::string& experiment,
+                                        const std::vector<JsonValue>& configs, std::size_t jobs);
 
 /// Expand the spec and run every trial on `jobs` workers (0 = default).
 SweepOutcome runSweep(const SweepSpec& spec, std::size_t jobs);

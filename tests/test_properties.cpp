@@ -6,6 +6,7 @@
 #include "core/experiment.hpp"
 #include "dlio/dlio_runner.hpp"
 #include "ior/ior_runner.hpp"
+#include "oracle/relation.hpp"
 #include "util/random.hpp"
 
 namespace hcsim {
@@ -171,6 +172,40 @@ TEST_P(VastConfigSpaceTest, AnyValidConfigYieldsPositiveBoundedBandwidth) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, VastConfigSpaceTest, ::testing::Range(0, 10));
+
+// ---------- per-filesystem metamorphic relations ----------
+//
+// Each paper claim below is stated once, as a relation in the oracle's
+// built-in catalog, and dogfooded here over a handful of seeded
+// perturbed configs. `hcsim oracle relations` runs the same catalog at
+// 50+ cases; these keep the claims wired into plain ctest.
+
+class MetamorphicCatalogTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(MetamorphicCatalogTest, HoldsOverSeededPerturbedConfigs) {
+  const auto* rel = oracle::RelationRegistry::builtin().find(GetParam());
+  ASSERT_NE(rel, nullptr) << GetParam();
+  oracle::SuiteOptions options;
+  options.casesPerRelation = 8;
+  options.jobs = 2;
+  const oracle::RelationReport rep = oracle::runRelation(*rel, options);
+  EXPECT_TRUE(rep.pass()) << oracle::toMarkdown({rep});
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperClaims, MetamorphicCatalogTest,
+    ::testing::Values(
+        // Fig 2b: VAST's SCM/QLC path keeps random reads within a bounded
+        // gap of sequential reads.
+        "vast.random-read-tracks-sequential",
+        // §V: a bigger GPFS pagepool keeps a bigger resident core, so the
+        // random-read hit ratio (and bandwidth) is monotone in it.
+        "gpfs.random-read-monotone-in-pagepool",
+        // Fig 3b/3c: Lustre bandwidth is monotone in stripe count.
+        "lustre.read-monotone-in-stripe-count",
+        // Fig 2b: NVMe aggregate bandwidth is monotone in queue depth and
+        // saturates at (never beats) the per-node drive pool.
+        "nvme.read-monotone-in-queue-depth", "nvme.reads-saturate-at-device-pool"));
 
 }  // namespace
 }  // namespace hcsim
