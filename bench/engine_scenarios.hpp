@@ -1,0 +1,115 @@
+#pragma once
+// Fixed engine-throughput scenarios shared by bench_engine's
+// machine-readable mode and the check.sh perf smoke. Each scenario is a
+// deterministic workload with a nominal work count that depends only on
+// the scenario parameters — never on engine internals — so events/sec
+// ratios between two engine builds equal their wall-time ratios.
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/flow_network.hpp"
+#include "sim/simulator.hpp"
+#include "util/random.hpp"
+
+namespace hcsim::benchscn {
+
+struct ScenarioResult {
+  std::string name;
+  double workUnits = 0.0;  ///< nominal operations (scenario-defined)
+  double seconds = 0.0;    ///< wall time of the best repetition
+  double perSec() const { return seconds > 0.0 ? workUnits / seconds : 0.0; }
+};
+
+namespace detail {
+
+template <class Fn>
+double bestOf(std::size_t reps, Fn&& fn) {
+  double best = -1.0;
+  for (std::size_t r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double sec = std::chrono::duration<double>(t1 - t0).count();
+    if (best < 0.0 || sec < best) best = sec;
+  }
+  return best;
+}
+
+}  // namespace detail
+
+/// Schedule-heavy: N events at pseudo-random times, dispatched in one
+/// run(). Work unit = one schedule+dispatch pair.
+inline ScenarioResult runScheduleHeavy(std::size_t n = 400000, std::size_t reps = 3) {
+  ScenarioResult res;
+  res.name = "schedule_heavy";
+  res.workUnits = static_cast<double>(n);
+  res.seconds = detail::bestOf(reps, [n] {
+    Simulator sim;
+    Rng rng(42);
+    for (std::size_t i = 0; i < n; ++i) sim.schedule(rng.uniform(), [] {});
+    sim.run();
+  });
+  return res;
+}
+
+/// Cancel-heavy: keep a window of W pending events; N times, cancel a
+/// pseudo-randomly chosen pending event and schedule a replacement, then
+/// drain. Exercises in-place removal (or tombstone accumulation in a
+/// lazy-deletion scheduler). Work unit = one cancel+schedule pair.
+inline ScenarioResult runCancelHeavy(std::size_t window = 4096, std::size_t churn = 200000,
+                                     std::size_t reps = 3) {
+  ScenarioResult res;
+  res.name = "cancel_heavy";
+  res.workUnits = static_cast<double>(churn);
+  res.seconds = detail::bestOf(reps, [window, churn] {
+    Simulator sim;
+    Rng rng(7);
+    std::vector<EventId> ids(window);
+    for (std::size_t i = 0; i < window; ++i) {
+      ids[i] = sim.schedule(1.0 + rng.uniform(), [] {});
+    }
+    for (std::size_t i = 0; i < churn; ++i) {
+      const std::size_t k = rng.uniformInt(static_cast<std::uint64_t>(window));
+      sim.cancel(ids[k]);
+      ids[k] = sim.schedule(1.0 + rng.uniform(), [] {});
+    }
+    sim.run();
+  });
+  return res;
+}
+
+/// Rebalance-heavy: F equal flows over one shared link, arrivals
+/// staggered so every arrival and every completion re-rates the whole
+/// active set. Nominal work = sum over arrivals and completions of the
+/// active-set size ≈ F*(F+2), a pure function of F.
+inline ScenarioResult runRebalanceHeavy(std::size_t flows = 600, std::size_t reps = 3) {
+  ScenarioResult res;
+  res.name = "rebalance_heavy";
+  // Arrival i re-rates i+1 active flows; completion leaving k flows
+  // re-rates k. Both sums are F*(F+1)/2 over the run.
+  res.workUnits = static_cast<double>(flows) * (static_cast<double>(flows) + 1.0);
+  res.seconds = detail::bestOf(reps, [flows] {
+    Simulator sim;
+    FlowNetwork net(sim);
+    const LinkId shared = net.addLink("shared", 1e9);
+    std::size_t done = 0;
+    for (std::size_t i = 0; i < flows; ++i) {
+      FlowSpec spec;
+      spec.bytes = 50'000'000;
+      spec.route = {shared};
+      // Stagger arrivals so each start lands while earlier flows are
+      // still active and forces a full re-rate of the set.
+      spec.startupLatency = 1e-6 * static_cast<double>(i);
+      net.startFlow(spec, [&done](const FlowCompletion&) { ++done; });
+    }
+    sim.run();
+    if (done != flows) throw std::runtime_error("rebalance_heavy: lost flows");
+  });
+  return res;
+}
+
+}  // namespace hcsim::benchscn

@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Release-build gate: configure + build EVERYTHING (library, tests,
 # benches, examples — a bench that fails to compile fails this script),
-# run the full test suite, then smoke-test the sweep engine and the
-# regression oracle end to end. A second profile repeats the tests and
-# an oracle smoke run under ASan+UBSan with sanitizers fatal; export
-# HCSIM_CHECK_SANITIZE=0 to skip it.
+# run the full test suite, then smoke-test the sweep engine, the trial
+# cache (byte-identity cold/warm), the regression oracle, and the engine
+# perf floor (bench_engine vs BENCH_engine.json; HCSIM_CHECK_PERF=0 to
+# skip, HCSIM_PERF_MAX_REGRESS to widen). A second profile repeats the
+# tests and an oracle smoke run under ASan+UBSan with sanitizers fatal;
+# export HCSIM_CHECK_SANITIZE=0 to skip it.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -28,15 +30,48 @@ test "$(wc -l < "$OUT-8.jsonl")" -ge 24
 grep -q '"ok":true' "$OUT-8.jsonl"
 head -1 "$OUT-8.csv" | grep -q '^trial,'
 
+# Trial-cache gate: a cached sweep must emit byte-identical JSONL to the
+# uncached run above — cold (writing the cache) and warm (served from it).
+CACHE="$BUILD/check-trial-cache.jsonl"
+rm -f "$CACHE"
+"$BUILD/src/hcsim" sweep --spec "$ROOT/examples/specs/fig2.json" --jobs 8 \
+    --cache "$CACHE" --out "$OUT-cache-cold.jsonl" >/dev/null
+"$BUILD/src/hcsim" sweep --spec "$ROOT/examples/specs/fig2.json" --jobs 3 \
+    --cache "$CACHE" --out "$OUT-cache-warm.jsonl" > "$BUILD/check-sweep-warm.txt"
+cmp "$OUT-8.jsonl" "$OUT-cache-cold.jsonl"
+cmp "$OUT-8.jsonl" "$OUT-cache-warm.jsonl"
+grep -q 'hit rate 100%' "$BUILD/check-sweep-warm.txt"
+
 # Oracle gates: the metamorphic catalog must hold at full depth, and the
 # golden-figure check must pass against the committed snapshots AND be
-# byte-identical whatever the job count.
+# byte-identical whatever the job count — and whether or not a trial
+# cache (cold or warm) served the sweeps.
 "$BUILD/src/hcsim" oracle relations --cases 50 >/dev/null
 "$BUILD/src/hcsim" oracle check --dir "$ROOT/tests/golden" --jobs 8 \
     > "$BUILD/check-oracle-8.txt"
 "$BUILD/src/hcsim" oracle check --dir "$ROOT/tests/golden" --jobs 1 \
     > "$BUILD/check-oracle-1.txt"
 cmp "$BUILD/check-oracle-8.txt" "$BUILD/check-oracle-1.txt"
+OCACHE="$BUILD/check-oracle-cache.jsonl"
+rm -f "$OCACHE"
+"$BUILD/src/hcsim" oracle check --dir "$ROOT/tests/golden" --jobs 8 \
+    --cache "$OCACHE" > "$BUILD/check-oracle-cold.txt"
+"$BUILD/src/hcsim" oracle check --dir "$ROOT/tests/golden" --jobs 1 \
+    --cache "$OCACHE" > "$BUILD/check-oracle-warm.txt"
+cmp "$BUILD/check-oracle-8.txt" "$BUILD/check-oracle-cold.txt"
+cmp "$BUILD/check-oracle-8.txt" "$BUILD/check-oracle-warm.txt"
+
+# Perf smoke: the engine-throughput scenarios must stay within tolerance
+# of the committed reference (BENCH_engine.json). Export
+# HCSIM_CHECK_PERF=0 to skip (e.g. on loaded CI machines), or widen the
+# tolerance with HCSIM_PERF_MAX_REGRESS (fraction, default 0.30).
+if [ "${HCSIM_CHECK_PERF:-1}" != "0" ]; then
+  "$BUILD/bench/bench_engine" \
+      --hcsim_json "$BUILD/check-bench-engine.json" \
+      --hcsim_compare "$ROOT/BENCH_engine.json" \
+      --hcsim_max_regress "${HCSIM_PERF_MAX_REGRESS:-0.30}" \
+      --hcsim_golden_dir "$ROOT/tests/golden"
+fi
 
 # ASan+UBSan profile: rebuild the library + tests with sanitizers fatal
 # and re-run the full suite plus an oracle smoke. Benches/examples are

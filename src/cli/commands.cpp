@@ -1,5 +1,6 @@
 #include "cli/commands.hpp"
 
+#include <memory>
 #include <ostream>
 
 #include "config/serialize.hpp"
@@ -12,6 +13,7 @@
 #include "oracle/relation.hpp"
 #include "sweep/result_sink.hpp"
 #include "sweep/sweep_runner.hpp"
+#include "sweep/trial_cache.hpp"
 #include "util/table.hpp"
 
 namespace hcsim::cli {
@@ -52,6 +54,42 @@ bool parseTarget(const ArgParser& args, std::ostream& err, Site& site, StorageKi
   return true;
 }
 
+/// Shared --cache plumbing: when the flag names a file, load it into a
+/// TrialCache before the run and persist the merged contents after.
+/// Cached metrics are bit-exact (the JSON writer round-trips doubles),
+/// so results never depend on whether a cache was used.
+class CacheSession {
+ public:
+  /// False (with a message on err) when the named file is malformed.
+  bool open(const ArgParser& args, std::ostream& err) {
+    const auto path = args.get("--cache");
+    if (!path) return true;
+    path_ = *path;
+    cache_ = std::make_unique<sweep::TrialCache>();
+    if (!cache_->loadFile(path_)) {
+      err << "error: trial cache " << path_ << " is malformed (delete it to rebuild)\n";
+      return false;
+    }
+    return true;
+  }
+
+  sweep::TrialCache* get() { return cache_.get(); }
+
+  /// Persist; false (with a message) when the file cannot be written.
+  bool close(std::ostream& err) {
+    if (!cache_) return true;
+    if (!cache_->saveFile(path_)) {
+      err << "error: cannot write trial cache " << path_ << "\n";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  std::string path_;
+  std::unique_ptr<sweep::TrialCache> cache_;
+};
+
 }  // namespace
 
 int cmdHelp(std::ostream& out) {
@@ -67,13 +105,17 @@ int cmdHelp(std::ostream& out) {
          "  plan        --machine M --pattern A --min-gbs G [--nodes N] [--ppn P]\n"
          "  takeaways   run the paper's section-VII checks\n"
          "  sweep       --spec F.json [--jobs N] [--out results.jsonl] [--csv results.csv]\n"
-         "              [--baseline prior.jsonl]   (parallel what-if config sweep)\n"
+         "              [--baseline prior.jsonl] [--cache trials.jsonl]\n"
+         "              (parallel what-if config sweep; --cache memoizes trials\n"
+         "               across runs and reports the hit rate)\n"
          "  oracle      list | relations | record | check   (regression harness)\n"
          "              relations [--cases N] [--seed S] [--jobs J] [--relation NAME]\n"
-         "                        [--no-shrink]      (metamorphic relation suite)\n"
-         "              record    [--dir tests/golden] [--jobs J] [--figure F]\n"
+         "                        [--no-shrink] [--cache F]  (metamorphic relations)\n"
+         "              record    [--dir tests/golden] [--jobs J] [--figure F] [--cache F]\n"
          "              check     [--dir tests/golden] [--jobs J] [--figure F]\n"
-         "                        [--tolerance PCT] [--full]   (golden-figure drift)\n"
+         "                        [--tolerance PCT] [--full] [--cache F]\n"
+         "                        (golden-figure drift; output is byte-identical\n"
+         "                         with or without --cache)\n"
          "  dump-config --storage vast|gpfs|lustre|nvme --site S   (preset as JSON)\n"
          "  help        this text\n";
   return 0;
@@ -234,7 +276,9 @@ int cmdSweep(const ArgParser& args, std::ostream& out, std::ostream& err) {
   }
   std::size_t jobs = args.sizeOr("--jobs", sweep::defaultJobs());
   if (jobs == 0) jobs = sweep::defaultJobs();
-  const sweep::SweepOutcome result = sweep::runSweep(spec, jobs);
+  CacheSession cache;
+  if (!cache.open(args, err)) return 2;
+  const sweep::SweepOutcome result = sweep::runSweep(spec, jobs, cache.get());
 
   ResultTable t("sweep '" + spec.name + "': " + std::to_string(result.results.size()) +
                 " trials on " + std::to_string(jobs) + " jobs");
@@ -256,6 +300,15 @@ int cmdSweep(const ArgParser& args, std::ostream& out, std::ostream& err) {
   }
   if (result.failures > 0) {
     out << result.failures << " trial(s) failed\n";
+  }
+  if (cache.get() != nullptr) {
+    const std::size_t looked = result.cacheHits + result.cacheMisses;
+    out << "cache: " << result.cacheHits << " hit(s), " << result.cacheMisses
+        << " miss(es) — hit rate "
+        << (looked > 0 ? 100.0 * static_cast<double>(result.cacheHits) /
+                             static_cast<double>(looked)
+                       : 0.0)
+        << "%, " << cache.get()->size() << " entries\n";
   }
 
   if (const auto outPath = args.get("--out")) {
@@ -291,6 +344,7 @@ int cmdSweep(const ArgParser& args, std::ostream& out, std::ostream& err) {
     }
     out << d.toString();
   }
+  if (!cache.close(err)) return 2;
   const bool allFailed = !result.results.empty() && result.failures == result.results.size();
   return allFailed ? 1 : 0;
 }
@@ -317,6 +371,9 @@ int oracleRelations(const ArgParser& args, std::ostream& out, std::ostream& err)
   options.seed = static_cast<std::uint64_t>(args.numberOr("--seed", 1.0));
   options.jobs = args.sizeOr("--jobs", 0);
   options.shrink = !args.has("--no-shrink");
+  CacheSession cache;
+  if (!cache.open(args, err)) return 2;
+  options.cache = cache.get();
 
   const auto& registry = oracle::RelationRegistry::builtin();
   std::vector<oracle::RelationReport> reports;
@@ -331,6 +388,7 @@ int oracleRelations(const ArgParser& args, std::ostream& out, std::ostream& err)
     reports = oracle::runSuite(registry, options);
   }
   out << oracle::toMarkdown(reports);
+  if (!cache.close(err)) return 2;
   for (const auto& r : reports) {
     if (!r.pass()) return 1;
   }
@@ -358,15 +416,18 @@ int oracleRecord(const ArgParser& args, std::ostream& out, std::ostream& err) {
   const std::size_t jobs = args.sizeOr("--jobs", 0);
   std::vector<const oracle::GoldenFigure*> figures;
   if (!selectFigures(args, err, figures)) return 2;
+  CacheSession cache;
+  if (!cache.open(args, err)) return 2;
   for (const oracle::GoldenFigure* fig : figures) {
     std::string error;
-    if (!oracle::recordFigure(*fig, dir, jobs, error)) {
+    if (!oracle::recordFigure(*fig, dir, jobs, error, cache.get())) {
       err << "error: " << error << "\n";
       return 1;
     }
     out << "recorded " << oracle::goldenPath(dir, fig->name) << " ("
         << fig->spec.trialCount() << " cells)\n";
   }
+  if (!cache.close(err)) return 2;
   return 0;
 }
 
@@ -376,13 +437,19 @@ int oracleCheck(const ArgParser& args, std::ostream& out, std::ostream& err) {
   const double tolerance = args.numberOr("--tolerance", 2.0);
   std::vector<const oracle::GoldenFigure*> figures;
   if (!selectFigures(args, err, figures)) return 2;
+  // Cache stats deliberately never reach stdout here: check output must
+  // stay byte-identical with the cache on or off, at any --jobs.
+  CacheSession cache;
+  if (!cache.open(args, err)) return 2;
   bool pass = true;
   for (const oracle::GoldenFigure* fig : figures) {
-    const oracle::FigureCheck check = oracle::checkFigure(*fig, dir, jobs, tolerance);
+    const oracle::FigureCheck check =
+        oracle::checkFigure(*fig, dir, jobs, tolerance, cache.get());
     out << oracle::deltaTable(check, tolerance, args.has("--full"));
     pass = pass && check.pass();
   }
   out << (pass ? "oracle golden check: PASS" : "oracle golden check: FAIL") << "\n";
+  if (!cache.close(err)) return 2;
   return pass ? 0 : 1;
 }
 

@@ -11,9 +11,14 @@ namespace {
 // Flows with fewer remaining bytes than this are considered complete;
 // guards against floating-point residue keeping a flow alive forever.
 constexpr double kByteEpsilon = 1e-6;
-// Relative rate change below which we do not bother rescheduling the
+// Relative rate change below which we do not bother re-timing the
 // completion event (hysteresis to avoid event churn).
 constexpr double kRateHysteresis = 1e-9;
+// Budget for completion-time corrections skipped under hysteresis,
+// relative to max(1, eta) like the hysteresis itself. Once the accrued
+// skips exceed this the completion is re-anchored, bounding cumulative
+// drift across arbitrarily many small rebalances to ~100 skips' worth.
+constexpr double kEtaDriftBudget = 100 * kRateHysteresis;
 }  // namespace
 
 LinkId FlowNetwork::addLink(std::string name, Bandwidth capacity, Seconds latency) {
@@ -214,22 +219,35 @@ void FlowNetwork::rebalance() {
         sim_.cancel(f.completionEvent);
         f.completionEvent = EventId{};
         f.scheduledEta = -1.0;
+        f.etaDrift = 0.0;
       }
       continue;
     }
-    // Reschedule the completion event at the new rate.
+    // Re-time the completion event at the new rate.
     const Seconds eta = f.remaining / f.rate;
     const SimTime newCompletion = now + eta;
     if (f.completionEvent.valid()) {
-      // Skip churn if completion time barely moved.
-      if (std::fabs(eta - (f.scheduledEta - now)) <=
-          kRateHysteresis * std::max(1.0, std::fabs(eta))) {
+      // Skip churn if completion time barely moved — but account the
+      // skipped correction, and re-anchor once the accrued drift leaves
+      // its budget, so many small rebalances cannot compound error.
+      const double scale = std::max(1.0, std::fabs(eta));
+      const double drift = std::fabs(eta - (f.scheduledEta - now));
+      if (drift <= kRateHysteresis * scale && f.etaDrift + drift <= kEtaDriftBudget * scale) {
+        f.etaDrift += drift;
         continue;
       }
-      sim_.cancel(f.completionEvent);
+      ++f.rateEpoch;
+      ++rerates_;
+      f.scheduledEta = newCompletion;
+      f.etaDrift = 0.0;
+      sim_.adjustKey(f.completionEvent, newCompletion);
+      continue;
     }
     const FlowId fid = id;
+    ++f.rateEpoch;
+    ++rerates_;
     f.scheduledEta = newCompletion;
+    f.etaDrift = 0.0;
     f.completionEvent = sim_.scheduleAt(newCompletion, [this, fid] { finish(fid); });
   }
 }
@@ -243,6 +261,7 @@ void FlowNetwork::finish(FlowId id) {
     // the fired event handle and let rebalance() schedule a fresh one.
     it->second.completionEvent = EventId{};
     it->second.scheduledEta = -1.0;
+    it->second.etaDrift = 0.0;
     rebalance();
     return;
   }

@@ -7,8 +7,25 @@
 // per-flow rate cap (used to model single-stream TCP limits, per-NFS-
 // session serialization, and device ceilings). Whenever a flow starts or
 // finishes, the allocation is recomputed and the completion events of
-// affected flows are rescheduled — the standard flow-level network
+// affected flows are re-timed — the standard flow-level network
 // simulation technique.
+//
+// ## Epoch re-rating protocol
+//
+// Each active flow owns exactly one completion event for its whole
+// lifetime, scheduled when the flow first gets a positive rate. A
+// rebalance of F flows does F in-place `Simulator::adjustKey` updates —
+// O(F log n) heap work, zero allocations, zero tombstones — instead of
+// the classic cancel + reschedule pair per flow. The flow's `rateEpoch`
+// counts completion re-ratings (a fresh schedule or an adjust-key), and
+// `scheduledEta` always equals the absolute time the live event will
+// fire. adjustKey assigns the event a fresh FIFO sequence number, so
+// same-timestamp dispatch order is identical to what cancel +
+// reschedule produced. Rebalances that would move the completion by
+// less than the hysteresis tolerance skip the heap update but accrue
+// the skipped correction in `etaDrift`; once the accrued drift exceeds
+// its budget the completion is re-anchored, so error cannot accumulate
+// across many small rebalances.
 
 #include <cstdint>
 #include <functional>
@@ -82,6 +99,11 @@ class FlowNetwork {
   /// Current max-min rate of an active flow (0 if unknown/finished).
   Bandwidth flowRate(FlowId id) const;
 
+  /// Completion re-ratings performed since construction (fresh schedules
+  /// plus in-place adjust-key updates). A rebalance of F running flows
+  /// adds at most F; hysteresis-skipped flows add nothing.
+  std::uint64_t rerates() const { return rerates_; }
+
   /// Utilization snapshot of every link.
   std::vector<LinkStats> linkStats() const;
 
@@ -96,7 +118,9 @@ class FlowNetwork {
     SimTime startTime = 0.0;
     SimTime lastUpdate = 0.0;
     Bandwidth rate = 0.0;
-    SimTime scheduledEta = -1.0;  // absolute time of the scheduled completion
+    SimTime scheduledEta = -1.0;   // absolute time of the scheduled completion
+    std::uint64_t rateEpoch = 0;   // completion re-ratings of this flow
+    double etaDrift = 0.0;         // accrued |skipped completion moves| since last re-anchor
     EventId completionEvent{};
     std::function<void(const FlowCompletion&)> onComplete;
   };
@@ -117,6 +141,7 @@ class FlowNetwork {
   Simulator& sim_;
   std::vector<Link> links_;
   FlowId nextFlowId_ = 1;
+  std::uint64_t rerates_ = 0;
   std::unordered_map<FlowId, ActiveFlow> active_;
 };
 

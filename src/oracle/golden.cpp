@@ -9,6 +9,7 @@
 #include "dlio/dlio_config.hpp"
 #include "sweep/result_sink.hpp"
 #include "sweep/sweep_runner.hpp"
+#include "sweep/trial_cache.hpp"
 
 namespace hcsim::oracle {
 
@@ -132,8 +133,8 @@ std::string goldenPath(const std::string& dir, const std::string& name) {
 }
 
 bool recordFigure(const GoldenFigure& fig, const std::string& dir, std::size_t jobs,
-                  std::string& error) {
-  const sweep::SweepOutcome out = sweep::runSweep(fig.spec, jobs);
+                  std::string& error, sweep::TrialCache* cache) {
+  const sweep::SweepOutcome out = sweep::runSweep(fig.spec, jobs, cache);
   if (out.failures != 0) {
     for (const sweep::TrialResult& r : out.results) {
       if (r.metrics.ok) continue;
@@ -150,7 +151,7 @@ bool recordFigure(const GoldenFigure& fig, const std::string& dir, std::size_t j
 }
 
 FigureCheck checkFigure(const GoldenFigure& fig, const std::string& dir, std::size_t jobs,
-                        double tolerancePct) {
+                        double tolerancePct, sweep::TrialCache* cache) {
   FigureCheck check;
   check.figure = fig.name;
 
@@ -161,7 +162,7 @@ FigureCheck checkFigure(const GoldenFigure& fig, const std::string& dir, std::si
     return check;
   }
 
-  const sweep::SweepOutcome out = sweep::runSweep(fig.spec, jobs);
+  const sweep::SweepOutcome out = sweep::runSweep(fig.spec, jobs, cache);
   std::map<std::string, bool> goldenSeen;
   for (const sweep::TrialResult& r : out.results) {
     CellDelta d;

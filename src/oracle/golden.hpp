@@ -15,6 +15,10 @@
 
 #include "sweep/sweep_spec.hpp"
 
+namespace hcsim::sweep {
+class TrialCache;  // sweep/trial_cache.hpp
+}
+
 namespace hcsim::oracle {
 
 struct GoldenFigure {
@@ -50,15 +54,18 @@ struct FigureCheck {
 };
 
 /// Run the figure's sweep and write dir/name.jsonl. Refuses to snapshot
-/// a sweep with failed trials (goldens must be all-green).
+/// a sweep with failed trials (goldens must be all-green). `cache`
+/// optionally memoizes trials (sweep::TrialCache) — snapshots are
+/// byte-identical with or without it.
 bool recordFigure(const GoldenFigure& fig, const std::string& dir, std::size_t jobs,
-                  std::string& error);
+                  std::string& error, sweep::TrialCache* cache = nullptr);
 
 /// Re-run the figure's sweep and compare per cell. Drift beyond
 /// tolerancePct (in either direction), cells that now fail, and cells
-/// present on only one side all count as violations.
+/// present on only one side all count as violations. A warm `cache`
+/// serves the whole sweep without simulating, with identical deltas.
 FigureCheck checkFigure(const GoldenFigure& fig, const std::string& dir, std::size_t jobs,
-                        double tolerancePct);
+                        double tolerancePct, sweep::TrialCache* cache = nullptr);
 
 /// Deterministic per-cell delta table (no timings, no job counts).
 /// `fullTable` prints every cell; otherwise only violated cells.

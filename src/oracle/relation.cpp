@@ -5,6 +5,7 @@
 
 #include "oracle/shrink.hpp"
 #include "sweep/sweep_spec.hpp"
+#include "sweep/trial_cache.hpp"
 #include "util/random.hpp"
 
 namespace hcsim::oracle {
@@ -98,7 +99,7 @@ RelationReport runRelation(const MetamorphicRelation& rel, const SuiteOptions& o
     for (const JsonValue& v : cases.back().variants) configs.push_back(v);
   }
   const std::vector<sweep::TrialMetrics> metrics =
-      sweep::runTrialBatch(rel.experiment, configs, options.jobs);
+      sweep::runTrialBatch(rel.experiment, configs, options.jobs, options.cache);
   report.trials = metrics.size();
 
   std::size_t offset = 0;

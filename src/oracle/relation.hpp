@@ -98,6 +98,11 @@ struct SuiteOptions {
   std::size_t jobs = 0;  ///< 0 = sweep::defaultJobs()
   std::size_t maxFailuresDetailed = 3;
   bool shrink = true;
+  /// Optional trial memoization. Relations repeatedly evaluate shared
+  /// baseline configs (determinism/scale-invariance pairs, suite re-runs
+  /// with overlapping case seeds), so a shared or persisted cache skips
+  /// those simulations; reports are byte-identical either way.
+  sweep::TrialCache* cache = nullptr;
 };
 
 /// Evaluate one relation over `casesPerRelation` seeded cases.

@@ -1,0 +1,128 @@
+#pragma once
+// InlineFunction — a move-only type-erased callable with a small-buffer
+// inline store, built for the event engine's hot path.
+//
+// std::function is the wrong shape for a discrete-event scheduler: it
+// must be copyable (so captures pay for copyability they never use) and
+// its small-object buffer on common ABIs is 16 bytes, which spills every
+// realistic simulation callback (`[this, fid]` plus a moved-in
+// continuation) to the heap. InlineFunction stores any callable whose
+// size fits kInlineFunctionCapacity (48 bytes — chosen to hold a
+// this-pointer plus a moved std::function continuation plus one scalar,
+// the dominant capture shape in the storage models) directly in the
+// event slot, so scheduling allocates nothing. Larger callables fall
+// back to a single heap cell; behaviour is identical either way.
+//
+// Only the operations the engine needs are provided: construct from any
+// callable, move, invoke, destroy, test for emptiness. No copy, no
+// target(), no allocator support.
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hcsim {
+
+inline constexpr std::size_t kInlineFunctionCapacity = 48;
+
+template <class Signature, std::size_t Capacity = kInlineFunctionCapacity>
+class InlineFunction;
+
+template <class R, class... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity> {
+ public:
+  InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}
+
+  template <class F, class D = std::decay_t<F>,
+            class = std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
+                                     std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFunction(F&& f) {
+    if constexpr (fitsInline<D>()) {
+      ::new (storage()) D(std::forward<F>(f));
+      invoke_ = [](void* s, Args... args) -> R {
+        return (*std::launder(static_cast<D*>(s)))(std::forward<Args>(args)...);
+      };
+      manage_ = [](void* s, void* dst) {
+        D* self = std::launder(static_cast<D*>(s));
+        if (dst != nullptr) ::new (dst) D(std::move(*self));
+        self->~D();
+      };
+    } else {
+      ::new (storage()) D*(new D(std::forward<F>(f)));
+      invoke_ = [](void* s, Args... args) -> R {
+        return (**std::launder(static_cast<D**>(s)))(std::forward<Args>(args)...);
+      };
+      manage_ = [](void* s, void* dst) {
+        D** self = std::launder(static_cast<D**>(s));
+        if (dst != nullptr) {
+          ::new (dst) D*(*self);  // pointer itself is trivially destructible
+        } else {
+          delete *self;
+        }
+      };
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { moveFrom(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      moveFrom(other);
+    }
+    return *this;
+  }
+
+  InlineFunction& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  R operator()(Args... args) { return invoke_(storage(), std::forward<Args>(args)...); }
+
+  /// True when callable type F is stored in the inline buffer (exposed
+  /// so tests can pin the no-allocation guarantee for hot-path shapes).
+  template <class F>
+  static constexpr bool storesInline() {
+    return fitsInline<std::decay_t<F>>();
+  }
+
+ private:
+  template <class D>
+  static constexpr bool fitsInline() {
+    return sizeof(D) <= Capacity && alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  void* storage() { return static_cast<void*>(buf_); }
+
+  void reset() {
+    if (manage_ != nullptr) manage_(storage(), nullptr);
+    invoke_ = nullptr;
+    manage_ = nullptr;
+  }
+
+  void moveFrom(InlineFunction& other) noexcept {
+    if (other.manage_ != nullptr) other.manage_(other.storage(), storage());
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+  R (*invoke_)(void*, Args...) = nullptr;
+  void (*manage_)(void*, void*) = nullptr;
+};
+
+}  // namespace hcsim

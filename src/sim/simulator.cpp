@@ -1,70 +1,154 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace hcsim {
 
-EventId Simulator::scheduleAt(SimTime t, std::function<void()> fn) {
+namespace {
+// 4-ary heap: shallower than binary for the same size, and the four
+// children share a cache line of slot indices.
+constexpr std::uint32_t kArity = 4;
+}  // namespace
+
+std::uint32_t Simulator::allocSlot() {
+  if (!freeSlots_.empty()) {
+    const std::uint32_t s = freeSlots_.back();
+    freeSlots_.pop_back();
+    return s;
+  }
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulator::releaseSlot(std::uint32_t s) {
+  Slot& slot = slots_[s];
+  slot.fn = nullptr;
+  slot.heapPos = kNpos;
+  if (++slot.gen == 0) ++slot.gen;  // generation 0 is reserved for "never used"
+  freeSlots_.push_back(s);
+}
+
+void Simulator::siftUp(std::uint32_t pos) {
+  const std::uint32_t moving = heap_[pos];
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) / kArity;
+    if (!before(moving, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    slots_[heap_[pos]].heapPos = pos;
+    pos = parent;
+  }
+  heap_[pos] = moving;
+  slots_[moving].heapPos = pos;
+}
+
+void Simulator::siftDown(std::uint32_t pos) {
+  const std::uint32_t moving = heap_[pos];
+  const std::uint32_t n = static_cast<std::uint32_t>(heap_.size());
+  for (;;) {
+    const std::uint64_t firstChild = std::uint64_t{pos} * kArity + 1;
+    if (firstChild >= n) break;
+    std::uint32_t best = static_cast<std::uint32_t>(firstChild);
+    const std::uint32_t last =
+        static_cast<std::uint32_t>(std::min<std::uint64_t>(firstChild + kArity, n));
+    for (std::uint32_t c = best + 1; c < last; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], moving)) break;
+    heap_[pos] = heap_[best];
+    slots_[heap_[pos]].heapPos = pos;
+    pos = best;
+  }
+  heap_[pos] = moving;
+  slots_[moving].heapPos = pos;
+}
+
+void Simulator::heapErase(std::uint32_t pos) {
+  const std::uint32_t lastIdx = static_cast<std::uint32_t>(heap_.size() - 1);
+  if (pos != lastIdx) {
+    const std::uint32_t moved = heap_[lastIdx];
+    heap_[pos] = moved;
+    slots_[moved].heapPos = pos;
+    heap_.pop_back();
+    // The filled-in entry may need to travel either direction; after
+    // siftDown it sits at its (possibly new) position, from where siftUp
+    // is a no-op unless it must rise.
+    siftDown(pos);
+    siftUp(slots_[moved].heapPos);
+  } else {
+    heap_.pop_back();
+  }
+}
+
+std::uint32_t Simulator::decode(EventId id) const {
+  if (!id.valid()) return kNpos;
+  const std::uint64_t slotPlusOne = id.value & 0xffffffffull;
+  const std::uint32_t gen = static_cast<std::uint32_t>(id.value >> 32);
+  if (slotPlusOne == 0 || slotPlusOne > slots_.size()) return kNpos;
+  const std::uint32_t s = static_cast<std::uint32_t>(slotPlusOne - 1);
+  const Slot& slot = slots_[s];
+  if (slot.gen != gen || slot.heapPos == kNpos) return kNpos;
+  return s;
+}
+
+EventId Simulator::scheduleAt(SimTime t, EventFn fn) {
   if (t < now_) t = now_;
-  const std::uint64_t seq = nextSeq_++;
-  heap_.push(Entry{t, seq, std::move(fn)});
-  pending_.insert(seq);
-  return EventId{seq};
+  const std::uint32_t s = allocSlot();
+  Slot& slot = slots_[s];
+  slot.time = t;
+  slot.seq = nextSeq_++;
+  if (slot.gen == 0) slot.gen = 1;  // first occupancy of a fresh slot
+  slot.fn = std::move(fn);
+  slot.heapPos = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(s);
+  siftUp(slot.heapPos);
+  return EventId{(std::uint64_t{slot.gen} << 32) | (std::uint64_t{s} + 1)};
 }
 
 bool Simulator::cancel(EventId id) {
-  if (!id.valid()) return false;
-  // Lazy deletion: drop the seq from the pending set; the heap entry is
-  // skipped when it reaches the top.
-  return pending_.erase(id.value) > 0;
+  const std::uint32_t s = decode(id);
+  if (s == kNpos) return false;
+  heapErase(slots_[s].heapPos);
+  releaseSlot(s);
+  return true;
 }
 
-bool Simulator::popNext(Entry& out) {
-  while (!heap_.empty()) {
-    // priority_queue::top() is const; moving out before pop() is the
-    // standard idiom for heaps of callable payloads.
-    Entry& top = const_cast<Entry&>(heap_.top());
-    const auto it = pending_.find(top.seq);
-    if (it == pending_.end()) {
-      heap_.pop();  // cancelled — discard
-      continue;
-    }
-    pending_.erase(it);
-    out = std::move(top);
-    heap_.pop();
-    return true;
-  }
-  return false;
+bool Simulator::adjustKey(EventId id, SimTime t) {
+  const std::uint32_t s = decode(id);
+  if (s == kNpos) return false;
+  if (t < now_) t = now_;
+  Slot& slot = slots_[s];
+  slot.time = t;
+  // Fresh FIFO position — see the dispatch invariant in the header.
+  slot.seq = nextSeq_++;
+  siftUp(slot.heapPos);
+  siftDown(slot.heapPos);
+  return true;
+}
+
+void Simulator::dispatchRoot() {
+  const std::uint32_t s = heap_[0];
+  Slot& slot = slots_[s];
+  now_ = slot.time;
+  EventFn fn = std::move(slot.fn);
+  heapErase(0);
+  releaseSlot(s);  // before invoking: self-cancel inside the callback is a no-op
+  ++dispatched_;
+  fn();
 }
 
 bool Simulator::step() {
-  Entry e;
-  if (!popNext(e)) return false;
-  now_ = e.time;
-  ++dispatched_;
-  e.fn();
+  if (heap_.empty()) return false;
+  dispatchRoot();
   return true;
 }
 
 void Simulator::run() {
-  while (step()) {
-  }
+  while (!heap_.empty()) dispatchRoot();
 }
 
 void Simulator::runUntil(SimTime t) {
-  for (;;) {
-    Entry e;
-    if (!popNext(e)) break;
-    if (e.time > t) {
-      // Next event is beyond the horizon — reinstate it and stop.
-      pending_.insert(e.seq);
-      heap_.push(std::move(e));
-      break;
-    }
-    now_ = e.time;
-    ++dispatched_;
-    e.fn();
-  }
+  while (!heap_.empty() && slots_[heap_[0]].time <= t) dispatchRoot();
   if (now_ < t) now_ = t;
 }
 

@@ -7,27 +7,61 @@
 // (time, insertion-order) order, so same-timestamp events are FIFO and the
 // simulation is fully deterministic.
 //
-// Events can be cancelled (lazy deletion); the flow-level network model
-// relies on this to re-rate in-flight transfers whenever the set of active
-// flows changes.
+// ## Dispatch invariant
+//
+// Every live event carries a sequence number assigned from a single
+// monotone counter at the moment it entered (or re-entered) the queue:
+// one per schedule()/scheduleAt() call, one per adjustKey() call, none
+// for cancel(). Dispatch always selects the minimum (time, seq) pair, so
+// equal-timestamp events fire in the order they were (re)scheduled.
+// adjustKey deliberately takes a fresh seq — it is semantically
+// "cancel + reschedule, reusing the entry storage" — which keeps the
+// dispatch order of a re-rated event identical to what a cancel +
+// scheduleAt pair would have produced. Nothing in the engine may reorder
+// equal-(time, seq) events or dispatch a cancelled one.
+//
+// ## Implementation
+//
+// The queue is an indexed 4-ary heap over a slab of event slots:
+//
+//  - `slots_` is the slab. A slot owns the callback (an InlineFunction,
+//    so captures up to kInlineFunctionCapacity bytes live inside the
+//    slot — scheduling allocates nothing once the slab is warm), the
+//    (time, seq) key, a generation counter and its current heap index.
+//    Freed slots go on a free list and are recycled, so steady-state
+//    simulations reuse a small resident slab (see slabSize()).
+//  - `heap_` stores slot indices. Because every slot knows its heap
+//    position, cancel() removes the entry *in place* in O(log n) and
+//    adjustKey() re-sifts in place — there are no tombstones anywhere,
+//    so heavily re-rated runs cannot bloat the heap (the previous
+//    lazy-deletion scheduler kept cancelled entries queued until their
+//    original expiry popped them).
+//  - EventId packs (generation << 32 | slot+1). Generations bump on
+//    every slot release, so a stale id for a recycled slot can never
+//    cancel or adjust the new occupant, and cancel of an already-fired
+//    or already-cancelled event is a cheap guaranteed no-op. value==0 is
+//    never produced (slot+1 != 0, generation of a live slot != 0), so
+//    default EventId{} is always invalid.
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/inline_function.hpp"
 #include "util/units.hpp"
 
 namespace hcsim {
 
 using SimTime = Seconds;
 
-/// Handle for a scheduled event; can be used to cancel it.
+/// Handle for a scheduled event; can be used to cancel or re-time it.
 struct EventId {
   std::uint64_t value = 0;
   bool valid() const { return value != 0; }
 };
+
+/// Event callback type: move-only, captures up to
+/// kInlineFunctionCapacity bytes without allocating.
+using EventFn = InlineFunction<void()>;
 
 class Simulator {
  public:
@@ -40,16 +74,25 @@ class Simulator {
 
   /// Schedule `fn` to run `delay` seconds from now (delay >= 0; negative
   /// delays are clamped to zero to keep time monotone).
-  EventId schedule(SimTime delay, std::function<void()> fn) {
+  EventId schedule(SimTime delay, EventFn fn) {
     return scheduleAt(now_ + (delay > 0 ? delay : 0), std::move(fn));
   }
 
   /// Schedule `fn` at absolute time `t` (clamped to `now()` if in the past).
-  EventId scheduleAt(SimTime t, std::function<void()> fn);
+  EventId scheduleAt(SimTime t, EventFn fn);
 
-  /// Cancel a pending event. Cancelling an already-fired or already-
-  /// cancelled event is a harmless no-op. Returns true if it was pending.
+  /// Cancel a pending event: the entry is removed from the heap in place
+  /// (no tombstone). Cancelling an already-fired or already-cancelled
+  /// event is a harmless no-op. Returns true if it was pending.
   bool cancel(EventId id);
+
+  /// Move a pending event to absolute time `t` (clamped to now()) in
+  /// place, reusing its slot and callback. Equivalent to cancel +
+  /// scheduleAt of the same callback — including taking a fresh FIFO
+  /// sequence number, so at its new timestamp the event fires after any
+  /// event already queued for that instant. Returns false (and does
+  /// nothing) when the id is no longer pending.
+  bool adjustKey(EventId id, SimTime t);
 
   /// Dispatch events until the queue is empty.
   void run();
@@ -63,32 +106,54 @@ class Simulator {
   /// Number of events dispatched since construction.
   std::uint64_t eventsDispatched() const { return dispatched_; }
 
-  /// Pending (non-cancelled) event count.
-  std::size_t pendingEvents() const { return pending_.size(); }
+  /// Pending event count (cancelled events leave the queue immediately).
+  std::size_t pendingEvents() const { return heap_.size(); }
 
-  bool empty() const { return pending_.empty(); }
+  bool empty() const { return heap_.empty(); }
+
+  /// Slab footprint: slots ever allocated (live + recycled). Stays flat
+  /// under steady-state schedule/dispatch churn — observable evidence
+  /// that entry storage is recycled rather than re-allocated.
+  std::size_t slabSize() const { return slots_.size(); }
 
  private:
-  struct Entry {
-    SimTime time;
-    std::uint64_t seq;  // tie-break: FIFO for equal timestamps
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+  static constexpr std::uint32_t kNpos = 0xffffffffu;
+
+  struct Slot {
+    SimTime time = 0.0;
+    std::uint64_t seq = 0;       // tie-break: FIFO for equal timestamps
+    std::uint32_t gen = 0;       // bumped on release; 0 only before first use
+    std::uint32_t heapPos = kNpos;
+    EventFn fn;
   };
 
-  /// Pop the next live (non-cancelled) entry; false if none remain.
-  bool popNext(Entry& out);
+  /// (time, seq) strict ordering between two slots.
+  bool before(std::uint32_t a, std::uint32_t b) const {
+    const Slot& sa = slots_[a];
+    const Slot& sb = slots_[b];
+    if (sa.time != sb.time) return sa.time < sb.time;
+    return sa.seq < sb.seq;
+  }
+
+  std::uint32_t allocSlot();
+  void releaseSlot(std::uint32_t s);
+
+  void siftUp(std::uint32_t pos);
+  void siftDown(std::uint32_t pos);
+  void heapErase(std::uint32_t pos);
+
+  /// Decode an EventId to a live slot index; kNpos when stale/invalid.
+  std::uint32_t decode(EventId id) const;
+
+  /// Pop the heap root and invoke its callback (queue must be non-empty).
+  void dispatchRoot();
 
   SimTime now_ = 0.0;
   std::uint64_t nextSeq_ = 1;
   std::uint64_t dispatched_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<std::uint64_t> pending_;  // seqs scheduled and not yet fired/cancelled
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> freeSlots_;
+  std::vector<std::uint32_t> heap_;
 };
 
 }  // namespace hcsim

@@ -8,6 +8,7 @@
 
 #include "config/serialize.hpp"
 #include "core/experiment.hpp"
+#include "sweep/trial_cache.hpp"
 
 namespace hcsim::sweep {
 
@@ -193,25 +194,49 @@ void parallelFor(std::size_t n, std::size_t jobs, const std::function<void(std::
   }
 }
 
+namespace {
+
+/// runTrial through the cache: hit returns the memoized metrics (which a
+/// deterministic re-run would reproduce bit-for-bit), miss simulates and
+/// memoizes.
+TrialMetrics runTrialCached(const std::string& experiment, const JsonValue& config,
+                            TrialCache* cache) {
+  if (cache == nullptr) return runTrial(experiment, config);
+  const std::string key = trialKey(experiment, config);
+  if (auto hit = cache->lookup(key)) return *hit;
+  TrialMetrics m = runTrial(experiment, config);
+  cache->insert(key, m);
+  return m;
+}
+
+}  // namespace
+
 std::vector<TrialMetrics> runTrialBatch(const std::string& experiment,
-                                        const std::vector<JsonValue>& configs, std::size_t jobs) {
+                                        const std::vector<JsonValue>& configs, std::size_t jobs,
+                                        TrialCache* cache) {
   std::vector<TrialMetrics> out(configs.size());
   parallelFor(configs.size(), jobs,
-              [&](std::size_t i) { out[i] = runTrial(experiment, configs[i]); });
+              [&](std::size_t i) { out[i] = runTrialCached(experiment, configs[i], cache); });
   return out;
 }
 
-SweepOutcome runSweep(const SweepSpec& spec, std::size_t jobs) {
+SweepOutcome runSweep(const SweepSpec& spec, std::size_t jobs, TrialCache* cache) {
   std::vector<Trial> trials = expandTrials(spec);
   SweepOutcome out;
   out.name = spec.name;
   out.experiment = spec.experiment;
   out.results.resize(trials.size());
+  const std::uint64_t hits0 = cache ? cache->hits() : 0;
+  const std::uint64_t misses0 = cache ? cache->misses() : 0;
   parallelFor(trials.size(), jobs, [&](std::size_t idx) {
     TrialResult& slot = out.results[idx];
     slot.trial = std::move(trials[idx]);
-    slot.metrics = runTrial(spec.experiment, slot.trial.config);
+    slot.metrics = runTrialCached(spec.experiment, slot.trial.config, cache);
   });
+  if (cache != nullptr) {
+    out.cacheHits = static_cast<std::size_t>(cache->hits() - hits0);
+    out.cacheMisses = static_cast<std::size_t>(cache->misses() - misses0);
+  }
 
   for (const TrialResult& r : out.results) {
     if (!r.metrics.ok) {

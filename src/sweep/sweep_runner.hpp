@@ -20,6 +20,8 @@
 
 namespace hcsim::sweep {
 
+class TrialCache;  // sweep/trial_cache.hpp
+
 struct TrialMetrics {
   bool ok = false;
   std::string error;  ///< populated when !ok (bad config, impossible deployment)
@@ -42,6 +44,8 @@ struct SweepOutcome {
   RunningStats bandwidthGBs;         ///< merged over successful trials
   RunningStats elapsedSec;
   std::size_t failures = 0;
+  std::size_t cacheHits = 0;    ///< trials served from the TrialCache (0 without one)
+  std::size_t cacheMisses = 0;  ///< trials actually simulated when a cache was given
 };
 
 /// The --jobs default: hardware concurrency (1 when unknown).
@@ -62,11 +66,16 @@ void parallelFor(std::size_t n, std::size_t jobs, const std::function<void(std::
 /// oracle evaluates metamorphic-relation cases through it). Results are
 /// slot-per-config, so the output is identical whatever the job count.
 /// Configs are only read, never mutated, so callers may pass shallow
-/// copies that share JSON trees.
+/// copies that share JSON trees. When `cache` is non-null, trials whose
+/// canonical key is already cached skip simulation entirely; misses are
+/// simulated and inserted. Trials are deterministic, so results — and
+/// therefore emitted bytes — are identical with or without a cache.
 std::vector<TrialMetrics> runTrialBatch(const std::string& experiment,
-                                        const std::vector<JsonValue>& configs, std::size_t jobs);
+                                        const std::vector<JsonValue>& configs, std::size_t jobs,
+                                        TrialCache* cache = nullptr);
 
-/// Expand the spec and run every trial on `jobs` workers (0 = default).
-SweepOutcome runSweep(const SweepSpec& spec, std::size_t jobs);
+/// Expand the spec and run every trial on `jobs` workers (0 = default),
+/// optionally memoizing through `cache`.
+SweepOutcome runSweep(const SweepSpec& spec, std::size_t jobs, TrialCache* cache = nullptr);
 
 }  // namespace hcsim::sweep

@@ -282,6 +282,65 @@ TEST(FlowNetwork, RouteLatencySumsLinks) {
 
 class MaxMinPropertyTest : public ::testing::TestWithParam<int> {};
 
+TEST(FlowNetwork, HysteresisSkipsSubThresholdRerates) {
+  Harness h;
+  const LinkId l = h.net.addLink("l", 100.0);
+  h.net.startFlow({1000, {l}}, [](const FlowCompletion&) {});
+  const std::uint64_t scheduled = h.net.rerates();
+  // A capacity wiggle far below the hysteresis threshold must not
+  // re-time the completion event.
+  h.sim.runUntil(1.0);
+  h.net.setLinkCapacity(l, 100.0 * (1.0 - 1e-10));
+  EXPECT_EQ(h.net.rerates(), scheduled);
+  h.sim.run();
+}
+
+// Regression: the eta-tolerance fast path must keep comparing against
+// the *scheduled* completion (and re-anchor when the accrued error
+// leaves its budget). A stale-anchor bug lets thousands of individually
+// sub-threshold rate nudges compound into an unbounded completion error.
+TEST(FlowNetwork, ManyTinyReratesHaveBoundedCompletionError) {
+  Harness h;
+  double capacity = 100.0;
+  const LinkId l = h.net.addLink("l", capacity);
+  SimTime end = -1.0;
+  h.net.startFlow({1000, {l}}, [&](const FlowCompletion& c) { end = c.endTime; });
+
+  // 2000 capacity decrements of 1e-10 relative, one per millisecond —
+  // each moves the 10 s eta by ~1e-9 s, well under the 1e-8 s hysteresis
+  // window. Track the exact byte ledger alongside.
+  double remaining = 1000.0;
+  double prev = 0.0;
+  for (int i = 1; i <= 2000; ++i) {
+    const SimTime t = i * 0.001;
+    h.sim.runUntil(t);
+    remaining -= capacity * (t - prev);
+    prev = t;
+    capacity *= 1.0 - 1e-10;
+    h.net.setLinkCapacity(l, capacity);
+  }
+  h.sim.run();
+  const double trueEnd = prev + remaining / capacity;
+  ASSERT_GT(end, 0.0);
+  EXPECT_NEAR(end, trueEnd, 1e-6);
+  // The drift bound forces genuine re-anchors along the way.
+  EXPECT_GT(h.net.rerates(), 1u);
+}
+
+TEST(FlowNetwork, ReratesCountsEpochAdvances) {
+  Harness h;
+  const LinkId l = h.net.addLink("l", 100.0);
+  EXPECT_EQ(h.net.rerates(), 0u);
+  h.net.startFlow({500, {l}}, [](const FlowCompletion&) {});
+  EXPECT_EQ(h.net.rerates(), 1u);  // initial completion scheduling
+  h.net.startFlow({1000, {l}}, [](const FlowCompletion&) {});
+  // Arrival halves the first flow's rate: one re-rate + one fresh schedule.
+  EXPECT_EQ(h.net.rerates(), 3u);
+  h.sim.run();
+  // The short flow's departure re-rates the survivor once more.
+  EXPECT_EQ(h.net.rerates(), 4u);
+}
+
 TEST_P(MaxMinPropertyTest, NoLinkOversubscribedAndWorkConserving) {
   const int seed = GetParam();
   Harness h;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <vector>
 
 namespace hcsim {
@@ -179,6 +180,177 @@ TEST(Simulator, ManyEventsStressOrdering) {
   }
   sim.run();
   EXPECT_EQ(sim.eventsDispatched(), 5000u);
+}
+
+TEST(Simulator, AdjustKeyMovesEventEarlier) {
+  Simulator sim;
+  std::vector<int> order;
+  const EventId late = sim.schedule(10.0, [&] { order.push_back(10); });
+  sim.schedule(5.0, [&] { order.push_back(5); });
+  EXPECT_TRUE(sim.adjustKey(late, 1.0));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{10, 5}));
+  EXPECT_EQ(sim.now(), 5.0);
+}
+
+TEST(Simulator, AdjustKeyMovesEventLater) {
+  Simulator sim;
+  std::vector<int> order;
+  const EventId early = sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(5.0, [&] { order.push_back(5); });
+  EXPECT_TRUE(sim.adjustKey(early, 10.0));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{5, 1}));
+  EXPECT_EQ(sim.now(), 10.0);
+}
+
+// adjustKey assigns a fresh FIFO sequence number, exactly as the old
+// cancel-then-reschedule idiom did: an event adjusted onto a timestamp
+// that already has queued events dispatches after them.
+TEST(Simulator, AdjustKeyTakesFreshFifoPosition) {
+  Simulator sim;
+  std::vector<int> order;
+  const EventId moved = sim.schedule(0.5, [&] { order.push_back(99); });
+  sim.schedule(2.0, [&] { order.push_back(0); });
+  sim.schedule(2.0, [&] { order.push_back(1); });
+  EXPECT_TRUE(sim.adjustKey(moved, 2.0));
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 99}));
+}
+
+TEST(Simulator, AdjustKeyInThePastClampsToNow) {
+  Simulator sim;
+  SimTime firedAt = -1.0;
+  EventId target{};
+  target = sim.schedule(10.0, [&] { firedAt = sim.now(); });
+  sim.schedule(3.0, [&] { EXPECT_TRUE(sim.adjustKey(target, 1.0)); });
+  sim.run();
+  EXPECT_EQ(firedAt, 3.0);  // clamped to now at adjust time, not rewound
+}
+
+TEST(Simulator, AdjustKeyOnFiredOrInvalidIdIsFalse) {
+  Simulator sim;
+  const EventId id = sim.schedule(1.0, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.adjustKey(id, 2.0));
+  EXPECT_FALSE(sim.adjustKey(EventId{}, 2.0));
+}
+
+// A callback cancelling (or adjusting) its own EventId must be a no-op:
+// the slot is released before the callback runs.
+TEST(Simulator, SelfCancelInsideRunningCallbackIsNoop) {
+  Simulator sim;
+  EventId self{};
+  int runs = 0;
+  self = sim.schedule(1.0, [&] {
+    ++runs;
+    EXPECT_FALSE(sim.cancel(self));
+    EXPECT_FALSE(sim.adjustKey(self, 5.0));
+  });
+  sim.schedule(2.0, [&] { ++runs; });
+  sim.run();
+  EXPECT_EQ(runs, 2);
+}
+
+// A cancelled slot is recycled with a bumped generation, so a stale
+// EventId can never cancel or retime the slot's new occupant.
+TEST(Simulator, StaleIdCannotTouchRecycledSlot) {
+  Simulator sim;
+  const EventId stale = sim.schedule(1.0, [] { FAIL() << "cancelled event ran"; });
+  EXPECT_TRUE(sim.cancel(stale));
+  bool survivorRan = false;
+  sim.schedule(2.0, [&] { survivorRan = true; });  // reuses the freed slot
+  EXPECT_FALSE(sim.cancel(stale));
+  EXPECT_FALSE(sim.adjustKey(stale, 9.0));
+  sim.run();
+  EXPECT_TRUE(survivorRan);
+}
+
+TEST(Simulator, MassCancellationLeavesNoTombstones) {
+  Simulator sim;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ids.push_back(sim.schedule(1.0 + i, [] { FAIL() << "cancelled event ran"; }));
+  }
+  for (const EventId id : ids) EXPECT_TRUE(sim.cancel(id));
+  // In-place heap removal: nothing pending, nothing left to lazily skip.
+  EXPECT_EQ(sim.pendingEvents(), 0u);
+  EXPECT_TRUE(sim.empty());
+  int ran = 0;
+  sim.schedule(0.5, [&] { ++ran; });
+  sim.run();
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.eventsDispatched(), 1u);
+}
+
+TEST(Simulator, SlabStaysFlatUnderChurn) {
+  Simulator sim;
+  for (int i = 0; i < 64; ++i) sim.schedule(1.0, [] {});
+  sim.run();
+  const std::size_t high = sim.slabSize();
+  // Steady-state schedule/dispatch churn recycles slots instead of
+  // growing the slab.
+  for (int round = 0; round < 200; ++round) {
+    for (int i = 0; i < 64; ++i) sim.schedule(0.001, [] {});
+    sim.run();
+  }
+  EXPECT_EQ(sim.slabSize(), high);
+}
+
+TEST(Simulator, ZeroDelaySelfReschedulingIsFifoFair) {
+  Simulator sim;
+  std::vector<int> order;
+  int aLeft = 3;
+  int bLeft = 3;
+  std::function<void()> a = [&] {
+    order.push_back(0);
+    if (--aLeft > 0) sim.schedule(0.0, [&] { a(); });
+  };
+  std::function<void()> b = [&] {
+    order.push_back(1);
+    if (--bLeft > 0) sim.schedule(0.0, [&] { b(); });
+  };
+  sim.schedule(0.0, [&] { a(); });
+  sim.schedule(0.0, [&] { b(); });
+  sim.run();
+  // Each reschedule goes to the back of the same-timestamp queue.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 0, 1, 0, 1}));
+  EXPECT_EQ(sim.now(), 0.0);
+}
+
+TEST(InlineFunction, SmallCapturesStoreInline) {
+  struct Small {
+    void* a;
+    double b;
+    void operator()() {}
+  };
+  EXPECT_TRUE(EventFn::storesInline<Small>());
+}
+
+TEST(InlineFunction, OversizedCapturesFallBackToHeap) {
+  struct Big {
+    char payload[128];
+    void operator()() {}
+  };
+  EXPECT_FALSE(EventFn::storesInline<Big>());
+  bool ran = false;
+  EventFn f(Big{});  // must still work via the heap path
+  f = EventFn([&ran] { ran = true; });
+  f();
+  EXPECT_TRUE(ran);
+}
+
+TEST(InlineFunction, MovePreservesCallableAndState) {
+  int calls = 0;
+  EventFn f([&calls] { ++calls; });
+  EXPECT_TRUE(static_cast<bool>(f));
+  EventFn g(std::move(f));
+  g();
+  EventFn h;
+  EXPECT_FALSE(static_cast<bool>(h));
+  h = std::move(g);
+  h();
+  EXPECT_EQ(calls, 2);
 }
 
 }  // namespace

@@ -5,10 +5,12 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 
 #include "sweep/result_sink.hpp"
 #include "sweep/sweep_runner.hpp"
 #include "sweep/sweep_spec.hpp"
+#include "sweep/trial_cache.hpp"
 
 using namespace hcsim;
 using namespace hcsim::sweep;
@@ -220,4 +222,104 @@ TEST(SweepSink, UnmatchedTrialReportsNew) {
   const auto deltas = compareToBaseline(out, {});
   ASSERT_EQ(deltas.size(), 2u);
   for (const auto& d : deltas) EXPECT_FALSE(d.matched);
+}
+
+TEST(TrialCache, Fnv1a64IsStable) {
+  // Pinned reference values: persisted cache files depend on them.
+  EXPECT_EQ(fnv1a64(""), 14695981039346656037ull);
+  EXPECT_EQ(fnv1a64("a"), 12638187200555641996ull);
+  EXPECT_EQ(fnv1a64("hcsim"), 8823723028178096707ull);
+}
+
+TEST(TrialCache, KeyIsCanonicalAcrossInsertionOrder) {
+  JsonObject a;
+  a["x"] = 1.0;
+  a["y"] = "s";
+  JsonObject b;
+  b["y"] = "s";
+  b["x"] = 1.0;
+  EXPECT_EQ(trialKey("ior", JsonValue(std::move(a))), trialKey("ior", JsonValue(std::move(b))));
+}
+
+TEST(TrialCache, CountsHitsAndMisses) {
+  TrialCache cache;
+  TrialMetrics m;
+  m.ok = true;
+  m.meanGBs = 1.5;
+  EXPECT_FALSE(cache.lookup("k").has_value());
+  cache.insert("k", m);
+  const auto hit = cache.lookup("k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->meanGBs, 1.5);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+  cache.resetCounters();
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(TrialCache, SweepWithCacheMatchesSweepWithoutByteForByte) {
+  const SweepSpec spec = smallIorSpec();
+  const SweepOutcome plain = runSweep(spec, 4);
+  TrialCache cache;
+  const SweepOutcome cold = runSweep(spec, 4, &cache);
+  EXPECT_EQ(cold.cacheHits, 0u);
+  EXPECT_EQ(cold.cacheMisses, 8u);
+  const SweepOutcome warm = runSweep(spec, 4, &cache);
+  EXPECT_EQ(warm.cacheHits, 8u);
+  EXPECT_EQ(warm.cacheMisses, 0u);
+  EXPECT_EQ(jsonl(plain), jsonl(cold));
+  EXPECT_EQ(jsonl(plain), jsonl(warm));
+  // Warm run at a different job count: still byte-identical.
+  const SweepOutcome warm1 = runSweep(spec, 1, &cache);
+  EXPECT_EQ(jsonl(plain), jsonl(warm1));
+}
+
+TEST(TrialCache, SaveLoadRoundTripsBitExact) {
+  const SweepSpec spec = smallIorSpec();
+  TrialCache cache;
+  runSweep(spec, 2, &cache);
+  const std::string path = "trial_cache_test.jsonl";
+  ASSERT_TRUE(cache.saveFile(path));
+
+  TrialCache reloaded;
+  ASSERT_TRUE(reloaded.loadFile(path));
+  EXPECT_EQ(reloaded.size(), cache.size());
+  const SweepOutcome fresh = runSweep(spec, 2);
+  const SweepOutcome served = runSweep(spec, 2, &reloaded);
+  EXPECT_EQ(served.cacheHits, 8u);
+  EXPECT_EQ(served.cacheMisses, 0u);
+  EXPECT_EQ(jsonl(fresh), jsonl(served));
+
+  // Saving the reloaded cache reproduces the file byte for byte.
+  const std::string path2 = "trial_cache_test2.jsonl";
+  ASSERT_TRUE(reloaded.saveFile(path2));
+  std::ifstream f1(path), f2(path2);
+  const std::string b1((std::istreambuf_iterator<char>(f1)), std::istreambuf_iterator<char>());
+  const std::string b2((std::istreambuf_iterator<char>(f2)), std::istreambuf_iterator<char>());
+  EXPECT_FALSE(b1.empty());
+  EXPECT_EQ(b1, b2);
+  std::remove(path.c_str());
+  std::remove(path2.c_str());
+}
+
+TEST(TrialCache, MissingFileIsColdCacheButCorruptFileFails) {
+  TrialCache cache;
+  EXPECT_TRUE(cache.loadFile("no_such_trial_cache.jsonl"));
+  EXPECT_EQ(cache.size(), 0u);
+
+  const std::string path = "trial_cache_corrupt.jsonl";
+  {
+    std::ofstream out(path);
+    out << "{\"fnv\":\"deadbeef\",\"key\":\"ior\\n{}\",\"metrics\":{\"ok\":true}}\n";
+  }
+  EXPECT_FALSE(cache.loadFile(path));  // hash does not match key
+  EXPECT_EQ(cache.size(), 0u);
+  {
+    std::ofstream out(path);
+    out << "not json at all\n";
+  }
+  EXPECT_FALSE(cache.loadFile(path));
+  std::remove(path.c_str());
 }
