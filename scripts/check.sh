@@ -2,9 +2,12 @@
 # Release-build gate: configure + build EVERYTHING (library, tests,
 # benches, examples — a bench that fails to compile fails this script),
 # run the full test suite, then smoke-test the sweep engine, the trial
-# cache (byte-identity cold/warm), the regression oracle, and the engine
-# perf floor (bench_engine vs BENCH_engine.json; HCSIM_CHECK_PERF=0 to
-# skip, HCSIM_PERF_MAX_REGRESS to widen). A second profile repeats the
+# cache (byte-identity cold/warm), the regression oracle, the telemetry
+# layer (jobs-determinism with --telemetry on, strip-identity against
+# the telemetry-off JSONL, and gateway attribution via `trace
+# --internal`), and the engine perf floor (bench_engine vs
+# BENCH_engine.json, telemetry off; HCSIM_CHECK_PERF=0 to skip,
+# HCSIM_PERF_MAX_REGRESS to widen). A second profile repeats the
 # tests and an oracle smoke run under ASan+UBSan with sanitizers fatal;
 # export HCSIM_CHECK_SANITIZE=0 to skip it.
 set -euo pipefail
@@ -61,8 +64,33 @@ rm -f "$OCACHE"
 cmp "$BUILD/check-oracle-8.txt" "$BUILD/check-oracle-cold.txt"
 cmp "$BUILD/check-oracle-8.txt" "$BUILD/check-oracle-warm.txt"
 
+# Telemetry gates: with --telemetry the sweep must stay deterministic
+# across job counts, emit per-trial "telemetry" blocks, and reduce to the
+# telemetry-off JSONL byte-for-byte once those blocks are stripped. The
+# oracle check must print the exact same report with telemetry on, and
+# `hcsim trace --internal` on the VAST Lassen seq-read scale point must
+# attribute the op time to the gateway link.
+"$BUILD/src/hcsim" sweep --spec "$ROOT/examples/specs/fig2.json" --telemetry \
+    --jobs 8 --out "$OUT-tel-8.jsonl" --csv "$OUT-tel-8.csv" >/dev/null
+"$BUILD/src/hcsim" sweep --spec "$ROOT/examples/specs/fig2.json" --telemetry \
+    --jobs 1 --out "$OUT-tel-1.jsonl" >/dev/null
+cmp "$OUT-tel-8.jsonl" "$OUT-tel-1.jsonl"
+grep -q '"telemetry":' "$OUT-tel-8.jsonl"
+head -1 "$OUT-tel-8.csv" | grep -q ',dominantStage,'
+sed 's/,"telemetry":{[^}]*}//' "$OUT-tel-8.jsonl" > "$OUT-tel-stripped.jsonl"
+cmp "$OUT-8.jsonl" "$OUT-tel-stripped.jsonl"
+"$BUILD/src/hcsim" oracle check --dir "$ROOT/tests/golden" --jobs 8 \
+    --telemetry > "$BUILD/check-oracle-tel.txt"
+cmp "$BUILD/check-oracle-8.txt" "$BUILD/check-oracle-tel.txt"
+"$BUILD/src/hcsim" trace --site lassen --storage vast --access seq-read \
+    --nodes 32 --ppn 8 --internal --out "$BUILD/check-trace.json" \
+    > "$BUILD/check-trace.txt"
+grep -q 'dominant stage: gw' "$BUILD/check-trace.txt"
+grep -q '"cat":"internal"' "$BUILD/check-trace.json"
+
 # Perf smoke: the engine-throughput scenarios must stay within tolerance
-# of the committed reference (BENCH_engine.json). Export
+# of the committed reference (BENCH_engine.json). Telemetry is off here,
+# so this doubles as the zero-cost floor for the telemetry hooks. Export
 # HCSIM_CHECK_PERF=0 to skip (e.g. on loaded CI machines), or widen the
 # tolerance with HCSIM_PERF_MAX_REGRESS (fraction, default 0.30).
 if [ "${HCSIM_CHECK_PERF:-1}" != "0" ]; then

@@ -13,7 +13,7 @@ namespace {
 bool isBareFlag(const std::string& name) {
   static const char* const kBareFlags[] = {
       "--fsync", "--per-op", "--shared-file", "--unique-dir", "--help",
-      "--no-shrink", "--full",
+      "--no-shrink", "--full", "--internal", "--telemetry",
   };
   for (const char* flag : kBareFlags) {
     if (name == flag) return true;

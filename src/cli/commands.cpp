@@ -1,5 +1,6 @@
 #include "cli/commands.hpp"
 
+#include <fstream>
 #include <memory>
 #include <ostream>
 
@@ -14,6 +15,8 @@
 #include "sweep/result_sink.hpp"
 #include "sweep/sweep_runner.hpp"
 #include "sweep/trial_cache.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "telemetry/telemetry.hpp"
 #include "util/table.hpp"
 
 namespace hcsim::cli {
@@ -105,17 +108,25 @@ int cmdHelp(std::ostream& out) {
          "  plan        --machine M --pattern A --min-gbs G [--nodes N] [--ppn P]\n"
          "  takeaways   run the paper's section-VII checks\n"
          "  sweep       --spec F.json [--jobs N] [--out results.jsonl] [--csv results.csv]\n"
-         "              [--baseline prior.jsonl] [--cache trials.jsonl]\n"
+         "              [--baseline prior.jsonl] [--cache trials.jsonl] [--telemetry]\n"
          "              (parallel what-if config sweep; --cache memoizes trials\n"
-         "               across runs and reports the hit rate)\n"
+         "               across runs and reports the hit rate; --telemetry adds\n"
+         "               engine/attribution columns without changing results)\n"
          "  oracle      list | relations | record | check   (regression harness)\n"
          "              relations [--cases N] [--seed S] [--jobs J] [--relation NAME]\n"
          "                        [--no-shrink] [--cache F]  (metamorphic relations)\n"
          "              record    [--dir tests/golden] [--jobs J] [--figure F] [--cache F]\n"
          "              check     [--dir tests/golden] [--jobs J] [--figure F]\n"
-         "                        [--tolerance PCT] [--full] [--cache F]\n"
+         "                        [--tolerance PCT] [--full] [--cache F] [--telemetry]\n"
          "                        (golden-figure drift; output is byte-identical\n"
-         "                         with or without --cache)\n"
+         "                         with or without --cache or --telemetry)\n"
+         "  trace       --site S --storage K [--workload ior|resnet50|cosmoflow|unet3d]\n"
+         "              [--access A] [--nodes N] [--ppn P] [--segments S]\n"
+         "              [--internal] [--out trace.json]\n"
+         "              (chrome-trace export; --internal adds simulator op spans\n"
+         "               and prints the bottleneck-attribution table)\n"
+         "  stats       --site S --storage K [--workload W] [--access A] [--nodes N]\n"
+         "              [--ppn P] [--segments S]   (metrics-registry summary)\n"
          "  dump-config --storage vast|gpfs|lustre|nvme --site S   (preset as JSON)\n"
          "  help        this text\n";
   return 0;
@@ -278,7 +289,9 @@ int cmdSweep(const ArgParser& args, std::ostream& out, std::ostream& err) {
   if (jobs == 0) jobs = sweep::defaultJobs();
   CacheSession cache;
   if (!cache.open(args, err)) return 2;
-  const sweep::SweepOutcome result = sweep::runSweep(spec, jobs, cache.get());
+  sweep::TrialOptions opts;
+  opts.telemetry = args.has("--telemetry");
+  const sweep::SweepOutcome result = sweep::runSweep(spec, jobs, cache.get(), opts);
 
   ResultTable t("sweep '" + spec.name + "': " + std::to_string(result.results.size()) +
                 " trials on " + std::to_string(jobs) + " jobs");
@@ -418,9 +431,11 @@ int oracleRecord(const ArgParser& args, std::ostream& out, std::ostream& err) {
   if (!selectFigures(args, err, figures)) return 2;
   CacheSession cache;
   if (!cache.open(args, err)) return 2;
+  sweep::TrialOptions opts;
+  opts.telemetry = args.has("--telemetry");
   for (const oracle::GoldenFigure* fig : figures) {
     std::string error;
-    if (!oracle::recordFigure(*fig, dir, jobs, error, cache.get())) {
+    if (!oracle::recordFigure(*fig, dir, jobs, error, cache.get(), opts)) {
       err << "error: " << error << "\n";
       return 1;
     }
@@ -437,14 +452,17 @@ int oracleCheck(const ArgParser& args, std::ostream& out, std::ostream& err) {
   const double tolerance = args.numberOr("--tolerance", 2.0);
   std::vector<const oracle::GoldenFigure*> figures;
   if (!selectFigures(args, err, figures)) return 2;
-  // Cache stats deliberately never reach stdout here: check output must
-  // stay byte-identical with the cache on or off, at any --jobs.
+  // Cache stats and telemetry deliberately never reach stdout here:
+  // check output must stay byte-identical with the cache on or off,
+  // with or without --telemetry, at any --jobs.
   CacheSession cache;
   if (!cache.open(args, err)) return 2;
+  sweep::TrialOptions opts;
+  opts.telemetry = args.has("--telemetry");
   bool pass = true;
   for (const oracle::GoldenFigure* fig : figures) {
     const oracle::FigureCheck check =
-        oracle::checkFigure(*fig, dir, jobs, tolerance, cache.get());
+        oracle::checkFigure(*fig, dir, jobs, tolerance, cache.get(), opts);
     out << oracle::deltaTable(check, tolerance, args.has("--full"));
     pass = pass && check.pass();
   }
@@ -463,6 +481,93 @@ int cmdOracle(const ArgParser& args, std::ostream& out, std::ostream& err) {
   if (sub == "check") return oracleCheck(args, out, err);
   err << "error: oracle subcommand must be list|relations|record|check\n";
   return 2;
+}
+
+namespace {
+
+/// Shared workload driver for trace/stats: build the environment, run
+/// one IOR or DLIO pass (telemetry pre-enabled when asked), and hand
+/// back the app-level event log.
+struct WorkloadRun {
+  Environment env;
+  TraceLog appTrace;
+};
+
+bool runTracedWorkload(const ArgParser& args, std::ostream& err, bool telemetryOn,
+                       WorkloadRun& run) {
+  Site site;
+  StorageKind kind;
+  if (!parseTarget(args, err, site, kind)) return false;
+  const std::string w = args.getOr("--workload", "ior");
+  const std::size_t nodes = args.sizeOr("--nodes", 4);
+  run.env = makeEnvironment(site, kind, nodes);
+  if (telemetryOn) run.env.bench->telemetry().setEnabled(true);
+  if (w == "ior") {
+    AccessPattern access;
+    if (!parsePattern(args.getOr("--access", "seq-write"), access)) {
+      err << "error: bad --access\n";
+      return false;
+    }
+    IorConfig cfg = IorConfig::scalability(access, nodes, args.sizeOr("--ppn", 16));
+    cfg.segments = args.sizeOr("--segments", 512);
+    cfg.repetitions = 1;
+    cfg.noiseStdDevFrac = 0.0;
+    IorRunner runner(*run.env.bench, *run.env.fs);
+    runner.setTraceLog(&run.appTrace);
+    runner.run(cfg);
+    return true;
+  }
+  DlioConfig cfg;
+  if (w == "resnet50") cfg.workload = DlioWorkload::resnet50();
+  else if (w == "cosmoflow") cfg.workload = DlioWorkload::cosmoflow();
+  else if (w == "unet3d") cfg.workload = DlioWorkload::unet3d();
+  else {
+    err << "error: --workload must be ior|resnet50|cosmoflow|unet3d\n";
+    return false;
+  }
+  cfg.nodes = nodes;
+  cfg.procsPerNode = args.sizeOr("--ppn", 4);
+  DlioRunner runner(*run.env.bench, *run.env.fs);
+  DlioResult r = runner.run(cfg);
+  run.appTrace = std::move(r.trace);
+  return true;
+}
+
+}  // namespace
+
+int cmdTrace(const ArgParser& args, std::ostream& out, std::ostream& err) {
+  const bool internal = args.has("--internal");
+  WorkloadRun run;
+  if (!runTracedWorkload(args, err, internal, run)) return 2;
+  const telemetry::Telemetry& tel = run.env.bench->telemetry();
+  const std::string path = args.getOr("--out", "trace.json");
+  std::ofstream f(path);
+  if (!f) {
+    err << "error: cannot write " << path << "\n";
+    return 1;
+  }
+  f << telemetry::mergedChromeTraceJson(run.appTrace, tel);
+  f.close();
+  if (!f) {
+    err << "error: cannot write " << path << "\n";
+    return 1;
+  }
+  out << "wrote " << path << " (" << run.appTrace.events().size() << " app events";
+  if (internal) out << ", " << tel.spanCount() << " internal spans";
+  out << ")\n";
+  if (internal) out << tel.attribution().renderTable();
+  return 0;
+}
+
+int cmdStats(const ArgParser& args, std::ostream& out, std::ostream& err) {
+  WorkloadRun run;
+  if (!runTracedWorkload(args, err, /*telemetryOn=*/true, run)) return 2;
+  telemetry::MetricsRegistry reg;
+  run.env.bench->collectMetrics(reg, run.env.fs.get());
+  out << reg.renderTable();
+  const telemetry::AttributionReport rep = run.env.bench->telemetry().attribution();
+  if (rep.spans > 0) out << rep.renderTable();
+  return 0;
 }
 
 int cmdDumpConfig(const ArgParser& args, std::ostream& out, std::ostream& err) {
@@ -495,6 +600,8 @@ int run(const ArgParser& args, std::ostream& out, std::ostream& err) {
     if (cmd == "takeaways") return cmdTakeaways(args, out, err);
     if (cmd == "sweep") return cmdSweep(args, out, err);
     if (cmd == "oracle") return cmdOracle(args, out, err);
+    if (cmd == "trace") return cmdTrace(args, out, err);
+    if (cmd == "stats") return cmdStats(args, out, err);
     if (cmd == "dump-config") return cmdDumpConfig(args, out, err);
   } catch (const std::exception& ex) {
     // Bad geometry, impossible site/storage combinations, etc. surface

@@ -18,6 +18,11 @@ namespace hcsim::cli {
 ///   sweep     run a what-if config sweep   (--spec --jobs --out --baseline)
 ///   oracle    metamorphic & golden-figure regression harness
 ///             (list | relations | record | check)
+///   trace     run a workload and export chrome-trace JSON; --internal
+///             merges simulator-internal op spans and prints the
+///             bottleneck-attribution table
+///   stats     run a workload with telemetry and print the full metrics
+///             registry (engine, network, per-link, storage model)
 ///   dump-config  print a preset config as JSON (--storage vast@wombat ...)
 ///   help      usage
 int run(const ArgParser& args, std::ostream& out, std::ostream& err);
@@ -29,6 +34,8 @@ int cmdPlan(const ArgParser& args, std::ostream& out, std::ostream& err);
 int cmdTakeaways(const ArgParser& args, std::ostream& out, std::ostream& err);
 int cmdSweep(const ArgParser& args, std::ostream& out, std::ostream& err);
 int cmdOracle(const ArgParser& args, std::ostream& out, std::ostream& err);
+int cmdTrace(const ArgParser& args, std::ostream& out, std::ostream& err);
+int cmdStats(const ArgParser& args, std::ostream& out, std::ostream& err);
 int cmdDumpConfig(const ArgParser& args, std::ostream& out, std::ostream& err);
 int cmdHelp(std::ostream& out);
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "telemetry/metrics_registry.hpp"
+
 namespace hcsim {
 
 VastConfig vastOnLassen() {
@@ -72,12 +74,32 @@ NvmeLocalConfig nvmeOnWombat() {
 
 TestBench::TestBench(Machine machine, std::size_t nodesUsed)
     : machine_(std::move(machine)), net_(sim_), topo_(net_) {
+  net_.setTelemetry(&telemetry_);
   const std::size_t n = std::max<std::size_t>(1, std::min(nodesUsed, machine_.nodes));
   clientNics_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     clientNics_.push_back(topo_.addLink(machine_.name + ".nic.n" + std::to_string(i),
                                         machine_.nodeInjection, machine_.nicLatency));
   }
+}
+
+void TestBench::collectMetrics(telemetry::MetricsRegistry& reg, const FileSystemModel* fs) const {
+  reg.counter("engine.events.dispatched", static_cast<double>(sim_.eventsDispatched()));
+  reg.counter("engine.events.scheduled", static_cast<double>(sim_.eventsScheduled()));
+  reg.counter("engine.events.cancelled", static_cast<double>(sim_.eventsCancelled()));
+  reg.counter("engine.events.adjusted", static_cast<double>(sim_.eventsAdjusted()));
+  reg.gauge("engine.events.pending", static_cast<double>(sim_.pendingEvents()));
+  reg.gauge("engine.slab.slots", static_cast<double>(sim_.slabSize()));
+  reg.counter("net.rerates", static_cast<double>(net_.rerates()));
+  reg.gauge("net.flows.active", static_cast<double>(net_.activeFlows()));
+  reg.gauge("net.links", static_cast<double>(net_.linkCount()));
+  for (const LinkStats& ls : net_.linkStats()) {
+    reg.counter("net.link." + ls.name + ".bytes_carried", ls.bytesCarried);
+    reg.gauge("net.link." + ls.name + ".capacity_bps", ls.capacity);
+    reg.gauge("net.link." + ls.name + ".allocated_bps", ls.allocated);
+  }
+  telemetry_.exportTo(reg);
+  if (fs) fs->exportMetrics(reg);
 }
 
 std::unique_ptr<VastModel> TestBench::attachVast(VastConfig cfg) {

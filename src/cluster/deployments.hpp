@@ -61,6 +61,17 @@ class TestBench {
   std::size_t nodesUsed() const { return clientNics_.size(); }
   const std::vector<LinkId>& clientNics() const { return clientNics_; }
 
+  /// The bench-owned telemetry sink, already attached to the flow
+  /// network. Disabled by default; enable before running the workload.
+  telemetry::Telemetry& telemetry() { return telemetry_; }
+  const telemetry::Telemetry& telemetry() const { return telemetry_; }
+
+  /// Snapshot the whole stack into `reg`: engine counters ("engine.*"),
+  /// network state ("net.*"), span metrics ("telemetry.*"), and — when
+  /// `fs` is given — the model's own "<model>.*" metrics.
+  void collectMetrics(telemetry::MetricsRegistry& reg,
+                      const FileSystemModel* fs = nullptr) const;
+
   // Attach storage models (each call creates an independent instance).
   std::unique_ptr<VastModel> attachVast(VastConfig cfg);
   std::unique_ptr<GpfsModel> attachGpfs(GpfsConfig cfg);
@@ -72,6 +83,7 @@ class TestBench {
   Simulator sim_;
   FlowNetwork net_;
   Topology topo_;
+  telemetry::Telemetry telemetry_;
   std::vector<LinkId> clientNics_;
 };
 

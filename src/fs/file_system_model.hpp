@@ -26,6 +26,10 @@
 
 namespace hcsim {
 
+namespace telemetry {
+class MetricsRegistry;
+}
+
 /// Identifies the issuing process: compute node index + process rank on
 /// that node. Models route traffic through node `node`'s NIC.
 struct ClientId {
@@ -129,6 +133,12 @@ class FileSystemModel {
   /// aggregate a node's ranks into flows must keep this many distinct
   /// `client.proc` slots so every channel stays loaded.
   virtual std::size_t clientParallelism() const { return 1; }
+
+  /// Snapshot model-internal state (queue depths, cache hit ratios, SCM
+  /// occupancy, surviving servers, ...) into the telemetry registry
+  /// under "<model>.*" names. Pull-based: called at report time, never
+  /// on the simulation path; the default exports nothing.
+  virtual void exportMetrics(telemetry::MetricsRegistry&) const {}
 };
 
 }  // namespace hcsim

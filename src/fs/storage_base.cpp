@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "telemetry/metrics_registry.hpp"
+
 namespace hcsim {
 
 StorageModelBase::StorageModelBase(Simulator& sim, Topology& topo, std::string name,
@@ -66,6 +68,23 @@ void StorageModelBase::submitMeta(const MetaRequest& req, IoCallback cb) {
   });
 }
 
+void StorageModelBase::exportMetrics(telemetry::MetricsRegistry& reg) const {
+  double queued = 0.0;
+  double busy = 0.0;
+  double completed = 0.0;
+  for (const auto& q : metaQueues_) {
+    queued += static_cast<double>(q->queued());
+    busy += static_cast<double>(q->busy());
+    completed += static_cast<double>(q->completed());
+  }
+  if (!metaQueues_.empty()) {
+    reg.counter(name_ + ".meta.ops_completed", completed);
+    reg.gauge(name_ + ".meta.queued", queued);
+    reg.gauge(name_ + ".meta.busy", busy);
+    reg.gauge(name_ + ".meta.servers_active", static_cast<double>(activeMetadataServers()));
+  }
+}
+
 void StorageModelBase::beginPhase(const PhaseSpec& phase) {
   phase_ = phase;
   inPhase_ = true;
@@ -94,6 +113,12 @@ void StorageModelBase::launchTransfer(const IoRequest& req, Bytes bytes, const R
   if (req.sharedFile) spec.rateCap *= sharedFileEfficiency_;
   spec.weight = req.qosWeight;
   spec.startupLatency = startupLatency;
+  telemetry::Telemetry* tel = topo_.network().telemetry();
+  if (tel && tel->enabled()) {
+    spec.spanName = name_ + (isRead(req.pattern) ? ".read" : ".write");
+    spec.spanPid = req.client.node;
+    spec.spanTid = req.client.proc;
+  }
   topo_.network().startFlow(spec, [cb = std::move(cb)](const FlowCompletion& done) {
     if (cb) cb(IoResult{done.startTime, done.endTime, done.bytes});
   });

@@ -35,6 +35,10 @@ class StorageModelBase : public FileSystemModel {
   const PhaseSpec& phase() const { return phase_; }
   bool inPhase() const { return inPhase_; }
 
+  /// Export the shared metadata-path state ("<name>.meta.*"). Subclass
+  /// overrides call this and add their own "<name>.*" metrics.
+  void exportMetrics(telemetry::MetricsRegistry& reg) const override;
+
   Simulator& simulator() { return sim_; }
   const Simulator& simulator() const { return sim_; }
   Topology& topology() { return topo_; }

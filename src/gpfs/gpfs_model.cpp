@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "telemetry/metrics_registry.hpp"
+
 namespace hcsim {
 
 namespace {
@@ -97,6 +99,15 @@ void GpfsModel::onPhaseChange() {
 
 Bandwidth GpfsModel::deviceCapacity() const {
   return topology().network().link(deviceLink_).capacity;
+}
+
+void GpfsModel::exportMetrics(telemetry::MetricsRegistry& reg) const {
+  StorageModelBase::exportMetrics(reg);
+  const std::string& n = name();
+  reg.gauge(n + ".cache.server_hit_ratio", hitRatio_);
+  reg.gauge(n + ".device.capacity_bps", deviceCapacity());
+  reg.gauge(n + ".nsd.alive", static_cast<double>(aliveNsdServers()));
+  reg.gauge(n + ".background.bytes_in_flight", static_cast<double>(backgroundInFlight_));
 }
 
 void GpfsModel::submit(const IoRequest& req, IoCallback cb) {

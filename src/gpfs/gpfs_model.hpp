@@ -50,6 +50,8 @@ class GpfsModel final : public StorageModelBase {
   /// node range (background tenants on the shared machine).
   Bytes backgroundBytesInFlight() const { return backgroundInFlight_; }
 
+  void exportMetrics(telemetry::MetricsRegistry& reg) const override;
+
  protected:
   void onPhaseChange() override;
 

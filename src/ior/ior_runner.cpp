@@ -100,8 +100,15 @@ IorRunner::RunOutcome IorRunner::runCoalesced(const IorConfig& cfg) {
       req.ops = cfg.transfersPerProc() * streams;
       req.streams = streams;
       ++outstanding;
-      fs_.submit(req, [&outstanding, &lastEnd](const IoResult& r) {
+      const std::uint32_t pid = req.client.node;
+      const bool rd = isRead(cfg.access);
+      fs_.submit(req, [this, &outstanding, &lastEnd, pid, slot, rd](const IoResult& r) {
         lastEnd = std::max(lastEnd, r.endTime);
+        if (trace_) {
+          trace_->record(TraceEvent{rd ? "ior.read" : "ior.write",
+                                    rd ? TraceEventKind::Read : TraceEventKind::Write, pid, slot,
+                                    r.startTime, r.elapsed(), r.bytes});
+        }
         --outstanding;
       });
     }
@@ -156,10 +163,17 @@ IorRunner::RunOutcome IorRunner::runPerOp(const IorConfig& cfg) {
         req.offset = cursor;
         cursor += cfg->transferSize;
       }
-      self->fs_.submit(req, [this](const IoResult& r) {
+      const bool rd = isRead(cfg->access);
+      self->fs_.submit(req, [this, rd](const IoResult& r) {
         *lastEnd = std::max(*lastEnd, r.endTime);
         *movedBytes += r.bytes;
         opLatencies->push_back(r.elapsed());
+        if (self->trace_) {
+          self->trace_->record(TraceEvent{rd ? "ior.read" : "ior.write",
+                                          rd ? TraceEventKind::Read : TraceEventKind::Write,
+                                          client.node, client.proc, r.startTime, r.elapsed(),
+                                          r.bytes});
+        }
         const bool hitStonewall = cfg->stonewallSeconds > 0.0 &&
                                   r.endTime - phaseStart >= cfg->stonewallSeconds;
         if (--remainingOps > 0 && !hitStonewall) {

@@ -9,6 +9,7 @@
 #include "cluster/deployments.hpp"
 #include "fs/file_system_model.hpp"
 #include "ior/ior_config.hpp"
+#include "trace/trace_log.hpp"
 #include "util/random.hpp"
 #include "util/stats.hpp"
 
@@ -28,6 +29,11 @@ struct IorResult {
 class IorRunner {
  public:
   IorRunner(TestBench& bench, FileSystemModel& fs) : bench_(bench), fs_(fs) {}
+
+  /// Record app-level read/write events ("ior.read"/"ior.write", pid =
+  /// issuing node, tid = channel slot) into `log` while running. Pass
+  /// nullptr (the default) to disable.
+  void setTraceLog(TraceLog* log) { trace_ = log; }
 
   /// Run the benchmark (repetitions included) to completion.
   IorResult run(const IorConfig& cfg);
@@ -50,6 +56,7 @@ class IorRunner {
 
   TestBench& bench_;
   FileSystemModel& fs_;
+  TraceLog* trace_ = nullptr;
 };
 
 }  // namespace hcsim

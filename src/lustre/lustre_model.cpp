@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "telemetry/metrics_registry.hpp"
+
 namespace hcsim {
 
 namespace {
@@ -70,6 +72,14 @@ void LustreModel::restoreMds(std::size_t index) {
 
 Bandwidth LustreModel::deviceCapacity() const {
   return topology().network().link(deviceLink_).capacity;
+}
+
+void LustreModel::exportMetrics(telemetry::MetricsRegistry& reg) const {
+  StorageModelBase::exportMetrics(reg);
+  const std::string& n = name();
+  reg.gauge(n + ".device.capacity_bps", deviceCapacity());
+  reg.gauge(n + ".oss.alive", static_cast<double>(aliveOss()));
+  reg.gauge(n + ".mds.alive", static_cast<double>(aliveMds()));
 }
 
 void LustreModel::submit(const IoRequest& req, IoCallback cb) {

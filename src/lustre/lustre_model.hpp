@@ -49,6 +49,8 @@ class LustreModel final : public StorageModelBase {
   void restoreMds(std::size_t index);
   std::size_t aliveMds() const { return cfg_.mdsCount - failedMds_.size(); }
 
+  void exportMetrics(telemetry::MetricsRegistry& reg) const override;
+
  protected:
   void onPhaseChange() override;
 

@@ -77,6 +77,14 @@ FlowId FlowNetwork::startFlow(const FlowSpec& spec,
   flow.startTime = sim_.now();
   flow.onComplete = std::move(onComplete);
 
+  if (tel_ && tel_->enabled()) {
+    flow.spanIdx = tel_->beginSpan(spec.spanName.empty() ? "flow" : spec.spanName, spec.spanPid,
+                                   spec.spanTid, flow.startTime, static_cast<double>(spec.bytes));
+    if (spec.startupLatency > 0.0) {
+      tel_->accrue(flow.spanIdx, tel_->stageId("startup"), spec.startupLatency, 0.0);
+    }
+  }
+
   if (spec.startupLatency > 0.0) {
     sim_.schedule(spec.startupLatency,
                   [this, f = std::move(flow)]() mutable { activate(std::move(f)); });
@@ -90,6 +98,7 @@ void FlowNetwork::activate(ActiveFlow flow) {
   flow.lastUpdate = sim_.now();
   if (flow.remaining <= kByteEpsilon) {
     // Zero-byte flow: completes as soon as its startup latency elapsed.
+    if (tel_ && flow.spanIdx != telemetry::kNoSpan) tel_->endSpan(flow.spanIdx, sim_.now());
     FlowCompletion done{flow.id, flow.totalBytes, flow.startTime, sim_.now()};
     auto cb = std::move(flow.onComplete);
     if (cb) cb(done);
@@ -101,14 +110,28 @@ void FlowNetwork::activate(ActiveFlow flow) {
   rebalance();
 }
 
+std::uint32_t FlowNetwork::bottleneckStage(telemetry::Telemetry& tel, const ActiveFlow& f) const {
+  if (f.bottleneck == kFrozenByCap) return tel.stageId("stream-cap");
+  if (f.bottleneck == kFrozenByNone || f.bottleneck >= links_.size()) {
+    return tel.stageId("unconstrained");
+  }
+  return tel.stageForLink(f.bottleneck, links_[f.bottleneck].name);
+}
+
 void FlowNetwork::advanceProgress() {
   const SimTime now = sim_.now();
+  // One enabled-check per pass; `tel` stays null on the common path so
+  // the loop body carries a single dead branch when telemetry is off.
+  telemetry::Telemetry* tel = (tel_ && tel_->enabled()) ? tel_ : nullptr;
   for (auto& [id, f] : active_) {
     const SimTime dt = now - f.lastUpdate;
     if (dt > 0.0 && f.rate > 0.0) {
       const double moved = std::min(f.remaining, f.rate * dt);
       f.remaining -= moved;
       for (LinkId lid : f.route) links_[lid.value].bytesCarried += moved;
+      if (tel && f.spanIdx != telemetry::kNoSpan) {
+        tel->accrue(f.spanIdx, bottleneckStage(*tel, f), dt, moved);
+      }
     }
     f.lastUpdate = now;
   }
@@ -126,6 +149,7 @@ void FlowNetwork::computeMaxMinRates() {
   flows.reserve(active_.size());
   for (auto& [id, f] : active_) {
     f.rate = 0.0;
+    f.bottleneck = kFrozenByNone;
     flows.push_back(&f);
     for (LinkId lid : f.route) unfrozenWeightOnLink[lid.value] += f.weight;
   }
@@ -179,10 +203,13 @@ void FlowNetwork::computeMaxMinRates() {
     for (std::size_t i = 0; i < flows.size(); ++i) {
       if (frozen[i]) continue;
       bool freeze = flows[i]->rate >= flows[i]->rateCap - 1e-12;
-      if (!freeze) {
+      if (freeze) {
+        flows[i]->bottleneck = kFrozenByCap;
+      } else {
         for (LinkId lid : flows[i]->route) {
           if (headroom[lid.value] <= 1e-9 * links_[lid.value].capacity + 1e-12) {
             freeze = true;
+            flows[i]->bottleneck = lid.value;
             break;
           }
         }
@@ -272,6 +299,7 @@ void FlowNetwork::finish(FlowId id) {
     for (LinkId lid : f.route) links_[lid.value].bytesCarried += f.remaining;
     f.remaining = 0.0;
   }
+  if (tel_ && f.spanIdx != telemetry::kNoSpan) tel_->endSpan(f.spanIdx, sim_.now());
   FlowCompletion done{f.id, f.totalBytes, f.startTime, sim_.now()};
   rebalance();
   if (f.onComplete) f.onComplete(done);

@@ -35,6 +35,7 @@
 
 #include "net/link.hpp"
 #include "sim/simulator.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace hcsim {
 
@@ -53,6 +54,11 @@ struct FlowSpec {
   /// QoS weight (> 0): progressive filling raises rates in proportion
   /// to weight, so two flows sharing a link split it weight-wise.
   double weight = 1.0;
+  /// Telemetry span identity — only consulted when the network's
+  /// Telemetry sink is attached and enabled. Empty name = "flow".
+  std::string spanName;
+  std::uint32_t spanPid = 0;
+  std::uint32_t spanTid = 0;
 };
 
 struct FlowCompletion {
@@ -107,7 +113,18 @@ class FlowNetwork {
   /// Utilization snapshot of every link.
   std::vector<LinkStats> linkStats() const;
 
+  /// Attach (or detach with nullptr) a telemetry sink. Spans are only
+  /// opened while the sink is attached *and* enabled; flows launched
+  /// with telemetry off carry a kNoSpan sentinel and cost nothing.
+  void setTelemetry(telemetry::Telemetry* tel) { tel_ = tel; }
+  telemetry::Telemetry* telemetry() const { return tel_; }
+
  private:
+  /// `bottleneck` sentinels: frozen by the per-flow rate cap / by
+  /// nothing (degenerate freeze), rather than by a link index.
+  static constexpr std::uint32_t kFrozenByCap = 0xfffffffeu;
+  static constexpr std::uint32_t kFrozenByNone = 0xffffffffu;
+
   struct ActiveFlow {
     FlowId id = 0;
     Route route;
@@ -123,6 +140,11 @@ class FlowNetwork {
     double etaDrift = 0.0;         // accrued |skipped completion moves| since last re-anchor
     EventId completionEvent{};
     std::function<void(const FlowCompletion&)> onComplete;
+    // What froze this flow's rate in the last progressive-filling pass:
+    // a link index, kFrozenByCap, or kFrozenByNone. Written
+    // unconditionally (one store); read only when telemetry is on.
+    std::uint32_t bottleneck = kFrozenByNone;
+    std::uint32_t spanIdx = telemetry::kNoSpan;  // open telemetry span, if any
   };
 
   /// Credit progress to every active flow for time elapsed since its
@@ -138,10 +160,15 @@ class FlowNetwork {
   void activate(ActiveFlow flow);
   void finish(FlowId id);
 
+  /// Interned stage id for the flow's bottleneck sentinel/link (only
+  /// called when telemetry is enabled).
+  std::uint32_t bottleneckStage(telemetry::Telemetry& tel, const ActiveFlow& f) const;
+
   Simulator& sim_;
   std::vector<Link> links_;
   FlowId nextFlowId_ = 1;
   std::uint64_t rerates_ = 0;
+  telemetry::Telemetry* tel_ = nullptr;
   std::unordered_map<FlowId, ActiveFlow> active_;
 };
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <vector>
+
+#include "telemetry/metrics_registry.hpp"
 
 namespace hcsim {
 
@@ -112,6 +115,25 @@ Bandwidth NvmeLocalModel::nodeWriteCapacity(std::uint32_t node) const {
 Bandwidth NvmeLocalModel::nodeReadCapacity(std::uint32_t node) const {
   const auto it = nodes_.find(node);
   return it == nodes_.end() ? 0.0 : topology().network().link(it->second.readLink).capacity;
+}
+
+void NvmeLocalModel::exportMetrics(telemetry::MetricsRegistry& reg) const {
+  StorageModelBase::exportMetrics(reg);
+  const std::string& n = name();
+  reg.gauge(n + ".nodes.active", static_cast<double>(nodes_.size()));
+  // Sum in node order: unordered_map iteration order must not leak into
+  // the (floating-point) total.
+  std::vector<std::uint32_t> ids;
+  ids.reserve(nodes_.size());
+  for (const auto& [node, st] : nodes_) ids.push_back(node);
+  std::sort(ids.begin(), ids.end());
+  double dirty = 0.0;
+  const SimTime now = simulator().now();
+  for (std::uint32_t node : ids) {
+    const NodeState& st = nodes_.at(node);
+    if (st.pageCache) dirty += static_cast<double>(st.pageCache->dirty(now));
+  }
+  reg.gauge(n + ".pagecache.dirty_bytes", dirty);
 }
 
 void NvmeLocalModel::submit(const IoRequest& req, IoCallback cb) {

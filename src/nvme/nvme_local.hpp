@@ -72,6 +72,8 @@ class NvmeLocalModel final : public StorageModelBase {
   Bandwidth nodeWriteCapacity(std::uint32_t node) const;
   Bandwidth nodeReadCapacity(std::uint32_t node) const;
 
+  void exportMetrics(telemetry::MetricsRegistry& reg) const override;
+
  protected:
   void onPhaseChange() override;
 

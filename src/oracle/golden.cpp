@@ -133,8 +133,11 @@ std::string goldenPath(const std::string& dir, const std::string& name) {
 }
 
 bool recordFigure(const GoldenFigure& fig, const std::string& dir, std::size_t jobs,
-                  std::string& error, sweep::TrialCache* cache) {
-  const sweep::SweepOutcome out = sweep::runSweep(fig.spec, jobs, cache);
+                  std::string& error, sweep::TrialCache* cache, const sweep::TrialOptions& opts) {
+  sweep::SweepOutcome out = sweep::runSweep(fig.spec, jobs, cache, opts);
+  // Goldens snapshot simulated results only: drop the telemetry columns
+  // so the file is byte-identical whether or not telemetry was on.
+  for (sweep::TrialResult& r : out.results) r.metrics.hasTelemetry = false;
   if (out.failures != 0) {
     for (const sweep::TrialResult& r : out.results) {
       if (r.metrics.ok) continue;
@@ -151,7 +154,8 @@ bool recordFigure(const GoldenFigure& fig, const std::string& dir, std::size_t j
 }
 
 FigureCheck checkFigure(const GoldenFigure& fig, const std::string& dir, std::size_t jobs,
-                        double tolerancePct, sweep::TrialCache* cache) {
+                        double tolerancePct, sweep::TrialCache* cache,
+                        const sweep::TrialOptions& opts) {
   FigureCheck check;
   check.figure = fig.name;
 
@@ -162,7 +166,7 @@ FigureCheck checkFigure(const GoldenFigure& fig, const std::string& dir, std::si
     return check;
   }
 
-  const sweep::SweepOutcome out = sweep::runSweep(fig.spec, jobs, cache);
+  const sweep::SweepOutcome out = sweep::runSweep(fig.spec, jobs, cache, opts);
   std::map<std::string, bool> goldenSeen;
   for (const sweep::TrialResult& r : out.results) {
     CellDelta d;

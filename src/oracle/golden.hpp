@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "sweep/sweep_runner.hpp"
 #include "sweep/sweep_spec.hpp"
 
 namespace hcsim::sweep {
@@ -56,16 +57,22 @@ struct FigureCheck {
 /// Run the figure's sweep and write dir/name.jsonl. Refuses to snapshot
 /// a sweep with failed trials (goldens must be all-green). `cache`
 /// optionally memoizes trials (sweep::TrialCache) — snapshots are
-/// byte-identical with or without it.
+/// byte-identical with or without it. Telemetry columns are stripped
+/// before writing, so snapshots are also byte-identical with or without
+/// opts.telemetry (asserted in tests).
 bool recordFigure(const GoldenFigure& fig, const std::string& dir, std::size_t jobs,
-                  std::string& error, sweep::TrialCache* cache = nullptr);
+                  std::string& error, sweep::TrialCache* cache = nullptr,
+                  const sweep::TrialOptions& opts = {});
 
 /// Re-run the figure's sweep and compare per cell. Drift beyond
 /// tolerancePct (in either direction), cells that now fail, and cells
 /// present on only one side all count as violations. A warm `cache`
 /// serves the whole sweep without simulating, with identical deltas.
+/// opts.telemetry must not change any delta (the check only reads
+/// simulated bandwidth, which telemetry cannot perturb).
 FigureCheck checkFigure(const GoldenFigure& fig, const std::string& dir, std::size_t jobs,
-                        double tolerancePct, sweep::TrialCache* cache = nullptr);
+                        double tolerancePct, sweep::TrialCache* cache = nullptr,
+                        const sweep::TrialOptions& opts = {});
 
 /// Deterministic per-cell delta table (no timings, no job counts).
 /// `fullTable` prints every cell; otherwise only violated cells.

@@ -93,6 +93,7 @@ std::uint32_t Simulator::decode(EventId id) const {
 
 EventId Simulator::scheduleAt(SimTime t, EventFn fn) {
   if (t < now_) t = now_;
+  ++scheduled_;
   const std::uint32_t s = allocSlot();
   Slot& slot = slots_[s];
   slot.time = t;
@@ -108,6 +109,7 @@ EventId Simulator::scheduleAt(SimTime t, EventFn fn) {
 bool Simulator::cancel(EventId id) {
   const std::uint32_t s = decode(id);
   if (s == kNpos) return false;
+  ++cancelled_;
   heapErase(slots_[s].heapPos);
   releaseSlot(s);
   return true;
@@ -117,6 +119,7 @@ bool Simulator::adjustKey(EventId id, SimTime t) {
   const std::uint32_t s = decode(id);
   if (s == kNpos) return false;
   if (t < now_) t = now_;
+  ++adjusted_;
   Slot& slot = slots_[s];
   slot.time = t;
   // Fresh FIFO position — see the dispatch invariant in the header.

@@ -106,6 +106,12 @@ class Simulator {
   /// Number of events dispatched since construction.
   std::uint64_t eventsDispatched() const { return dispatched_; }
 
+  /// Lifetime engine counters (telemetry): schedule/scheduleAt calls,
+  /// successful cancels, successful adjustKey re-timings.
+  std::uint64_t eventsScheduled() const { return scheduled_; }
+  std::uint64_t eventsCancelled() const { return cancelled_; }
+  std::uint64_t eventsAdjusted() const { return adjusted_; }
+
   /// Pending event count (cancelled events leave the queue immediately).
   std::size_t pendingEvents() const { return heap_.size(); }
 
@@ -151,6 +157,9 @@ class Simulator {
   SimTime now_ = 0.0;
   std::uint64_t nextSeq_ = 1;
   std::uint64_t dispatched_ = 0;
+  std::uint64_t scheduled_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::uint64_t adjusted_ = 0;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> freeSlots_;
   std::vector<std::uint32_t> heap_;

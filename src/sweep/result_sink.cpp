@@ -47,6 +47,19 @@ std::string toJsonlLine(const TrialResult& r) {
     m["maxGBs"] = r.metrics.maxGBs;
     m["elapsedSec"] = r.metrics.elapsedSec;
     m["bytes"] = r.metrics.bytesMoved;
+    // Telemetry lives in its own sub-object so a telemetry-off run and
+    // the simulation columns of a telemetry-on run stay byte-identical.
+    if (r.metrics.hasTelemetry) {
+      JsonObject t;
+      t["rerates"] = r.metrics.rerates;
+      t["eventsScheduled"] = r.metrics.eventsScheduled;
+      t["eventsCancelled"] = r.metrics.eventsCancelled;
+      t["eventsAdjusted"] = r.metrics.eventsAdjusted;
+      t["eventsDispatched"] = r.metrics.eventsDispatched;
+      t["dominantStage"] = r.metrics.dominantStage;
+      t["dominantSharePct"] = r.metrics.dominantSharePct;
+      m["telemetry"] = JsonValue(std::move(t));
+    }
   } else {
     m["error"] = r.metrics.error;
   }
@@ -62,6 +75,10 @@ bool writeJsonl(const SweepOutcome& out, const std::string& path) {
 }
 
 std::string toCsv(const SweepOutcome& out) {
+  // Telemetry columns appear only when some trial carried telemetry, so
+  // a telemetry-off CSV is byte-identical to the pre-telemetry format.
+  bool anyTelemetry = false;
+  for (const TrialResult& r : out.results) anyTelemetry |= r.metrics.hasTelemetry;
   std::ostringstream os;
   os << "trial";
   if (!out.results.empty()) {
@@ -70,7 +87,12 @@ std::string toCsv(const SweepOutcome& out) {
       os << "," << path;
     }
   }
-  os << ",ok,meanGBs,minGBs,maxGBs,elapsedSec,bytes,error\n";
+  os << ",ok,meanGBs,minGBs,maxGBs,elapsedSec,bytes,error";
+  if (anyTelemetry) {
+    os << ",rerates,eventsScheduled,eventsCancelled,eventsAdjusted,eventsDispatched"
+          ",dominantStage,dominantSharePct";
+  }
+  os << "\n";
   for (const TrialResult& r : out.results) {
     os << r.trial.index;
     for (const auto& [path, v] : r.trial.params) {
@@ -80,10 +102,24 @@ std::string toCsv(const SweepOutcome& out) {
     if (r.metrics.ok) {
       os << ",1," << formatDouble(r.metrics.meanGBs) << "," << formatDouble(r.metrics.minGBs)
          << "," << formatDouble(r.metrics.maxGBs) << "," << formatDouble(r.metrics.elapsedSec)
-         << "," << formatDouble(r.metrics.bytesMoved) << ",\n";
+         << "," << formatDouble(r.metrics.bytesMoved) << ",";
     } else {
-      os << ",0,,,,,," << csvField(JsonValue(r.metrics.error)) << "\n";
+      os << ",0,,,,,," << csvField(JsonValue(r.metrics.error));
     }
+    if (anyTelemetry) {
+      if (r.metrics.hasTelemetry) {
+        os << "," << formatDouble(r.metrics.rerates) << ","
+           << formatDouble(r.metrics.eventsScheduled) << ","
+           << formatDouble(r.metrics.eventsCancelled) << ","
+           << formatDouble(r.metrics.eventsAdjusted) << ","
+           << formatDouble(r.metrics.eventsDispatched) << ","
+           << csvField(JsonValue(r.metrics.dominantStage)) << ","
+           << formatDouble(r.metrics.dominantSharePct);
+      } else {
+        os << ",,,,,,,";
+      }
+    }
+    os << "\n";
   }
   return os.str();
 }

@@ -83,13 +83,30 @@ Environment makeTrialEnvironment(Site site, StorageKind kind, std::size_t nodes,
   return env;
 }
 
-TrialMetrics runIorTrial(const JsonValue& config, Site site, StorageKind kind) {
+/// Copy engine/network/attribution telemetry out of a finished trial
+/// environment into the metric columns.
+void fillTelemetry(TrialMetrics& m, const Environment& env) {
+  m.hasTelemetry = true;
+  const Simulator& sim = env.bench->sim();
+  m.eventsScheduled = static_cast<double>(sim.eventsScheduled());
+  m.eventsCancelled = static_cast<double>(sim.eventsCancelled());
+  m.eventsAdjusted = static_cast<double>(sim.eventsAdjusted());
+  m.eventsDispatched = static_cast<double>(sim.eventsDispatched());
+  m.rerates = static_cast<double>(env.bench->topo().network().rerates());
+  const telemetry::AttributionReport rep = env.bench->telemetry().attribution();
+  m.dominantStage = rep.dominantStage;
+  m.dominantSharePct = rep.dominantSharePct;
+}
+
+TrialMetrics runIorTrial(const JsonValue& config, Site site, StorageKind kind,
+                         const TrialOptions& opts) {
   IorConfig cfg;
   if (const JsonValue* j = config.find("ior")) {
     if (!fromJson(*j, cfg)) throw std::invalid_argument("sweep: 'ior' section does not parse");
   }
   cfg.validate();
   Environment env = makeTrialEnvironment(site, kind, cfg.nodes, config.find("storageConfig"));
+  if (opts.telemetry) env.bench->telemetry().setEnabled(true);
   IorRunner runner(*env.bench, *env.fs);
   const IorResult r = runner.run(cfg);
   TrialMetrics m;
@@ -99,15 +116,18 @@ TrialMetrics runIorTrial(const JsonValue& config, Site site, StorageKind kind) {
   m.maxGBs = units::toGBs(r.bandwidth.max);
   m.elapsedSec = r.meanElapsed;
   m.bytesMoved = static_cast<double>(r.totalBytes);
+  if (opts.telemetry) fillTelemetry(m, env);
   return m;
 }
 
-TrialMetrics runDlioTrial(const JsonValue& config, Site site, StorageKind kind) {
+TrialMetrics runDlioTrial(const JsonValue& config, Site site, StorageKind kind,
+                          const TrialOptions& opts) {
   DlioConfig cfg;
   if (const JsonValue* j = config.find("dlio")) {
     if (!fromJson(*j, cfg)) throw std::invalid_argument("sweep: 'dlio' section does not parse");
   }
   Environment env = makeTrialEnvironment(site, kind, cfg.nodes, config.find("storageConfig"));
+  if (opts.telemetry) env.bench->telemetry().setEnabled(true);
   DlioRunner runner(*env.bench, *env.fs);
   const DlioResult r = runner.run(cfg);
   TrialMetrics m;
@@ -115,6 +135,7 @@ TrialMetrics runDlioTrial(const JsonValue& config, Site site, StorageKind kind) 
   m.meanGBs = m.minGBs = m.maxGBs = units::toGBs(r.throughput.application);
   m.elapsedSec = r.runtime;
   m.bytesMoved = static_cast<double>(r.bytesRead + r.bytesCheckpointed);
+  if (opts.telemetry) fillTelemetry(m, env);
   return m;
 }
 
@@ -125,7 +146,8 @@ std::size_t defaultJobs() {
   return hc == 0 ? 1 : static_cast<std::size_t>(hc);
 }
 
-TrialMetrics runTrial(const std::string& experiment, const JsonValue& config) {
+TrialMetrics runTrial(const std::string& experiment, const JsonValue& config,
+                      const TrialOptions& opts) {
   TrialMetrics m;
   try {
     Site site;
@@ -136,8 +158,8 @@ TrialMetrics runTrial(const std::string& experiment, const JsonValue& config) {
     if (!parseStorageName(config.stringOr("storage", "vast"), kind)) {
       throw std::invalid_argument("sweep: 'storage' must be vast|gpfs|lustre|nvme");
     }
-    if (experiment == "ior") return runIorTrial(config, site, kind);
-    if (experiment == "dlio") return runDlioTrial(config, site, kind);
+    if (experiment == "ior") return runIorTrial(config, site, kind, opts);
+    if (experiment == "dlio") return runDlioTrial(config, site, kind, opts);
     throw std::invalid_argument("sweep: experiment must be 'ior' or 'dlio'");
   } catch (const std::exception& ex) {
     m.ok = false;
@@ -200,11 +222,14 @@ namespace {
 /// deterministic re-run would reproduce bit-for-bit), miss simulates and
 /// memoizes.
 TrialMetrics runTrialCached(const std::string& experiment, const JsonValue& config,
-                            TrialCache* cache) {
-  if (cache == nullptr) return runTrial(experiment, config);
-  const std::string key = trialKey(experiment, config);
+                            TrialCache* cache, const TrialOptions& opts) {
+  if (cache == nullptr) return runTrial(experiment, config, opts);
+  // Telemetry trials carry extra columns, so they memoize under a
+  // distinct key — a plain entry must never satisfy a telemetry lookup.
+  const std::string key =
+      trialKey(opts.telemetry ? experiment + "+telemetry" : experiment, config);
   if (auto hit = cache->lookup(key)) return *hit;
-  TrialMetrics m = runTrial(experiment, config);
+  TrialMetrics m = runTrial(experiment, config, opts);
   cache->insert(key, m);
   return m;
 }
@@ -213,14 +238,16 @@ TrialMetrics runTrialCached(const std::string& experiment, const JsonValue& conf
 
 std::vector<TrialMetrics> runTrialBatch(const std::string& experiment,
                                         const std::vector<JsonValue>& configs, std::size_t jobs,
-                                        TrialCache* cache) {
+                                        TrialCache* cache, const TrialOptions& opts) {
   std::vector<TrialMetrics> out(configs.size());
-  parallelFor(configs.size(), jobs,
-              [&](std::size_t i) { out[i] = runTrialCached(experiment, configs[i], cache); });
+  parallelFor(configs.size(), jobs, [&](std::size_t i) {
+    out[i] = runTrialCached(experiment, configs[i], cache, opts);
+  });
   return out;
 }
 
-SweepOutcome runSweep(const SweepSpec& spec, std::size_t jobs, TrialCache* cache) {
+SweepOutcome runSweep(const SweepSpec& spec, std::size_t jobs, TrialCache* cache,
+                      const TrialOptions& opts) {
   std::vector<Trial> trials = expandTrials(spec);
   SweepOutcome out;
   out.name = spec.name;
@@ -231,7 +258,7 @@ SweepOutcome runSweep(const SweepSpec& spec, std::size_t jobs, TrialCache* cache
   parallelFor(trials.size(), jobs, [&](std::size_t idx) {
     TrialResult& slot = out.results[idx];
     slot.trial = std::move(trials[idx]);
-    slot.metrics = runTrialCached(spec.experiment, slot.trial.config, cache);
+    slot.metrics = runTrialCached(spec.experiment, slot.trial.config, cache, opts);
   });
   if (cache != nullptr) {
     out.cacheHits = static_cast<std::size_t>(cache->hits() - hits0);

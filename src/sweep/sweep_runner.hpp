@@ -22,6 +22,15 @@ namespace hcsim::sweep {
 
 class TrialCache;  // sweep/trial_cache.hpp
 
+/// Per-trial switches that do not change what is simulated. `telemetry`
+/// turns on span/metric collection inside each trial environment —
+/// simulated results are identical either way (asserted in tests), but
+/// the extra columns make cache entries non-interchangeable, so the
+/// telemetry bit is part of the cache key.
+struct TrialOptions {
+  bool telemetry = false;
+};
+
 struct TrialMetrics {
   bool ok = false;
   std::string error;  ///< populated when !ok (bad config, impossible deployment)
@@ -30,6 +39,17 @@ struct TrialMetrics {
   double maxGBs = 0.0;
   double elapsedSec = 0.0;
   double bytesMoved = 0.0;
+
+  /// Telemetry columns (doubles so JSONL round-trips losslessly);
+  /// populated only when the trial ran with TrialOptions.telemetry.
+  bool hasTelemetry = false;
+  double rerates = 0.0;
+  double eventsScheduled = 0.0;
+  double eventsCancelled = 0.0;
+  double eventsAdjusted = 0.0;
+  double eventsDispatched = 0.0;
+  std::string dominantStage;  ///< bottleneck attribution winner ("" if no spans)
+  double dominantSharePct = 0.0;
 };
 
 struct TrialResult {
@@ -54,7 +74,8 @@ std::size_t defaultJobs();
 /// Run one trial config ("site"/"storage"/workload section/optional
 /// "storageConfig" overrides) on a fresh environment. Never throws:
 /// failures come back as !ok with the reason in .error.
-TrialMetrics runTrial(const std::string& experiment, const JsonValue& config);
+TrialMetrics runTrial(const std::string& experiment, const JsonValue& config,
+                      const TrialOptions& opts = {});
 
 /// Work-stealing parallel loop over [0, n): each index is claimed by
 /// exactly one worker, so `fn` may write its own result slot without
@@ -72,10 +93,12 @@ void parallelFor(std::size_t n, std::size_t jobs, const std::function<void(std::
 /// therefore emitted bytes — are identical with or without a cache.
 std::vector<TrialMetrics> runTrialBatch(const std::string& experiment,
                                         const std::vector<JsonValue>& configs, std::size_t jobs,
-                                        TrialCache* cache = nullptr);
+                                        TrialCache* cache = nullptr,
+                                        const TrialOptions& opts = {});
 
 /// Expand the spec and run every trial on `jobs` workers (0 = default),
 /// optionally memoizing through `cache`.
-SweepOutcome runSweep(const SweepSpec& spec, std::size_t jobs, TrialCache* cache = nullptr);
+SweepOutcome runSweep(const SweepSpec& spec, std::size_t jobs, TrialCache* cache = nullptr,
+                      const TrialOptions& opts = {});
 
 }  // namespace hcsim::sweep

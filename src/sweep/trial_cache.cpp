@@ -67,6 +67,16 @@ JsonValue metricsToJson(const TrialMetrics& m) {
   o["maxGBs"] = m.maxGBs;
   o["elapsedSec"] = m.elapsedSec;
   o["bytesMoved"] = m.bytesMoved;
+  if (m.hasTelemetry) {
+    o["hasTelemetry"] = true;
+    o["rerates"] = m.rerates;
+    o["eventsScheduled"] = m.eventsScheduled;
+    o["eventsCancelled"] = m.eventsCancelled;
+    o["eventsAdjusted"] = m.eventsAdjusted;
+    o["eventsDispatched"] = m.eventsDispatched;
+    o["dominantStage"] = m.dominantStage;
+    o["dominantSharePct"] = m.dominantSharePct;
+  }
   return JsonValue(std::move(o));
 }
 
@@ -79,6 +89,14 @@ bool metricsFromJson(const JsonValue& j, TrialMetrics& m) {
   m.maxGBs = j.numberOr("maxGBs", 0.0);
   m.elapsedSec = j.numberOr("elapsedSec", 0.0);
   m.bytesMoved = j.numberOr("bytesMoved", 0.0);
+  m.hasTelemetry = j.boolOr("hasTelemetry", false);
+  m.rerates = j.numberOr("rerates", 0.0);
+  m.eventsScheduled = j.numberOr("eventsScheduled", 0.0);
+  m.eventsCancelled = j.numberOr("eventsCancelled", 0.0);
+  m.eventsAdjusted = j.numberOr("eventsAdjusted", 0.0);
+  m.eventsDispatched = j.numberOr("eventsDispatched", 0.0);
+  m.dominantStage = j.stringOr("dominantStage", "");
+  m.dominantSharePct = j.numberOr("dominantSharePct", 0.0);
   return true;
 }
 

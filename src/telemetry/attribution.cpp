@@ -1,0 +1,67 @@
+#include "telemetry/attribution.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace hcsim::telemetry {
+
+namespace {
+
+/// "n" followed by one or more digits — a per-node component.
+bool isNodeComponent(const std::string& s) {
+  if (s.size() < 2 || s[0] != 'n') return false;
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+  }
+  return true;
+}
+
+/// Strip one trailing "[digits]" instance suffix, if present.
+std::string stripInstance(std::string s) {
+  if (s.empty() || s.back() != ']') return s;
+  const std::size_t open = s.rfind('[');
+  if (open == std::string::npos) return s;
+  for (std::size_t i = open + 1; i + 1 < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return s;
+  }
+  s.erase(open);
+  return s;
+}
+
+}  // namespace
+
+std::string stageFamily(const std::string& linkName) {
+  const std::size_t dot = linkName.find('.');
+  if (dot == std::string::npos) return linkName;  // pseudo stage, keep as is
+  std::string family;
+  std::size_t begin = dot + 1;
+  while (begin <= linkName.size()) {
+    std::size_t end = linkName.find('.', begin);
+    if (end == std::string::npos) end = linkName.size();
+    std::string part = stripInstance(linkName.substr(begin, end - begin));
+    if (!part.empty() && !isNodeComponent(part)) {
+      if (!family.empty()) family += '.';
+      family += part;
+    }
+    begin = end + 1;
+  }
+  return family.empty() ? linkName : family;
+}
+
+std::string AttributionReport::renderTable() const {
+  std::ostringstream os;
+  os << "bottleneck attribution over " << spans << " span(s), " << totalSeconds
+     << " s of charged op time:\n";
+  os << "| stage | seconds | share % | bytes |\n";
+  os << "|---|---|---|---|\n";
+  for (const StageTotal& s : stages) {
+    os << "| " << s.stage << " | " << s.seconds << " | " << s.sharePct << " | " << s.bytes
+       << " |\n";
+  }
+  if (!dominantStage.empty()) {
+    os << "dominant stage: " << dominantStage << " (" << dominantSharePct << "% of op time)\n";
+  }
+  return os.str();
+}
+
+}  // namespace hcsim::telemetry

@@ -1,0 +1,51 @@
+#pragma once
+// Bottleneck attribution — turning op spans into "where did the time
+// go" (the paper's headline claims are exactly this shape: the Lassen
+// gateway's single TCP pipe, CNode saturation, cache-served GPFS reads).
+//
+// Every span accrues per-stage residency while it is in flight: at each
+// progress update the elapsed interval is charged to the stage that was
+// limiting the flow's rate (the saturated link it froze on during
+// progressive filling, its per-stream cap, or the startup/RPC latency).
+// The attribution report aggregates those residencies across spans into
+// a per-stage time/bytes breakdown, grouped by *stage family* — link
+// instances like "VAST@Lassen.gw[1]" or ".sess.n3[0]" collapse into
+// "gw" / "sess" so the report reads as architecture stages, not as a
+// per-link dump.
+
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace hcsim::telemetry {
+
+/// Collapse a link name into its stage family:
+///  * drop the leading component (model/machine name up to the first '.');
+///  * drop "[i]" instance suffixes and per-node "nN" components.
+/// "VAST@Lassen.gw[1]" -> "gw", "VAST@Lassen.sess.n3[0]" -> "sess",
+/// "Lassen.nic.n5" -> "nic", "NVMe@Wombat.n2.read" -> "read",
+/// "VAST@Lassen.qlc.read" -> "qlc.read". Pseudo stages ("startup",
+/// "stream-cap") have no '.' and pass through unchanged.
+std::string stageFamily(const std::string& linkName);
+
+struct StageTotal {
+  std::string stage;      ///< stage family name
+  Seconds seconds = 0.0;  ///< summed span residency charged to this stage
+  double bytes = 0.0;     ///< bytes moved while this stage was the bottleneck
+  double sharePct = 0.0;  ///< seconds as % of the total across stages
+};
+
+struct AttributionReport {
+  std::vector<StageTotal> stages;  ///< sorted by seconds, descending
+  Seconds totalSeconds = 0.0;      ///< sum over stages
+  std::size_t spans = 0;           ///< spans aggregated
+  std::string dominantStage;       ///< stages.front().stage ("" when empty)
+  double dominantSharePct = 0.0;
+
+  /// Markdown-ish per-stage table plus the dominant-stage line the CLI
+  /// greps for ("dominant stage: gw (78.2% of op time)").
+  std::string renderTable() const;
+};
+
+}  // namespace hcsim::telemetry

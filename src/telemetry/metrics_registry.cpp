@@ -1,0 +1,76 @@
+#include "telemetry/metrics_registry.hpp"
+
+#include <sstream>
+
+namespace hcsim::telemetry {
+
+Histogram& MetricsRegistry::histogram(const std::string& name, double minValue, double maxValue,
+                                      std::size_t bins) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, Histogram(minValue, maxValue, bins)).first->second;
+}
+
+const Histogram* MetricsRegistry::findHistogram(const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+double MetricsRegistry::counterOr(const std::string& name, double fallback) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? fallback : it->second;
+}
+
+double MetricsRegistry::gaugeOr(const std::string& name, double fallback) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? fallback : it->second;
+}
+
+void MetricsRegistry::clear() {
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+JsonValue MetricsRegistry::toJson() const {
+  JsonObject counters;
+  for (const auto& [name, v] : counters_) counters[name] = v;
+  JsonObject gauges;
+  for (const auto& [name, v] : gauges_) gauges[name] = v;
+  JsonObject hists;
+  for (const auto& [name, h] : histograms_) {
+    JsonObject o;
+    o["count"] = static_cast<double>(h.total());
+    o["p50"] = h.quantile(0.5);
+    o["p90"] = h.quantile(0.9);
+    o["p99"] = h.quantile(0.99);
+    hists[name] = JsonValue(std::move(o));
+  }
+  JsonObject root;
+  root["counters"] = JsonValue(std::move(counters));
+  root["gauges"] = JsonValue(std::move(gauges));
+  root["histograms"] = JsonValue(std::move(hists));
+  return JsonValue(std::move(root));
+}
+
+std::string MetricsRegistry::renderTable() const {
+  std::ostringstream os;
+  if (!counters_.empty()) {
+    os << "counters:\n";
+    for (const auto& [name, v] : counters_) os << "  " << name << " = " << v << "\n";
+  }
+  if (!gauges_.empty()) {
+    os << "gauges:\n";
+    for (const auto& [name, v] : gauges_) os << "  " << name << " = " << v << "\n";
+  }
+  if (!histograms_.empty()) {
+    os << "histograms:\n";
+    for (const auto& [name, h] : histograms_) {
+      os << "  " << name << ": n=" << h.total() << " p50=" << h.quantile(0.5)
+         << " p90=" << h.quantile(0.9) << " p99=" << h.quantile(0.99) << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace hcsim::telemetry

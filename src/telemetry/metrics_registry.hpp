@@ -1,0 +1,65 @@
+#pragma once
+// MetricsRegistry — the collection point of hcsim::telemetry.
+//
+// Components do not push samples continuously; they are *collected*: at
+// report time every backend component writes a snapshot of its named
+// counters (monotonic totals: events scheduled, bytes carried, cache
+// hits), gauges (instantaneous values: queue depth, SCM occupancy, link
+// capacity) and histograms (latency/size distributions, reusing
+// util/histogram) into one registry. Collection is pull-based so the
+// simulation hot paths carry no instrumentation cost — see
+// docs/TELEMETRY.md for the naming scheme ("engine.", "net.",
+// "<model>.", "telemetry." prefixes).
+
+#include <map>
+#include <string>
+
+#include "util/histogram.hpp"
+#include "util/json.hpp"
+
+namespace hcsim::telemetry {
+
+class MetricsRegistry {
+ public:
+  /// Record a monotonic total (overwrites a previous snapshot).
+  void counter(const std::string& name, double value) { counters_[name] = value; }
+
+  /// Record an instantaneous value (overwrites a previous snapshot).
+  void gauge(const std::string& name, double value) { gauges_[name] = value; }
+
+  /// Get-or-create a named histogram. The bounds/bins of the first call
+  /// win; later calls with the same name return the existing histogram.
+  Histogram& histogram(const std::string& name, double minValue, double maxValue,
+                       std::size_t bins);
+
+  const Histogram* findHistogram(const std::string& name) const;
+
+  double counterOr(const std::string& name, double fallback) const;
+  double gaugeOr(const std::string& name, double fallback) const;
+  bool hasCounter(const std::string& name) const { return counters_.count(name) > 0; }
+
+  /// Sorted by name (std::map), so iteration — and every rendering —
+  /// is deterministic.
+  const std::map<std::string, double>& counters() const { return counters_; }
+  const std::map<std::string, double>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const { return histograms_; }
+
+  std::size_t size() const { return counters_.size() + gauges_.size() + histograms_.size(); }
+  bool empty() const { return size() == 0; }
+  void clear();
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{"count":N,
+  /// "p50":...,"p99":...}}} — keys sorted, numbers lossless.
+  JsonValue toJson() const;
+
+  /// Human-readable listing for `hcsim stats`: one metric per line,
+  /// grouped counters/gauges/histograms.
+  std::string renderTable() const;
+
+ private:
+  std::map<std::string, double> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace hcsim::telemetry

@@ -1,0 +1,146 @@
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "trace/chrome_trace.hpp"
+#include "util/json.hpp"
+
+namespace hcsim::telemetry {
+
+std::uint32_t Telemetry::stageId(const std::string& name) {
+  const auto it = stageIds_.find(name);
+  if (it != stageIds_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(stageNames_.size());
+  stageNames_.push_back(name);
+  stageIds_.emplace(name, id);
+  return id;
+}
+
+std::uint32_t Telemetry::stageForLink(std::uint32_t linkIdx, const std::string& linkName) {
+  if (linkIdx >= linkStageCache_.size()) linkStageCache_.resize(linkIdx + 1, kNoSpan);
+  std::uint32_t& cached = linkStageCache_[linkIdx];
+  if (cached == kNoSpan) cached = stageId(stageFamily(linkName));
+  return cached;
+}
+
+std::uint32_t Telemetry::beginSpan(std::string name, std::uint32_t pid, std::uint32_t tid,
+                                   Seconds start, double bytes) {
+  Span s;
+  s.name = std::move(name);
+  s.pid = pid;
+  s.tid = tid;
+  s.start = start;
+  s.bytes = bytes;
+  spans_.push_back(std::move(s));
+  return static_cast<std::uint32_t>(spans_.size() - 1);
+}
+
+void Telemetry::accrue(std::uint32_t span, std::uint32_t stage, Seconds dt, double bytes) {
+  if (span >= spans_.size() || dt <= 0.0) return;
+  auto& stages = spans_[span].stages;
+  for (SpanStage& s : stages) {
+    if (s.stage == stage) {
+      s.seconds += dt;
+      s.bytes += bytes;
+      return;
+    }
+  }
+  stages.push_back(SpanStage{stage, dt, bytes});
+}
+
+void Telemetry::endSpan(std::uint32_t span, Seconds end) {
+  if (span >= spans_.size()) return;
+  spans_[span].end = end;
+}
+
+AttributionReport Telemetry::attribution() const {
+  AttributionReport rep;
+  // Aggregate by stage id, then name the rows; ids are interned in
+  // first-seen order, totals are re-sorted below, so the report is
+  // deterministic for a deterministic simulation.
+  std::vector<StageTotal> byId(stageNames_.size());
+  for (const Span& sp : spans_) {
+    for (const SpanStage& st : sp.stages) {
+      StageTotal& t = byId.at(st.stage);
+      t.seconds += st.seconds;
+      t.bytes += st.bytes;
+    }
+  }
+  rep.spans = spans_.size();
+  for (std::size_t i = 0; i < byId.size(); ++i) {
+    if (byId[i].seconds <= 0.0 && byId[i].bytes <= 0.0) continue;
+    byId[i].stage = stageNames_[i];
+    rep.totalSeconds += byId[i].seconds;
+    rep.stages.push_back(std::move(byId[i]));
+  }
+  std::stable_sort(rep.stages.begin(), rep.stages.end(),
+                   [](const StageTotal& a, const StageTotal& b) {
+                     if (a.seconds != b.seconds) return a.seconds > b.seconds;
+                     return a.stage < b.stage;
+                   });
+  for (StageTotal& t : rep.stages) {
+    t.sharePct = rep.totalSeconds > 0.0 ? 100.0 * t.seconds / rep.totalSeconds : 0.0;
+  }
+  if (!rep.stages.empty()) {
+    rep.dominantStage = rep.stages.front().stage;
+    rep.dominantSharePct = rep.stages.front().sharePct;
+  }
+  return rep;
+}
+
+void Telemetry::exportTo(MetricsRegistry& reg) const {
+  reg.counter("telemetry.spans", static_cast<double>(spans_.size()));
+  reg.counter("telemetry.stages", static_cast<double>(stageNames_.size()));
+  if (spans_.empty()) return;
+  // Log-scale histograms need positive bounds; spans can legitimately
+  // have ~0 latency (cache hits) or 0 bytes, which land in underflow.
+  Histogram& lat = reg.histogram("telemetry.span.latency_s", 1e-6, 1e4, 50);
+  Histogram& size = reg.histogram("telemetry.span.bytes", 1.0, 1e15, 50);
+  double openSpans = 0.0;
+  for (const Span& sp : spans_) {
+    if (!sp.closed()) {
+      openSpans += 1.0;
+      continue;
+    }
+    lat.add(sp.duration());
+    size.add(sp.bytes);
+  }
+  reg.gauge("telemetry.spans.open", openSpans);
+}
+
+void Telemetry::clear() {
+  spans_.clear();
+  stageNames_.clear();
+  stageIds_.clear();
+  linkStageCache_.clear();
+}
+
+std::string mergedChromeTraceJson(const TraceLog& app, const Telemetry& tel) {
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& e : app.events()) {
+    if (!first) os << ',';
+    first = false;
+    os << chromeTraceEventJson(e);
+  }
+  for (const Span& sp : tel.spans()) {
+    if (!sp.closed()) continue;
+    if (!first) os << ',';
+    first = false;
+    os << "{\"name\":\"" << jsonEscape(sp.name) << "\",\"cat\":\"internal\",\"ph\":\"X\",\"ts\":"
+       << jsonNumber(sp.start * 1e6) << ",\"dur\":" << jsonNumber(sp.duration() * 1e6)
+       << ",\"pid\":" << (kInternalPidBase + sp.pid) << ",\"tid\":" << sp.tid
+       << ",\"args\":{\"bytes\":" << jsonNumber(sp.bytes);
+    for (const SpanStage& st : sp.stages) {
+      os << ",\"" << jsonEscape("stage." + tel.stageName(st.stage)) << "\":"
+         << jsonNumber(st.seconds);
+    }
+    os << "}}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+}  // namespace hcsim::telemetry

@@ -1,0 +1,105 @@
+#pragma once
+// Telemetry — op-span store for the simulated storage stack.
+//
+// A span is the internal life of one simulated I/O: opened when its flow
+// is launched, charged per-stage residency while in flight (the stage
+// being whatever froze the flow's rate during progressive filling — a
+// saturated link's family, the per-stream cap, or startup latency), and
+// closed when the last byte arrives. Spans merge with the app-level
+// TraceLog into one chrome-trace timeline and aggregate into the
+// bottleneck-attribution report.
+//
+// Zero-cost-when-disabled contract: `enabled()` is checked once per
+// flow launch / progress pass, never per event; a disabled Telemetry
+// allocates nothing and flows carry only a kNoSpan sentinel. Enabling
+// telemetry only *observes* — it never schedules or perturbs events —
+// so simulated results are identical either way (asserted in tests).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "telemetry/attribution.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "trace/trace_log.hpp"
+#include "util/units.hpp"
+
+namespace hcsim::telemetry {
+
+/// Sentinel span handle carried by uninstrumented flows.
+constexpr std::uint32_t kNoSpan = 0xffffffffu;
+
+/// Internal spans are emitted under pid = kInternalPidBase + client
+/// node, keeping them on separate timeline rows from app events.
+constexpr std::uint32_t kInternalPidBase = 1000000;
+
+/// Residency charged to one stage of a span.
+struct SpanStage {
+  std::uint32_t stage = 0;  ///< interned stage id
+  Seconds seconds = 0.0;
+  double bytes = 0.0;
+};
+
+struct Span {
+  std::string name;  ///< e.g. "VAST@Lassen.read"
+  std::uint32_t pid = 0;
+  std::uint32_t tid = 0;
+  Seconds start = 0.0;
+  Seconds end = -1.0;  ///< < start while the span is open
+  double bytes = 0.0;
+  std::vector<SpanStage> stages;
+
+  bool closed() const { return end >= start; }
+  Seconds duration() const { return closed() ? end - start : 0.0; }
+};
+
+class Telemetry {
+ public:
+  bool enabled() const { return enabled_; }
+  void setEnabled(bool on) { enabled_ = on; }
+
+  /// Intern a stage name ("gw", "startup", "stream-cap"); stable ids.
+  std::uint32_t stageId(const std::string& name);
+  const std::string& stageName(std::uint32_t id) const { return stageNames_.at(id); }
+  std::size_t stageCount() const { return stageNames_.size(); }
+
+  /// Stage id for a link, collapsed to its stageFamily() and cached by
+  /// link index so the per-progress-pass cost is one vector load.
+  std::uint32_t stageForLink(std::uint32_t linkIdx, const std::string& linkName);
+
+  /// Open a span; returns its handle.
+  std::uint32_t beginSpan(std::string name, std::uint32_t pid, std::uint32_t tid, Seconds start,
+                          double bytes);
+
+  /// Charge `dt` seconds (and `bytes` moved during them) to `stage`.
+  void accrue(std::uint32_t span, std::uint32_t stage, Seconds dt, double bytes);
+
+  void endSpan(std::uint32_t span, Seconds end);
+
+  const std::vector<Span>& spans() const { return spans_; }
+  std::size_t spanCount() const { return spans_.size(); }
+
+  /// Aggregate all spans into the per-stage time/bytes breakdown.
+  AttributionReport attribution() const;
+
+  /// Snapshot span-level metrics ("telemetry.*") into a registry.
+  void exportTo(MetricsRegistry& reg) const;
+
+  void clear();
+
+ private:
+  bool enabled_ = false;
+  std::vector<Span> spans_;
+  std::vector<std::string> stageNames_;
+  std::map<std::string, std::uint32_t> stageIds_;
+  /// linkIdx -> interned stage id (kNoSpan = not yet resolved).
+  std::vector<std::uint32_t> linkStageCache_;
+};
+
+/// One chrome-trace JSON combining app-level TraceLog events with the
+/// telemetry spans (cat "internal", pid offset by kInternalPidBase,
+/// per-stage residency in args) so both line up on a single timeline.
+std::string mergedChromeTraceJson(const TraceLog& app, const Telemetry& tel);
+
+}  // namespace hcsim::telemetry

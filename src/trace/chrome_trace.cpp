@@ -7,6 +7,17 @@
 
 namespace hcsim {
 
+std::string chromeTraceEventJson(const TraceEvent& e) {
+  std::ostringstream os;
+  // jsonNumber keeps full precision: ostream's default 6 significant
+  // digits would corrupt large microsecond timestamps on round-trip.
+  os << "{\"name\":\"" << jsonEscape(e.name) << "\",\"cat\":\"" << toString(e.kind)
+     << "\",\"ph\":\"X\",\"ts\":" << jsonNumber(e.start * 1e6)
+     << ",\"dur\":" << jsonNumber(e.duration * 1e6) << ",\"pid\":" << e.pid
+     << ",\"tid\":" << e.tid << ",\"args\":{\"bytes\":" << e.bytes << "}}";
+  return os.str();
+}
+
 std::string toChromeTraceJson(const TraceLog& log) {
   // Streamed emission (traces can be large; building a JsonValue tree
   // would double the memory).
@@ -16,10 +27,7 @@ std::string toChromeTraceJson(const TraceLog& log) {
   for (const auto& e : log.events()) {
     if (!first) os << ',';
     first = false;
-    os << "{\"name\":\"" << jsonEscape(e.name) << "\",\"cat\":\"" << toString(e.kind)
-       << "\",\"ph\":\"X\",\"ts\":" << e.start * 1e6 << ",\"dur\":" << e.duration * 1e6
-       << ",\"pid\":" << e.pid << ",\"tid\":" << e.tid << ",\"args\":{\"bytes\":" << e.bytes
-       << "}}";
+    os << chromeTraceEventJson(e);
   }
   os << "],\"displayTimeUnit\":\"ms\"}";
   return os.str();

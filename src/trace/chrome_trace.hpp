@@ -8,6 +8,11 @@
 
 namespace hcsim {
 
+/// Serialize one event as a chrome-trace "X"-phase JSON object. Names
+/// are escaped and ts/dur are written with round-trip precision, so an
+/// emit -> import cycle reproduces the event exactly.
+std::string chromeTraceEventJson(const TraceEvent& e);
+
 /// Render the log as a chrome trace ("traceEvents" array of complete
 /// "X"-phase events; timestamps in microseconds as the format requires).
 std::string toChromeTraceJson(const TraceLog& log);

@@ -16,41 +16,94 @@ TraceEventKind kindFromCat(const std::string& cat) {
   return TraceEventKind::Other;
 }
 
-}  // namespace
+/// Convert one parsed element into a TraceEvent. Returns:
+///   1 = recorded, 0 = valid-but-ignored (non-"X" phase), -1 = malformed.
+int importElement(const JsonValue& ev, TraceLog& log) {
+  if (!ev.isObject()) return -1;
+  if (ev.stringOr("ph", "") != "X") return 0;  // metadata/other phases
+  // A complete event without a numeric timestamp or duration carries no
+  // usable timeline information — treat as malformed.
+  const JsonValue* ts = ev.find("ts");
+  const JsonValue* dur = ev.find("dur");
+  if (!ts || !ts->isNumber() || !dur || !dur->isNumber()) return -1;
 
-bool parseChromeTraceJson(const std::string& json, TraceLog& out) {
-  JsonValue root;
-  if (!parseJson(json, root) || !root.isObject()) return false;
-  const JsonValue* events = root.find("traceEvents");
-  if (!events || !events->isArray()) return false;
-
-  TraceLog parsed;
-  for (const JsonValue& ev : *events->array()) {
-    if (!ev.isObject()) return false;
-    if (ev.stringOr("ph", "") != "X") continue;  // only complete events
-
-    TraceEvent te;
-    te.name = ev.stringOr("name", "");
-    te.kind = kindFromCat(ev.stringOr("cat", ""));
-    te.pid = static_cast<std::uint32_t>(ev.numberOr("pid", 0));
-    te.tid = static_cast<std::uint32_t>(ev.numberOr("tid", 0));
-    te.start = ev.numberOr("ts", 0) * 1e-6;
-    te.duration = ev.numberOr("dur", 0) * 1e-6;
-    if (const JsonValue* args = ev.find("args"); args && args->isObject()) {
-      te.bytes = static_cast<Bytes>(args->numberOr("bytes", 0));
-    }
-    parsed.record(std::move(te));
+  TraceEvent te;
+  te.name = ev.stringOr("name", "");
+  te.kind = kindFromCat(ev.stringOr("cat", ""));
+  te.pid = static_cast<std::uint32_t>(ev.numberOr("pid", 0));
+  te.tid = static_cast<std::uint32_t>(ev.numberOr("tid", 0));
+  te.start = *ts->number() * 1e-6;
+  te.duration = *dur->number() * 1e-6;
+  if (const JsonValue* args = ev.find("args"); args && args->isObject()) {
+    te.bytes = static_cast<Bytes>(args->numberOr("bytes", 0));
   }
-  for (const auto& e : parsed.events()) out.record(e);
-  return true;
+  log.record(std::move(te));
+  return 1;
 }
 
-bool readChromeTrace(const std::string& path, TraceLog& out) {
+/// Last-resort recovery for documents whose outer JSON is broken
+/// (truncated by a killed run): treat every line that contains a
+/// complete {...} object as a candidate event. Returns true if at least
+/// one event was recovered.
+bool salvageLines(const std::string& json, TraceLog& parsed, TraceImportStats& stats) {
+  std::istringstream in(json);
+  std::string line;
+  bool any = false;
+  while (std::getline(in, line)) {
+    const std::size_t open = line.find('{');
+    const std::size_t close = line.rfind('}');
+    if (open == std::string::npos || close == std::string::npos || close < open) continue;
+    JsonValue ev;
+    if (!parseJson(line.substr(open, close - open + 1), ev)) {
+      ++stats.skipped;  // a braced fragment that still doesn't parse
+      continue;
+    }
+    const int r = importElement(ev, parsed);
+    if (r > 0) {
+      ++stats.imported;
+      any = true;
+    } else if (r < 0) {
+      ++stats.skipped;
+    }
+  }
+  return any;
+}
+
+}  // namespace
+
+bool parseChromeTraceJson(const std::string& json, TraceLog& out, TraceImportStats* statsOut) {
+  TraceImportStats stats;
+  TraceLog parsed;
+  JsonValue root;
+  bool ok = false;
+  if (parseJson(json, root) && root.isObject()) {
+    const JsonValue* events = root.find("traceEvents");
+    if (events && events->isArray()) {
+      for (const JsonValue& ev : *events->array()) {
+        const int r = importElement(ev, parsed);
+        if (r > 0) {
+          ++stats.imported;
+        } else if (r < 0) {
+          ++stats.skipped;
+        }
+      }
+      ok = true;  // well-formed document, even if it held zero events
+    }
+  }
+  if (!ok) ok = salvageLines(json, parsed, stats);
+  if (ok) {
+    for (const auto& e : parsed.events()) out.record(e);
+  }
+  if (statsOut) *statsOut = stats;
+  return ok;
+}
+
+bool readChromeTrace(const std::string& path, TraceLog& out, TraceImportStats* stats) {
   std::ifstream in(path);
   if (!in) return false;
   std::ostringstream buf;
   buf << in.rdbuf();
-  return parseChromeTraceJson(buf.str(), out);
+  return parseChromeTraceJson(buf.str(), out, stats);
 }
 
 }  // namespace hcsim

@@ -3,20 +3,40 @@
 // parse the JSON emitted by toChromeTraceJson() (or DFTracer-compatible
 // complete-event traces) back into a TraceLog, so captured runs can be
 // re-analysed offline.
+//
+// Real trace files are messy — killed runs truncate them mid-line,
+// hand-edited ones drop fields — so the importer is tolerant: malformed
+// elements are skipped and counted rather than aborting the import, and
+// a document whose outer JSON no longer parses (truncation) is salvaged
+// line by line.
 
+#include <cstddef>
 #include <string>
 
 #include "trace/trace_log.hpp"
 
 namespace hcsim {
 
+/// What an import did: events recorded into the log vs malformed
+/// elements/lines dropped. Non-"X" phases (metadata records) are
+/// neither — they are valid chrome-trace content we simply don't model.
+struct TraceImportStats {
+  std::size_t imported = 0;
+  std::size_t skipped = 0;
+};
+
 /// Parse a chrome trace from a JSON string. Accepts "X" (complete)
 /// events with ts/dur in microseconds; the `cat` field maps to the event
 /// kind ("read"/"write"/"compute", anything else -> Other). Non-"X"
-/// events are skipped. Returns false on malformed input (log untouched).
-bool parseChromeTraceJson(const std::string& json, TraceLog& out);
+/// events are skipped. Malformed array elements (non-objects, events
+/// missing numeric ts/dur) are skipped and counted in `stats`; if the
+/// document itself fails to parse (e.g. truncated by a killed run),
+/// events are salvaged line by line. Returns false — with `out`
+/// untouched — only when nothing could be imported at all.
+bool parseChromeTraceJson(const std::string& json, TraceLog& out,
+                          TraceImportStats* stats = nullptr);
 
 /// Read and parse a trace file. Returns false on I/O or parse failure.
-bool readChromeTrace(const std::string& path, TraceLog& out);
+bool readChromeTrace(const std::string& path, TraceLog& out, TraceImportStats* stats = nullptr);
 
 }  // namespace hcsim

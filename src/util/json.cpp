@@ -229,16 +229,7 @@ void writeValue(const JsonValue& v, std::ostringstream& os, int indent, int dept
   } else if (v.isBool()) {
     os << (*v.boolean() ? "true" : "false");
   } else if (v.isNumber()) {
-    const double d = *v.number();
-    if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 1e15) {
-      char buf[32];
-      std::snprintf(buf, sizeof buf, "%.0f", d);
-      os << buf;
-    } else {
-      char buf[48];
-      std::snprintf(buf, sizeof buf, "%.17g", d);
-      os << buf;
-    }
+    os << jsonNumber(*v.number());
   } else if (v.isString()) {
     os << '"' << jsonEscape(*v.str()) << '"';
   } else if (v.isArray()) {
@@ -285,6 +276,16 @@ std::string writeJson(const JsonValue& value, int indent) {
   std::ostringstream os;
   writeValue(value, os, indent, 0);
   return os.str();
+}
+
+std::string jsonNumber(double d) {
+  char buf[48];
+  if (std::isfinite(d) && d == std::floor(d) && std::fabs(d) < 1e15) {
+    std::snprintf(buf, sizeof buf, "%.0f", d);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+  }
+  return buf;
 }
 
 std::string jsonEscape(const std::string& s) {

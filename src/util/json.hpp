@@ -81,4 +81,10 @@ std::string writeJson(const JsonValue& value, int indent = 0);
 /// Escape a string for embedding in JSON (without surrounding quotes).
 std::string jsonEscape(const std::string& s);
 
+/// Format a number exactly as the writer does: integral values < 1e15
+/// without a fraction, everything else with round-trip (%.17g)
+/// precision. Use when streaming JSON by hand so ad-hoc emitters cannot
+/// silently truncate (default ostream precision keeps 6 digits).
+std::string jsonNumber(double d);
+
 }  // namespace hcsim

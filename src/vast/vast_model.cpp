@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "telemetry/metrics_registry.hpp"
+
 namespace hcsim {
 
 namespace {
@@ -218,6 +220,28 @@ Bandwidth VastModel::deviceReadCapacity() const {
 
 Bandwidth VastModel::deviceWriteCapacity() const {
   return topology().network().link(deviceWriteLink_).capacity;
+}
+
+void VastModel::exportMetrics(telemetry::MetricsRegistry& reg) const {
+  StorageModelBase::exportMetrics(reg);
+  const std::string& n = name();
+  reg.gauge(n + ".cache.read_hit_ratio", hitRatio_);
+  reg.gauge(n + ".scm.dirty_bytes", static_cast<double>(scmDirtyBytes()));
+  reg.gauge(n + ".device.read_capacity_bps", deviceReadCapacity());
+  reg.gauge(n + ".device.write_capacity_bps", deviceWriteCapacity());
+  reg.gauge(n + ".cnodes.alive", static_cast<double>(aliveCNodes()));
+  reg.gauge(n + ".dboxes.alive", static_cast<double>(aliveDBoxes()));
+  double queued = 0.0;
+  double busy = 0.0;
+  double committed = 0.0;
+  for (const auto& q : cnodeCommitQueues_) {
+    queued += static_cast<double>(q->queued());
+    busy += static_cast<double>(q->busy());
+    committed += static_cast<double>(q->completed());
+  }
+  reg.counter(n + ".cnode.commits_completed", committed);
+  reg.gauge(n + ".cnode.commit_queued", queued);
+  reg.gauge(n + ".cnode.commit_busy", busy);
 }
 
 void VastModel::submit(const IoRequest& req, IoCallback cb) {

@@ -75,6 +75,8 @@ class VastModel final : public StorageModelBase {
   /// SCM write-buffer occupancy now.
   Bytes scmDirtyBytes() const { return scm_.dirty(simulator().now()); }
 
+  void exportMetrics(telemetry::MetricsRegistry& reg) const override;
+
  protected:
   void onPhaseChange() override;
 

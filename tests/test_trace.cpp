@@ -159,6 +159,93 @@ TEST(TraceImport, UnknownCategoryMapsToOther) {
   EXPECT_EQ(out.events()[0].kind, TraceEventKind::Other);
 }
 
+// Malformed elements inside an otherwise well-formed document are
+// skipped and counted, never fatal — a partially corrupted DFTracer
+// dump still yields every salvageable event.
+TEST(TraceImport, SkipAndCountMalformedElements) {
+  const std::string json =
+      "{\"traceEvents\":["
+      "42,"                                                         // not an object
+      "{\"ph\":\"X\",\"name\":\"no-ts\"},"                          // X without ts/dur
+      "{\"ph\":\"X\",\"name\":\"bad-ts\",\"ts\":\"soon\",\"dur\":1},"
+      "{\"ph\":\"M\",\"name\":\"meta\"},"                           // ignored, not skipped
+      "{\"ph\":\"X\",\"name\":\"good\",\"cat\":\"read\",\"ts\":1000,\"dur\":500,"
+      "\"pid\":2,\"tid\":3,\"args\":{\"bytes\":64}}]}";
+  TraceLog out;
+  TraceImportStats stats;
+  ASSERT_TRUE(parseChromeTraceJson(json, out, &stats));
+  EXPECT_EQ(stats.imported, 1u);
+  EXPECT_EQ(stats.skipped, 3u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.events()[0].name, "good");
+  EXPECT_EQ(out.events()[0].bytes, 64u);
+}
+
+TEST(TraceImport, WellFormedEmptyDocumentIsNotAnError) {
+  TraceLog out;
+  TraceImportStats stats;
+  EXPECT_TRUE(parseChromeTraceJson("{\"traceEvents\":[]}", out, &stats));
+  EXPECT_EQ(stats.imported, 0u);
+  EXPECT_EQ(stats.skipped, 0u);
+  EXPECT_TRUE(out.empty());
+}
+
+// A truncated document (run killed mid-write) loses its outer JSON, but
+// complete per-line events are salvaged with the damage counted.
+TEST(TraceImport, SalvagesTruncatedDocumentLineByLine) {
+  const std::string json =
+      "{\"traceEvents\":[\n"
+      "{\"ph\":\"X\",\"name\":\"a\",\"cat\":\"read\",\"ts\":0,\"dur\":100,\"args\":{\"bytes\":1}},\n"
+      "{\"ph\":\"X\",\"name\":\"b\",\"cat\":\"write\",\"ts\":50,\"dur\":25},\n"
+      "{\"ph\":\"X\",\"name\":\"broken\",\"ts\":60,\"du";  // truncated here
+  TraceLog out;
+  TraceImportStats stats;
+  ASSERT_TRUE(parseChromeTraceJson(json, out, &stats));
+  EXPECT_EQ(stats.imported, 2u);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out.events()[0].name, "a");
+  EXPECT_EQ(out.events()[1].name, "b");
+  EXPECT_EQ(out.events()[1].kind, TraceEventKind::Write);
+  // Importing into a non-empty log appends rather than clobbers.
+  ASSERT_TRUE(parseChromeTraceJson(json, out, &stats));
+  EXPECT_EQ(out.size(), 4u);
+}
+
+TEST(TraceImport, TotallyUnsalvageableInputStillFails) {
+  TraceLog out;
+  TraceImportStats stats;
+  EXPECT_FALSE(parseChromeTraceJson("{\"traceEvents\":[\nnot json at all\n", out, &stats));
+  EXPECT_TRUE(out.empty());
+}
+
+// Sub-microsecond offsets and long runs must survive the JSON number
+// formatting: default ostream precision (6 significant digits) used to
+// collapse ts=123456789.123 to 1.23457e+08.
+TEST(TraceImport, LargeTimestampsRoundTripLosslessly) {
+  TraceLog original;
+  original.recordRead(0, 0, 123.456789125, 0.000001375, 7, "late-read");
+  original.recordCompute(0, 0, 9876.5432101, 0.25);
+  TraceLog parsed;
+  ASSERT_TRUE(parseChromeTraceJson(toChromeTraceJson(original), parsed));
+  ASSERT_EQ(parsed.size(), 2u);
+  for (std::size_t i = 0; i < parsed.size(); ++i) {
+    // One us->s scaling each way costs at most a couple of ulps.
+    EXPECT_NEAR(parsed.events()[i].start, original.events()[i].start, 1e-9);
+    EXPECT_NEAR(parsed.events()[i].duration, original.events()[i].duration, 1e-12);
+  }
+}
+
+TEST(TraceImport, HostileNamesRoundTripByteExact) {
+  TraceLog original;
+  original.recordRead(0, 0, 0.0, 1.0, 1, "quote\" slash\\ tab\t nl\n bell\x07 end");
+  original.recordRead(0, 1, 0.0, 1.0, 1, "unicode \xc3\xa9\xe2\x82\xac survives");
+  TraceLog parsed;
+  ASSERT_TRUE(parseChromeTraceJson(toChromeTraceJson(original), parsed));
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_EQ(parsed.events()[0].name, original.events()[0].name);
+  EXPECT_EQ(parsed.events()[1].name, original.events()[1].name);
+}
+
 TEST(TraceImport, ReadsFileWrittenByExporter) {
   TraceLog original;
   original.recordRead(0, 0, 0.0, 1.0, 128);
