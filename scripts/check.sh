@@ -5,7 +5,9 @@
 # cache (byte-identity cold/warm), the regression oracle, the telemetry
 # layer (jobs-determinism with --telemetry on, strip-identity against
 # the telemetry-off JSONL, and gateway attribution via `trace
-# --internal`), and the engine perf floor (bench_engine vs
+# --internal`), the chaos layer (fault-drill run-twice byte-identity,
+# chaos-sweep jobs independence, empty-schedule zero-cost identity
+# against the plain fig2 JSONL), and the engine perf floor (bench_engine vs
 # BENCH_engine.json, telemetry off; HCSIM_CHECK_PERF=0 to skip,
 # HCSIM_PERF_MAX_REGRESS to widen). A second profile repeats the
 # tests and an oracle smoke run under ASan+UBSan with sanitizers fatal;
@@ -87,6 +89,31 @@ cmp "$BUILD/check-oracle-8.txt" "$BUILD/check-oracle-tel.txt"
     > "$BUILD/check-trace.txt"
 grep -q 'dominant stage: gw' "$BUILD/check-trace.txt"
 grep -q '"cat":"internal"' "$BUILD/check-trace.json"
+
+# Chaos gates: a scheduled fault drill must print a degradation-and-
+# recovery timeline and emit byte-identical JSONL on repeated runs; a
+# chaos-bearing sweep must be independent of the job count; and an EMPTY
+# chaos section must cost nothing — its sweep JSONL is byte-identical to
+# the same spec with no chaos section at all.
+"$BUILD/src/hcsim" chaos "$ROOT/examples/specs/cnode_failover.json" \
+    --out "$BUILD/check-chaos-a.jsonl" > "$BUILD/check-chaos.txt"
+"$BUILD/src/hcsim" chaos "$ROOT/examples/specs/cnode_failover.json" \
+    --out "$BUILD/check-chaos-b.jsonl" >/dev/null
+cmp "$BUILD/check-chaos-a.jsonl" "$BUILD/check-chaos-b.jsonl"
+grep -q 'DEGRADED' "$BUILD/check-chaos.txt"
+grep -q 'recovered' "$BUILD/check-chaos.txt"
+grep -q '"scenario":"cnode-failover"' "$BUILD/check-chaos-a.jsonl"
+"$BUILD/src/hcsim" sweep --spec "$ROOT/examples/specs/chaos_sweep.json" --jobs 8 \
+    --out "$OUT-chaos-8.jsonl" >/dev/null
+"$BUILD/src/hcsim" sweep --spec "$ROOT/examples/specs/chaos_sweep.json" --jobs 1 \
+    --out "$OUT-chaos-1.jsonl" >/dev/null
+cmp "$OUT-chaos-8.jsonl" "$OUT-chaos-1.jsonl"
+grep -q '"ok":true' "$OUT-chaos-8.jsonl"
+sed 's/"base": {/"base": { "chaos": { "events": [] },/' \
+    "$ROOT/examples/specs/fig2.json" > "$BUILD/check-fig2-emptychaos.json"
+"$BUILD/src/hcsim" sweep --spec "$BUILD/check-fig2-emptychaos.json" --jobs 8 \
+    --out "$OUT-emptychaos.jsonl" >/dev/null
+cmp "$OUT-8.jsonl" "$OUT-emptychaos.jsonl"
 
 # Perf smoke: the engine-throughput scenarios must stay within tolerance
 # of the committed reference (BENCH_engine.json). Telemetry is off here,

@@ -1,0 +1,304 @@
+#include "chaos/chaos_runner.hpp"
+
+#include <cmath>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "net/topology.hpp"
+#include "util/units.hpp"
+
+namespace hcsim::chaos {
+
+namespace {
+
+std::string componentKey(const FaultSpec& f) {
+  if (f.component == "link") return "link:" + f.link;
+  return f.component + ":" + std::to_string(f.index);
+}
+
+/// Components not healthy just before time `t` (events at exactly `t` fire
+/// after the sampler that closes the interval ending at `t`, so they are
+/// strictly excluded).
+std::size_t activeFaultsBefore(const ChaosSpec& spec, Seconds t) {
+  std::map<std::string, bool> unhealthy;
+  for (const ChaosEvent& ev : spec.events) {
+    if (ev.at >= t) break;  // validated non-decreasing
+    unhealthy[componentKey(ev.fault)] = ev.fault.action != FaultAction::Restore;
+  }
+  std::size_t n = 0;
+  for (const auto& [key, bad] : unhealthy) {
+    (void)key;
+    if (bad) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+void scheduleFaults(Environment& env, const std::vector<ChaosEvent>& events,
+                    RebuildStats* stats) {
+  Simulator& sim = env.bench->sim();
+  for (const ChaosEvent& ev : events) {
+    sim.scheduleAt(ev.at, [&env, stats, ev] {
+      Topology& topo = env.bench->topo();
+      FlowNetwork& net = topo.network();
+      if (ev.fault.component == "link") {
+        const double h = ev.fault.action == FaultAction::Fail        ? 0.0
+                         : ev.fault.action == FaultAction::FailSlow ? ev.fault.severity
+                                                                    : 1.0;
+        net.setLinkHealth(topo.link(ev.fault.link), h);
+      } else {
+        env.fs->applyFault(ev.fault);
+      }
+      if (ev.fault.action == FaultAction::Restore && ev.rebuildGiB > 0.0) {
+        // Background resync: the restored component re-reads its share of
+        // data over the model's rebuild route, contending with clients.
+        const Route route = env.fs->rebuildRoute(ev.fault);
+        if (!route.empty()) {
+          FlowSpec rf;
+          rf.bytes = static_cast<Bytes>(ev.rebuildGiB * static_cast<double>(units::GiB));
+          rf.route = route;
+          rf.spanName = "rebuild";
+          net.startFlow(rf, [stats](const FlowCompletion& c) {
+            if (stats == nullptr) return;
+            stats->bytes += c.bytes;
+            stats->completedAt = c.endTime;
+          });
+        }
+      }
+    });
+  }
+}
+
+ChaosOutcome runChaosOn(Environment& env, const ChaosSpec& spec) {
+  {
+    const std::vector<std::string> problems =
+        validateSchedule(spec, *env.fs, env.bench->topo());
+    if (!problems.empty()) {
+      std::string msg = "chaos: invalid scenario:";
+      for (const std::string& p : problems) msg += "\n  - " + p;
+      throw std::invalid_argument(msg);
+    }
+  }
+
+  Simulator& sim = env.bench->sim();
+  FileSystemModel& fs = *env.fs;
+  const ChaosWorkload& w = spec.workload;
+
+  PhaseSpec phase;
+  phase.pattern = w.access;
+  phase.requestSize = w.requestBytes;
+  phase.nodes = static_cast<std::uint32_t>(w.nodes);
+  phase.procsPerNode = static_cast<std::uint32_t>(w.procsPerNode);
+  phase.readerDiffersFromWriter = true;
+  fs.beginPhase(phase);
+
+  // Shared accounting the samplers and drivers update.
+  Bytes completedBytes = 0;
+  ChaosOutcome out;
+  out.name = spec.name;
+  out.site = spec.site;
+  out.storage = spec.storage;
+
+  std::vector<std::unique_ptr<ClientSession>> sessions;
+  sessions.reserve(w.nodes * w.procsPerNode);
+  for (std::uint32_t n = 0; n < w.nodes; ++n) {
+    for (std::uint32_t p = 0; p < w.procsPerNode; ++p) {
+      auto s = std::make_unique<ClientSession>(fs, ClientId{n, p},
+                                               static_cast<std::uint64_t>(n) * w.procsPerNode + p);
+      if (spec.retryEnabled) s->enableRetry(sim, spec.retry);
+      sessions.push_back(std::move(s));
+    }
+  }
+  const auto sumRetries = [&sessions] {
+    std::uint64_t n = 0;
+    for (const auto& s : sessions) n += s->retries();
+    return n;
+  };
+
+  // Samplers first: at an equal timestamp they take an earlier FIFO seq
+  // than fault events and op completions, so each slice closes before the
+  // next slice's events apply — the timeline is deterministic.
+  struct SamplerState {
+    Seconds lastT = 0.0;
+    Bytes lastBytes = 0;
+    std::uint64_t lastRetries = 0;
+  } samp;
+  std::vector<Seconds> sampleTimes;
+  const std::size_t fullSlices =
+      static_cast<std::size_t>(std::floor(spec.horizon / spec.interval + 1e-9));
+  for (std::size_t k = 1; k <= fullSlices; ++k) {
+    sampleTimes.push_back(static_cast<double>(k) * spec.interval);
+  }
+  if (sampleTimes.empty() || sampleTimes.back() < spec.horizon - 1e-9) {
+    sampleTimes.push_back(spec.horizon);  // trailing partial slice
+  }
+  for (Seconds t : sampleTimes) {
+    sim.scheduleAt(t, [&, t] {
+      IntervalSample s;
+      s.start = samp.lastT;
+      s.end = t;
+      const std::uint64_t retriesNow = sumRetries();
+      s.gbs = units::toGBs(static_cast<double>(completedBytes - samp.lastBytes) /
+                           (t - samp.lastT));
+      s.retries = retriesNow - samp.lastRetries;
+      s.activeFaults = activeFaultsBefore(spec, t);
+      out.timeline.push_back(s);
+      samp.lastT = t;
+      samp.lastBytes = completedBytes;
+      samp.lastRetries = retriesNow;
+    });
+  }
+
+  // Fault schedule.
+  RebuildStats rebuild;
+  scheduleFaults(env, spec.events, &rebuild);
+
+  // Drivers: one request-sized op in flight per session, re-issued on
+  // completion until the horizon.
+  std::function<void(std::size_t)> issue = [&](std::size_t i) {
+    ClientSession& s = *sessions[i];
+    const auto done = [&, i](const IoResult& r) {
+      if (!r.failed) completedBytes += r.bytes;
+      if (sim.now() < spec.horizon) issue(i);
+    };
+    switch (w.access) {
+      case AccessPattern::SequentialWrite: s.write(w.requestBytes, false, done); break;
+      case AccessPattern::SequentialRead: s.read(w.requestBytes, done); break;
+      case AccessPattern::RandomRead: s.readAt(0, w.requestBytes, done); break;
+      case AccessPattern::RandomWrite: s.writeAt(0, w.requestBytes, false, done); break;
+    }
+  };
+  for (std::size_t i = 0; i < sessions.size(); ++i) issue(i);
+
+  sim.runUntil(spec.horizon);
+  fs.endPhase();
+
+  // ---- Availability metrics over the timeline. ----
+  out.rebuildBytes = rebuild.bytes;
+  out.rebuildCompletedAt = rebuild.completedAt;
+  out.foregroundBytes = completedBytes;
+  out.retries = sumRetries();
+  for (const auto& s : sessions) {
+    out.failedOps += s->failedOps();
+    out.lateCompletions += s->lateCompletions();
+  }
+
+  if (!out.timeline.empty()) {
+    const Seconds firstEventAt = spec.events.empty()
+                                     ? std::numeric_limits<Seconds>::infinity()
+                                     : spec.events.front().at;
+    double healthySum = 0.0;
+    std::size_t healthyN = 0;
+    double sum = 0.0;
+    out.minGBs = std::numeric_limits<double>::infinity();
+    for (const IntervalSample& s : out.timeline) {
+      sum += s.gbs;
+      out.minGBs = std::min(out.minGBs, s.gbs);
+      out.maxGBs = std::max(out.maxGBs, s.gbs);
+      if (s.end <= firstEventAt + 1e-9) {
+        healthySum += s.gbs;
+        ++healthyN;
+      }
+    }
+    out.meanGBs = sum / static_cast<double>(out.timeline.size());
+    // Steady state before the first fault; when the schedule strikes
+    // before the first slice closes, the best observed slice stands in.
+    out.healthyGBs = healthyN > 0 ? healthySum / static_cast<double>(healthyN) : out.maxGBs;
+    out.finalGBs = out.timeline.back().gbs;
+
+    const double floor_ = out.healthyGBs * (1.0 - spec.degradedTolerance);
+    for (IntervalSample& s : out.timeline) {
+      s.degraded = s.gbs < floor_;
+      if (s.degraded) out.degradedSeconds += s.end - s.start;
+    }
+
+    Seconds lastRestoreAt = -1.0;
+    for (const ChaosEvent& ev : spec.events) {
+      if (ev.fault.action == FaultAction::Restore) lastRestoreAt = std::max(lastRestoreAt, ev.at);
+    }
+    if (lastRestoreAt >= 0.0) {
+      for (const IntervalSample& s : out.timeline) {
+        if (s.start >= lastRestoreAt - 1e-9 && !s.degraded) {
+          out.timeToRecover = s.end - lastRestoreAt;
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+ChaosOutcome runChaos(const ChaosSpec& spec) {
+  Environment env = makeEnvironment(spec.site, spec.storage, spec.workload.nodes,
+                                    spec.storageConfig.isNull() ? nullptr : &spec.storageConfig);
+  return runChaosOn(env, spec);
+}
+
+ResultTable renderTimeline(const ChaosOutcome& out) {
+  ResultTable t("chaos: " + out.name + " (" + toString(out.storage) + " @ " +
+                toString(out.site) + ")");
+  t.setHeader({"t0(s)", "t1(s)", "GB/s", "faults", "retries", "state"});
+  for (const IntervalSample& s : out.timeline) {
+    t.addRow({s.start, s.end, s.gbs, static_cast<double>(s.activeFaults),
+              static_cast<double>(s.retries),
+              std::string(s.degraded ? "DEGRADED" : "ok")});
+  }
+  return t;
+}
+
+std::string toJsonl(const ChaosOutcome& out) {
+  std::ostringstream os;
+  {
+    JsonObject summary;
+    summary["healthyGBs"] = out.healthyGBs;
+    summary["meanGBs"] = out.meanGBs;
+    summary["minGBs"] = out.minGBs;
+    summary["maxGBs"] = out.maxGBs;
+    summary["finalGBs"] = out.finalGBs;
+    summary["degradedSec"] = out.degradedSeconds;
+    summary["timeToRecoverSec"] = out.timeToRecover;
+    summary["retries"] = static_cast<double>(out.retries);
+    summary["failedOps"] = static_cast<double>(out.failedOps);
+    summary["lateCompletions"] = static_cast<double>(out.lateCompletions);
+    summary["foregroundBytes"] = static_cast<double>(out.foregroundBytes);
+    summary["rebuildBytes"] = static_cast<double>(out.rebuildBytes);
+    summary["rebuildCompletedAtSec"] = out.rebuildCompletedAt;
+    JsonObject root;
+    root["scenario"] = out.name;
+    root["site"] = std::string(toString(out.site));
+    root["storage"] = std::string(toString(out.storage));
+    root["summary"] = JsonValue(std::move(summary));
+    os << writeJson(JsonValue(std::move(root))) << "\n";
+  }
+  for (std::size_t i = 0; i < out.timeline.size(); ++i) {
+    const IntervalSample& s = out.timeline[i];
+    JsonObject row;
+    row["interval"] = static_cast<double>(i);
+    row["startSec"] = s.start;
+    row["endSec"] = s.end;
+    row["GBs"] = s.gbs;
+    row["activeFaults"] = static_cast<double>(s.activeFaults);
+    row["retries"] = static_cast<double>(s.retries);
+    row["degraded"] = s.degraded;
+    os << writeJson(JsonValue(std::move(row))) << "\n";
+  }
+  return os.str();
+}
+
+void exportTo(const ChaosOutcome& out, telemetry::MetricsRegistry& reg) {
+  reg.gauge("chaos.healthy_gbs", out.healthyGBs);
+  reg.gauge("chaos.mean_gbs", out.meanGBs);
+  reg.gauge("chaos.min_gbs", out.minGBs);
+  reg.gauge("chaos.final_gbs", out.finalGBs);
+  reg.gauge("chaos.degraded_sec", out.degradedSeconds);
+  reg.gauge("chaos.time_to_recover_sec", out.timeToRecover);
+  reg.gauge("chaos.retries", static_cast<double>(out.retries));
+  reg.gauge("chaos.failed_ops", static_cast<double>(out.failedOps));
+  reg.gauge("chaos.late_completions", static_cast<double>(out.lateCompletions));
+  reg.gauge("chaos.rebuild_bytes", static_cast<double>(out.rebuildBytes));
+}
+
+}  // namespace hcsim::chaos

@@ -1,0 +1,93 @@
+#pragma once
+// Chaos scenario execution: drive a steady foreground workload, inject the
+// scheduled faults into the simulation clock, and report a time-sliced
+// bandwidth/availability timeline.
+//
+// Mechanics: nodes*procsPerNode ClientSessions each keep exactly one
+// request-sized op in flight (with the retry/backoff layer armed, timed-out
+// ops re-submit over whatever capacity survives). Fault events apply
+// through FileSystemModel::applyFault — or straight onto a named topology
+// link — and take effect mid-flight via the flow network's epoch
+// re-rating. A restore event may start background rebuild traffic over the
+// model's rebuildRoute, contending with the foreground like a real resync.
+// Every `intervalSec` a sampler snapshots completed bytes, giving the
+// per-interval GB/s timeline the paper-style availability metrics
+// (degraded time, time-to-recover) are derived from.
+
+#include <string>
+#include <vector>
+
+#include "chaos/chaos_spec.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "util/table.hpp"
+
+namespace hcsim::chaos {
+
+/// One timeline slice.
+struct IntervalSample {
+  Seconds start = 0.0;
+  Seconds end = 0.0;
+  double gbs = 0.0;          ///< foreground goodput completed in the slice
+  std::size_t activeFaults = 0;  ///< components not healthy during the slice
+  std::uint64_t retries = 0;     ///< client retries fired in the slice
+  bool degraded = false;     ///< gbs < healthy * (1 - degradedTolerance)
+};
+
+/// Everything a scenario run produced.
+struct ChaosOutcome {
+  std::string name;
+  Site site = Site::Lassen;
+  StorageKind storage = StorageKind::Vast;
+  std::vector<IntervalSample> timeline;
+
+  double healthyGBs = 0.0;  ///< steady-state estimate before the first fault
+  double meanGBs = 0.0;
+  double minGBs = 0.0;
+  double maxGBs = 0.0;
+  double finalGBs = 0.0;    ///< last slice — "did it come back?"
+
+  Seconds degradedSeconds = 0.0;   ///< total time below the tolerance band
+  Seconds timeToRecover = -1.0;    ///< last restore -> first healthy slice; -1 = n/a
+  std::uint64_t retries = 0;
+  std::uint64_t failedOps = 0;        ///< ops that exhausted their retries
+  std::uint64_t lateCompletions = 0;  ///< abandoned attempts that completed anyway
+
+  Bytes foregroundBytes = 0;
+  Bytes rebuildBytes = 0;          ///< background resync traffic completed
+  Seconds rebuildCompletedAt = -1.0;  ///< when the last rebuild flow drained
+};
+
+/// Background rebuild traffic accounting for scheduleFaults.
+struct RebuildStats {
+  Bytes bytes = 0;           ///< resync bytes that finished draining
+  Seconds completedAt = -1.0;  ///< when the last rebuild flow drained
+};
+
+/// Schedule a validated fault list onto an environment's simulator (no
+/// workload, no sampling — the caller drives whatever runs on top). This
+/// is how sweep trials fold a "chaos" section into an ordinary IOR/DLIO
+/// run. Restore events with rebuildGiB start their background flow and
+/// record into `stats` when given.
+void scheduleFaults(Environment& env, const std::vector<ChaosEvent>& events,
+                    RebuildStats* stats = nullptr);
+
+/// Run a scenario on an existing environment (must match the spec's
+/// site/storage — the caller owns that invariant). Throws
+/// std::invalid_argument listing every validateSchedule problem.
+ChaosOutcome runChaosOn(Environment& env, const ChaosSpec& spec);
+
+/// Build the spec's environment (site preset + storageConfig overrides)
+/// and run the scenario on it.
+ChaosOutcome runChaos(const ChaosSpec& spec);
+
+/// Render the timeline as an aligned table (one row per interval plus the
+/// availability summary lines the CLI prints).
+ResultTable renderTimeline(const ChaosOutcome& out);
+
+/// Deterministic JSONL: one summary line, then one line per interval.
+std::string toJsonl(const ChaosOutcome& out);
+
+/// Export availability metrics as "chaos.*" gauges.
+void exportTo(const ChaosOutcome& out, telemetry::MetricsRegistry& reg);
+
+}  // namespace hcsim::chaos

@@ -1,0 +1,292 @@
+#include "chaos/chaos_spec.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "config/serialize.hpp"
+#include "net/topology.hpp"
+#include "sweep/sweep_spec.hpp"
+
+namespace hcsim::chaos {
+
+namespace {
+
+bool parseSite(const std::string& s, Site& out) {
+  if (s == "lassen") out = Site::Lassen;
+  else if (s == "ruby") out = Site::Ruby;
+  else if (s == "quartz") out = Site::Quartz;
+  else if (s == "wombat") out = Site::Wombat;
+  else return false;
+  return true;
+}
+
+bool parseStorage(const std::string& s, StorageKind& out) {
+  if (s == "vast") out = StorageKind::Vast;
+  else if (s == "gpfs") out = StorageKind::Gpfs;
+  else if (s == "lustre") out = StorageKind::Lustre;
+  else if (s == "nvme") out = StorageKind::NvmeLocal;
+  else return false;
+  return true;
+}
+
+bool parseAction(const std::string& s, FaultAction& out) {
+  if (s == "fail") out = FaultAction::Fail;
+  else if (s == "fail-slow") out = FaultAction::FailSlow;
+  else if (s == "restore") out = FaultAction::Restore;
+  else return false;
+  return true;
+}
+
+bool parseEvent(const JsonValue& j, std::size_t idx, ChaosEvent& out, std::string& error) {
+  const auto at = [idx](const std::string& what) {
+    return "events[" + std::to_string(idx) + "]: " + what;
+  };
+  if (!j.isObject()) {
+    error = at("must be an object");
+    return false;
+  }
+  const JsonValue* t = j.find("atSec");
+  if (t == nullptr || !t->isNumber() || *t->number() < 0.0) {
+    error = at("'atSec' must be a non-negative number");
+    return false;
+  }
+  out.at = *t->number();
+  const std::string action = j.stringOr("action", "");
+  if (!parseAction(action, out.fault.action)) {
+    error = at("'action' must be fail|fail-slow|restore (got '" + action + "')");
+    return false;
+  }
+  out.fault.component = j.stringOr("component", "");
+  out.fault.link = j.stringOr("link", "");
+  if (!out.fault.link.empty()) out.fault.component = "link";
+  if (out.fault.component.empty()) {
+    error = at("needs a 'component' kind (cnode|dnode|dbox|nsd|oss|mds|drive) or a 'link' name");
+    return false;
+  }
+  if (out.fault.component == "link" && out.fault.link.empty()) {
+    error = at("component 'link' needs the 'link' key naming a topology link");
+    return false;
+  }
+  out.fault.index = static_cast<std::size_t>(j.numberOr("index", 0.0));
+  if (const JsonValue* sv = j.find("severity")) {
+    if (!sv->isNumber()) {
+      error = at("'severity' must be a number in (0, 1)");
+      return false;
+    }
+    out.fault.severity = *sv->number();
+  }
+  out.rebuildGiB = j.numberOr("rebuildGiB", 0.0);
+  if (out.rebuildGiB < 0.0) {
+    error = at("'rebuildGiB' must be >= 0");
+    return false;
+  }
+  if (out.rebuildGiB > 0.0 && out.fault.action != FaultAction::Restore) {
+    error = at("'rebuildGiB' only makes sense on a restore event");
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool parseChaosSpec(const JsonValue& json, ChaosSpec& out, std::string& error) {
+  if (!json.isObject()) {
+    error = "scenario must be a JSON object";
+    return false;
+  }
+  out = ChaosSpec{};
+  out.name = json.stringOr("name", "chaos");
+  if (!parseSite(json.stringOr("site", "lassen"), out.site)) {
+    error = "'site' must be lassen|ruby|quartz|wombat";
+    return false;
+  }
+  if (!parseStorage(json.stringOr("storage", "vast"), out.storage)) {
+    error = "'storage' must be vast|gpfs|lustre|nvme";
+    return false;
+  }
+  if (const JsonValue* sc = json.find("storageConfig")) out.storageConfig = sweep::deepCopy(*sc);
+
+  if (const JsonValue* w = json.find("workload")) {
+    if (!w->isObject()) {
+      error = "'workload' must be an object";
+      return false;
+    }
+    out.workload.nodes = static_cast<std::size_t>(w->numberOr("nodes", 4.0));
+    out.workload.procsPerNode = static_cast<std::size_t>(w->numberOr("procsPerNode", 8.0));
+    if (const JsonValue* a = w->find("access")) {
+      if (!fromJson(*a, out.workload.access)) {
+        error = "workload: 'access' must be seq-read|seq-write|rand-read|rand-write";
+        return false;
+      }
+    }
+    out.workload.requestBytes =
+        static_cast<Bytes>(w->numberOr("requestBytes", 16.0 * 1024 * 1024));
+  }
+
+  out.horizon = json.numberOr("horizonSec", 90.0);
+  out.interval = json.numberOr("intervalSec", 5.0);
+  out.degradedTolerance = json.numberOr("degradedTolerance", 0.02);
+
+  if (const JsonValue* r = json.find("retry")) {
+    if (r->isBool()) {
+      out.retryEnabled = *r->boolean();
+    } else if (r->isObject()) {
+      out.retry.timeout = r->numberOr("timeoutSec", out.retry.timeout);
+      out.retry.maxRetries =
+          static_cast<std::size_t>(r->numberOr("maxRetries", static_cast<double>(out.retry.maxRetries)));
+      out.retry.backoffBase = r->numberOr("backoffBaseSec", out.retry.backoffBase);
+      out.retry.backoffMultiplier = r->numberOr("backoffMultiplier", out.retry.backoffMultiplier);
+    } else {
+      error = "'retry' must be false or an object";
+      return false;
+    }
+  }
+
+  if (const JsonValue* ev = json.find("events")) {
+    const JsonArray* arr = ev->array();
+    if (arr == nullptr) {
+      error = "'events' must be an array";
+      return false;
+    }
+    out.events.reserve(arr->size());
+    for (std::size_t i = 0; i < arr->size(); ++i) {
+      ChaosEvent e;
+      if (!parseEvent((*arr)[i], i, e, error)) return false;
+      out.events.push_back(std::move(e));
+    }
+  }
+  return true;
+}
+
+bool loadChaosSpec(const std::string& path, ChaosSpec& out, std::string& error) {
+  std::ifstream in(path);
+  if (!in) {
+    error = path + ": cannot open file";
+    return false;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  JsonValue j;
+  if (!parseJson(ss.str(), j)) {
+    error = path + ": not valid JSON";
+    return false;
+  }
+  if (!parseChaosSpec(j, out, error)) {
+    error = path + ": " + error;
+    return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Component kinds any model might expose — probed via faultComponentCount
+/// to tell the user what *this* deployment actually supports.
+const char* const kKnownKinds[] = {"cnode", "dnode", "dbox", "nsd", "oss", "mds", "drive"};
+
+std::string supportedKinds(const FileSystemModel& fs) {
+  std::string s;
+  for (const char* k : kKnownKinds) {
+    if (fs.faultComponentCount(k) == 0) continue;
+    if (!s.empty()) s += "|";
+    s += k;
+  }
+  if (!s.empty()) s += "|";
+  s += "link";
+  return s;
+}
+
+}  // namespace
+
+std::vector<std::string> validateSchedule(const ChaosSpec& spec, const FileSystemModel& fs,
+                                          const Topology& topo) {
+  std::vector<std::string> problems;
+  const auto add = [&problems](std::string msg) { problems.push_back(std::move(msg)); };
+
+  if (spec.horizon <= 0.0) add("'horizonSec' must be > 0");
+  if (spec.interval <= 0.0) add("'intervalSec' must be > 0");
+  if (spec.interval > spec.horizon && spec.horizon > 0.0) {
+    add("'intervalSec' exceeds 'horizonSec': the timeline would have no samples");
+  }
+  if (spec.workload.nodes == 0) add("workload: 'nodes' must be >= 1");
+  if (spec.workload.procsPerNode == 0) add("workload: 'procsPerNode' must be >= 1");
+  if (spec.workload.requestBytes == 0) add("workload: 'requestBytes' must be >= 1");
+
+  // Per-component health state machine: a component key maps to what the
+  // schedule has done to it so far, so overlapping fail/fail on the same
+  // target (or restoring something healthy) is rejected up front.
+  enum class State { Healthy, Failed, Slow };
+  std::map<std::string, State> state;
+  Seconds prev = -1.0;
+
+  for (std::size_t i = 0; i < spec.events.size(); ++i) {
+    const ChaosEvent& ev = spec.events[i];
+    const FaultSpec& f = ev.fault;
+    const auto at = [i](const std::string& what) {
+      return "events[" + std::to_string(i) + "]: " + what;
+    };
+
+    if (ev.at < prev) {
+      add(at("'atSec' goes backwards (" + std::to_string(ev.at) + " after " +
+             std::to_string(prev) + "); list events in time order"));
+    }
+    prev = std::max(prev, ev.at);
+    if (spec.horizon > 0.0 && ev.at >= spec.horizon) {
+      add(at("'atSec' " + std::to_string(ev.at) + " is at/after the horizon (" +
+             std::to_string(spec.horizon) + "s); it would never fire"));
+    }
+
+    std::string key;
+    if (f.component == "link") {
+      if (!topo.hasLink(f.link)) {
+        add(at("unknown link '" + f.link + "' (not in the deployment's topology)"));
+        continue;
+      }
+      key = "link:" + f.link;
+    } else {
+      const std::size_t count = fs.faultComponentCount(f.component);
+      if (count == 0) {
+        add(at("unknown component '" + f.component + "' for this deployment; supported: " +
+               supportedKinds(fs)));
+        continue;
+      }
+      if (f.index >= count) {
+        add(at("'" + f.component + "' index " + std::to_string(f.index) +
+               " out of range (deployment has " + std::to_string(count) + ")"));
+        continue;
+      }
+      key = f.component + ":" + std::to_string(f.index);
+    }
+
+    State& st = state.try_emplace(key, State::Healthy).first->second;
+    switch (f.action) {
+      case FaultAction::Fail:
+        if (st == State::Failed) {
+          add(at("'" + key + "' is already failed; overlapping fail without a restore"));
+        }
+        st = State::Failed;
+        break;
+      case FaultAction::FailSlow:
+        if (f.severity <= 0.0 || f.severity >= 1.0) {
+          add(at("fail-slow 'severity' must be in (0, 1) exclusive (got " +
+                 std::to_string(f.severity) + "); use action 'fail' for a full stop"));
+        }
+        if (st == State::Failed) {
+          add(at("'" + key + "' is failed; restore it before applying fail-slow"));
+        }
+        st = State::Slow;
+        break;
+      case FaultAction::Restore:
+        if (st == State::Healthy) {
+          add(at("'" + key + "' is already healthy; restore without a preceding fault"));
+        }
+        st = State::Healthy;
+        break;
+    }
+  }
+  return problems;
+}
+
+}  // namespace hcsim::chaos

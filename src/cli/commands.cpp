@@ -4,6 +4,7 @@
 #include <memory>
 #include <ostream>
 
+#include "chaos/chaos_runner.hpp"
 #include "config/serialize.hpp"
 #include "core/calibration.hpp"
 #include "core/experiment.hpp"
@@ -112,6 +113,10 @@ int cmdHelp(std::ostream& out) {
          "              (parallel what-if config sweep; --cache memoizes trials\n"
          "               across runs and reports the hit rate; --telemetry adds\n"
          "               engine/attribution columns without changing results)\n"
+         "  chaos       <scenario.json> [--out timeline.jsonl] [--csv timeline.csv]\n"
+         "              [--telemetry]   (scheduled fault injection: validates the\n"
+         "               schedule, runs the workload under faults/retries, prints\n"
+         "               the per-interval bandwidth + availability timeline)\n"
          "  oracle      list | relations | record | check   (regression harness)\n"
          "              relations [--cases N] [--seed S] [--jobs J] [--relation NAME]\n"
          "                        [--no-shrink] [--cache F]  (metamorphic relations)\n"
@@ -362,6 +367,66 @@ int cmdSweep(const ArgParser& args, std::ostream& out, std::ostream& err) {
   return allFailed ? 1 : 0;
 }
 
+int cmdChaos(const ArgParser& args, std::ostream& out, std::ostream& err) {
+  std::string specPath = args.positionalOr(1, "");
+  if (const auto opt = args.get("--spec")) specPath = *opt;
+  if (specPath.empty()) {
+    err << "error: chaos requires a scenario file (hcsim chaos <spec.json>)\n";
+    return 2;
+  }
+  chaos::ChaosSpec spec;
+  std::string parseErr;
+  if (!chaos::loadChaosSpec(specPath, spec, parseErr)) {
+    err << "error: " << parseErr << "\n";
+    return 2;
+  }
+  Environment env = makeEnvironment(spec.site, spec.storage, spec.workload.nodes,
+                                    spec.storageConfig.isNull() ? nullptr : &spec.storageConfig);
+  // Validate before running so every schedule problem surfaces at once
+  // with an actionable message and a distinct exit code.
+  const std::vector<std::string> problems =
+      chaos::validateSchedule(spec, *env.fs, env.bench->topo());
+  if (!problems.empty()) {
+    err << "error: invalid scenario " << specPath << ":\n";
+    for (const std::string& p : problems) err << "  - " << p << "\n";
+    return 2;
+  }
+  if (args.has("--telemetry")) env.bench->telemetry().setEnabled(true);
+  const chaos::ChaosOutcome result = chaos::runChaosOn(env, spec);
+
+  ResultTable t = chaos::renderTimeline(result);
+  out << t.toString();
+  out << "healthy " << result.healthyGBs << " GB/s, mean " << result.meanGBs << ", min "
+      << result.minGBs << ", final " << result.finalGBs << "\n";
+  out << "degraded " << result.degradedSeconds << " s";
+  if (result.timeToRecover >= 0.0) out << ", recovered " << result.timeToRecover << " s after restore";
+  out << "; retries " << result.retries << ", failed ops " << result.failedOps
+      << ", late completions " << result.lateCompletions << "\n";
+  if (result.rebuildBytes > 0) {
+    out << "rebuild: " << formatBytes(result.rebuildBytes) << " drained at t="
+        << result.rebuildCompletedAt << " s\n";
+  }
+  if (const auto outPath = args.get("--out")) {
+    std::ofstream f(*outPath, std::ios::binary | std::ios::trunc);
+    if (!f) {
+      err << "error: cannot write " << *outPath << "\n";
+      return 1;
+    }
+    f << chaos::toJsonl(result);
+    out << "wrote " << *outPath << "\n";
+  }
+  if (const auto csvPath = args.get("--csv")) {
+    std::ofstream f(*csvPath, std::ios::binary | std::ios::trunc);
+    if (!f) {
+      err << "error: cannot write " << *csvPath << "\n";
+      return 1;
+    }
+    f << t.toCsv();
+    out << "wrote " << *csvPath << "\n";
+  }
+  return 0;
+}
+
 namespace {
 
 int oracleList(std::ostream& out) {
@@ -599,6 +664,7 @@ int run(const ArgParser& args, std::ostream& out, std::ostream& err) {
     if (cmd == "plan") return cmdPlan(args, out, err);
     if (cmd == "takeaways") return cmdTakeaways(args, out, err);
     if (cmd == "sweep") return cmdSweep(args, out, err);
+    if (cmd == "chaos") return cmdChaos(args, out, err);
     if (cmd == "oracle") return cmdOracle(args, out, err);
     if (cmd == "trace") return cmdTrace(args, out, err);
     if (cmd == "stats") return cmdStats(args, out, err);

@@ -16,6 +16,9 @@ namespace hcsim::cli {
 ///   plan      search VAST deployments    (--machine --pattern --min-gbs ...)
 ///   takeaways run the paper's §VII checks
 ///   sweep     run a what-if config sweep   (--spec --jobs --out --baseline)
+///   chaos     run a fault scenario          (<spec.json> --out --csv)
+///             validates the schedule, injects the faults, prints the
+///             per-interval bandwidth/availability timeline
 ///   oracle    metamorphic & golden-figure regression harness
 ///             (list | relations | record | check)
 ///   trace     run a workload and export chrome-trace JSON; --internal
@@ -33,6 +36,7 @@ int cmdMdtest(const ArgParser& args, std::ostream& out, std::ostream& err);
 int cmdPlan(const ArgParser& args, std::ostream& out, std::ostream& err);
 int cmdTakeaways(const ArgParser& args, std::ostream& out, std::ostream& err);
 int cmdSweep(const ArgParser& args, std::ostream& out, std::ostream& err);
+int cmdChaos(const ArgParser& args, std::ostream& out, std::ostream& err);
 int cmdOracle(const ArgParser& args, std::ostream& out, std::ostream& err);
 int cmdTrace(const ArgParser& args, std::ostream& out, std::ostream& err);
 int cmdStats(const ArgParser& args, std::ostream& out, std::ostream& err);

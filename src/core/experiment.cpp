@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "config/serialize.hpp"
+
 namespace hcsim {
 
 const char* toString(Site s) {
@@ -35,38 +37,53 @@ Machine machineFor(Site site) {
 }
 
 Environment makeEnvironment(Site site, StorageKind kind, std::size_t nodes) {
+  return makeEnvironment(site, kind, nodes, nullptr);
+}
+
+Environment makeEnvironment(Site site, StorageKind kind, std::size_t nodes,
+                            const JsonValue* storageOverrides) {
   Environment env;
   env.bench = std::make_unique<TestBench>(machineFor(site), nodes);
+  const auto badOverrides = [] {
+    return std::invalid_argument("makeEnvironment: 'storageConfig' overrides do not parse");
+  };
   switch (kind) {
-    case StorageKind::Vast:
-      switch (site) {
-        case Site::Lassen: env.fs = env.bench->attachVast(vastOnLassen()); break;
-        case Site::Ruby: env.fs = env.bench->attachVast(vastOnRuby()); break;
-        case Site::Quartz: env.fs = env.bench->attachVast(vastOnQuartz()); break;
-        case Site::Wombat: env.fs = env.bench->attachVast(vastOnWombat()); break;
-      }
+    case StorageKind::Vast: {
+      VastConfig c = site == Site::Lassen   ? vastOnLassen()
+                     : site == Site::Ruby   ? vastOnRuby()
+                     : site == Site::Quartz ? vastOnQuartz()
+                                            : vastOnWombat();
+      if (storageOverrides && !fromJson(*storageOverrides, c)) throw badOverrides();
+      env.fs = env.bench->attachVast(std::move(c));
       break;
-    case StorageKind::Gpfs:
+    }
+    case StorageKind::Gpfs: {
       if (site != Site::Lassen) {
         throw std::invalid_argument("makeEnvironment: the paper only tests GPFS on Lassen");
       }
-      env.fs = env.bench->attachGpfs(gpfsOnLassen());
+      GpfsConfig c = gpfsOnLassen();
+      if (storageOverrides && !fromJson(*storageOverrides, c)) throw badOverrides();
+      env.fs = env.bench->attachGpfs(std::move(c));
       break;
-    case StorageKind::Lustre:
-      if (site == Site::Quartz) {
-        env.fs = env.bench->attachLustre(lustreOnQuartz());
-      } else if (site == Site::Ruby) {
-        env.fs = env.bench->attachLustre(lustreOnRuby());
-      } else {
+    }
+    case StorageKind::Lustre: {
+      if (site != Site::Quartz && site != Site::Ruby) {
         throw std::invalid_argument("makeEnvironment: the paper tests Lustre on Quartz/Ruby");
       }
+      LustreConfig c = site == Site::Quartz ? lustreOnQuartz() : lustreOnRuby();
+      if (storageOverrides && !fromJson(*storageOverrides, c)) throw badOverrides();
+      env.fs = env.bench->attachLustre(std::move(c));
       break;
-    case StorageKind::NvmeLocal:
+    }
+    case StorageKind::NvmeLocal: {
       if (site != Site::Wombat) {
         throw std::invalid_argument("makeEnvironment: node-local NVMe is only on Wombat");
       }
-      env.fs = env.bench->attachNvme(nvmeOnWombat());
+      NvmeLocalConfig c = nvmeOnWombat();
+      if (storageOverrides && !fromJson(*storageOverrides, c)) throw badOverrides();
+      env.fs = env.bench->attachNvme(std::move(c));
       break;
+    }
   }
   return env;
 }

@@ -12,6 +12,7 @@
 #include "cluster/deployments.hpp"
 #include "dlio/dlio_runner.hpp"
 #include "ior/ior_runner.hpp"
+#include "util/json.hpp"
 
 namespace hcsim {
 
@@ -33,6 +34,13 @@ struct Environment {
 /// `nodes` compute nodes wired. Throws std::invalid_argument for
 /// combinations the paper does not define (e.g. GPFS on Wombat).
 Environment makeEnvironment(Site site, StorageKind kind, std::size_t nodes);
+
+/// As above, with optional JSON overrides merged onto the site preset's
+/// storage config (lenient fromJson: the object only states what it
+/// changes). nullptr = preset as-is. Shared by sweep trials and chaos
+/// scenarios so a "storageConfig" section means the same everywhere.
+Environment makeEnvironment(Site site, StorageKind kind, std::size_t nodes,
+                            const JsonValue* storageOverrides);
 
 /// One point of a bandwidth series.
 struct BandwidthPoint {

@@ -1,5 +1,6 @@
 #include "fs/client_session.hpp"
 
+#include <cmath>
 #include <utility>
 
 namespace hcsim {
@@ -14,7 +15,56 @@ void ClientSession::submit(Bytes offset, Bytes size, std::uint64_t ops, AccessPa
   req.pattern = pattern;
   req.fsync = fsync;
   req.ops = ops;
-  fs_->submit(req, std::move(done));
+  if (retrySim_ == nullptr) {
+    fs_->submit(req, std::move(done));
+    return;
+  }
+  submitAttempt(req, 0, retrySim_->now(), std::make_shared<IoCallback>(std::move(done)));
+}
+
+void ClientSession::submitAttempt(const IoRequest& req, std::size_t attempt, SimTime opStart,
+                                  std::shared_ptr<IoCallback> done) {
+  Simulator& sim = *retrySim_;
+  // One settle flag per attempt: whichever of {completion, timeout}
+  // fires first wins; the loser sees the flag and backs off.
+  auto settled = std::make_shared<bool>(false);
+
+  const EventId timer = sim.schedule(policy_.timeout, [this, req, attempt, opStart, done,
+                                                       settled] {
+    if (*settled) return;
+    *settled = true;
+    if (attempt >= policy_.maxRetries) {
+      ++failedOps_;
+      IoResult r;
+      r.startTime = opStart;
+      r.endTime = retrySim_->now();
+      r.bytes = 0;
+      r.failed = true;
+      if (*done) (*done)(r);
+      return;
+    }
+    ++retries_;
+    const Seconds wait = policy_.backoffBase * std::pow(policy_.backoffMultiplier,
+                                                        static_cast<double>(attempt));
+    retrySim_->schedule(wait, [this, req, attempt, opStart, done] {
+      // Fresh submission: the model routes it over whatever is alive now.
+      submitAttempt(req, attempt + 1, opStart, done);
+    });
+  });
+
+  fs_->submit(req, [this, timer, opStart, done, settled](const IoResult& r) {
+    if (*settled) {
+      // The attempt was abandoned at its deadline; its bytes moved, but
+      // the op has already been retried (or failed). Swallow.
+      ++lateCompletions_;
+      return;
+    }
+    *settled = true;
+    retrySim_->cancel(timer);
+    IoResult out = r;
+    out.startTime = opStart;  // charge the backoff waits to the op
+    if (*done) (*done)(out);
+  });
 }
 
 void ClientSession::write(Bytes size, bool fsync, std::function<void(const IoResult&)> done) {
@@ -29,6 +79,11 @@ void ClientSession::read(Bytes size, std::function<void(const IoResult&)> done) 
 
 void ClientSession::readAt(Bytes offset, Bytes size, std::function<void(const IoResult&)> done) {
   submit(offset, size, 1, AccessPattern::RandomRead, false, std::move(done));
+}
+
+void ClientSession::writeAt(Bytes offset, Bytes size, bool fsync,
+                            std::function<void(const IoResult&)> done) {
+  submit(offset, size, 1, AccessPattern::RandomWrite, fsync, std::move(done));
 }
 
 void ClientSession::writeRun(Bytes size, std::uint64_t ops, bool fsync,

@@ -2,12 +2,33 @@
 // ClientSession — POSIX-flavoured per-process file handle over a
 // FileSystemModel. One session == one process's sequential I/O stream
 // (IOR file-per-process, or one DLIO reader thread).
+//
+// With retry enabled (hcsim::chaos), each request races a timeout: if
+// the storage model has not completed it within the deadline — an op
+// stranded on a failed component stalls at rate 0 — the client gives up
+// on that attempt, waits an exponential backoff, and re-submits fresh.
+// The re-submitted attempt routes over whatever is alive *now*, so
+// retries are charged to the surviving capacity. A late completion of
+// an abandoned attempt is swallowed (the bytes still moved through the
+// network — exactly the duplicate work a real timed-out-but-delivered
+// RPC costs). After `maxRetries` unsuccessful re-submissions the op
+// fails: the callback fires with IoResult::failed set and 0 bytes.
 
+#include <cstdint>
 #include <functional>
+#include <memory>
 
 #include "fs/file_system_model.hpp"
 
 namespace hcsim {
+
+/// Client-side timeout/retry/backoff parameters.
+struct RetryPolicy {
+  Seconds timeout = 30.0;          ///< per-attempt completion deadline
+  std::size_t maxRetries = 4;      ///< re-submissions after the first attempt
+  Seconds backoffBase = 0.25;      ///< wait before the first retry
+  double backoffMultiplier = 2.0;  ///< backoffBase * mult^(retry-1)
+};
 
 class ClientSession {
  public:
@@ -21,6 +42,20 @@ class ClientSession {
   Bytes cursor() const { return cursor_; }
   void seek(Bytes offset) { cursor_ = offset; }
 
+  /// Arm the timeout/retry/backoff path for every subsequent request.
+  /// The session must outlive all pending requests. Without this call
+  /// requests pass straight through to the model, byte-identically to
+  /// the pre-retry behaviour.
+  void enableRetry(Simulator& sim, RetryPolicy policy) {
+    retrySim_ = &sim;
+    policy_ = policy;
+  }
+
+  /// Retry-layer counters (0 until enableRetry).
+  std::uint64_t retries() const { return retries_; }
+  std::uint64_t failedOps() const { return failedOps_; }
+  std::uint64_t lateCompletions() const { return lateCompletions_; }
+
   /// Write `size` bytes at the cursor (advances it). `fsync` waits for
   /// stable storage, as IOR -e does.
   void write(Bytes size, bool fsync, std::function<void(const IoResult&)> done);
@@ -30,6 +65,9 @@ class ClientSession {
 
   /// Random read at an explicit offset (cursor unchanged).
   void readAt(Bytes offset, Bytes size, std::function<void(const IoResult&)> done);
+
+  /// Random write at an explicit offset (cursor unchanged).
+  void writeAt(Bytes offset, Bytes size, bool fsync, std::function<void(const IoResult&)> done);
 
   /// Coalesced run of `ops` sequential same-size operations (see
   /// DESIGN.md §5); advances the cursor by ops*size.
@@ -41,11 +79,19 @@ class ClientSession {
  private:
   void submit(Bytes offset, Bytes size, std::uint64_t ops, AccessPattern pattern, bool fsync,
               std::function<void(const IoResult&)> done);
+  void submitAttempt(const IoRequest& req, std::size_t attempt, SimTime opStart,
+                     std::shared_ptr<IoCallback> done);
 
   FileSystemModel* fs_;
   ClientId client_;
   std::uint64_t fileId_;
   Bytes cursor_ = 0;
+
+  Simulator* retrySim_ = nullptr;  ///< non-null once enableRetry was called
+  RetryPolicy policy_{};
+  std::uint64_t retries_ = 0;
+  std::uint64_t failedOps_ = 0;
+  std::uint64_t lateCompletions_ = 0;
 };
 
 }  // namespace hcsim

@@ -1,0 +1,34 @@
+#pragma once
+// FaultSpec — one dynamic fault directive against a storage model or a
+// raw topology link. The chaos engine schedules these at declared times;
+// models interpret them through FileSystemModel::applyFault, which is
+// why the spec speaks in *component names* ("cnode", "nsd", "oss",
+// "mds", "dnode", "dbox", "drive", "link"), not link ids: the model
+// owns the mapping from a named component to its links/state.
+
+#include <cstddef>
+#include <string>
+
+namespace hcsim {
+
+enum class FaultAction {
+  Fail,      ///< fail-stop: the component serves nothing until restored
+  FailSlow,  ///< degraded: the component runs at `severity` of its rate
+  Restore,   ///< back to healthy (also clears a fail-slow)
+};
+
+const char* toString(FaultAction a);
+
+struct FaultSpec {
+  FaultAction action = FaultAction::Fail;
+  /// Component kind, model-specific: VAST cnode|dnode|dbox, GPFS nsd,
+  /// Lustre oss|mds, NVMe drive; "link" targets a named topology link.
+  std::string component;
+  std::size_t index = 0;  ///< which instance (ignored for "link")
+  std::string link;       ///< topology link name when component == "link"
+  /// FailSlow only: surviving fraction of the component's rate, in
+  /// (0, 1). "link at 30% rate" = 0.3. Ignored for Fail/Restore.
+  double severity = 1.0;
+};
+
+}  // namespace hcsim

@@ -21,6 +21,8 @@
 #include <string>
 
 #include "device/ssd.hpp"  // AccessPattern
+#include "fs/fault.hpp"
+#include "net/link.hpp"  // Route (rebuild traffic paths)
 #include "sim/simulator.hpp"
 #include "util/units.hpp"
 
@@ -63,6 +65,9 @@ struct IoResult {
   SimTime startTime = 0.0;
   SimTime endTime = 0.0;
   Bytes bytes = 0;
+  /// Set by the retry layer when an op exhausted its retries against a
+  /// failed component (bytes == 0 then). Models never set this.
+  bool failed = false;
   Seconds elapsed() const { return endTime - startTime; }
 };
 
@@ -133,6 +138,31 @@ class FileSystemModel {
   /// aggregate a node's ranks into flows must keep this many distinct
   /// `client.proc` slots so every channel stays loaded.
   virtual std::size_t clientParallelism() const { return 1; }
+
+  // ---- Dynamic fault injection (hcsim::chaos) ----
+
+  /// Apply one fault directive mid-run. Models that support the
+  /// component kind degrade/restore immediately (in-flight transfers
+  /// re-rate) and return true; the default knows no components. Throws
+  /// std::out_of_range for an index beyond faultComponentCount and
+  /// std::invalid_argument for an action the component cannot take
+  /// (e.g. fail-slow on an HA enclosure).
+  virtual bool applyFault(const FaultSpec&) { return false; }
+
+  /// How many instances of a named component kind this model has
+  /// (0 = kind unknown). Used by schedule validation.
+  virtual std::size_t faultComponentCount(const std::string& component) const {
+    (void)component;
+    return 0;
+  }
+
+  /// The route rebuild/resync traffic takes after `restored` comes back
+  /// (RAID rebuild, re-replication): a flow over it competes with the
+  /// foreground for the model's internal links. Empty = no rebuild path.
+  virtual Route rebuildRoute(const FaultSpec& restored) {
+    (void)restored;
+    return {};
+  }
 
   /// Snapshot model-internal state (queue depths, cache hit ratios, SCM
   /// occupancy, surviving servers, ...) into the telemetry registry

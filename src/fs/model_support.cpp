@@ -19,6 +19,15 @@ const char* toString(MetaOp op) {
   return "?";
 }
 
+const char* toString(FaultAction a) {
+  switch (a) {
+    case FaultAction::Fail: return "fail";
+    case FaultAction::FailSlow: return "fail-slow";
+    case FaultAction::Restore: return "restore";
+  }
+  return "?";
+}
+
 Bandwidth overheadAdjustedCap(Bandwidth streamCap, Seconds perOpOverhead, Bytes reqSize) {
   if (reqSize == 0) throw std::invalid_argument("overheadAdjustedCap: reqSize must be > 0");
   if (perOpOverhead <= 0.0) return streamCap;

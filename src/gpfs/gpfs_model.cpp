@@ -55,20 +55,64 @@ void GpfsModel::applyCapacities() {
   }
 }
 
+double GpfsModel::nsdFraction() const {
+  double alive = 0.0;
+  for (std::size_t i = 0; i < cfg_.nsdServers; ++i) {
+    if (failedNsd_.count(i)) continue;
+    const auto slow = slowNsd_.find(i);
+    alive += slow == slowNsd_.end() ? 1.0 : slow->second;
+  }
+  return alive / static_cast<double>(cfg_.nsdServers);
+}
+
 void GpfsModel::failNsdServer(std::size_t index) {
   if (index >= cfg_.nsdServers) throw std::out_of_range("failNsdServer: bad index");
   failedNsd_.insert(index);
+  slowNsd_.erase(index);  // fail-stop supersedes fail-slow
   applyCapacities();
+  recomputeHitRatio();
 }
 
 void GpfsModel::restoreNsdServer(std::size_t index) {
   failedNsd_.erase(index);
+  slowNsd_.erase(index);
   applyCapacities();
+  recomputeHitRatio();
 }
 
+bool GpfsModel::applyFault(const FaultSpec& f) {
+  if (f.component != "nsd") return false;
+  if (f.index >= cfg_.nsdServers) throw std::out_of_range("gpfs: nsd index out of range");
+  switch (f.action) {
+    case FaultAction::Fail:
+      failNsdServer(f.index);
+      break;
+    case FaultAction::FailSlow:
+      slowNsd_[f.index] = f.severity;
+      applyCapacities();
+      recomputeHitRatio();
+      break;
+    case FaultAction::Restore:
+      restoreNsdServer(f.index);
+      break;
+  }
+  return true;
+}
+
+std::size_t GpfsModel::faultComponentCount(const std::string& component) const {
+  return component == "nsd" ? cfg_.nsdServers : 0;
+}
+
+Route GpfsModel::rebuildRoute(const FaultSpec&) { return {serverLink_, deviceLink_}; }
+
 void GpfsModel::onPhaseChange() {
-  const PhaseSpec& ph = phase();
   applyCapacities();
+  recomputeHitRatio();
+}
+
+void GpfsModel::recomputeHitRatio() {
+  if (!inPhase()) return;
+  const PhaseSpec& ph = phase();
   const bool readPhase = isRead(ph.pattern);
 
   // Server cache: holds recently written/read data. Sequential prefetch

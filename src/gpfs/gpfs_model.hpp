@@ -16,6 +16,7 @@
 //  * writes stream through the pagepool to RAID with a moderate per-node
 //    ceiling, scaling near-linearly (Fig 2a).
 
+#include <map>
 #include <set>
 #include <unordered_map>
 #include <vector>
@@ -43,6 +44,15 @@ class GpfsModel final : public StorageModelBase {
   void restoreNsdServer(std::size_t index);
   std::size_t aliveNsdServers() const { return cfg_.nsdServers - failedNsd_.size(); }
 
+  /// Declarative fault hook (hcsim::chaos): "nsd" supports
+  /// fail/fail-slow/restore; a fail-slow server contributes `severity`
+  /// of a healthy server to the pool, RAID and cache fractions.
+  bool applyFault(const FaultSpec& f) override;
+  std::size_t faultComponentCount(const std::string& component) const override;
+  /// Rebuild after a restore: RAID resync between the NSD pool and the
+  /// spindles, competing with foreground streams on both.
+  Route rebuildRoute(const FaultSpec& restored) override;
+
   // ---- Introspection ----
   double phaseServerCacheHitRatio() const { return hitRatio_; }
   Bandwidth deviceCapacity() const;
@@ -59,9 +69,14 @@ class GpfsModel final : public StorageModelBase {
   LinkId clientCapLink(std::uint32_t node);
   /// Reapply phase + failure-dependent capacities.
   void applyCapacities();
-  double nsdFraction() const {
-    return static_cast<double>(aliveNsdServers()) / static_cast<double>(cfg_.nsdServers);
-  }
+  /// Healthy-equivalent fraction of the NSD pool: failed servers count
+  /// 0, fail-slow servers their severity, healthy servers 1.
+  double nsdFraction() const;
+  /// Re-derive the phase's server-cache hit ratio. Called on phase
+  /// change AND on every mid-phase fail/fail-slow/restore — the cache
+  /// shrinks with the pool, so a stale ratio would keep serving reads
+  /// at pre-failure speed (latent staleness fixed with hcsim::chaos).
+  void recomputeHitRatio();
 
   GpfsConfig cfg_;
   HddRaid raid_;
@@ -69,6 +84,7 @@ class GpfsModel final : public StorageModelBase {
   LinkId deviceLink_{};
   std::unordered_map<std::uint32_t, LinkId> clientCaps_;
   std::set<std::size_t> failedNsd_;
+  std::map<std::size_t, double> slowNsd_;  ///< index -> fail-slow severity
   double hitRatio_ = 0.0;
   Bytes backgroundInFlight_ = 0;
 };

@@ -48,16 +48,70 @@ void LustreModel::applyCapacities() {
 
 void LustreModel::onPhaseChange() { applyCapacities(); }
 
+double LustreModel::ossFraction() const {
+  double alive = 0.0;
+  for (std::size_t i = 0; i < cfg_.ossCount; ++i) {
+    if (failedOss_.count(i)) continue;
+    const auto slow = slowOss_.find(i);
+    alive += slow == slowOss_.end() ? 1.0 : slow->second;
+  }
+  return alive / static_cast<double>(cfg_.ossCount);
+}
+
 void LustreModel::failOss(std::size_t index) {
   if (index >= cfg_.ossCount) throw std::out_of_range("failOss: bad index");
   failedOss_.insert(index);
+  slowOss_.erase(index);  // fail-stop supersedes fail-slow
   applyCapacities();
 }
 
 void LustreModel::restoreOss(std::size_t index) {
   failedOss_.erase(index);
+  slowOss_.erase(index);
   applyCapacities();
 }
+
+bool LustreModel::applyFault(const FaultSpec& f) {
+  if (f.component == "oss") {
+    if (f.index >= cfg_.ossCount) throw std::out_of_range("lustre: oss index out of range");
+    switch (f.action) {
+      case FaultAction::Fail:
+        failOss(f.index);
+        break;
+      case FaultAction::FailSlow:
+        slowOss_[f.index] = f.severity;
+        applyCapacities();
+        break;
+      case FaultAction::Restore:
+        restoreOss(f.index);
+        break;
+    }
+    return true;
+  }
+  if (f.component == "mds") {
+    if (f.index >= cfg_.mdsCount) throw std::out_of_range("lustre: mds index out of range");
+    switch (f.action) {
+      case FaultAction::Fail:
+        failMds(f.index);
+        break;
+      case FaultAction::Restore:
+        restoreMds(f.index);
+        break;
+      case FaultAction::FailSlow:
+        throw std::invalid_argument("lustre: mds supports fail/restore only");
+    }
+    return true;
+  }
+  return false;
+}
+
+std::size_t LustreModel::faultComponentCount(const std::string& component) const {
+  if (component == "oss") return cfg_.ossCount;
+  if (component == "mds") return cfg_.mdsCount;
+  return 0;
+}
+
+Route LustreModel::rebuildRoute(const FaultSpec&) { return {ossLink_, deviceLink_}; }
 
 void LustreModel::failMds(std::size_t index) {
   if (index >= cfg_.mdsCount) throw std::out_of_range("failMds: bad index");

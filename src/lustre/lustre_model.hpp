@@ -15,6 +15,7 @@
 // few ms is overlapped across processes), reads growing toward the
 // Omni-Path node ceiling.
 
+#include <map>
 #include <set>
 #include <unordered_map>
 #include <vector>
@@ -49,6 +50,15 @@ class LustreModel final : public StorageModelBase {
   void restoreMds(std::size_t index);
   std::size_t aliveMds() const { return cfg_.mdsCount - failedMds_.size(); }
 
+  /// Declarative fault hook (hcsim::chaos): "oss" supports
+  /// fail/fail-slow/restore (a fail-slow OSS contributes `severity` of a
+  /// healthy one to the pool); "mds" is fail/restore only.
+  bool applyFault(const FaultSpec& f) override;
+  std::size_t faultComponentCount(const std::string& component) const override;
+  /// Rebuild after a restore: raidz2 resync between the OSS pool and the
+  /// spindles, competing with foreground streams on both.
+  Route rebuildRoute(const FaultSpec& restored) override;
+
   void exportMetrics(telemetry::MetricsRegistry& reg) const override;
 
  protected:
@@ -57,9 +67,9 @@ class LustreModel final : public StorageModelBase {
  private:
   LinkId clientCapLink(std::uint32_t node);
   void applyCapacities();
-  double ossFraction() const {
-    return static_cast<double>(aliveOss()) / static_cast<double>(cfg_.ossCount);
-  }
+  /// Healthy-equivalent fraction of the OSS pool: failed servers count
+  /// 0, fail-slow servers their severity, healthy servers 1.
+  double ossFraction() const;
 
   LustreConfig cfg_;
   HddRaid raid_;
@@ -67,6 +77,7 @@ class LustreModel final : public StorageModelBase {
   LinkId deviceLink_{};
   std::unordered_map<std::uint32_t, LinkId> clientCaps_;
   std::set<std::size_t> failedOss_;
+  std::map<std::size_t, double> slowOss_;  ///< index -> fail-slow severity
   std::set<std::size_t> failedMds_;
 };
 

@@ -38,6 +38,27 @@ void FlowNetwork::setLinkCapacity(LinkId id, Bandwidth capacity) {
   rebalance();
 }
 
+void FlowNetwork::setLinkHealth(LinkId id, double health) {
+  Link& l = links_.at(id.value);
+  const double clamped = std::min(1.0, std::max(0.0, health));
+  if (l.health == clamped) return;
+  advanceProgress();  // credit progress at the old rates first
+  l.health = clamped;
+  rebalance();
+}
+
+bool FlowNetwork::abortFlow(FlowId id) {
+  auto it = active_.find(id);
+  if (it == active_.end()) return false;
+  advanceProgress();
+  ActiveFlow f = std::move(it->second);
+  active_.erase(it);
+  if (f.completionEvent.valid()) sim_.cancel(f.completionEvent);
+  if (tel_ && f.spanIdx != telemetry::kNoSpan) tel_->endSpan(f.spanIdx, sim_.now());
+  rebalance();
+  return true;
+}
+
 std::size_t FlowNetwork::replaceLinkInFlows(LinkId from, LinkId to) {
   advanceProgress();
   std::size_t rerouted = 0;
@@ -143,7 +164,9 @@ void FlowNetwork::computeMaxMinRates() {
   // or the flow hits its cap.
   std::vector<double> headroom(links_.size());
   std::vector<double> unfrozenWeightOnLink(links_.size(), 0.0);
-  for (std::size_t i = 0; i < links_.size(); ++i) headroom[i] = links_[i].capacity;
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    headroom[i] = links_[i].capacity * links_[i].health;
+  }
 
   std::vector<ActiveFlow*> flows;
   flows.reserve(active_.size());
@@ -207,7 +230,8 @@ void FlowNetwork::computeMaxMinRates() {
         flows[i]->bottleneck = kFrozenByCap;
       } else {
         for (LinkId lid : flows[i]->route) {
-          if (headroom[lid.value] <= 1e-9 * links_[lid.value].capacity + 1e-12) {
+          if (headroom[lid.value] <=
+              1e-9 * links_[lid.value].capacity * links_[lid.value].health + 1e-12) {
             freeze = true;
             flows[i]->bottleneck = lid.value;
             break;
@@ -318,8 +342,11 @@ std::vector<LinkStats> FlowNetwork::linkStats() const {
     for (LinkId lid : f.route) alloc[lid.value] += f.rate;
   }
   for (std::size_t i = 0; i < links_.size(); ++i) {
-    out.push_back(LinkStats{links_[i].name, links_[i].capacity, links_[i].latency, alloc[i],
-                            links_[i].bytesCarried});
+    // Report the *effective* capacity so degraded links show up in
+    // utilization snapshots; identical to the configured capacity when
+    // healthy (capacity * 1.0 is exact).
+    out.push_back(LinkStats{links_[i].name, links_[i].capacity * links_[i].health,
+                            links_[i].latency, alloc[i], links_[i].bytesCarried});
   }
   return out;
 }

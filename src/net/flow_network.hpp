@@ -82,6 +82,24 @@ class FlowNetwork {
   /// are re-rated immediately.
   void setLinkCapacity(LinkId id, Bandwidth capacity);
 
+  /// Fault injection: scale a link's *effective* capacity by a health
+  /// factor in [0, 1] without touching the configured capacity, so model
+  /// code that re-derives capacities per phase composes with chaos
+  /// degradation. In-flight flows re-rate immediately; flows whose whole
+  /// path loses capacity stall (rate 0) and resume when health returns.
+  void setLinkHealth(LinkId id, double health);
+  double linkHealth(LinkId id) const { return links_.at(id.value).health; }
+
+  /// Fail-stop / recover a link: health 0 / 1.
+  void failLink(LinkId id) { setLinkHealth(id, 0.0); }
+  void restoreLink(LinkId id) { setLinkHealth(id, 1.0); }
+
+  /// Abort an in-flight flow: progress is credited, the completion event
+  /// is cancelled, the remaining bytes are dropped and survivors
+  /// re-rate. The flow's onComplete never fires. Returns false when the
+  /// id is unknown or already finished.
+  bool abortFlow(FlowId id);
+
   /// Substitute `to` for `from` in the routes of all in-flight flows and
   /// re-rate — failover semantics (e.g. NFS retrying in-flight ops
   /// against a surviving server after a node failure). Returns how many

@@ -31,6 +31,12 @@ struct Link {
   Bandwidth capacity = 0.0;  ///< bytes/sec
   Seconds latency = 0.0;     ///< one-way propagation + switching latency
 
+  /// Fault-injection multiplier in [0, 1] on the effective capacity,
+  /// orthogonal to `capacity` so phase-driven capacity changes compose
+  /// with chaos degradation: 1 = healthy, 0 = failed (fail-stop), an
+  /// intermediate value models fail-slow ("link at 30% rate" = 0.3).
+  double health = 1.0;
+
   /// Lifetime counters (for tests and utilization reports).
   double bytesCarried = 0.0;
 };

@@ -61,6 +61,27 @@ NvmeLocalModel::NodeState& NvmeLocalModel::nodeState(std::uint32_t node) {
   return ins->second;
 }
 
+bool NvmeLocalModel::applyFault(const FaultSpec& f) {
+  if (f.component != "drive") return false;
+  if (f.index >= clientNodeCount()) throw std::out_of_range("nvme: drive index out of range");
+  NodeState& st = nodeState(static_cast<std::uint32_t>(f.index));
+  FlowNetwork& net = topology().network();
+  const double health = f.action == FaultAction::Fail      ? 0.0
+                        : f.action == FaultAction::FailSlow ? f.severity
+                                                            : 1.0;
+  net.setLinkHealth(st.readLink, health);
+  net.setLinkHealth(st.writeLink, health);
+  return true;
+}
+
+std::size_t NvmeLocalModel::faultComponentCount(const std::string& component) const {
+  return component == "drive" ? clientNodeCount() : 0;
+}
+
+Route NvmeLocalModel::rebuildRoute(const FaultSpec& restored) {
+  return {nodeState(static_cast<std::uint32_t>(restored.index)).writeLink};
+}
+
 Bandwidth NvmeLocalModel::syncWriteBandwidth(Bytes reqSize) const {
   const double req = std::max<double>(1.0, static_cast<double>(reqSize));
   const Seconds perOp = cfg_.flushLatency + cfg_.drive.writeLatency + req / cfg_.drive.writeBandwidth;

@@ -68,6 +68,16 @@ class NvmeLocalModel final : public StorageModelBase {
     return static_cast<Bytes>(cfg_.drivesPerNode) * cfg_.capacityPerDrive * clientNodeCount();
   }
 
+  /// Declarative fault hook (hcsim::chaos): "drive" (index = node)
+  /// fails/degrades/restores a node's whole local pool via link health —
+  /// a node-local device has no failover path, so fail-stop strands that
+  /// node's I/O (rate 0) until restore.
+  bool applyFault(const FaultSpec& f) override;
+  std::size_t faultComponentCount(const std::string& component) const override;
+  /// Rebuild after a restore: re-copying the node's dataset shard writes
+  /// back through the restored node's local pool.
+  Route rebuildRoute(const FaultSpec& restored) override;
+
   // ---- Introspection ----
   Bandwidth nodeWriteCapacity(std::uint32_t node) const;
   Bandwidth nodeReadCapacity(std::uint32_t node) const;

@@ -371,6 +371,145 @@ void addNvmeRelations(RelationRegistry& reg) {
   }
 }
 
+// ---- chaos (fault scenarios on VAST) ----
+
+/// A small saturated chaos scenario: 4 Lassen CNodes serving a 4-node
+/// seq-write that demands ~4.6 GB/s, so the CNode write aggregate is the
+/// binding constraint and any CNode fault moves the timeline.
+JsonValue chaosBase(std::uint64_t seed) {
+  JsonObject workload;
+  workload["nodes"] = 4.0;
+  workload["procsPerNode"] = seed % 2 == 0 ? 8.0 : 6.0;
+  workload["access"] = "seq-write";
+  workload["requestBytes"] = seed % 3 == 0 ? 8.0 * 1024 * 1024 : 16.0 * 1024 * 1024;
+  JsonObject storageConfig;
+  storageConfig["cnodes"] = 4.0;
+  JsonObject retry;
+  retry["timeoutSec"] = 5.0;
+  JsonObject root;
+  root["name"] = "oracle-chaos";
+  root["site"] = "lassen";
+  root["storage"] = "vast";
+  root["storageConfig"] = JsonValue(std::move(storageConfig));
+  root["workload"] = JsonValue(std::move(workload));
+  root["horizonSec"] = 20.0;
+  root["intervalSec"] = 2.0;
+  root["retry"] = JsonValue(std::move(retry));
+  return JsonValue(std::move(root));
+}
+
+JsonValue chaosEvent(double at, const std::string& action, double severity = 1.0) {
+  JsonObject ev;
+  ev["atSec"] = at;
+  ev["action"] = action;
+  ev["component"] = "cnode";
+  ev["index"] = 0.0;
+  if (action == "fail-slow") ev["severity"] = severity;
+  return JsonValue(std::move(ev));
+}
+
+JsonValue withChaosEvents(const JsonValue& base, JsonArray events) {
+  JsonValue cfg = sweep::deepCopy(base);
+  (*cfg.object())["events"] = JsonValue(std::move(events));
+  return cfg;
+}
+
+void addChaosRelations(RelationRegistry& reg) {
+  {
+    MetamorphicRelation r;
+    r.name = "chaos.empty-schedule-steady";
+    r.storage = "vast";
+    r.experiment = "chaos";
+    r.kind = RelationKind::Determinism;
+    r.claim = "an empty fault schedule is a no-op: two identical event-free "
+              "scenario runs agree bit-for-bit, so the chaos layer costs nothing "
+              "until a fault actually fires";
+    r.generate = [](std::uint64_t seed) {
+      RelationCase c;
+      c.base = chaosBase(seed);
+      c.variants.push_back(sweep::deepCopy(c.base));
+      c.variants.push_back(sweep::deepCopy(c.base));
+      return c;
+    };
+    r.verdict = [](const RelationCase&, const std::vector<TrialMetrics>& m) {
+      if (m[0].meanGBs == m[1].meanGBs && m[0].minGBs == m[1].minGBs &&
+          m[0].maxGBs == m[1].maxGBs && m[0].bytesMoved == m[1].bytesMoved) {
+        return CaseVerdict{};
+      }
+      std::ostringstream os;
+      os << "identical event-free scenarios disagree: " << m[0].meanGBs << " vs " << m[1].meanGBs
+         << " GB/s (bytes " << m[0].bytesMoved << " vs " << m[1].bytesMoved << ")";
+      return CaseVerdict{false, os.str()};
+    };
+    reg.add(std::move(r));
+  }
+  {
+    MetamorphicRelation r;
+    r.name = "chaos.restore-converges";
+    r.storage = "vast";
+    r.experiment = "chaos";
+    r.kind = RelationKind::Dominance;
+    r.claim = "fail-then-restore converges: after the failed CNode comes back the "
+              "best timeline slice returns to within 3% of the healthy run's mean, "
+              "while the outage slice shows a real dip";
+    r.generate = [](std::uint64_t seed) {
+      RelationCase c;
+      c.base = chaosBase(seed);
+      c.variants.push_back(sweep::deepCopy(c.base));
+      JsonArray events;
+      events.push_back(chaosEvent(2.0, "fail"));
+      events.push_back(chaosEvent(10.0, "restore"));
+      c.variants.push_back(withChaosEvents(c.base, std::move(events)));
+      return c;
+    };
+    r.verdict = [](const RelationCase&, const std::vector<TrialMetrics>& m) {
+      const double healthy = m[0].meanGBs;
+      if (healthy <= 0.0) return CaseVerdict{false, "healthy run produced no bandwidth"};
+      if (m[1].maxGBs < healthy * 0.97) {
+        std::ostringstream os;
+        os << "no recovery: best slice after restore " << m[1].maxGBs
+           << " GB/s vs healthy mean " << healthy;
+        return CaseVerdict{false, os.str()};
+      }
+      if (m[1].minGBs > healthy * 0.9) {
+        std::ostringstream os;
+        os << "no dip: worst slice " << m[1].minGBs << " GB/s vs healthy mean " << healthy
+           << " — the fault did not bite";
+        return CaseVerdict{false, os.str()};
+      }
+      return CaseVerdict{};
+    };
+    reg.add(std::move(r));
+  }
+  {
+    MetamorphicRelation r;
+    r.name = "chaos.fail-slow-monotone-in-severity";
+    r.storage = "vast";
+    r.experiment = "chaos";
+    r.kind = RelationKind::Monotonic;
+    // axis stays empty: the severity lives inside the events array, which
+    // jsonPathSet cannot reach, so the shrinker correctly skips this one.
+    r.slack = 0.02;
+    r.claim = "a deeper fail-slow is monotonically worse: timeline mean bandwidth "
+              "is non-decreasing in the slowed CNode's remaining health fraction";
+    r.generate = [](std::uint64_t seed) {
+      RelationCase c;
+      c.base = chaosBase(seed);
+      c.axisValues = {0.25, 0.5, 0.75};
+      for (double severity : c.axisValues) {
+        JsonArray events;
+        events.push_back(chaosEvent(2.0, "fail-slow", severity));
+        c.variants.push_back(withChaosEvents(c.base, std::move(events)));
+      }
+      return c;
+    };
+    r.verdict = [](const RelationCase& c, const std::vector<TrialMetrics>& m) {
+      return monotoneVerdict(c, m, 0.02);
+    };
+    reg.add(std::move(r));
+  }
+}
+
 }  // namespace
 
 const RelationRegistry& RelationRegistry::builtin() {
@@ -380,6 +519,7 @@ const RelationRegistry& RelationRegistry::builtin() {
     addGpfsRelations(reg);
     addLustreRelations(reg);
     addNvmeRelations(reg);
+    addChaosRelations(reg);
     return reg;
   }();
   return registry;

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <deque>
+#include <limits>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
 
+#include "chaos/chaos_runner.hpp"
 #include "config/serialize.hpp"
 #include "core/experiment.hpp"
+#include "net/topology.hpp"
 #include "sweep/trial_cache.hpp"
 
 namespace hcsim::sweep {
@@ -32,55 +35,12 @@ bool parseStorageName(const std::string& s, StorageKind& out) {
   return true;
 }
 
-/// makeEnvironment, but with the trial's optional "storageConfig"
-/// overrides merged onto the site's preset deployment. fromJson is
-/// lenient, so the overrides object only states what it changes.
+/// makeEnvironment with the trial's optional "storageConfig" overrides
+/// merged onto the site's preset deployment (core/experiment owns the
+/// logic, shared with hcsim::chaos).
 Environment makeTrialEnvironment(Site site, StorageKind kind, std::size_t nodes,
                                  const JsonValue* overrides) {
-  Environment env;
-  env.bench = std::make_unique<TestBench>(machineFor(site), nodes);
-  const auto badOverrides = [] {
-    return std::invalid_argument("sweep: 'storageConfig' overrides do not parse");
-  };
-  switch (kind) {
-    case StorageKind::Vast: {
-      VastConfig c = site == Site::Lassen   ? vastOnLassen()
-                     : site == Site::Ruby   ? vastOnRuby()
-                     : site == Site::Quartz ? vastOnQuartz()
-                                            : vastOnWombat();
-      if (overrides && !fromJson(*overrides, c)) throw badOverrides();
-      env.fs = env.bench->attachVast(std::move(c));
-      break;
-    }
-    case StorageKind::Gpfs: {
-      if (site != Site::Lassen) {
-        throw std::invalid_argument("sweep: the paper only tests GPFS on Lassen");
-      }
-      GpfsConfig c = gpfsOnLassen();
-      if (overrides && !fromJson(*overrides, c)) throw badOverrides();
-      env.fs = env.bench->attachGpfs(std::move(c));
-      break;
-    }
-    case StorageKind::Lustre: {
-      if (site != Site::Quartz && site != Site::Ruby) {
-        throw std::invalid_argument("sweep: the paper tests Lustre on Quartz/Ruby");
-      }
-      LustreConfig c = site == Site::Quartz ? lustreOnQuartz() : lustreOnRuby();
-      if (overrides && !fromJson(*overrides, c)) throw badOverrides();
-      env.fs = env.bench->attachLustre(std::move(c));
-      break;
-    }
-    case StorageKind::NvmeLocal: {
-      if (site != Site::Wombat) {
-        throw std::invalid_argument("sweep: node-local NVMe is only on Wombat");
-      }
-      NvmeLocalConfig c = nvmeOnWombat();
-      if (overrides && !fromJson(*overrides, c)) throw badOverrides();
-      env.fs = env.bench->attachNvme(std::move(c));
-      break;
-    }
-  }
-  return env;
+  return makeEnvironment(site, kind, nodes, overrides);
 }
 
 /// Copy engine/network/attribution telemetry out of a finished trial
@@ -98,6 +58,32 @@ void fillTelemetry(TrialMetrics& m, const Environment& env) {
   m.dominantSharePct = rep.dominantSharePct;
 }
 
+/// Fold an optional "chaos" section (events + the usual schedule keys)
+/// into an IOR/DLIO trial: the faults are scheduled onto the trial's
+/// simulator before the runner starts, so they strike mid-workload. An
+/// absent or event-free section leaves the trial byte-identical to a
+/// build without this feature.
+void injectChaos(const JsonValue& config, Environment& env) {
+  const JsonValue* section = config.find("chaos");
+  if (section == nullptr || section->isNull()) return;
+  chaos::ChaosSpec cs;
+  std::string err;
+  if (!chaos::parseChaosSpec(*section, cs, err)) {
+    throw std::invalid_argument("sweep: 'chaos' section: " + err);
+  }
+  if (cs.events.empty()) return;
+  // The runner owns the clock, so there is no horizon to check against.
+  cs.horizon = std::numeric_limits<double>::infinity();
+  cs.interval = 1.0;
+  const std::vector<std::string> problems = chaos::validateSchedule(cs, *env.fs, env.bench->topo());
+  if (!problems.empty()) {
+    std::string msg = "sweep: 'chaos' section:";
+    for (const std::string& p : problems) msg += " " + p + ";";
+    throw std::invalid_argument(msg);
+  }
+  chaos::scheduleFaults(env, cs.events);
+}
+
 TrialMetrics runIorTrial(const JsonValue& config, Site site, StorageKind kind,
                          const TrialOptions& opts) {
   IorConfig cfg;
@@ -107,6 +93,7 @@ TrialMetrics runIorTrial(const JsonValue& config, Site site, StorageKind kind,
   cfg.validate();
   Environment env = makeTrialEnvironment(site, kind, cfg.nodes, config.find("storageConfig"));
   if (opts.telemetry) env.bench->telemetry().setEnabled(true);
+  injectChaos(config, env);
   IorRunner runner(*env.bench, *env.fs);
   const IorResult r = runner.run(cfg);
   TrialMetrics m;
@@ -128,6 +115,7 @@ TrialMetrics runDlioTrial(const JsonValue& config, Site site, StorageKind kind,
   }
   Environment env = makeTrialEnvironment(site, kind, cfg.nodes, config.find("storageConfig"));
   if (opts.telemetry) env.bench->telemetry().setEnabled(true);
+  injectChaos(config, env);
   DlioRunner runner(*env.bench, *env.fs);
   const DlioResult r = runner.run(cfg);
   TrialMetrics m;
@@ -135,6 +123,30 @@ TrialMetrics runDlioTrial(const JsonValue& config, Site site, StorageKind kind,
   m.meanGBs = m.minGBs = m.maxGBs = units::toGBs(r.throughput.application);
   m.elapsedSec = r.runtime;
   m.bytesMoved = static_cast<double>(r.bytesRead + r.bytesCheckpointed);
+  if (opts.telemetry) fillTelemetry(m, env);
+  return m;
+}
+
+/// A whole-scenario trial: the trial config *is* a ChaosSpec (site/
+/// storage/workload/events at the top level), so sweep axes can vary the
+/// schedule itself — severity, event times, retry policy.
+TrialMetrics runChaosTrial(const JsonValue& config, const TrialOptions& opts) {
+  chaos::ChaosSpec spec;
+  std::string err;
+  if (!chaos::parseChaosSpec(config, spec, err)) {
+    throw std::invalid_argument("sweep: chaos trial: " + err);
+  }
+  Environment env = makeEnvironment(spec.site, spec.storage, spec.workload.nodes,
+                                    spec.storageConfig.isNull() ? nullptr : &spec.storageConfig);
+  if (opts.telemetry) env.bench->telemetry().setEnabled(true);
+  const chaos::ChaosOutcome r = chaos::runChaosOn(env, spec);
+  TrialMetrics m;
+  m.ok = true;
+  m.meanGBs = r.meanGBs;
+  m.minGBs = r.minGBs;
+  m.maxGBs = r.maxGBs;
+  m.elapsedSec = spec.horizon;
+  m.bytesMoved = static_cast<double>(r.foregroundBytes);
   if (opts.telemetry) fillTelemetry(m, env);
   return m;
 }
@@ -150,17 +162,18 @@ TrialMetrics runTrial(const std::string& experiment, const JsonValue& config,
                       const TrialOptions& opts) {
   TrialMetrics m;
   try {
-    Site site;
+    Site site = Site::Lassen;
     if (!parseSiteName(config.stringOr("site", "lassen"), site)) {
       throw std::invalid_argument("sweep: 'site' must be lassen|ruby|quartz|wombat");
     }
-    StorageKind kind;
+    StorageKind kind = StorageKind::Vast;
     if (!parseStorageName(config.stringOr("storage", "vast"), kind)) {
       throw std::invalid_argument("sweep: 'storage' must be vast|gpfs|lustre|nvme");
     }
     if (experiment == "ior") return runIorTrial(config, site, kind, opts);
     if (experiment == "dlio") return runDlioTrial(config, site, kind, opts);
-    throw std::invalid_argument("sweep: experiment must be 'ior' or 'dlio'");
+    if (experiment == "chaos") return runChaosTrial(config, opts);
+    throw std::invalid_argument("sweep: experiment must be 'ior', 'dlio' or 'chaos'");
   } catch (const std::exception& ex) {
     m.ok = false;
     m.error = ex.what();

@@ -150,6 +150,55 @@ void VastModel::restoreDBox(std::size_t box) {
   applyDegradation();
 }
 
+bool VastModel::applyFault(const FaultSpec& f) {
+  FlowNetwork& net = topology().network();
+  if (f.component == "cnode") {
+    if (f.index >= cfg_.cnodes) throw std::out_of_range("vast: cnode index out of range");
+    switch (f.action) {
+      case FaultAction::Fail:
+        failCNode(f.index);
+        break;
+      case FaultAction::FailSlow:
+        net.setLinkHealth(cnodeLinks_[f.index], f.severity);
+        break;
+      case FaultAction::Restore:
+        net.setLinkHealth(cnodeLinks_[f.index], 1.0);  // clears a fail-slow too
+        restoreCNode(f.index);
+        break;
+    }
+    return true;
+  }
+  if (f.component == "dnode" || f.component == "dbox") {
+    if (f.index >= cfg_.dboxes) {
+      throw std::out_of_range("vast: " + f.component + " index out of range");
+    }
+    const bool wholeBox = f.component == "dbox";
+    switch (f.action) {
+      case FaultAction::Fail:
+        wholeBox ? failDBox(f.index) : failDNode(f.index);
+        break;
+      case FaultAction::Restore:
+        wholeBox ? restoreDBox(f.index) : restoreDNode(f.index);
+        break;
+      case FaultAction::FailSlow:
+        throw std::invalid_argument("vast: " + f.component +
+                                    " is an HA enclosure: fail/restore only");
+    }
+    return true;
+  }
+  return false;
+}
+
+std::size_t VastModel::faultComponentCount(const std::string& component) const {
+  if (component == "cnode") return cfg_.cnodes;
+  if (component == "dnode" || component == "dbox") return cfg_.dboxes;
+  return 0;
+}
+
+Route VastModel::rebuildRoute(const FaultSpec&) {
+  return {fabricLink_, deviceReadLink_};
+}
+
 Route VastModel::baseRoute(const IoRequest& req, std::size_t session) {
   Route r;
   r.push_back(clientNic(req.client.node));

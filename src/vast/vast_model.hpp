@@ -58,6 +58,15 @@ class VastModel final : public StorageModelBase {
   std::size_t failedCNodes() const { return failedCNodes_.size(); }
   std::size_t aliveCNodes() const { return cfg_.cnodes - failedCNodes_.size(); }
 
+  /// Declarative fault hook (hcsim::chaos): "cnode" supports
+  /// fail/fail-slow/restore (fail-slow scales the CNode link's health);
+  /// "dnode"/"dbox" are HA enclosures, fail/restore only.
+  bool applyFault(const FaultSpec& f) override;
+  std::size_t faultComponentCount(const std::string& component) const override;
+  /// Rebuild after a restore: QLC resync reads over the NVMe-oF fabric —
+  /// shared-everything keeps rebuild off the CNode/session frontend.
+  Route rebuildRoute(const FaultSpec& restored) override;
+
   /// Fail/restore one DNode of a box (HA degradation) or the whole box.
   void failDNode(std::size_t box);
   void restoreDNode(std::size_t box);

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "config/serialize.hpp"
@@ -143,6 +144,89 @@ TEST(Cli, DumpConfigEmitsValidJson) {
   ASSERT_TRUE(parseJson(out.substr(0, out.find_last_not_of('\n') + 1), v));
   EXPECT_EQ(v.stringOr("name", ""), "VAST@Wombat");
   EXPECT_DOUBLE_EQ(v.numberOr("nconnect", 0), 16.0);
+}
+
+// ---- chaos command ----
+
+std::string writeTempSpec(const std::string& name, const std::string& text) {
+  const std::string path = "/tmp/hcsim_cli_" + name + ".json";
+  std::ofstream f(path, std::ios::trunc);
+  f << text;
+  return path;
+}
+
+TEST(Cli, ChaosRequiresSpecFile) {
+  std::string err;
+  EXPECT_EQ(runCli({"chaos"}, nullptr, &err), 2);
+  EXPECT_NE(err.find("scenario file"), std::string::npos);
+  EXPECT_EQ(runCli({"chaos", "/no/such/spec.json"}, nullptr, &err), 2);
+  EXPECT_NE(err.find("cannot open"), std::string::npos);
+}
+
+TEST(Cli, ChaosRejectsMalformedSpec) {
+  const std::string path = writeTempSpec("chaos_bad_json", "{not json");
+  std::string err;
+  EXPECT_EQ(runCli({"chaos", path}, nullptr, &err), 2);
+  std::remove(path.c_str());
+  EXPECT_NE(err.find("not valid JSON"), std::string::npos);
+}
+
+TEST(Cli, ChaosRejectsUnknownComponentWithActionableError) {
+  const std::string path = writeTempSpec("chaos_bad_component", R"({
+    "site": "lassen", "storage": "vast",
+    "events": [{"atSec": 1, "action": "fail", "component": "oss"}]})");
+  std::string err;
+  EXPECT_EQ(runCli({"chaos", path}, nullptr, &err), 2);
+  std::remove(path.c_str());
+  EXPECT_NE(err.find("unknown component 'oss'"), std::string::npos);
+  EXPECT_NE(err.find("supported:"), std::string::npos);
+}
+
+TEST(Cli, ChaosRejectsOutOfOrderAndOverlappingEvents) {
+  const std::string path = writeTempSpec("chaos_bad_schedule", R"({
+    "site": "lassen", "storage": "vast",
+    "events": [
+      {"atSec": 10, "action": "fail", "component": "cnode", "index": 0},
+      {"atSec": 5, "action": "fail", "component": "cnode", "index": 0}]})");
+  std::string err;
+  EXPECT_EQ(runCli({"chaos", path}, nullptr, &err), 2);
+  std::remove(path.c_str());
+  // Both problems are reported at once, each naming its event index.
+  EXPECT_NE(err.find("goes backwards"), std::string::npos);
+  EXPECT_NE(err.find("already failed"), std::string::npos);
+  EXPECT_NE(err.find("events[1]"), std::string::npos);
+}
+
+TEST(Cli, ChaosRunsScenarioAndWritesTimeline) {
+  const std::string path = writeTempSpec("chaos_ok", R"({
+    "name": "cli-drill", "site": "lassen", "storage": "vast",
+    "storageConfig": {"cnodes": 4},
+    "workload": {"nodes": 4, "procsPerNode": 8, "requestBytes": 8388608},
+    "horizonSec": 12, "intervalSec": 2,
+    "events": [
+      {"atSec": 4, "action": "fail", "component": "cnode", "index": 0},
+      {"atSec": 8, "action": "restore", "component": "cnode", "index": 0}]})");
+  const std::string outPath = "/tmp/hcsim_cli_chaos_out.jsonl";
+  std::string out;
+  const int rc = runCli({"chaos", path, "--out", outPath}, &out);
+  std::remove(path.c_str());
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(out.find("cli-drill"), std::string::npos);
+  EXPECT_NE(out.find("DEGRADED"), std::string::npos);
+  EXPECT_NE(out.find("healthy"), std::string::npos);
+
+  std::ifstream written(outPath);
+  ASSERT_TRUE(written.good());
+  std::string firstLine;
+  std::getline(written, firstLine);
+  std::remove(outPath.c_str());
+  EXPECT_NE(firstLine.find("\"scenario\""), std::string::npos);
+}
+
+TEST(Cli, HelpMentionsChaos) {
+  std::string out;
+  EXPECT_EQ(runCli({"help"}, &out), 0);
+  EXPECT_NE(out.find("chaos"), std::string::npos);
 }
 
 TEST(Cli, IorLoadsConfigFile) {

@@ -149,6 +149,28 @@ TEST(FailureInjection, MidRunCNodeFailureReratesInFlight) {
   EXPECT_GT(end, refEnd * 1.2);
 }
 
+TEST(FailureInjection, FailSlowCNodeThrottlesFractionallyAndRestoresExactly) {
+  Harness h;
+  const double healthy = h.writeGBs();
+  FaultSpec slow;
+  slow.action = FaultAction::FailSlow;
+  slow.component = "cnode";
+  slow.index = 0;
+  slow.severity = 0.5;
+  ASSERT_TRUE(h.fs->applyFault(slow));
+  const double throttled = h.writeGBs();
+  // IOR reports total bytes over the slowest rank's wall clock, so the
+  // half-speed CNode's ranks straggle and drag the whole run to ~50% —
+  // the classic fail-slow effect (instantaneous aggregate is 7.5/8, but
+  // that only shows in the chaos runner's time-sliced view).
+  EXPECT_NEAR(throttled / healthy, 0.5, 0.05);
+  FaultSpec restore = slow;
+  restore.action = FaultAction::Restore;
+  ASSERT_TRUE(h.fs->applyFault(restore));
+  // health == 1.0 multiplies exactly, so recovery is bit-exact.
+  EXPECT_DOUBLE_EQ(h.writeGBs(), healthy);
+}
+
 TEST(FailureInjection, OutOfRangeIndicesThrow) {
   Harness h;
   EXPECT_THROW(h.fs->failCNode(99), std::out_of_range);

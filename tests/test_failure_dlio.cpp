@@ -1,0 +1,92 @@
+// Satellite of hcsim::chaos: DLIO training epochs under storage-side
+// component loss. A mid-epoch CNode/NSD failure must shrink loader
+// throughput in proportion to the surviving capacity — the data pipeline
+// has no failover magic beyond what the storage model's HA gives it.
+
+#include <gtest/gtest.h>
+
+#include "sweep/sweep_runner.hpp"
+
+namespace hcsim {
+namespace {
+
+double dlioGBs(const std::string& text) {
+  JsonValue config;
+  EXPECT_TRUE(parseJson(text, config)) << text;
+  const sweep::TrialMetrics m = sweep::runTrial("dlio", config, {});
+  EXPECT_TRUE(m.ok) << m.error;
+  return m.meanGBs;
+}
+
+/// unet3d on a deliberately small 4-CNode VAST so the loader is
+/// storage-bound and every lost CNode shows up in the epoch throughput.
+std::string vastUnet3d(const std::string& chaosEvents) {
+  std::string s = R"({"site":"wombat","storage":"vast","storageConfig":{"cnodes":4},
+    "dlio":{"workload":{"name":"unet3d","samples":42,"sampleSize":146800640,
+      "transferSize":4194304,"batchSize":1,"epochs":1,"ioThreads":4,
+      "computeThreads":8,"prefetchDepth":4,"computeTimePerBatch":0.05},
+      "nodes":4,"procsPerNode":4})";
+  if (!chaosEvents.empty()) s += R"(,"chaos":{"events":)" + chaosEvents + "}";
+  return s + "}";
+}
+
+TEST(DlioUnderFailure, CNodeLossDegradesLoaderProportionally) {
+  const double healthy = dlioGBs(vastUnet3d(""));
+  const double oneDown = dlioGBs(vastUnet3d(
+      R"([{"atSec":0.1,"action":"fail","component":"cnode","index":0}])"));
+  const double twoDown = dlioGBs(vastUnet3d(
+      R"([{"atSec":0.1,"action":"fail","component":"cnode","index":0},
+          {"atSec":0.1,"action":"fail","component":"cnode","index":1}])"));
+  ASSERT_GT(healthy, 0.0);
+  // 3/4 and 2/4 CNodes surviving -> roughly 75% / 50% of the epoch
+  // throughput (the pipeline's compute overlap blurs the edges a bit).
+  EXPECT_NEAR(oneDown / healthy, 0.75, 0.12);
+  EXPECT_NEAR(twoDown / healthy, 0.50, 0.12);
+  EXPECT_LT(twoDown, oneDown);
+}
+
+TEST(DlioUnderFailure, FailSlowCNodeSitsBetweenHealthyAndFailed) {
+  const double healthy = dlioGBs(vastUnet3d(""));
+  const double slowed = dlioGBs(vastUnet3d(
+      R"([{"atSec":0.1,"action":"fail-slow","component":"cnode","index":0,
+           "severity":0.5}])"));
+  const double failed = dlioGBs(vastUnet3d(
+      R"([{"atSec":0.1,"action":"fail","component":"cnode","index":0}])"));
+  EXPECT_LT(slowed, healthy);
+  EXPECT_GT(slowed, failed);
+}
+
+TEST(DlioUnderFailure, RestoredCNodeRecoversTheEpoch) {
+  const double healthy = dlioGBs(vastUnet3d(""));
+  // Fault window early in the epoch; most of the run sees full capacity.
+  const double blip = dlioGBs(vastUnet3d(
+      R"([{"atSec":0.1,"action":"fail","component":"cnode","index":0},
+          {"atSec":2.0,"action":"restore","component":"cnode","index":0}])"));
+  const double down = dlioGBs(vastUnet3d(
+      R"([{"atSec":0.1,"action":"fail","component":"cnode","index":0}])"));
+  // A 2-second blip costs far less than losing the CNode for the run.
+  EXPECT_GT(blip, down);
+  EXPECT_GT(blip, healthy * 0.9);
+}
+
+TEST(DlioUnderFailure, GpfsNsdServerLossDegradesTheEpoch) {
+  const std::string base = R"({"site":"lassen","storage":"gpfs",
+    "storageConfig":{"nsdServers":2},
+    "dlio":{"workload":{"name":"unet3d","samples":42,"sampleSize":146800640,
+      "transferSize":4194304,"batchSize":1,"epochs":1,"ioThreads":4,
+      "computeThreads":8,"prefetchDepth":4,"computeTimePerBatch":0.05},
+      "nodes":4,"procsPerNode":4})";
+  const double healthy = dlioGBs(base + "}");
+  const double degraded = dlioGBs(
+      base +
+      R"(,"chaos":{"events":[{"atSec":0.1,"action":"fail","component":"nsd",
+          "index":0}]}})");
+  ASSERT_GT(healthy, 0.0);
+  // Losing 1 of 2 NSD servers halves the server bandwidth AND the
+  // server cache, so the loader lands well below the naive 50%.
+  EXPECT_LT(degraded, healthy * 0.55);
+  EXPECT_GT(degraded, 0.0);
+}
+
+}  // namespace
+}  // namespace hcsim
