@@ -115,6 +115,28 @@ sed 's/"base": {/"base": { "chaos": { "events": [] },/' \
     --out "$OUT-emptychaos.jsonl" >/dev/null
 cmp "$OUT-8.jsonl" "$OUT-emptychaos.jsonl"
 
+# Workload gates: the generator specs must run twice byte-identically
+# through the CLI (grammar and openloop cover closed- and open-loop
+# paths), report the opLatency contract in their summary record, and the
+# "workload" sweep trial type must be independent of the job count.
+for spec in grammar_burst openloop_zipf; do
+  "$BUILD/src/hcsim" workload "$ROOT/examples/specs/$spec.json" \
+      --out "$BUILD/check-workload-$spec-a.jsonl" \
+      > "$BUILD/check-workload-$spec.txt"
+  "$BUILD/src/hcsim" workload "$ROOT/examples/specs/$spec.json" \
+      --out "$BUILD/check-workload-$spec-b.jsonl" >/dev/null
+  cmp "$BUILD/check-workload-$spec-a.jsonl" "$BUILD/check-workload-$spec-b.jsonl"
+  grep -q '"type":"summary"' "$BUILD/check-workload-$spec-a.jsonl"
+  grep -q '"opLatency"' "$BUILD/check-workload-$spec-a.jsonl"
+done
+grep -q 'goodput' "$BUILD/check-workload-openloop_zipf.txt"
+"$BUILD/src/hcsim" sweep --spec "$ROOT/examples/specs/workload_sweep.json" --jobs 8 \
+    --out "$OUT-workload-8.jsonl" >/dev/null
+"$BUILD/src/hcsim" sweep --spec "$ROOT/examples/specs/workload_sweep.json" --jobs 1 \
+    --out "$OUT-workload-1.jsonl" >/dev/null
+cmp "$OUT-workload-8.jsonl" "$OUT-workload-1.jsonl"
+grep -q '"ok":true' "$OUT-workload-8.jsonl"
+
 # Perf smoke: the engine-throughput scenarios must stay within tolerance
 # of the committed reference (BENCH_engine.json). Telemetry is off here,
 # so this doubles as the zero-cost floor for the telemetry hooks. Export
@@ -126,6 +148,10 @@ if [ "${HCSIM_CHECK_PERF:-1}" != "0" ]; then
       --hcsim_compare "$ROOT/BENCH_engine.json" \
       --hcsim_max_regress "${HCSIM_PERF_MAX_REGRESS:-0.30}" \
       --hcsim_golden_dir "$ROOT/tests/golden"
+  "$BUILD/bench/bench_workload" \
+      --hcsim_json "$BUILD/check-bench-workload.json" \
+      --hcsim_compare "$ROOT/BENCH_workload.json" \
+      --hcsim_max_regress "${HCSIM_PERF_MAX_REGRESS:-0.30}" > /dev/null
 fi
 
 # ASan+UBSan profile: rebuild the library + tests with sanitizers fatal

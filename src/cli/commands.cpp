@@ -19,6 +19,7 @@
 #include "telemetry/metrics_registry.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/table.hpp"
+#include "workload/workload_spec.hpp"
 
 namespace hcsim::cli {
 
@@ -117,6 +118,11 @@ int cmdHelp(std::ostream& out) {
          "              [--telemetry]   (scheduled fault injection: validates the\n"
          "               schedule, runs the workload under faults/retries, prints\n"
          "               the per-interval bandwidth + availability timeline)\n"
+         "  workload    <spec.json> [--out results.jsonl] [--csv timeline.csv]\n"
+         "              [--telemetry]   (pluggable workload generators: the spec's\n"
+         "               \"workload\" section picks ior, dlio, replay, io500,\n"
+         "               grammar or openloop; optional \"chaos\"/\"retry\" sections\n"
+         "               compose faults and the retry layer with any generator)\n"
          "  oracle      list | relations | record | check   (regression harness)\n"
          "              relations [--cases N] [--seed S] [--jobs J] [--relation NAME]\n"
          "                        [--no-shrink] [--cache F]  (metamorphic relations)\n"
@@ -427,6 +433,103 @@ int cmdChaos(const ArgParser& args, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+int cmdWorkload(const ArgParser& args, std::ostream& out, std::ostream& err) {
+  std::string specPath = args.positionalOr(1, "");
+  if (const auto opt = args.get("--spec")) specPath = *opt;
+  if (specPath.empty()) {
+    err << "error: workload requires a spec file (hcsim workload <spec.json>)\n";
+    return 2;
+  }
+  std::ifstream f(specPath);
+  if (!f) {
+    err << "error: cannot read " << specPath << "\n";
+    return 2;
+  }
+  std::string text((std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+  JsonValue doc;
+  if (!parseJson(text, doc)) {
+    err << "error: " << specPath << " is not valid JSON\n";
+    return 2;
+  }
+  // Collect every envelope + generator problem before giving up, so one
+  // run of the CLI reports everything that needs fixing.
+  workload::WorkloadRunSpec spec;
+  std::vector<std::string> problems;
+  workload::parseWorkloadSpec(doc, spec, problems);
+  workload::SourceBundle bundle;
+  if (problems.empty()) bundle = workload::makeSource(spec, problems);
+  if (!problems.empty()) {
+    err << "error: invalid workload spec " << specPath << ":\n";
+    for (const std::string& p : problems) err << "  - " << p << "\n";
+    return 2;
+  }
+  Environment env = makeEnvironment(spec.site, spec.storage, bundle.nodes,
+                                    spec.storageConfig.isNull() ? nullptr : &spec.storageConfig);
+  const bool telemetryOn = args.has("--telemetry");
+  if (telemetryOn) env.bench->telemetry().setEnabled(true);
+  try {
+    workload::injectWorkloadChaos(spec, env);
+  } catch (const std::exception& ex) {
+    err << "error: invalid workload spec " << specPath << ":\n  - " << ex.what() << "\n";
+    return 2;
+  }
+  TraceLog trace;
+  const workload::WorkloadOutcome r = workload::runWorkload(env, spec, *bundle.source, &trace);
+
+  out << "workload '" << spec.name << "': generator " << r.generator << " on "
+      << toString(spec.site) << "/" << toString(spec.storage) << ", " << bundle.nodes
+      << " node(s)\n";
+  out << "  ops issued " << r.opsIssued << ", completed " << r.opsCompleted;
+  if (r.opsFailed > 0) out << ", failed " << r.opsFailed;
+  out << "; meta " << r.metaOps << ", compute " << r.computeOps << ", barriers " << r.barriers
+      << "\n";
+  out << "  moved " << formatBytes(r.bytesMoved) << " in " << formatSeconds(r.elapsed) << " -> "
+      << r.goodputGBs() << " GB/s\n";
+  if (!r.opLatencies.empty()) {
+    const Summary lat = summarize(r.opLatencies);
+    out << "  op latency: p50 " << formatSeconds(lat.p50) << ", p95 " << formatSeconds(lat.p95)
+        << ", p99 " << formatSeconds(lat.p99) << " over " << lat.count << " ops\n";
+  }
+  if (spec.retryEnabled) {
+    out << "  retries " << r.retries << ", late completions " << r.lateCompletions << "\n";
+  }
+  if (!r.timeline.empty()) {
+    ResultTable t("goodput timeline (" + std::to_string(r.timeline.size()) + " slices)");
+    t.setHeader({"t0", "t1", "GB/s"});
+    for (const workload::WorkloadSample& s : r.timeline) {
+      t.addRow({formatSeconds(s.start), formatSeconds(s.end), s.gbs});
+    }
+    out << t.toString();
+  }
+  if (telemetryOn) {
+    telemetry::MetricsRegistry reg;
+    env.bench->collectMetrics(reg, env.fs.get());
+    workload::exportTo(r, reg);
+    out << reg.renderTable();
+    const telemetry::AttributionReport rep = env.bench->telemetry().attribution();
+    if (rep.spans > 0) out << rep.renderTable();
+  }
+  if (const auto outPath = args.get("--out")) {
+    std::ofstream of(*outPath, std::ios::binary | std::ios::trunc);
+    if (!of) {
+      err << "error: cannot write " << *outPath << "\n";
+      return 1;
+    }
+    of << workload::toJsonl(r);
+    out << "wrote " << *outPath << "\n";
+  }
+  if (const auto csvPath = args.get("--csv")) {
+    std::ofstream of(*csvPath, std::ios::binary | std::ios::trunc);
+    if (!of) {
+      err << "error: cannot write " << *csvPath << "\n";
+      return 1;
+    }
+    of << workload::toCsv(r);
+    out << "wrote " << *csvPath << "\n";
+  }
+  return 0;
+}
+
 namespace {
 
 int oracleList(std::ostream& out) {
@@ -665,6 +768,7 @@ int run(const ArgParser& args, std::ostream& out, std::ostream& err) {
     if (cmd == "takeaways") return cmdTakeaways(args, out, err);
     if (cmd == "sweep") return cmdSweep(args, out, err);
     if (cmd == "chaos") return cmdChaos(args, out, err);
+    if (cmd == "workload") return cmdWorkload(args, out, err);
     if (cmd == "oracle") return cmdOracle(args, out, err);
     if (cmd == "trace") return cmdTrace(args, out, err);
     if (cmd == "stats") return cmdStats(args, out, err);

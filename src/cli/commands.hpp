@@ -19,6 +19,9 @@ namespace hcsim::cli {
 ///   chaos     run a fault scenario          (<spec.json> --out --csv)
 ///             validates the schedule, injects the faults, prints the
 ///             per-interval bandwidth/availability timeline
+///   workload  run any registered workload generator (<spec.json> --out
+///             --csv --telemetry); the spec selects ior/dlio/replay/
+///             io500/grammar/openloop and may compose chaos + retry
 ///   oracle    metamorphic & golden-figure regression harness
 ///             (list | relations | record | check)
 ///   trace     run a workload and export chrome-trace JSON; --internal
@@ -37,6 +40,7 @@ int cmdPlan(const ArgParser& args, std::ostream& out, std::ostream& err);
 int cmdTakeaways(const ArgParser& args, std::ostream& out, std::ostream& err);
 int cmdSweep(const ArgParser& args, std::ostream& out, std::ostream& err);
 int cmdChaos(const ArgParser& args, std::ostream& out, std::ostream& err);
+int cmdWorkload(const ArgParser& args, std::ostream& out, std::ostream& err);
 int cmdOracle(const ArgParser& args, std::ostream& out, std::ostream& err);
 int cmdTrace(const ArgParser& args, std::ostream& out, std::ostream& err);
 int cmdStats(const ArgParser& args, std::ostream& out, std::ostream& err);

@@ -1,193 +1,36 @@
 #include "dlio/dlio_runner.hpp"
 
-#include <algorithm>
 #include <stdexcept>
-#include <vector>
+
+#include "workload/dlio_source.hpp"
+#include "workload/workload_runner.hpp"
 
 namespace hcsim {
-
-// One training rank: a bounded-prefetch input pipeline (ioThreads
-// concurrent batch fetches) + an in-order trainer.
-struct DlioRunner::Rank {
-  Simulator* sim = nullptr;
-  FileSystemModel* fs = nullptr;
-  TraceLog* trace = nullptr;
-  const DlioConfig* cfg = nullptr;
-  std::size_t* running = nullptr;
-
-  std::uint32_t pid = 0;
-  ClientId client{};
-  std::uint64_t fileBase = 0;
-  std::size_t samplesPerRank = 0;
-  std::size_t totalBatches = 0;
-
-  std::size_t nextFetch = 0;
-  std::size_t nextTrain = 0;
-  std::size_t inFlight = 0;
-  bool trainerBusy = false;
-  std::vector<bool> ready;
-  Rng rng;
-  std::size_t batchesTrained = 0;
-
-  void start() {
-    ready.assign(totalBatches, false);
-    if (totalBatches == 0) {
-      --*running;
-      return;
-    }
-    pump();
-  }
-
-  std::size_t window() const {
-    return std::max(cfg->workload.prefetchDepth, cfg->workload.ioThreads);
-  }
-
-  void pump() {
-    while (nextFetch < totalBatches && inFlight < cfg->workload.ioThreads &&
-           nextFetch - nextTrain < window()) {
-      fetch(nextFetch++);
-    }
-  }
-
-  void fetch(std::size_t batch) {
-    ++inFlight;
-    const DlioWorkload& w = cfg->workload;
-    // A batch = batchSize samples, each its own file, read concurrently
-    // by this worker; completion when the last sample arrives.
-    auto remaining = std::make_shared<std::size_t>(w.batchSize);
-    const auto tid = static_cast<std::uint32_t>(1 + batch % w.ioThreads);
-    for (std::size_t s = 0; s < w.batchSize; ++s) {
-      const std::size_t sampleIdx = (batch * w.batchSize + s) % samplesPerRank;
-      IoRequest req;
-      req.client = client;
-      req.fileId = fileBase + sampleIdx;
-      req.offset = 0;
-      req.bytes = w.sampleSize;
-      req.pattern = AccessPattern::RandomRead;  // shuffled sample order
-      req.ops = w.transfersPerSample();
-      fs->submit(req, [this, batch, tid, remaining](const IoResult& r) {
-        trace->recordRead(pid, tid, r.startTime, r.elapsed(), r.bytes, "sample-read");
-        if (--*remaining == 0) onBatchReady(batch);
-      });
-    }
-  }
-
-  void onBatchReady(std::size_t batch) {
-    --inFlight;
-    ready[batch] = true;
-    pump();
-    tryTrain();
-  }
-
-  void tryTrain() {
-    if (trainerBusy || nextTrain >= totalBatches || !ready[nextTrain]) return;
-    trainerBusy = true;
-    const Seconds mean = cfg->workload.computeTimePerBatch;
-    const Seconds dur =
-        cfg->computeJitterFrac > 0.0
-            ? rng.normalAtLeast(mean, mean * cfg->computeJitterFrac, mean * 0.1)
-            : mean;
-    trace->recordCompute(pid, 0, sim->now(), dur, "train-step");
-    sim->schedule(dur, [this] { onComputeDone(); });
-  }
-
-  void onComputeDone() {
-    trainerBusy = false;
-    ++nextTrain;
-    ++batchesTrained;
-    const DlioWorkload& w = cfg->workload;
-    if (w.checkpointEvery > 0 && w.checkpointBytes > 0 && client.proc == 0 &&
-        nextTrain % w.checkpointEvery == 0 && nextTrain < totalBatches) {
-      // Rank 0 of the node writes model state synchronously; training
-      // stalls until the checkpoint is durable.
-      trainerBusy = true;
-      IoRequest req;
-      req.client = client;
-      req.fileId = fileBase + 1000000 + nextTrain;
-      req.bytes = w.checkpointBytes;
-      req.pattern = AccessPattern::SequentialWrite;
-      req.ops = std::max<std::uint64_t>(1, w.checkpointBytes / (4 * units::MiB));
-      fs->submit(req, [this](const IoResult& r) {
-        trace->record(TraceEvent{"checkpoint", TraceEventKind::Write, pid, 0, r.startTime,
-                                 r.elapsed(), r.bytes});
-        trainerBusy = false;
-        pump();
-        tryTrain();
-      });
-      return;
-    }
-    if (nextTrain >= totalBatches) {
-      --*running;
-      return;
-    }
-    pump();
-    tryTrain();
-  }
-};
 
 DlioResult DlioRunner::run(const DlioConfig& cfg) {
   cfg.validate();
   if (cfg.nodes > bench_.nodesUsed()) {
     throw std::invalid_argument("DlioRunner: config uses more nodes than the TestBench wired");
   }
-  const DlioWorkload& w = cfg.workload;
 
   DlioResult result;
   result.datasetBytes = cfg.datasetBytes();
 
-  PhaseSpec phase;
-  phase.pattern = AccessPattern::RandomRead;
-  phase.requestSize = w.transferSize;
-  phase.nodes = static_cast<std::uint32_t>(cfg.nodes);
-  phase.procsPerNode = static_cast<std::uint32_t>(cfg.procsPerNode);
-  // DLIO generates the dataset on one set of nodes and trains on another
-  // (paper §VI-A) so client caches never serve the reads.
-  phase.readerDiffersFromWriter = true;
-  phase.workingSetBytes = result.datasetBytes;
-  fs_.beginPhase(phase);
-
-  const std::size_t samplesPerRank = cfg.samplesPerRank();
-  const std::size_t batchesPerEpoch =
-      std::max<std::size_t>(1, samplesPerRank / w.batchSize);
-  const std::size_t totalBatches = batchesPerEpoch * w.epochs;
-
-  std::size_t running = cfg.totalRanks();
-  std::vector<std::unique_ptr<Rank>> ranks;
-  ranks.reserve(cfg.totalRanks());
-  const SimTime start = bench_.sim().now();
-
-  for (std::uint32_t n = 0; n < cfg.nodes; ++n) {
-    for (std::uint32_t p = 0; p < cfg.procsPerNode; ++p) {
-      auto r = std::make_unique<Rank>();
-      r->sim = &bench_.sim();
-      r->fs = &fs_;
-      r->trace = &result.trace;
-      r->cfg = &cfg;
-      r->running = &running;
-      r->pid = n * static_cast<std::uint32_t>(cfg.procsPerNode) + p;
-      r->client = ClientId{n, p};
-      r->fileBase = static_cast<std::uint64_t>(r->pid) * samplesPerRank + 1;
-      r->samplesPerRank = samplesPerRank;
-      r->totalBatches = totalBatches;
-      r->rng.reseed(cfg.seed ^ (0x9e3779b97f4a7c15ull * (r->pid + 1)));
-      ranks.push_back(std::move(r));
-    }
-  }
-  for (auto& r : ranks) r->start();
-  bench_.sim().run();
-  fs_.endPhase();
-
-  if (running != 0) {
-    throw std::logic_error("DlioRunner: simulation drained with live ranks");
-  }
+  // The pipeline/trainer state machine lives in workload::DlioSource;
+  // the generic WorkloadRunner drives it and records sample reads,
+  // train steps and checkpoints into result.trace.
+  workload::DlioSource source(cfg);
+  workload::WorkloadRunner runner(bench_, fs_);
+  runner.setTraceLog(&result.trace);
+  const workload::WorkloadOutcome out = runner.run(source);
 
   result.trace.sortByStart();
   result.breakdown = analyzeOverlap(result.trace);
   result.throughput = computeThroughput(result.trace);
-  result.runtime = bench_.sim().now() - start;
+  result.runtime = out.simElapsed;
   result.bytesRead = result.trace.totalBytes(TraceEventKind::Read);
   result.bytesCheckpointed = result.trace.totalBytes(TraceEventKind::Write);
-  for (const auto& r : ranks) result.batchesTrained += r->batchesTrained;
+  result.batchesTrained = source.batchesTrained();
   return result;
 }
 

@@ -36,8 +36,6 @@ class DlioRunner {
   DlioResult run(const DlioConfig& cfg);
 
  private:
-  struct Rank;
-
   TestBench& bench_;
   FileSystemModel& fs_;
 };

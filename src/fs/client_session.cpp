@@ -67,6 +67,14 @@ void ClientSession::submitAttempt(const IoRequest& req, std::size_t attempt, Sim
   });
 }
 
+void ClientSession::submitRequest(const IoRequest& req, std::function<void(const IoResult&)> done) {
+  if (retrySim_ == nullptr) {
+    fs_->submit(req, std::move(done));
+    return;
+  }
+  submitAttempt(req, 0, retrySim_->now(), std::make_shared<IoCallback>(std::move(done)));
+}
+
 void ClientSession::write(Bytes size, bool fsync, std::function<void(const IoResult&)> done) {
   submit(cursor_, size, 1, AccessPattern::SequentialWrite, fsync, std::move(done));
   cursor_ += size;

@@ -56,6 +56,13 @@ class ClientSession {
   std::uint64_t failedOps() const { return failedOps_; }
   std::uint64_t lateCompletions() const { return lateCompletions_; }
 
+  /// Submit a fully-formed request through the session's retry layer
+  /// (the request's own client/fileId/offset are used as given; the
+  /// cursor is untouched). Without retry this is a straight pass-through
+  /// to the model — byte-identical to calling FileSystemModel::submit.
+  /// This is how WorkloadRunner issues every generator's I/O.
+  void submitRequest(const IoRequest& req, std::function<void(const IoResult&)> done);
+
   /// Write `size` bytes at the cursor (advances it). `fsync` waits for
   /// stable storage, as IOR -e does.
   void write(Bytes size, bool fsync, std::function<void(const IoResult&)> done);

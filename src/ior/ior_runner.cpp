@@ -1,32 +1,11 @@
 #include "ior/ior_runner.hpp"
 
-#include <algorithm>
 #include <stdexcept>
 
+#include "workload/ior_source.hpp"
+#include "workload/workload_runner.hpp"
+
 namespace hcsim {
-
-PhaseSpec IorRunner::phaseFor(const IorConfig& cfg) const {
-  PhaseSpec ph;
-  ph.pattern = cfg.access;
-  ph.requestSize = cfg.transferSize;
-  ph.nodes = static_cast<std::uint32_t>(cfg.nodes);
-  ph.procsPerNode = static_cast<std::uint32_t>(cfg.procsPerNode);
-  ph.readerDiffersFromWriter = cfg.reorderTasks;
-  ph.workingSetBytes = cfg.totalBytes();
-  ph.fsync = cfg.fsyncPerWrite && !isRead(cfg.access);
-  return ph;
-}
-
-ClientId IorRunner::issuingClient(const IorConfig& cfg, std::uint32_t node,
-                                  std::uint32_t proc) const {
-  ClientId c{node, proc};
-  if (isRead(cfg.access) && cfg.reorderTasks && cfg.nodes > 1) {
-    // IOR -C: shift ranks by one node so the reader differs from the
-    // writer of the same file.
-    c.node = (node + 1) % static_cast<std::uint32_t>(cfg.nodes);
-  }
-  return c;
-}
 
 IorResult IorRunner::run(const IorConfig& cfg) {
   cfg.validate();
@@ -62,155 +41,21 @@ IorResult IorRunner::run(const IorConfig& cfg) {
 }
 
 IorRunner::RunOutcome IorRunner::runOnce(const IorConfig& cfg) {
-  fs_.beginPhase(phaseFor(cfg));
-  const RunOutcome outcome =
-      cfg.mode == IorConfig::Mode::Coalesced ? runCoalesced(cfg) : runPerOp(cfg);
-  fs_.endPhase();
+  // One simulated benchmark run = one IorSource driven by the generic
+  // WorkloadRunner (phase begin/end, channel slots, tracing and retry
+  // all live there now).
+  workload::IorSource source(cfg);
+  workload::WorkloadRunner runner(bench_, fs_);
+  runner.setTraceLog(trace_);
+  workload::WorkloadOutcome out = runner.run(source);
+  RunOutcome outcome;
+  outcome.elapsed = out.elapsed;
+  // Coalesced reports the configured volume (the aggregated flows always
+  // move it all); per-op reports bytes actually completed so stonewalled
+  // runs score only what they moved.
+  outcome.bytes = cfg.mode == IorConfig::Mode::Coalesced ? cfg.totalBytes() : out.bytesMoved;
+  outcome.opLatencies = std::move(out.opLatencies);
   return outcome;
-}
-
-IorRunner::RunOutcome IorRunner::runCoalesced(const IorConfig& cfg) {
-  Simulator& sim = bench_.sim();
-  const SimTime start = sim.now();
-  SimTime lastEnd = start;
-  std::size_t outstanding = 0;
-
-  // Symmetric ranks on a node are aggregated into one flow per parallel
-  // client channel (DESIGN.md §5): `slots` flows per node, each carrying
-  // `streams` process streams. With nconnect sessions this keeps every
-  // session loaded; per-process rate caps are scaled inside the models.
-  const std::size_t slots =
-      std::min<std::size_t>(cfg.procsPerNode, std::max<std::size_t>(1, fs_.clientParallelism()));
-  for (std::uint32_t n = 0; n < cfg.nodes; ++n) {
-    for (std::uint32_t slot = 0; slot < slots; ++slot) {
-      // Ranks p with p % slots == slot collapse into this flow.
-      const std::uint32_t streams =
-          static_cast<std::uint32_t>((cfg.procsPerNode - slot + slots - 1) / slots);
-      IoRequest req;
-      req.client = issuingClient(cfg, n, slot);
-      // N-N: file id = first aggregated rank; N-1: shared file 0.
-      req.fileId = cfg.filePerProcess
-                       ? static_cast<std::uint64_t>(n) * cfg.procsPerNode + slot + 1
-                       : 0;
-      req.offset = 0;
-      req.bytes = cfg.bytesPerProc() * streams;
-      req.pattern = cfg.access;
-      req.fsync = cfg.fsyncPerWrite && !isRead(cfg.access);
-      req.sharedFile = !cfg.filePerProcess;
-      req.ops = cfg.transfersPerProc() * streams;
-      req.streams = streams;
-      ++outstanding;
-      const std::uint32_t pid = req.client.node;
-      const bool rd = isRead(cfg.access);
-      fs_.submit(req, [this, &outstanding, &lastEnd, pid, slot, rd](const IoResult& r) {
-        lastEnd = std::max(lastEnd, r.endTime);
-        if (trace_) {
-          trace_->record(TraceEvent{rd ? "ior.read" : "ior.write",
-                                    rd ? TraceEventKind::Read : TraceEventKind::Write, pid, slot,
-                                    r.startTime, r.elapsed(), r.bytes});
-        }
-        --outstanding;
-      });
-    }
-  }
-  sim.run();
-  if (outstanding != 0) {
-    throw std::logic_error("IorRunner: simulation drained with outstanding I/O");
-  }
-  return RunOutcome{lastEnd - start, cfg.totalBytes()};
-}
-
-IorRunner::RunOutcome IorRunner::runPerOp(const IorConfig& cfg) {
-  Simulator& sim = bench_.sim();
-  const SimTime start = sim.now();
-  SimTime lastEnd = start;
-  std::size_t running = cfg.totalProcs();
-  Bytes movedBytes = 0;
-  std::vector<double> opLatencies;
-  opLatencies.reserve(std::min<std::uint64_t>(cfg.transfersPerProc() * cfg.totalProcs(),
-                                              1u << 20));
-  Rng offsets(cfg.seed);
-
-  // Each process is a self-rescheduling chain of transfer ops.
-  struct Proc {
-    IorRunner* self;
-    const IorConfig* cfg;
-    ClientId client;
-    std::uint64_t fileId;
-    std::uint64_t remainingOps;
-    Bytes cursor = 0;
-    Rng rng;
-    SimTime phaseStart = 0.0;
-    SimTime* lastEnd;
-    std::size_t* running;
-    Bytes* movedBytes;
-    std::vector<double>* opLatencies;
-
-    void issueNext() {
-      IoRequest req;
-      req.client = client;
-      req.fileId = fileId;
-      req.bytes = cfg->transferSize;
-      req.pattern = cfg->access;
-      req.fsync = cfg->fsyncPerWrite && !isRead(cfg->access);
-      req.sharedFile = !cfg->filePerProcess;
-      req.ops = 1;
-      if (cfg->access == AccessPattern::RandomRead ||
-          cfg->access == AccessPattern::RandomWrite) {
-        const std::uint64_t slots = cfg->bytesPerProc() / cfg->transferSize;
-        req.offset = rng.uniformInt(slots ? slots : 1) * cfg->transferSize;
-      } else {
-        req.offset = cursor;
-        cursor += cfg->transferSize;
-      }
-      const bool rd = isRead(cfg->access);
-      self->fs_.submit(req, [this, rd](const IoResult& r) {
-        *lastEnd = std::max(*lastEnd, r.endTime);
-        *movedBytes += r.bytes;
-        opLatencies->push_back(r.elapsed());
-        if (self->trace_) {
-          self->trace_->record(TraceEvent{rd ? "ior.read" : "ior.write",
-                                          rd ? TraceEventKind::Read : TraceEventKind::Write,
-                                          client.node, client.proc, r.startTime, r.elapsed(),
-                                          r.bytes});
-        }
-        const bool hitStonewall = cfg->stonewallSeconds > 0.0 &&
-                                  r.endTime - phaseStart >= cfg->stonewallSeconds;
-        if (--remainingOps > 0 && !hitStonewall) {
-          issueNext();
-        } else {
-          --*running;
-        }
-      });
-    }
-  };
-
-  std::vector<std::unique_ptr<Proc>> procs;
-  procs.reserve(cfg.totalProcs());
-  for (std::uint32_t n = 0; n < cfg.nodes; ++n) {
-    for (std::uint32_t p = 0; p < cfg.procsPerNode; ++p) {
-      auto proc = std::make_unique<Proc>();
-      proc->self = this;
-      proc->cfg = &cfg;
-      proc->client = issuingClient(cfg, n, p);
-      const std::uint64_t rank = static_cast<std::uint64_t>(n) * cfg.procsPerNode + p + 1;
-      proc->fileId = cfg.filePerProcess ? rank : 0;
-      proc->remainingOps = cfg.transfersPerProc();
-      proc->rng.reseed(cfg.seed ^ (rank * 0x9e3779b97f4a7c15ull));
-      proc->phaseStart = start;
-      proc->lastEnd = &lastEnd;
-      proc->running = &running;
-      proc->movedBytes = &movedBytes;
-      proc->opLatencies = &opLatencies;
-      procs.push_back(std::move(proc));
-    }
-  }
-  for (auto& proc : procs) proc->issueNext();
-  sim.run();
-  if (running != 0) {
-    throw std::logic_error("IorRunner: per-op simulation drained with live processes");
-  }
-  return RunOutcome{lastEnd - start, movedBytes, std::move(opLatencies)};
 }
 
 }  // namespace hcsim

@@ -45,14 +45,9 @@ class IorRunner {
                       ///< total when stonewalling cut the run short)
     std::vector<double> opLatencies;  ///< PerOp mode: per-op elapsed
   };
+  /// One simulated benchmark run, delegated to workload::IorSource +
+  /// workload::WorkloadRunner.
   RunOutcome runOnce(const IorConfig& cfg);
-  RunOutcome runCoalesced(const IorConfig& cfg);
-  RunOutcome runPerOp(const IorConfig& cfg);
-
-  PhaseSpec phaseFor(const IorConfig& cfg) const;
-  /// Client that issues rank (n,p)'s I/O: reads are re-ordered to a
-  /// different node (IOR -C) so no client-local cache can serve them.
-  ClientId issuingClient(const IorConfig& cfg, std::uint32_t node, std::uint32_t proc) const;
 
   TestBench& bench_;
   FileSystemModel& fs_;

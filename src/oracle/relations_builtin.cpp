@@ -510,6 +510,191 @@ void addChaosRelations(RelationRegistry& reg) {
   }
 }
 
+// ---- workload generators ----
+
+/// A small grammar-generator run spec: two bursts of writes with a
+/// compute gap and a random-read drain — enough structure to exercise
+/// expansion, per-rank rng state and the op-latency path, small enough
+/// to stay fast at oracle case counts.
+JsonValue grammarBase(std::uint64_t seed) {
+  JsonObject burst;
+  burst["op"] = "write";
+  burst["bytes"] = seed % 3 == 0 ? 2.0 * 1024 * 1024 : 1024.0 * 1024;
+  burst["count"] = 6.0;
+  burst["pattern"] = "seq";
+  JsonObject drain;
+  drain["op"] = "read";
+  drain["bytes"] = 1024.0 * 1024;
+  drain["count"] = 4.0;
+  drain["pattern"] = "random";
+  JsonObject epochRef;
+  epochRef["rule"] = "epoch";
+  epochRef["repeat"] = 2.0;
+  JsonObject compute;
+  compute["compute"] = 0.01;
+  JsonArray main;
+  main.push_back(JsonValue(std::move(epochRef)));
+  JsonArray epoch;
+  epoch.push_back(JsonValue("burst"));
+  epoch.push_back(JsonValue(std::move(compute)));
+  epoch.push_back(JsonValue("drain"));
+  JsonArray burstRule;
+  burstRule.push_back(JsonValue(std::move(burst)));
+  JsonArray drainRule;
+  drainRule.push_back(JsonValue(std::move(drain)));
+  JsonObject rules;
+  rules["main"] = JsonValue(std::move(main));
+  rules["epoch"] = JsonValue(std::move(epoch));
+  rules["burst"] = JsonValue(std::move(burstRule));
+  rules["drain"] = JsonValue(std::move(drainRule));
+  JsonObject w;
+  w["generator"] = "grammar";
+  w["nodes"] = 1.0;
+  w["procsPerNode"] = seed % 2 == 0 ? 4.0 : 2.0;
+  w["seed"] = static_cast<double>(seed % 1000);
+  w["fileBytes"] = 64.0 * 1024 * 1024;
+  w["rules"] = JsonValue(std::move(rules));
+  JsonObject root;
+  root["name"] = "oracle-grammar";
+  root["site"] = "lassen";
+  root["storage"] = "vast";
+  root["workload"] = JsonValue(std::move(w));
+  return JsonValue(std::move(root));
+}
+
+JsonValue openloopBase(std::uint64_t seed) {
+  JsonObject w;
+  w["generator"] = "openloop";
+  w["clients"] = 4.0;
+  w["clientsPerNode"] = 2.0;
+  w["ratePerClientHz"] = 10.0;
+  w["horizonSec"] = 4.0;
+  w["objects"] = 128.0;
+  w["zipfTheta"] = seed % 2 == 0 ? 0.99 : 0.6;
+  w["objectBytes"] = 4.0 * 1024 * 1024;
+  w["requestBytes"] = 128.0 * 1024;
+  w["readFraction"] = 0.9;
+  w["seed"] = static_cast<double>(seed % 1000);
+  JsonObject root;
+  root["name"] = "oracle-openloop";
+  root["site"] = "lassen";
+  root["storage"] = "vast";
+  root["workload"] = JsonValue(std::move(w));
+  return JsonValue(std::move(root));
+}
+
+JsonValue io500Base(std::uint64_t seed) {
+  JsonObject w;
+  w["generator"] = "io500";
+  w["nodes"] = 1.0;
+  w["procsPerNode"] = seed % 2 == 0 ? 4.0 : 2.0;
+  w["scale"] = 1.0;
+  w["easyOpsMedian"] = 8.0;
+  w["hardOpsMedian"] = 16.0;
+  w["seed"] = static_cast<double>(seed % 1000);
+  JsonObject root;
+  root["name"] = "oracle-io500";
+  root["site"] = "lassen";
+  root["storage"] = "vast";
+  root["workload"] = JsonValue(std::move(w));
+  return JsonValue(std::move(root));
+}
+
+void addWorkloadRelations(RelationRegistry& reg) {
+  {
+    MetamorphicRelation r;
+    r.name = "workload.grammar-seed-determinism";
+    r.storage = "vast";
+    r.experiment = "workload";
+    r.kind = RelationKind::Determinism;
+    r.claim = "a grammar workload is a pure function of its spec: two runs of the "
+              "same expanded grammar at the same seed agree bit-for-bit, down to "
+              "the per-op latency percentiles";
+    r.generate = [](std::uint64_t seed) {
+      RelationCase c;
+      c.base = grammarBase(seed);
+      c.variants.push_back(sweep::deepCopy(c.base));
+      c.variants.push_back(sweep::deepCopy(c.base));
+      return c;
+    };
+    r.verdict = [](const RelationCase&, const std::vector<TrialMetrics>& m) {
+      if (m[0].meanGBs == m[1].meanGBs && m[0].bytesMoved == m[1].bytesMoved &&
+          m[0].elapsedSec == m[1].elapsedSec && m[0].opCount == m[1].opCount &&
+          m[0].opP50 == m[1].opP50 && m[0].opP99 == m[1].opP99) {
+        return CaseVerdict{};
+      }
+      std::ostringstream os;
+      os << "identical grammar specs disagree: " << m[0].meanGBs << " vs " << m[1].meanGBs
+         << " GB/s (bytes " << m[0].bytesMoved << " vs " << m[1].bytesMoved << ", p50 "
+         << m[0].opP50 << " vs " << m[1].opP50 << ")";
+      return CaseVerdict{false, os.str()};
+    };
+    reg.add(std::move(r));
+  }
+  {
+    MetamorphicRelation r;
+    r.name = "workload.openloop-rate-monotone";
+    r.storage = "vast";
+    r.experiment = "workload";
+    r.kind = RelationKind::Monotonic;
+    r.axis = "workload.ratePerClientHz";
+    r.slack = 0.05;
+    r.claim = "open-loop arrivals are demand-driven: raising the per-client "
+              "arrival rate over a fixed horizon moves at least as many bytes "
+              "(queues may grow, but completed work cannot shrink)";
+    r.generate = [](std::uint64_t seed) {
+      RelationCase c;
+      c.base = openloopBase(seed);
+      c.axis = "workload.ratePerClientHz";
+      c.axisValues = {10.0, 25.0, 50.0};
+      for (double rate : c.axisValues) {
+        JsonValue cfg = sweep::deepCopy(c.base);
+        sweep::jsonPathSet(cfg, "workload.ratePerClientHz", JsonValue(rate));
+        c.variants.push_back(std::move(cfg));
+      }
+      return c;
+    };
+    r.verdict = [](const RelationCase& c, const std::vector<TrialMetrics>& m) {
+      for (std::size_t i = 0; i + 1 < m.size(); ++i) {
+        if (m[i + 1].bytesMoved < m[i].bytesMoved * 0.95) {
+          std::ostringstream os;
+          os << "completed bytes drop along '" << c.axis << "': " << m[i].bytesMoved << " at "
+             << c.axisValues[i] << " Hz -> " << m[i + 1].bytesMoved << " at "
+             << c.axisValues[i + 1] << " Hz";
+          return CaseVerdict{false, os.str()};
+        }
+      }
+      return CaseVerdict{};
+    };
+    reg.add(std::move(r));
+  }
+  {
+    MetamorphicRelation r;
+    r.name = "workload.io500-scale-invariant";
+    r.storage = "vast";
+    r.experiment = "workload";
+    r.kind = RelationKind::Dominance;
+    r.axis = "workload.scale";
+    r.claim = "io500 'scale' grows per-rank op counts without changing per-op "
+              "geometry, so steady-state bandwidth is scale-invariant: doubling "
+              "the working set leaves GB/s within a tight band";
+    r.generate = [](std::uint64_t seed) {
+      RelationCase c;
+      c.base = io500Base(seed);
+      c.variants.push_back(sweep::deepCopy(c.base));
+      JsonValue doubled = sweep::deepCopy(c.base);
+      sweep::jsonPathSet(doubled, "workload.scale", JsonValue(2.0));
+      c.variants.push_back(std::move(doubled));
+      return c;
+    };
+    r.verdict = [](const RelationCase&, const std::vector<TrialMetrics>& m) {
+      return ratioVerdict(m[1].meanGBs, m[0].meanGBs, 0.7, 1.4,
+                          "io500 bandwidth at scale 2 vs scale 1");
+    };
+    reg.add(std::move(r));
+  }
+}
+
 }  // namespace
 
 const RelationRegistry& RelationRegistry::builtin() {
@@ -520,6 +705,7 @@ const RelationRegistry& RelationRegistry::builtin() {
     addLustreRelations(reg);
     addNvmeRelations(reg);
     addChaosRelations(reg);
+    addWorkloadRelations(reg);
     return reg;
   }();
   return registry;

@@ -1,62 +1,11 @@
 #include "replay/trace_replay.hpp"
 
-#include <algorithm>
-#include <map>
 #include <stdexcept>
 
+#include "workload/replay_source.hpp"
+#include "workload/workload_runner.hpp"
+
 namespace hcsim {
-
-namespace {
-
-// One traced process replayed as a sequential chain of its events.
-struct ReplayProc {
-  Simulator* sim = nullptr;
-  FileSystemModel* fs = nullptr;
-  TraceLog* out = nullptr;
-  const ReplayConfig* cfg = nullptr;
-  std::size_t* running = nullptr;
-
-  std::uint32_t pid = 0;
-  ClientId client{};
-  std::vector<const TraceEvent*> events;  // start-time ordered
-  std::size_t next = 0;
-  std::uint64_t fileCounter = 0;
-
-  void step() {
-    if (next >= events.size()) {
-      --*running;
-      return;
-    }
-    const TraceEvent& ev = *events[next++];
-    if (ev.kind == TraceEventKind::Compute) {
-      if (cfg->replayCompute && ev.duration > 0) {
-        out->recordCompute(pid, ev.tid, sim->now(), ev.duration, ev.name);
-        sim->schedule(ev.duration, [this] { step(); });
-      } else {
-        step();
-      }
-      return;
-    }
-    if ((ev.kind == TraceEventKind::Read || ev.kind == TraceEventKind::Write) && ev.bytes > 0) {
-      IoRequest req;
-      req.client = client;
-      req.fileId = (static_cast<std::uint64_t>(pid) << 24) + ++fileCounter;
-      req.bytes = ev.bytes;
-      req.pattern = ev.kind == TraceEventKind::Read ? AccessPattern::RandomRead
-                                                    : AccessPattern::SequentialWrite;
-      req.ops = std::max<std::uint64_t>(1, ev.bytes / cfg->transferSize);
-      fs->submit(req, [this, &ev](const IoResult& r) {
-        out->record(TraceEvent{ev.name, ev.kind, pid, ev.tid, r.startTime, r.elapsed(),
-                               r.bytes});
-        step();
-      });
-      return;
-    }
-    step();  // Other / zero-byte events: skip
-  }
-};
-
-}  // namespace
 
 ReplayResult TraceReplayer::replay(const TraceLog& input, const ReplayConfig& cfg) {
   if (cfg.pidsPerNode == 0) throw std::invalid_argument("ReplayConfig: pidsPerNode must be > 0");
@@ -66,44 +15,13 @@ ReplayResult TraceReplayer::replay(const TraceLog& input, const ReplayConfig& cf
   result.originalIoTime = input.totalDuration(TraceEventKind::Read) +
                           input.totalDuration(TraceEventKind::Write);
 
-  // Group events by pid, ordered by start time.
-  std::map<std::uint32_t, std::vector<const TraceEvent*>> byPid;
-  for (const TraceEvent& e : input.events()) byPid[e.pid].push_back(&e);
-  for (auto& [pid, evs] : byPid) {
-    std::stable_sort(evs.begin(), evs.end(),
-                     [](const TraceEvent* a, const TraceEvent* b) { return a->start < b->start; });
-  }
-
-  PhaseSpec phase;
-  phase.pattern = AccessPattern::RandomRead;
-  phase.requestSize = cfg.transferSize;
-  phase.nodes = static_cast<std::uint32_t>(
-      (byPid.size() + cfg.pidsPerNode - 1) / std::max<std::size_t>(1, cfg.pidsPerNode));
-  if (phase.nodes == 0) phase.nodes = 1;
-  phase.procsPerNode = static_cast<std::uint32_t>(cfg.pidsPerNode);
-  phase.workingSetBytes = input.totalBytes(TraceEventKind::Read);
-  fs_.beginPhase(phase);
-
-  std::size_t running = byPid.size();
-  std::vector<std::unique_ptr<ReplayProc>> procs;
-  procs.reserve(byPid.size());
-  for (auto& [pid, evs] : byPid) {
-    auto p = std::make_unique<ReplayProc>();
-    p->sim = &bench_.sim();
-    p->fs = &fs_;
-    p->out = &result.trace;
-    p->cfg = &cfg;
-    p->running = &running;
-    p->pid = pid;
-    p->client = ClientId{static_cast<std::uint32_t>(pid / cfg.pidsPerNode),
-                         static_cast<std::uint32_t>(pid % cfg.pidsPerNode)};
-    p->events = std::move(evs);
-    procs.push_back(std::move(p));
-  }
-  for (auto& p : procs) p->step();
-  bench_.sim().run();
-  fs_.endPhase();
-  if (running != 0) throw std::logic_error("TraceReplayer: drained with live processes");
+  // The per-pid event chains live in workload::ReplaySource; the generic
+  // WorkloadRunner re-issues them and records the as-replayed timeline.
+  workload::ReplaySource source(input, cfg);
+  workload::WorkloadRunner runner(bench_, fs_);
+  runner.setTraceLog(&result.trace);
+  runner.run(source);
+  result.skippedOps = source.skippedOps();
 
   result.trace.sortByStart();
   result.breakdown = analyzeOverlap(result.trace);

@@ -33,6 +33,9 @@ struct ReplayResult {
   ThroughputReport throughput;
   Seconds originalIoTime = 0.0;  ///< total I/O time in the input trace
   Seconds replayedIoTime = 0.0;  ///< total I/O time after replay
+  /// Malformed op records dropped (zero-byte I/O, negative compute):
+  /// the skip-and-count salvage policy shared with trace_import.
+  std::size_t skippedOps = 0;
   /// >1: the target system is slower than the traced one; <1: faster.
   double ioSlowdown() const {
     return originalIoTime > 0 ? replayedIoTime / originalIoTime : 0.0;

@@ -47,6 +47,21 @@ std::string toJsonlLine(const TrialResult& r) {
     m["maxGBs"] = r.metrics.maxGBs;
     m["elapsedSec"] = r.metrics.elapsedSec;
     m["bytes"] = r.metrics.bytesMoved;
+    // Latency-capable trials always carry the key: null states "this
+    // run had no per-op operations" (e.g. IOR Coalesced mode), which a
+    // zero-filled summary would silently misreport.
+    if (r.metrics.latencyCapable) {
+      if (r.metrics.hasOpLatency) {
+        JsonObject lat;
+        lat["count"] = r.metrics.opCount;
+        lat["p50"] = r.metrics.opP50;
+        lat["p95"] = r.metrics.opP95;
+        lat["p99"] = r.metrics.opP99;
+        m["opLatency"] = JsonValue(std::move(lat));
+      } else {
+        m["opLatency"] = JsonValue();  // null, not zeros
+      }
+    }
     // Telemetry lives in its own sub-object so a telemetry-off run and
     // the simulation columns of a telemetry-on run stay byte-identical.
     if (r.metrics.hasTelemetry) {
@@ -78,7 +93,11 @@ std::string toCsv(const SweepOutcome& out) {
   // Telemetry columns appear only when some trial carried telemetry, so
   // a telemetry-off CSV is byte-identical to the pre-telemetry format.
   bool anyTelemetry = false;
-  for (const TrialResult& r : out.results) anyTelemetry |= r.metrics.hasTelemetry;
+  bool anyLatency = false;
+  for (const TrialResult& r : out.results) {
+    anyTelemetry |= r.metrics.hasTelemetry;
+    anyLatency |= r.metrics.latencyCapable;
+  }
   std::ostringstream os;
   os << "trial";
   if (!out.results.empty()) {
@@ -88,6 +107,11 @@ std::string toCsv(const SweepOutcome& out) {
     }
   }
   os << ",ok,meanGBs,minGBs,maxGBs,elapsedSec,bytes,error";
+  // Latency columns stay empty — not zero — for trials that collected
+  // no per-op distribution (the CSV face of the null contract). They
+  // precede the telemetry block so a telemetry-off header stays a
+  // prefix of the telemetry-on one.
+  if (anyLatency) os << ",opCount,opP50,opP95,opP99";
   if (anyTelemetry) {
     os << ",rerates,eventsScheduled,eventsCancelled,eventsAdjusted,eventsDispatched"
           ",dominantStage,dominantSharePct";
@@ -105,6 +129,14 @@ std::string toCsv(const SweepOutcome& out) {
          << "," << formatDouble(r.metrics.bytesMoved) << ",";
     } else {
       os << ",0,,,,,," << csvField(JsonValue(r.metrics.error));
+    }
+    if (anyLatency) {
+      if (r.metrics.hasOpLatency) {
+        os << "," << formatDouble(r.metrics.opCount) << "," << formatDouble(r.metrics.opP50)
+           << "," << formatDouble(r.metrics.opP95) << "," << formatDouble(r.metrics.opP99);
+      } else {
+        os << ",,,,";
+      }
     }
     if (anyTelemetry) {
       if (r.metrics.hasTelemetry) {

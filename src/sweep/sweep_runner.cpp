@@ -1,6 +1,7 @@
 #include "sweep/sweep_runner.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <deque>
 #include <limits>
 #include <mutex>
@@ -12,6 +13,7 @@
 #include "core/experiment.hpp"
 #include "net/topology.hpp"
 #include "sweep/trial_cache.hpp"
+#include "workload/workload_spec.hpp"
 
 namespace hcsim::sweep {
 
@@ -96,6 +98,11 @@ TrialMetrics runIorTrial(const JsonValue& config, Site site, StorageKind kind,
   injectChaos(config, env);
   IorRunner runner(*env.bench, *env.fs);
   const IorResult r = runner.run(cfg);
+  // The opLatency contract: per-op latencies exist exactly when
+  // individual operations were simulated (PerOp mode). Coalesced runs
+  // have no per-op notion, so their summary must stay empty — the sink
+  // serializes that as null, never as a zero-filled distribution.
+  assert((cfg.mode == IorConfig::Mode::PerOp) == (r.opLatency.count > 0));
   TrialMetrics m;
   m.ok = true;
   m.meanGBs = units::toGBs(r.bandwidth.mean);
@@ -103,6 +110,54 @@ TrialMetrics runIorTrial(const JsonValue& config, Site site, StorageKind kind,
   m.maxGBs = units::toGBs(r.bandwidth.max);
   m.elapsedSec = r.meanElapsed;
   m.bytesMoved = static_cast<double>(r.totalBytes);
+  m.latencyCapable = true;
+  if (r.opLatency.count > 0) {
+    m.hasOpLatency = true;
+    m.opCount = static_cast<double>(r.opLatency.count);
+    m.opP50 = r.opLatency.p50;
+    m.opP95 = r.opLatency.p95;
+    m.opP99 = r.opLatency.p99;
+  }
+  if (opts.telemetry) fillTelemetry(m, env);
+  return m;
+}
+
+/// A "workload" trial: the trial config *is* a WorkloadRunSpec document
+/// (site/storage/workload/chaos/retry at the top level), so the
+/// generator and every generator knob are sweepable axes. The cache key
+/// covers the whole config — including the workload section — so two
+/// trials differing only in generator keys never collide.
+TrialMetrics runWorkloadTrial(const JsonValue& config, const TrialOptions& opts) {
+  workload::WorkloadRunSpec spec;
+  std::vector<std::string> problems;
+  workload::parseWorkloadSpec(config, spec, problems);
+  workload::SourceBundle bundle;
+  if (problems.empty()) bundle = workload::makeSource(spec, problems);
+  if (!problems.empty()) {
+    std::string msg = "sweep: workload trial:";
+    for (const std::string& p : problems) msg += " " + p + ";";
+    throw std::invalid_argument(msg);
+  }
+  Environment env = makeTrialEnvironment(spec.site, spec.storage, bundle.nodes,
+                                         spec.storageConfig.isNull() ? nullptr
+                                                                     : &spec.storageConfig);
+  if (opts.telemetry) env.bench->telemetry().setEnabled(true);
+  workload::injectWorkloadChaos(spec, env);
+  const workload::WorkloadOutcome r = workload::runWorkload(env, spec, *bundle.source);
+  TrialMetrics m;
+  m.ok = true;
+  m.meanGBs = m.minGBs = m.maxGBs = r.goodputGBs();
+  m.elapsedSec = r.elapsed;
+  m.bytesMoved = static_cast<double>(r.bytesMoved);
+  m.latencyCapable = true;
+  if (!r.opLatencies.empty()) {
+    const Summary s = summarize(r.opLatencies);
+    m.hasOpLatency = true;
+    m.opCount = static_cast<double>(s.count);
+    m.opP50 = s.p50;
+    m.opP95 = s.p95;
+    m.opP99 = s.p99;
+  }
   if (opts.telemetry) fillTelemetry(m, env);
   return m;
 }
@@ -173,7 +228,9 @@ TrialMetrics runTrial(const std::string& experiment, const JsonValue& config,
     if (experiment == "ior") return runIorTrial(config, site, kind, opts);
     if (experiment == "dlio") return runDlioTrial(config, site, kind, opts);
     if (experiment == "chaos") return runChaosTrial(config, opts);
-    throw std::invalid_argument("sweep: experiment must be 'ior', 'dlio' or 'chaos'");
+    if (experiment == "workload") return runWorkloadTrial(config, opts);
+    throw std::invalid_argument(
+        "sweep: experiment must be 'ior', 'dlio', 'chaos' or 'workload'");
   } catch (const std::exception& ex) {
     m.ok = false;
     m.error = ex.what();

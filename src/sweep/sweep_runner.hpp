@@ -40,6 +40,20 @@ struct TrialMetrics {
   double elapsedSec = 0.0;
   double bytesMoved = 0.0;
 
+  /// Per-op latency contract. Only some experiments can carry a latency
+  /// distribution at all (`latencyCapable`: ior and workload trials);
+  /// of those, only runs where individual operations exist actually
+  /// collect one (IOR PerOp mode, generators with collectOpLatency) —
+  /// `hasOpLatency` distinguishes "not collected" (serialized as null,
+  /// never as zeros) from a real distribution. dlio/chaos trials are not
+  /// latency-capable and emit no opLatency field, as before.
+  bool latencyCapable = false;
+  bool hasOpLatency = false;
+  double opCount = 0.0;
+  double opP50 = 0.0;
+  double opP95 = 0.0;
+  double opP99 = 0.0;
+
   /// Telemetry columns (doubles so JSONL round-trips losslessly);
   /// populated only when the trial ran with TrialOptions.telemetry.
   bool hasTelemetry = false;

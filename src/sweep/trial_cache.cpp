@@ -67,6 +67,16 @@ JsonValue metricsToJson(const TrialMetrics& m) {
   o["maxGBs"] = m.maxGBs;
   o["elapsedSec"] = m.elapsedSec;
   o["bytesMoved"] = m.bytesMoved;
+  if (m.latencyCapable) {
+    o["latencyCapable"] = true;
+    if (m.hasOpLatency) {
+      o["hasOpLatency"] = true;
+      o["opCount"] = m.opCount;
+      o["opP50"] = m.opP50;
+      o["opP95"] = m.opP95;
+      o["opP99"] = m.opP99;
+    }
+  }
   if (m.hasTelemetry) {
     o["hasTelemetry"] = true;
     o["rerates"] = m.rerates;
@@ -89,6 +99,12 @@ bool metricsFromJson(const JsonValue& j, TrialMetrics& m) {
   m.maxGBs = j.numberOr("maxGBs", 0.0);
   m.elapsedSec = j.numberOr("elapsedSec", 0.0);
   m.bytesMoved = j.numberOr("bytesMoved", 0.0);
+  m.latencyCapable = j.boolOr("latencyCapable", false);
+  m.hasOpLatency = j.boolOr("hasOpLatency", false);
+  m.opCount = j.numberOr("opCount", 0.0);
+  m.opP50 = j.numberOr("opP50", 0.0);
+  m.opP95 = j.numberOr("opP95", 0.0);
+  m.opP99 = j.numberOr("opP99", 0.0);
   m.hasTelemetry = j.boolOr("hasTelemetry", false);
   m.rerates = j.numberOr("rerates", 0.0);
   m.eventsScheduled = j.numberOr("eventsScheduled", 0.0);

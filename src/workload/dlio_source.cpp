@@ -1,0 +1,175 @@
+#include "workload/dlio_source.hpp"
+
+#include <algorithm>
+
+namespace hcsim::workload {
+
+namespace {
+// onComplete tokens: sample ops carry their batch index; these mark the
+// trainer's compute step and the checkpoint write.
+constexpr std::uint64_t kTrainToken = ~0ull;
+constexpr std::uint64_t kCheckpointToken = ~0ull - 1;
+}  // namespace
+
+WorkloadPlan DlioSource::load(const WorkloadContext& ctx) {
+  (void)ctx;
+  const DlioWorkload& w = cfg_.workload;
+  WorkloadPlan plan;
+  plan.phase.pattern = AccessPattern::RandomRead;
+  plan.phase.requestSize = w.transferSize;
+  plan.phase.nodes = static_cast<std::uint32_t>(cfg_.nodes);
+  plan.phase.procsPerNode = static_cast<std::uint32_t>(cfg_.procsPerNode);
+  // DLIO generates the dataset on one set of nodes and trains on another
+  // (paper §VI-A) so client caches never serve the reads.
+  plan.phase.readerDiffersFromWriter = true;
+  plan.phase.workingSetBytes = cfg_.datasetBytes();
+
+  samplesPerRank_ = cfg_.samplesPerRank();
+  const std::size_t batchesPerEpoch = std::max<std::size_t>(1, samplesPerRank_ / w.batchSize);
+  totalBatches_ = batchesPerEpoch * w.epochs;
+
+  ranks_.resize(cfg_.totalRanks());
+  for (std::uint32_t n = 0; n < cfg_.nodes; ++n) {
+    for (std::uint32_t p = 0; p < cfg_.procsPerNode; ++p) {
+      RankState& st = ranks_[n * cfg_.procsPerNode + p];
+      st.pid = n * static_cast<std::uint32_t>(cfg_.procsPerNode) + p;
+      st.client = ClientId{n, p};
+      st.fileBase = static_cast<std::uint64_t>(st.pid) * samplesPerRank_ + 1;
+      st.ready.assign(totalBatches_, false);
+      st.rng.reseed(cfg_.seed ^ (0x9e3779b97f4a7c15ull * (st.pid + 1)));
+    }
+  }
+  plan.ranks = ranks_.size();
+  return plan;
+}
+
+std::size_t DlioSource::window() const {
+  return std::max(cfg_.workload.prefetchDepth, cfg_.workload.ioThreads);
+}
+
+void DlioSource::sampleOp(RankState& st, WorkloadOp& out) {
+  const DlioWorkload& w = cfg_.workload;
+  const std::size_t batch = st.emitBatch;
+  const std::size_t s = st.emitSample++;
+  const std::size_t sampleIdx = (batch * w.batchSize + s) % samplesPerRank_;
+  out.kind = OpKind::Io;
+  out.io.client = st.client;
+  out.io.fileId = st.fileBase + sampleIdx;
+  out.io.offset = 0;
+  out.io.bytes = w.sampleSize;
+  out.io.pattern = AccessPattern::RandomRead;  // shuffled sample order
+  out.io.ops = w.transfersPerSample();
+  out.token = batch;
+  out.traced = true;
+  out.label = "sample-read";
+  out.tracePid = st.pid;
+  out.traceTid = static_cast<std::uint32_t>(1 + batch % w.ioThreads);
+}
+
+NextStatus DlioSource::next(std::size_t rank, WorkloadOp& out) {
+  RankState& st = ranks_[rank];
+  if (st.done) return NextStatus::End;
+  if (totalBatches_ == 0) {
+    st.done = true;
+    return NextStatus::End;
+  }
+  const DlioWorkload& w = cfg_.workload;
+
+  // Finish handing out the batch currently being fetched: a batch =
+  // batchSize samples, each its own file, read concurrently by this
+  // worker; the batch is ready when its last sample arrives.
+  if (st.emitSample < st.emitCount) {
+    sampleOp(st, out);
+    return NextStatus::Op;
+  }
+
+  // Checkpoint queued by the trainer (rank 0 of the node writes model
+  // state synchronously; training stalls until it is durable).
+  if (st.checkpointDue) {
+    st.checkpointDue = false;
+    out.kind = OpKind::Io;
+    out.io.client = st.client;
+    out.io.fileId = st.fileBase + 1000000 + st.nextTrain;
+    out.io.offset = 0;
+    out.io.bytes = w.checkpointBytes;
+    out.io.pattern = AccessPattern::SequentialWrite;
+    out.io.ops = std::max<std::uint64_t>(1, w.checkpointBytes / (4 * units::MiB));
+    out.token = kCheckpointToken;
+    out.traced = true;
+    out.label = "checkpoint";
+    out.tracePid = st.pid;
+    out.traceTid = 0;
+    return NextStatus::Op;
+  }
+
+  // Pump the prefetch pipeline.
+  if (st.nextFetch < totalBatches_ && st.inFlight < w.ioThreads &&
+      st.nextFetch - st.nextTrain < window()) {
+    ++st.inFlight;
+    st.emitBatch = st.nextFetch++;
+    st.remaining[st.emitBatch] = w.batchSize;
+    st.emitSample = 0;
+    st.emitCount = w.batchSize;
+    sampleOp(st, out);
+    return NextStatus::Op;
+  }
+
+  // Train the next in-order batch once it is buffered.
+  if (!st.trainerBusy && st.nextTrain < totalBatches_ && st.ready[st.nextTrain]) {
+    st.trainerBusy = true;
+    const Seconds mean = w.computeTimePerBatch;
+    out.kind = OpKind::Compute;
+    out.compute = cfg_.computeJitterFrac > 0.0
+                      ? st.rng.normalAtLeast(mean, mean * cfg_.computeJitterFrac, mean * 0.1)
+                      : mean;
+    out.token = kTrainToken;
+    out.traced = true;
+    out.label = "train-step";
+    out.tracePid = st.pid;
+    out.traceTid = 0;
+    return NextStatus::Op;
+  }
+
+  return NextStatus::Wait;
+}
+
+void DlioSource::onComplete(std::size_t rank, const WorkloadOp& op, const IoResult& result) {
+  (void)result;
+  RankState& st = ranks_[rank];
+  const DlioWorkload& w = cfg_.workload;
+
+  if (op.kind == OpKind::Compute && op.token == kTrainToken) {
+    st.trainerBusy = false;
+    ++st.nextTrain;
+    ++st.batchesTrained;
+    if (w.checkpointEvery > 0 && w.checkpointBytes > 0 && st.client.proc == 0 &&
+        st.nextTrain % w.checkpointEvery == 0 && st.nextTrain < totalBatches_) {
+      st.trainerBusy = true;
+      st.checkpointDue = true;
+      return;
+    }
+    if (st.nextTrain >= totalBatches_) st.done = true;
+    return;
+  }
+
+  if (op.token == kCheckpointToken) {
+    st.trainerBusy = false;
+    return;
+  }
+
+  // A sample read finished; the batch becomes ready with its last one.
+  auto it = st.remaining.find(op.token);
+  if (it != st.remaining.end() && --it->second == 0) {
+    st.remaining.erase(it);
+    --st.inFlight;
+    st.ready[op.token] = true;
+  }
+}
+
+std::size_t DlioSource::batchesTrained() const {
+  std::size_t total = 0;
+  for (const RankState& st : ranks_) total += st.batchesTrained;
+  return total;
+}
+
+}  // namespace hcsim::workload

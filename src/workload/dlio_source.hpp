@@ -1,0 +1,64 @@
+#pragma once
+// DlioSource — the DLIO training-loop emulation expressed as a
+// WorkloadSource. Each rank is a bounded-prefetch input pipeline
+// (ioThreads concurrent batch fetches feeding a prefetch window) plus an
+// in-order trainer with optional synchronous checkpoints; all of that
+// pipeline logic lives in next()/onComplete() while the generic
+// WorkloadRunner owns submission, tracing and completion plumbing. The
+// op stream is bit-for-bit what the pre-refactor DlioRunner submitted.
+
+#include <map>
+#include <vector>
+
+#include "dlio/dlio_config.hpp"
+#include "util/random.hpp"
+#include "workload/workload_source.hpp"
+
+namespace hcsim::workload {
+
+class DlioSource : public WorkloadSource {
+ public:
+  explicit DlioSource(const DlioConfig& cfg) : cfg_(cfg) {}
+
+  const std::string& name() const override { return name_; }
+  WorkloadPlan load(const WorkloadContext& ctx) override;
+  NextStatus next(std::size_t rank, WorkloadOp& out) override;
+  void onComplete(std::size_t rank, const WorkloadOp& op, const IoResult& result) override;
+
+  /// Batches the trainers consumed (summed over ranks), for DlioResult.
+  std::size_t batchesTrained() const;
+
+ private:
+  struct RankState {
+    std::uint32_t pid = 0;
+    ClientId client{};
+    std::uint64_t fileBase = 0;
+
+    std::size_t nextFetch = 0;
+    std::size_t nextTrain = 0;
+    std::size_t inFlight = 0;
+    bool trainerBusy = false;
+    bool checkpointDue = false;
+    bool done = false;
+    std::vector<bool> ready;
+    /// Outstanding sample reads per in-flight batch.
+    std::map<std::size_t, std::size_t> remaining;
+    /// Current batch being emitted (sample ops still to hand out).
+    std::size_t emitBatch = 0;
+    std::size_t emitSample = 0;
+    std::size_t emitCount = 0;
+    Rng rng;
+    std::size_t batchesTrained = 0;
+  };
+
+  std::size_t window() const;
+  void sampleOp(RankState& st, WorkloadOp& out);
+
+  std::string name_ = "dlio";
+  DlioConfig cfg_;
+  std::vector<RankState> ranks_;
+  std::size_t samplesPerRank_ = 0;
+  std::size_t totalBatches_ = 0;
+};
+
+}  // namespace hcsim::workload

@@ -1,0 +1,154 @@
+#include "workload/io500_source.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hcsim::workload {
+
+namespace {
+constexpr std::size_t kPhases = 4;
+
+const char* phaseLabel(std::size_t phase) {
+  switch (phase) {
+    case 0: return "io500.easy-write";
+    case 1: return "io500.hard-write";
+    case 2: return "io500.easy-read";
+    default: return "io500.hard-read";
+  }
+}
+}  // namespace
+
+PhaseSpec Io500Source::phaseSpec(std::size_t phase) const {
+  PhaseSpec ph;
+  ph.nodes = static_cast<std::uint32_t>(cfg_.nodes);
+  ph.procsPerNode = static_cast<std::uint32_t>(cfg_.procsPerNode);
+  Bytes total = 0;
+  for (const RankState& st : ranks_) {
+    total += phaseOps(st, phase) * (phase == 0 || phase == 2 ? cfg_.easyTransfer
+                                                             : cfg_.hardTransfer);
+  }
+  ph.workingSetBytes = total;
+  switch (phase) {
+    case 0:
+      ph.pattern = AccessPattern::SequentialWrite;
+      ph.requestSize = cfg_.easyTransfer;
+      break;
+    case 1:
+      ph.pattern = AccessPattern::SequentialWrite;
+      ph.requestSize = cfg_.hardTransfer;
+      break;
+    case 2:
+      ph.pattern = AccessPattern::SequentialRead;
+      ph.requestSize = cfg_.easyTransfer;
+      break;
+    default:
+      ph.pattern = AccessPattern::RandomRead;
+      ph.requestSize = cfg_.hardTransfer;
+      break;
+  }
+  return ph;
+}
+
+WorkloadPlan Io500Source::load(const WorkloadContext& ctx) {
+  (void)ctx;
+  ranks_.resize(cfg_.totalRanks());
+  hardFileBytes_ = 0;
+  for (std::uint32_t n = 0; n < cfg_.nodes; ++n) {
+    for (std::uint32_t p = 0; p < cfg_.procsPerNode; ++p) {
+      const std::size_t rank = n * cfg_.procsPerNode + p;
+      RankState& st = ranks_[rank];
+      st.client = ClientId{n, p};
+      st.rng.reseed(cfg_.seed ^ ((rank + 1) * 0x9e3779b97f4a7c15ull));
+      // Per-rank volumes: lognormal around the configured median, then
+      // scaled — submission working sets span orders of magnitude.
+      const double easyDraw =
+          cfg_.volumeSigma > 0.0 ? st.rng.lognormal(0.0, cfg_.volumeSigma) : 1.0;
+      const double hardDraw =
+          cfg_.volumeSigma > 0.0 ? st.rng.lognormal(0.0, cfg_.volumeSigma) : 1.0;
+      st.easyOps = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(std::llround(
+                 static_cast<double>(cfg_.easyOpsMedian) * cfg_.scale * easyDraw)));
+      st.hardOps = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(std::llround(
+                 static_cast<double>(cfg_.hardOpsMedian) * cfg_.scale * hardDraw)));
+      hardFileBytes_ += st.hardOps * cfg_.hardTransfer;
+    }
+  }
+  WorkloadPlan plan;
+  plan.ranks = ranks_.size();
+  plan.phase = phaseSpec(0);
+  return plan;
+}
+
+NextStatus Io500Source::next(std::size_t rank, WorkloadOp& out) {
+  RankState& st = ranks_[rank];
+  if (st.done) return NextStatus::End;
+  if (st.pending) return NextStatus::Wait;
+
+  if (st.opIdx >= phaseOps(st, st.phase)) {
+    // Phase finished: barrier, and the release flips the model to the
+    // next phase's declaration (the IO500 harness syncs between phases).
+    if (st.phase + 1 >= kPhases) {
+      st.done = true;
+      return NextStatus::End;
+    }
+    ++st.phase;
+    st.opIdx = 0;
+    st.cursor = 0;
+    out.kind = OpKind::Barrier;
+    out.switchPhase = true;
+    out.phase = phaseSpec(st.phase);
+    return NextStatus::Op;
+  }
+
+  const std::size_t phase = st.phase;
+  const bool easy = phase == 0 || phase == 2;
+  const Bytes xfer = easy ? cfg_.easyTransfer : cfg_.hardTransfer;
+  out.kind = OpKind::Io;
+  out.io.client = st.client;
+  out.io.fileId = easy ? static_cast<std::uint64_t>(rank) + 1 : 0;
+  out.io.sharedFile = !easy;
+  out.io.bytes = xfer;
+  out.io.ops = 1;
+  switch (phase) {
+    case 0:
+      out.io.pattern = AccessPattern::SequentialWrite;
+      out.io.offset = st.cursor;
+      break;
+    case 1: {
+      out.io.pattern = AccessPattern::SequentialWrite;
+      // Hard phase: ranks interleave fixed-size records in the shared
+      // file, so consecutive ops of one rank are strided by the rank
+      // count — the unaligned-and-contended geometry IO500 punishes.
+      out.io.offset =
+          (st.opIdx * cfg_.totalRanks() + rank) * static_cast<std::uint64_t>(xfer);
+      break;
+    }
+    case 2:
+      out.io.pattern = AccessPattern::SequentialRead;
+      out.io.offset = st.cursor;
+      break;
+    default: {
+      out.io.pattern = AccessPattern::RandomRead;
+      const std::uint64_t slots = std::max<std::uint64_t>(1, hardFileBytes_ / xfer);
+      out.io.offset = st.rng.uniformInt(slots) * static_cast<std::uint64_t>(xfer);
+      break;
+    }
+  }
+  st.cursor += xfer;
+  ++st.opIdx;
+  out.traced = true;
+  out.label = phaseLabel(phase);
+  out.tracePid = st.client.node;
+  out.traceTid = st.client.proc;
+  st.pending = true;
+  return NextStatus::Op;
+}
+
+void Io500Source::onComplete(std::size_t rank, const WorkloadOp& op, const IoResult& result) {
+  (void)op;
+  (void)result;
+  ranks_[rank].pending = false;
+}
+
+}  // namespace hcsim::workload

@@ -1,0 +1,116 @@
+#include "workload/ior_source.hpp"
+
+#include <algorithm>
+
+namespace hcsim::workload {
+
+ClientId IorSource::issuingClient(std::uint32_t node, std::uint32_t proc) const {
+  ClientId c{node, proc};
+  if (isRead(cfg_.access) && cfg_.reorderTasks && cfg_.nodes > 1) {
+    // IOR -C: shift ranks by one node so the reader differs from the
+    // writer of the same file.
+    c.node = (node + 1) % static_cast<std::uint32_t>(cfg_.nodes);
+  }
+  return c;
+}
+
+WorkloadPlan IorSource::load(const WorkloadContext& ctx) {
+  WorkloadPlan plan;
+  plan.phase.pattern = cfg_.access;
+  plan.phase.requestSize = cfg_.transferSize;
+  plan.phase.nodes = static_cast<std::uint32_t>(cfg_.nodes);
+  plan.phase.procsPerNode = static_cast<std::uint32_t>(cfg_.procsPerNode);
+  plan.phase.readerDiffersFromWriter = cfg_.reorderTasks;
+  plan.phase.workingSetBytes = cfg_.totalBytes();
+  plan.phase.fsync = cfg_.fsyncPerWrite && !isRead(cfg_.access);
+  phaseStart_ = ctx.sim != nullptr ? ctx.sim->now() : 0.0;
+
+  if (cfg_.mode == IorConfig::Mode::Coalesced) {
+    // Symmetric ranks on a node are aggregated into one flow per
+    // parallel client channel (DESIGN.md §5): `slots` flows per node,
+    // each carrying `streams` process streams.
+    slots_ = std::min<std::size_t>(
+        cfg_.procsPerNode,
+        std::max<std::size_t>(1, ctx.fs != nullptr ? ctx.fs->clientParallelism() : 1));
+    ranks_.resize(cfg_.nodes * slots_);
+    for (std::uint32_t n = 0; n < cfg_.nodes; ++n) {
+      for (std::uint32_t slot = 0; slot < slots_; ++slot) {
+        RankState& st = ranks_[n * slots_ + slot];
+        st.client = issuingClient(n, slot);
+        // N-N: file id = first aggregated rank; N-1: shared file 0.
+        st.fileId = cfg_.filePerProcess
+                        ? static_cast<std::uint64_t>(n) * cfg_.procsPerNode + slot + 1
+                        : 0;
+        st.streams =
+            static_cast<std::uint32_t>((cfg_.procsPerNode - slot + slots_ - 1) / slots_);
+        st.remainingOps = 1;
+      }
+    }
+  } else {
+    ranks_.resize(cfg_.totalProcs());
+    for (std::uint32_t n = 0; n < cfg_.nodes; ++n) {
+      for (std::uint32_t p = 0; p < cfg_.procsPerNode; ++p) {
+        RankState& st = ranks_[n * cfg_.procsPerNode + p];
+        st.client = issuingClient(n, p);
+        const std::uint64_t rank = static_cast<std::uint64_t>(n) * cfg_.procsPerNode + p + 1;
+        st.fileId = cfg_.filePerProcess ? rank : 0;
+        st.remainingOps = cfg_.transfersPerProc();
+        st.rng.reseed(cfg_.seed ^ (rank * 0x9e3779b97f4a7c15ull));
+      }
+    }
+    plan.collectOpLatency = true;
+  }
+  plan.ranks = ranks_.size();
+  return plan;
+}
+
+NextStatus IorSource::next(std::size_t rank, WorkloadOp& out) {
+  RankState& st = ranks_[rank];
+  if (st.done) return NextStatus::End;
+  if (st.pending) return NextStatus::Wait;
+
+  const bool rd = isRead(cfg_.access);
+  out.kind = OpKind::Io;
+  out.io.client = st.client;
+  out.io.fileId = st.fileId;
+  out.io.pattern = cfg_.access;
+  out.io.fsync = cfg_.fsyncPerWrite && !rd;
+  out.io.sharedFile = !cfg_.filePerProcess;
+  out.traced = true;
+  out.label = rd ? "ior.read" : "ior.write";
+  out.tracePid = st.client.node;
+
+  if (cfg_.mode == IorConfig::Mode::Coalesced) {
+    out.io.offset = 0;
+    out.io.bytes = cfg_.bytesPerProc() * st.streams;
+    out.io.ops = cfg_.transfersPerProc() * st.streams;
+    out.io.streams = st.streams;
+    out.traceTid = static_cast<std::uint32_t>(rank % slots_);
+  } else {
+    out.io.bytes = cfg_.transferSize;
+    out.io.ops = 1;
+    if (cfg_.access == AccessPattern::RandomRead || cfg_.access == AccessPattern::RandomWrite) {
+      const std::uint64_t offsetSlots = cfg_.bytesPerProc() / cfg_.transferSize;
+      out.io.offset = st.rng.uniformInt(offsetSlots ? offsetSlots : 1) * cfg_.transferSize;
+    } else {
+      out.io.offset = st.cursor;
+      st.cursor += cfg_.transferSize;
+    }
+    out.traceTid = st.client.proc;
+  }
+  st.pending = true;
+  return NextStatus::Op;
+}
+
+void IorSource::onComplete(std::size_t rank, const WorkloadOp& op, const IoResult& result) {
+  (void)op;
+  RankState& st = ranks_[rank];
+  st.pending = false;
+  // IOR -D stonewalling: stop issuing once the phase has run this long
+  // and let the result report the bytes actually moved.
+  const bool hitStonewall =
+      cfg_.stonewallSeconds > 0.0 && result.endTime - phaseStart_ >= cfg_.stonewallSeconds;
+  if (--st.remainingOps == 0 || hitStonewall) st.done = true;
+}
+
+}  // namespace hcsim::workload

@@ -1,0 +1,51 @@
+#pragma once
+// IorSource — the IOR benchmark expressed as a WorkloadSource. Both
+// drive modes of the old IorRunner map onto the pull API:
+//
+//  * Coalesced — one rank per (node, channel-slot) flow; each rank emits
+//    exactly one aggregated run-of-ops request (DESIGN.md §5).
+//  * PerOp — one rank per process; each rank is a chain of single
+//    transfers with issue-time offset draws and stonewall cutoff.
+//
+// The op streams are bit-for-bit the request sequences the pre-refactor
+// IorRunner submitted, so golden figures are unchanged.
+
+#include <vector>
+
+#include "ior/ior_config.hpp"
+#include "util/random.hpp"
+#include "workload/workload_source.hpp"
+
+namespace hcsim::workload {
+
+class IorSource : public WorkloadSource {
+ public:
+  explicit IorSource(const IorConfig& cfg) : cfg_(cfg) {}
+
+  const std::string& name() const override { return name_; }
+  WorkloadPlan load(const WorkloadContext& ctx) override;
+  NextStatus next(std::size_t rank, WorkloadOp& out) override;
+  void onComplete(std::size_t rank, const WorkloadOp& op, const IoResult& result) override;
+
+ private:
+  struct RankState {
+    ClientId client{};
+    std::uint64_t fileId = 0;
+    std::uint32_t streams = 1;     ///< coalesced: aggregated process streams
+    std::uint64_t remainingOps = 0;
+    Bytes cursor = 0;
+    Rng rng;
+    bool pending = false;
+    bool done = false;
+  };
+
+  ClientId issuingClient(std::uint32_t node, std::uint32_t proc) const;
+
+  std::string name_ = "ior";
+  IorConfig cfg_;
+  std::vector<RankState> ranks_;
+  std::size_t slots_ = 1;  ///< coalesced: channel slots per node
+  SimTime phaseStart_ = 0.0;
+};
+
+}  // namespace hcsim::workload

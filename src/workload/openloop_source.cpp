@@ -1,0 +1,58 @@
+#include "workload/openloop_source.hpp"
+
+#include <algorithm>
+
+namespace hcsim::workload {
+
+WorkloadPlan OpenLoopSource::load(const WorkloadContext& ctx) {
+  (void)ctx;
+  zipf_ = std::make_unique<ZipfSampler>(cfg_.objects, cfg_.zipfTheta);
+  ranks_.resize(cfg_.clients);
+  for (std::size_t c = 0; c < cfg_.clients; ++c) {
+    RankState& st = ranks_[c];
+    st.client = ClientId{static_cast<std::uint32_t>(c / cfg_.clientsPerNode),
+                         static_cast<std::uint32_t>(c % cfg_.clientsPerNode)};
+    st.rng.reseed(cfg_.seed ^ ((c + 1) * 0x9e3779b97f4a7c15ull));
+  }
+
+  WorkloadPlan plan;
+  plan.ranks = ranks_.size();
+  plan.mode = DriveMode::Open;
+  plan.collectOpLatency = true;
+  plan.phase.pattern = AccessPattern::RandomRead;
+  plan.phase.requestSize = cfg_.requestBytes;
+  plan.phase.nodes = static_cast<std::uint32_t>(cfg_.nodes());
+  plan.phase.procsPerNode = static_cast<std::uint32_t>(cfg_.clientsPerNode);
+  plan.phase.readerDiffersFromWriter = true;
+  plan.phase.workingSetBytes = static_cast<Bytes>(cfg_.objects) * cfg_.objectBytes;
+  plan.horizonSec = cfg_.horizonSec;
+  plan.sampleIntervalSec =
+      cfg_.sampleIntervalSec > 0.0 ? cfg_.sampleIntervalSec : cfg_.horizonSec / 20.0;
+  return plan;
+}
+
+NextStatus OpenLoopSource::next(std::size_t rank, WorkloadOp& out) {
+  RankState& st = ranks_[rank];
+  const Seconds gap = st.rng.exponential(1.0 / cfg_.ratePerClientHz);
+  if (st.clock + gap > cfg_.horizonSec) return NextStatus::End;
+  st.clock += gap;
+
+  const std::size_t object = zipf_->sample(st.rng);
+  const bool rd = st.rng.uniform() < cfg_.readFraction;
+  out.kind = OpKind::Io;
+  out.arrivalDelay = gap;
+  out.io.client = st.client;
+  out.io.fileId = 1 + object;
+  const std::uint64_t slots = std::max<std::uint64_t>(1, cfg_.objectBytes / cfg_.requestBytes);
+  out.io.offset = st.rng.uniformInt(slots) * static_cast<std::uint64_t>(cfg_.requestBytes);
+  out.io.bytes = cfg_.requestBytes;
+  out.io.ops = 1;
+  out.io.pattern = rd ? AccessPattern::RandomRead : AccessPattern::RandomWrite;
+  out.traced = true;
+  out.label = rd ? "openloop.read" : "openloop.write";
+  out.tracePid = st.client.node;
+  out.traceTid = st.client.proc;
+  return NextStatus::Op;
+}
+
+}  // namespace hcsim::workload

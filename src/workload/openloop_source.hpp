@@ -1,0 +1,61 @@
+#pragma once
+// OpenLoopSource — arrival-rate clients, the first step toward the
+// "highly configurable storage for a million users" north star: each of
+// `clients` independent ranks issues requests at Poisson arrivals of
+// `ratePerClientHz` for `horizonSec`, targeting objects drawn from a
+// Zipf(theta) popularity distribution (hot objects dominate, as in any
+// shared-service trace). Unlike the closed-loop benchmarks, arrivals do
+// NOT wait for completions — when the storage degrades (chaos
+// fail-slow), queues build and the goodput timeline shows the dip and
+// the recovery, which is what the openloop+chaos composition test pins.
+
+#include <memory>
+#include <vector>
+
+#include "util/random.hpp"
+#include "workload/workload_source.hpp"
+#include "workload/zipf.hpp"
+
+namespace hcsim::workload {
+
+struct OpenLoopConfig {
+  std::size_t clients = 8;
+  std::size_t clientsPerNode = 4;  ///< maps client -> compute node
+  double ratePerClientHz = 50.0;   ///< mean Poisson arrival rate
+  Seconds horizonSec = 10.0;       ///< arrivals stop after this
+  std::size_t objects = 1024;      ///< object-store population
+  double zipfTheta = 0.99;         ///< 0 = uniform popularity
+  Bytes objectBytes = 4 * units::MiB;
+  Bytes requestBytes = 128 * units::KiB;
+  double readFraction = 0.9;       ///< rest are writes
+  std::uint64_t seed = 0x09e71007ull;
+  /// Goodput timeline sampling interval (0 = horizon/20).
+  Seconds sampleIntervalSec = 0.0;
+
+  std::size_t nodes() const {
+    return (clients + clientsPerNode - 1) / std::max<std::size_t>(1, clientsPerNode);
+  }
+};
+
+class OpenLoopSource : public WorkloadSource {
+ public:
+  explicit OpenLoopSource(const OpenLoopConfig& cfg) : cfg_(cfg) {}
+
+  const std::string& name() const override { return name_; }
+  WorkloadPlan load(const WorkloadContext& ctx) override;
+  NextStatus next(std::size_t rank, WorkloadOp& out) override;
+
+ private:
+  struct RankState {
+    ClientId client{};
+    Seconds clock = 0.0;  ///< cumulative arrival time
+    Rng rng;
+  };
+
+  std::string name_ = "openloop";
+  OpenLoopConfig cfg_;
+  std::vector<RankState> ranks_;
+  std::unique_ptr<ZipfSampler> zipf_;
+};
+
+}  // namespace hcsim::workload

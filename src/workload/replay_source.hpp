@@ -1,0 +1,49 @@
+#pragma once
+// ReplaySource — a captured TraceLog re-expressed as a WorkloadSource:
+// one rank per traced pid, each a sequential chain of its events in
+// start-time order. I/O events are re-issued against the target model
+// (their durations become whatever the model says); compute events are
+// fixed delays. Malformed records — zero-byte reads/writes, negative
+// compute durations — are skipped and counted, the same salvage policy
+// trace_import applies to damaged chrome-trace documents, so one bad
+// record never aborts a replay.
+
+#include <cstddef>
+#include <vector>
+
+#include "replay/trace_replay.hpp"
+#include "workload/workload_source.hpp"
+
+namespace hcsim::workload {
+
+class ReplaySource : public WorkloadSource {
+ public:
+  /// `input` must outlive the source (events are referenced, not copied).
+  ReplaySource(const TraceLog& input, const ReplayConfig& cfg) : input_(&input), cfg_(cfg) {}
+
+  const std::string& name() const override { return name_; }
+  WorkloadPlan load(const WorkloadContext& ctx) override;
+  NextStatus next(std::size_t rank, WorkloadOp& out) override;
+  void onComplete(std::size_t rank, const WorkloadOp& op, const IoResult& result) override;
+
+  /// Malformed op records dropped (skip-and-count salvage).
+  std::size_t skippedOps() const { return skipped_; }
+
+ private:
+  struct RankState {
+    std::uint32_t pid = 0;
+    ClientId client{};
+    std::vector<const TraceEvent*> events;  // start-time ordered
+    std::size_t next = 0;
+    std::uint64_t fileCounter = 0;
+    bool pending = false;
+  };
+
+  std::string name_ = "replay";
+  const TraceLog* input_;
+  ReplayConfig cfg_;
+  std::vector<RankState> ranks_;
+  std::size_t skipped_ = 0;
+};
+
+}  // namespace hcsim::workload

@@ -1,0 +1,273 @@
+#include "workload/workload_runner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "telemetry/metrics_registry.hpp"
+
+namespace hcsim::workload {
+
+void exportTo(const WorkloadOutcome& out, telemetry::MetricsRegistry& reg) {
+  reg.gauge("workload.ops.issued", static_cast<double>(out.opsIssued));
+  reg.gauge("workload.ops.completed", static_cast<double>(out.opsCompleted));
+  reg.gauge("workload.ops.failed", static_cast<double>(out.opsFailed));
+  reg.gauge("workload.ops.meta", static_cast<double>(out.metaOps));
+  reg.gauge("workload.ops.compute", static_cast<double>(out.computeOps));
+  reg.gauge("workload.barriers", static_cast<double>(out.barriers));
+  reg.gauge("workload.bytes", static_cast<double>(out.bytesMoved));
+  reg.gauge("workload.elapsedSec", out.elapsed);
+  reg.gauge("workload.goodputGBs", out.goodputGBs());
+  reg.gauge("workload.retries", static_cast<double>(out.retries));
+  reg.gauge("workload.lateCompletions", static_cast<double>(out.lateCompletions));
+}
+
+// The per-run state machine. Completion callbacks outlive the run()
+// stack frame never — sim.run() drains everything before Impl dies.
+struct WorkloadRunner::Impl {
+  WorkloadSource* source = nullptr;
+  Simulator* sim = nullptr;
+  FileSystemModel* fs = nullptr;
+  TraceLog* trace = nullptr;
+  WorkloadPlan plan;
+  WorkloadOutcome out;
+
+  struct RankState {
+    std::unique_ptr<ClientSession> session;
+    bool ended = false;
+    bool atBarrier = false;
+    WorkloadOp barrierOp;
+    std::size_t outstanding = 0;
+    SimTime nextArrival = 0.0;  ///< open mode: last scheduled arrival time
+  };
+  std::vector<RankState> ranks;
+  std::size_t live = 0;
+  std::size_t outstandingTotal = 0;
+  bool releasingBarrier = false;
+  SimTime start = 0.0;
+  SimTime lastEnd = 0.0;
+  Bytes sampledBytes = 0;
+
+  // ---- closed mode: completion-driven chains/pipelines ----
+
+  /// Pull ops from the rank until it blocks (Wait), parks (Barrier) or
+  /// finishes (End). Callers follow up with maybeReleaseBarrier().
+  void drain(std::size_t rank) {
+    RankState& st = ranks[rank];
+    while (!st.ended && !st.atBarrier) {
+      WorkloadOp op;
+      const NextStatus s = source->next(rank, op);
+      if (s == NextStatus::Wait) return;
+      if (s == NextStatus::End) {
+        st.ended = true;
+        --live;
+        return;
+      }
+      if (op.kind == OpKind::Barrier) {
+        st.atBarrier = true;
+        st.barrierOp = std::move(op);
+        return;
+      }
+      issue(rank, std::move(op));
+    }
+  }
+
+  bool barrierReady() const {
+    if (live == 0 || outstandingTotal != 0) return false;
+    for (const RankState& st : ranks) {
+      if (!st.ended && !st.atBarrier) return false;
+    }
+    return true;
+  }
+
+  /// Release the barrier once every live rank is parked and the pipes
+  /// are empty; loops so back-to-back barriers cannot deadlock.
+  void maybeReleaseBarrier() {
+    if (releasingBarrier) return;
+    releasingBarrier = true;
+    while (barrierReady()) {
+      ++out.barriers;
+      const WorkloadOp* gate = nullptr;
+      for (RankState& st : ranks) {
+        if (!st.ended) {
+          gate = &st.barrierOp;
+          break;
+        }
+      }
+      if (gate != nullptr && gate->switchPhase) {
+        // All foreground I/O is drained, so the model may legally end the
+        // phase and re-declare the next one (io500 write -> read).
+        fs->endPhase();
+        fs->beginPhase(gate->phase);
+      }
+      for (RankState& st : ranks) st.atBarrier = false;
+      for (std::size_t r = 0; r < ranks.size(); ++r) {
+        if (!ranks[r].ended) drain(r);
+      }
+    }
+    releasingBarrier = false;
+  }
+
+  // ---- open mode: arrival-driven (Poisson clients) ----
+
+  void scheduleArrival(std::size_t rank) {
+    RankState& st = ranks[rank];
+    WorkloadOp op;
+    if (source->next(rank, op) != NextStatus::Op) {
+      st.ended = true;
+      --live;
+      return;
+    }
+    st.nextArrival += op.arrivalDelay;
+    auto held = std::make_shared<WorkloadOp>(std::move(op));
+    sim->scheduleAt(st.nextArrival, [this, rank, held] {
+      issue(rank, std::move(*held));
+      scheduleArrival(rank);
+    });
+  }
+
+  // ---- shared issue/complete paths ----
+
+  void issue(std::size_t rank, WorkloadOp op) {
+    RankState& st = ranks[rank];
+    switch (op.kind) {
+      case OpKind::Io: {
+        ++out.opsIssued;
+        ++st.outstanding;
+        ++outstandingTotal;
+        auto held = std::make_shared<WorkloadOp>(std::move(op));
+        st.session->submitRequest(held->io, [this, rank, held](const IoResult& r) {
+          onIoComplete(rank, *held, r);
+        });
+        return;
+      }
+      case OpKind::Meta: {
+        ++out.metaOps;
+        ++st.outstanding;
+        ++outstandingTotal;
+        auto held = std::make_shared<WorkloadOp>(std::move(op));
+        fs->submitMeta(held->meta, [this, rank, held](const IoResult& r) {
+          lastEnd = std::max(lastEnd, r.endTime);
+          finishOp(rank, *held, r);
+        });
+        return;
+      }
+      case OpKind::Compute: {
+        ++out.computeOps;
+        if (trace != nullptr && op.traced) {
+          trace->recordCompute(op.tracePid, op.traceTid, sim->now(), op.compute, op.label);
+        }
+        ++st.outstanding;
+        ++outstandingTotal;
+        auto held = std::make_shared<WorkloadOp>(std::move(op));
+        sim->schedule(held->compute, [this, rank, held] {
+          IoResult r;
+          r.endTime = sim->now();
+          r.startTime = r.endTime - held->compute;
+          lastEnd = std::max(lastEnd, r.endTime);
+          finishOp(rank, *held, r);
+        });
+        return;
+      }
+      case OpKind::Barrier:
+        // Barriers never reach issue(): drain() parks the rank instead,
+        // and open mode does not support them.
+        throw std::logic_error("WorkloadRunner: barrier op in open-loop stream");
+    }
+  }
+
+  void onIoComplete(std::size_t rank, const WorkloadOp& op, const IoResult& r) {
+    lastEnd = std::max(lastEnd, r.endTime);
+    if (r.failed) {
+      ++out.opsFailed;
+    } else {
+      out.bytesMoved += r.bytes;
+      ++out.opsCompleted;
+    }
+    if (plan.collectOpLatency && !r.failed) out.opLatencies.push_back(r.elapsed());
+    if (trace != nullptr && op.traced) {
+      const bool rd = isRead(op.io.pattern);
+      trace->record(TraceEvent{op.label, rd ? TraceEventKind::Read : TraceEventKind::Write,
+                               op.tracePid, op.traceTid, r.startTime, r.elapsed(), r.bytes});
+    }
+    finishOp(rank, op, r);
+  }
+
+  void finishOp(std::size_t rank, const WorkloadOp& op, const IoResult& r) {
+    --ranks[rank].outstanding;
+    --outstandingTotal;
+    source->onComplete(rank, op, r);
+    if (plan.mode == DriveMode::Closed) {
+      drain(rank);
+      maybeReleaseBarrier();
+    }
+  }
+
+  // ---- goodput timeline sampling (open mode) ----
+
+  void scheduleSample(std::size_t slice) {
+    const SimTime end = start + static_cast<SimTime>(slice + 1) * plan.sampleIntervalSec;
+    if (end > start + plan.horizonSec + 1e-9) return;
+    sim->scheduleAt(end, [this, slice, end] {
+      WorkloadSample s;
+      s.start = static_cast<SimTime>(slice) * plan.sampleIntervalSec;
+      s.end = end - start;
+      s.gbs = static_cast<double>(out.bytesMoved - sampledBytes) / plan.sampleIntervalSec / 1e9;
+      sampledBytes = out.bytesMoved;
+      out.timeline.push_back(s);
+      scheduleSample(slice + 1);
+    });
+  }
+};
+
+WorkloadOutcome WorkloadRunner::run(WorkloadSource& source) {
+  Impl impl;
+  impl.source = &source;
+  impl.sim = &bench_.sim();
+  impl.fs = &fs_;
+  impl.trace = trace_;
+  WorkloadContext ctx;
+  ctx.fs = &fs_;
+  ctx.sim = impl.sim;
+  impl.plan = source.load(ctx);
+  impl.out.generator = source.name();
+
+  fs_.beginPhase(impl.plan.phase);
+  impl.start = impl.sim->now();
+  impl.lastEnd = impl.start;
+  impl.ranks.resize(impl.plan.ranks);
+  for (Impl::RankState& st : impl.ranks) {
+    st.session = std::make_unique<ClientSession>(fs_, ClientId{}, 0);
+    if (retryEnabled_) st.session->enableRetry(*impl.sim, retry_);
+    st.nextArrival = impl.start;
+  }
+  impl.live = impl.plan.ranks;
+
+  if (impl.plan.mode == DriveMode::Closed) {
+    for (std::size_t r = 0; r < impl.ranks.size(); ++r) impl.drain(r);
+    impl.maybeReleaseBarrier();
+  } else {
+    for (std::size_t r = 0; r < impl.ranks.size(); ++r) impl.scheduleArrival(r);
+  }
+  if (impl.plan.sampleIntervalSec > 0.0 && impl.plan.horizonSec > 0.0) impl.scheduleSample(0);
+
+  impl.sim->run();
+  fs_.endPhase();
+
+  if (impl.outstandingTotal != 0) {
+    throw std::logic_error("WorkloadRunner: simulation drained with outstanding I/O");
+  }
+  if (impl.live != 0) {
+    throw std::logic_error("WorkloadRunner: simulation drained with live ranks");
+  }
+
+  WorkloadOutcome out = std::move(impl.out);
+  out.elapsed = impl.lastEnd - impl.start;
+  out.simElapsed = impl.sim->now() - impl.start;
+  for (const Impl::RankState& st : impl.ranks) {
+    out.retries += st.session->retries();
+    out.lateCompletions += st.session->lateCompletions();
+  }
+  return out;
+}
+
+}  // namespace hcsim::workload

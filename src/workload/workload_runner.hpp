@@ -1,0 +1,91 @@
+#pragma once
+// WorkloadRunner — the single generic driver behind IorRunner,
+// DlioRunner, trace replay and the synthetic generators (io500, grammar,
+// openloop). It owns everything that used to be duplicated per runner:
+// channel bookkeeping, trace recording, completion accounting, barrier
+// and phase handling, open-loop arrival scheduling, goodput timeline
+// sampling, and the chaos retry layer (every submit goes through a
+// per-rank ClientSession, so arming one RetryPolicy gives any generator
+// the same timeout/backoff semantics hcsim::chaos uses).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/deployments.hpp"
+#include "fs/client_session.hpp"
+#include "trace/trace_log.hpp"
+#include "workload/workload_source.hpp"
+
+namespace hcsim {
+class TraceLog;
+
+namespace telemetry {
+class MetricsRegistry;
+}
+
+namespace workload {
+
+/// One goodput timeline slice (open-loop sampling).
+struct WorkloadSample {
+  Seconds start = 0.0;
+  Seconds end = 0.0;
+  double gbs = 0.0;  ///< bytes completed in the slice / slice width
+};
+
+struct WorkloadOutcome {
+  std::string generator;
+  Seconds elapsed = 0.0;     ///< last completion - run start
+  Seconds simElapsed = 0.0;  ///< sim clock consumed (includes trailing events)
+  Bytes bytesMoved = 0;      ///< completed payload bytes
+  std::uint64_t opsIssued = 0;
+  std::uint64_t opsCompleted = 0;
+  std::uint64_t opsFailed = 0;  ///< retry layer exhausted (0 without retry)
+  std::uint64_t metaOps = 0;
+  std::uint64_t computeOps = 0;
+  std::uint64_t barriers = 0;   ///< barrier releases (not per-rank arrivals)
+  std::uint64_t retries = 0;
+  std::uint64_t lateCompletions = 0;
+  std::vector<double> opLatencies;  ///< per-op elapsed (plan.collectOpLatency)
+  std::vector<WorkloadSample> timeline;
+
+  double goodputGBs() const {
+    return elapsed > 0.0 ? static_cast<double>(bytesMoved) / elapsed / 1e9 : 0.0;
+  }
+};
+
+/// Export an outcome as "workload.*" telemetry gauges.
+void exportTo(const WorkloadOutcome& out, telemetry::MetricsRegistry& reg);
+
+class WorkloadRunner {
+ public:
+  WorkloadRunner(TestBench& bench, FileSystemModel& fs) : bench_(bench), fs_(fs) {}
+
+  /// Record traced ops into `log` (nullptr disables).
+  void setTraceLog(TraceLog* log) { trace_ = log; }
+
+  /// Arm the chaos timeout/retry/backoff layer for every rank's submits.
+  /// Without this call, requests pass straight through to the model,
+  /// byte-identically to the pre-refactor runners.
+  void enableRetry(RetryPolicy policy) {
+    retryEnabled_ = true;
+    retry_ = policy;
+  }
+
+  /// Drive the source to completion. Throws std::logic_error when the
+  /// simulation drains with live ranks or outstanding I/O (a source
+  /// state-machine bug).
+  WorkloadOutcome run(WorkloadSource& source);
+
+ private:
+  struct Impl;
+
+  TestBench& bench_;
+  FileSystemModel& fs_;
+  TraceLog* trace_ = nullptr;
+  bool retryEnabled_ = false;
+  RetryPolicy retry_{};
+};
+
+}  // namespace workload
+}  // namespace hcsim

@@ -1,0 +1,384 @@
+#include "workload/workload_spec.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "chaos/chaos_runner.hpp"
+#include "chaos/chaos_spec.hpp"
+#include "config/serialize.hpp"
+#include "trace/trace_import.hpp"
+#include "util/stats.hpp"
+#include "workload/dlio_source.hpp"
+#include "workload/grammar_source.hpp"
+#include "workload/io500_source.hpp"
+#include "workload/ior_source.hpp"
+#include "workload/openloop_source.hpp"
+#include "workload/replay_source.hpp"
+
+namespace hcsim::workload {
+
+namespace {
+
+constexpr const char* kWhere = "workload";
+
+/// ReplaySource keeps a reference to the trace it replays; this wrapper
+/// owns the imported log so the bundle is self-contained.
+class OwningReplaySource : public WorkloadSource {
+ public:
+  OwningReplaySource(TraceLog log, const ReplayConfig& cfg)
+      : log_(std::move(log)), inner_(log_, cfg) {}
+
+  const std::string& name() const override { return inner_.name(); }
+  WorkloadPlan load(const WorkloadContext& ctx) override { return inner_.load(ctx); }
+  NextStatus next(std::size_t rank, WorkloadOp& out) override { return inner_.next(rank, out); }
+  void onComplete(std::size_t rank, const WorkloadOp& op, const IoResult& result) override {
+    inner_.onComplete(rank, op, result);
+  }
+  std::size_t skippedOps() const { return inner_.skippedOps(); }
+
+ private:
+  TraceLog log_;
+  ReplaySource inner_;
+};
+
+std::string prefix(const std::string& key) { return std::string(kWhere) + "." + key + ": "; }
+
+bool positiveInt(const JsonValue& w, const char* key, double fallback, std::size_t& out,
+                 std::vector<std::string>& problems) {
+  const double v = w.numberOr(key, fallback);
+  if (v < 1.0 || v != static_cast<double>(static_cast<std::uint64_t>(v))) {
+    problems.push_back(prefix(key) + "must be a positive integer");
+    return false;
+  }
+  out = static_cast<std::size_t>(v);
+  return true;
+}
+
+bool positiveBytes(const JsonValue& w, const char* key, double fallback, Bytes& out,
+                   std::vector<std::string>& problems) {
+  const double v = w.numberOr(key, fallback);
+  if (v <= 0.0) {
+    problems.push_back(prefix(key) + "must be > 0 bytes");
+    return false;
+  }
+  out = static_cast<Bytes>(v);
+  return true;
+}
+
+SourceBundle makeIor(const JsonValue& w, std::vector<std::string>& problems) {
+  IorConfig cfg;
+  if (!fromJson(w, cfg)) {
+    problems.push_back(std::string(kWhere) + ": the IOR section does not parse");
+    return {};
+  }
+  try {
+    cfg.validate();
+  } catch (const std::exception& ex) {
+    problems.push_back(std::string(kWhere) + ": " + ex.what());
+    return {};
+  }
+  return {std::make_unique<IorSource>(cfg), cfg.nodes};
+}
+
+SourceBundle makeDlio(const JsonValue& w, std::vector<std::string>& problems) {
+  DlioConfig cfg;
+  if (!fromJson(w, cfg)) {
+    problems.push_back(std::string(kWhere) + ": the DLIO section does not parse");
+    return {};
+  }
+  try {
+    cfg.validate();
+  } catch (const std::exception& ex) {
+    problems.push_back(std::string(kWhere) + ": " + ex.what());
+    return {};
+  }
+  return {std::make_unique<DlioSource>(cfg), cfg.nodes};
+}
+
+SourceBundle makeReplay(const JsonValue& w, std::vector<std::string>& problems) {
+  const JsonValue* trace = w.find("trace");
+  if (trace == nullptr || !trace->isString()) {
+    problems.push_back(prefix("trace") + "required path of a chrome-trace JSON file");
+    return {};
+  }
+  ReplayConfig cfg;
+  if (!positiveInt(w, "pidsPerNode", static_cast<double>(cfg.pidsPerNode), cfg.pidsPerNode,
+                   problems)) {
+    return {};
+  }
+  if (!positiveBytes(w, "transferSize", static_cast<double>(cfg.transferSize), cfg.transferSize,
+                     problems)) {
+    return {};
+  }
+  cfg.replayCompute = w.boolOr("replayCompute", cfg.replayCompute);
+  TraceLog log;
+  if (!readChromeTrace(*trace->str(), log, nullptr)) {
+    problems.push_back(prefix("trace") + "cannot import '" + *trace->str() +
+                       "' (unreadable, or no salvageable events)");
+    return {};
+  }
+  std::set<std::uint32_t> pids;
+  for (const TraceEvent& e : log.events()) pids.insert(e.pid);
+  const std::size_t nodes =
+      std::max<std::size_t>(1, (pids.size() + cfg.pidsPerNode - 1) / cfg.pidsPerNode);
+  return {std::make_unique<OwningReplaySource>(std::move(log), cfg), nodes};
+}
+
+SourceBundle makeIo500(const JsonValue& w, std::vector<std::string>& problems) {
+  Io500Config cfg;
+  const std::size_t before = problems.size();
+  positiveInt(w, "nodes", static_cast<double>(cfg.nodes), cfg.nodes, problems);
+  positiveInt(w, "procsPerNode", static_cast<double>(cfg.procsPerNode), cfg.procsPerNode,
+              problems);
+  cfg.scale = w.numberOr("scale", cfg.scale);
+  if (cfg.scale <= 0.0) problems.push_back(prefix("scale") + "must be > 0");
+  cfg.seed = static_cast<std::uint64_t>(w.numberOr("seed", static_cast<double>(cfg.seed)));
+  positiveBytes(w, "easyTransfer", static_cast<double>(cfg.easyTransfer), cfg.easyTransfer,
+                problems);
+  positiveBytes(w, "hardTransfer", static_cast<double>(cfg.hardTransfer), cfg.hardTransfer,
+                problems);
+  std::size_t median = 0;
+  if (positiveInt(w, "easyOpsMedian", static_cast<double>(cfg.easyOpsMedian), median, problems)) {
+    cfg.easyOpsMedian = median;
+  }
+  if (positiveInt(w, "hardOpsMedian", static_cast<double>(cfg.hardOpsMedian), median, problems)) {
+    cfg.hardOpsMedian = median;
+  }
+  cfg.volumeSigma = w.numberOr("volumeSigma", cfg.volumeSigma);
+  if (cfg.volumeSigma < 0.0) problems.push_back(prefix("volumeSigma") + "must be >= 0");
+  if (problems.size() != before) return {};
+  return {std::make_unique<Io500Source>(cfg), cfg.nodes};
+}
+
+SourceBundle makeGrammar(const JsonValue& w, std::vector<std::string>& problems) {
+  GrammarSpec spec;
+  if (!parseGrammarSpec(w, kWhere, spec, problems)) return {};
+  const std::size_t nodes = spec.nodes;
+  return {std::make_unique<GrammarSource>(std::move(spec)), nodes};
+}
+
+SourceBundle makeOpenLoop(const JsonValue& w, std::vector<std::string>& problems) {
+  OpenLoopConfig cfg;
+  const std::size_t before = problems.size();
+  positiveInt(w, "clients", static_cast<double>(cfg.clients), cfg.clients, problems);
+  positiveInt(w, "clientsPerNode", static_cast<double>(cfg.clientsPerNode), cfg.clientsPerNode,
+              problems);
+  cfg.ratePerClientHz = w.numberOr("ratePerClientHz", cfg.ratePerClientHz);
+  if (cfg.ratePerClientHz <= 0.0) problems.push_back(prefix("ratePerClientHz") + "must be > 0");
+  cfg.horizonSec = w.numberOr("horizonSec", cfg.horizonSec);
+  if (cfg.horizonSec <= 0.0) problems.push_back(prefix("horizonSec") + "must be > 0 seconds");
+  positiveInt(w, "objects", static_cast<double>(cfg.objects), cfg.objects, problems);
+  cfg.zipfTheta = w.numberOr("zipfTheta", cfg.zipfTheta);
+  if (cfg.zipfTheta < 0.0) problems.push_back(prefix("zipfTheta") + "must be >= 0");
+  positiveBytes(w, "objectBytes", static_cast<double>(cfg.objectBytes), cfg.objectBytes,
+                problems);
+  positiveBytes(w, "requestBytes", static_cast<double>(cfg.requestBytes), cfg.requestBytes,
+                problems);
+  if (cfg.requestBytes > cfg.objectBytes) {
+    problems.push_back(prefix("requestBytes") + "must be <= objectBytes");
+  }
+  cfg.readFraction = w.numberOr("readFraction", cfg.readFraction);
+  if (cfg.readFraction < 0.0 || cfg.readFraction > 1.0) {
+    problems.push_back(prefix("readFraction") + "must be in [0, 1]");
+  }
+  cfg.seed = static_cast<std::uint64_t>(w.numberOr("seed", static_cast<double>(cfg.seed)));
+  cfg.sampleIntervalSec = w.numberOr("sampleIntervalSec", cfg.sampleIntervalSec);
+  if (cfg.sampleIntervalSec < 0.0) {
+    problems.push_back(prefix("sampleIntervalSec") + "must be >= 0 (0 = horizon/20)");
+  }
+  if (problems.size() != before) return {};
+  return {std::make_unique<OpenLoopSource>(cfg), cfg.nodes()};
+}
+
+using Factory = SourceBundle (*)(const JsonValue&, std::vector<std::string>&);
+
+const std::map<std::string, Factory>& registry() {
+  static const std::map<std::string, Factory> reg = {
+      {"ior", makeIor},         {"dlio", makeDlio},     {"replay", makeReplay},
+      {"io500", makeIo500},     {"grammar", makeGrammar}, {"openloop", makeOpenLoop},
+  };
+  return reg;
+}
+
+}  // namespace
+
+std::vector<std::string> knownGenerators() {
+  std::vector<std::string> names;
+  for (const auto& [name, f] : registry()) names.push_back(name);
+  return names;
+}
+
+void parseWorkloadSpec(const JsonValue& doc, WorkloadRunSpec& out,
+                       std::vector<std::string>& problems) {
+  out = WorkloadRunSpec{};
+  if (!doc.isObject()) {
+    problems.push_back("the spec must be a JSON object");
+    return;
+  }
+  out.name = doc.stringOr("name", "workload");
+
+  const std::string site = doc.stringOr("site", "lassen");
+  if (site == "lassen") out.site = Site::Lassen;
+  else if (site == "ruby") out.site = Site::Ruby;
+  else if (site == "quartz") out.site = Site::Quartz;
+  else if (site == "wombat") out.site = Site::Wombat;
+  else problems.push_back("site: must be lassen|ruby|quartz|wombat (got '" + site + "')");
+
+  const std::string storage = doc.stringOr("storage", "vast");
+  if (storage == "vast") out.storage = StorageKind::Vast;
+  else if (storage == "gpfs") out.storage = StorageKind::Gpfs;
+  else if (storage == "lustre") out.storage = StorageKind::Lustre;
+  else if (storage == "nvme") out.storage = StorageKind::NvmeLocal;
+  else problems.push_back("storage: must be vast|gpfs|lustre|nvme (got '" + storage + "')");
+
+  if (const JsonValue* sc = doc.find("storageConfig")) {
+    if (!sc->isObject() && !sc->isNull()) {
+      problems.push_back("storageConfig: must be an object of preset overrides");
+    } else {
+      out.storageConfig = *sc;
+    }
+  }
+
+  const JsonValue* w = doc.find("workload");
+  if (w == nullptr || !w->isObject()) {
+    problems.push_back("workload: required object with a 'generator' key");
+  } else {
+    out.workload = *w;
+    out.generator = w->stringOr("generator", "");
+    if (out.generator.empty()) {
+      problems.push_back("workload.generator: required (one of: " +
+                         [] {
+                           std::string s;
+                           for (const std::string& n : knownGenerators()) {
+                             if (!s.empty()) s += ", ";
+                             s += n;
+                           }
+                           return s;
+                         }() +
+                         ")");
+    } else if (registry().find(out.generator) == registry().end()) {
+      std::string s;
+      for (const std::string& n : knownGenerators()) {
+        if (!s.empty()) s += ", ";
+        s += n;
+      }
+      problems.push_back("workload.generator: unknown generator '" + out.generator +
+                         "' (known: " + s + ")");
+    }
+  }
+
+  if (const JsonValue* r = doc.find("retry")) {
+    if (r->isBool()) {
+      out.retryEnabled = *r->boolean();
+    } else if (r->isObject()) {
+      out.retryEnabled = true;
+      out.retry.timeout = r->numberOr("timeoutSec", out.retry.timeout);
+      out.retry.maxRetries = static_cast<std::size_t>(
+          r->numberOr("maxRetries", static_cast<double>(out.retry.maxRetries)));
+      out.retry.backoffBase = r->numberOr("backoffBaseSec", out.retry.backoffBase);
+      out.retry.backoffMultiplier = r->numberOr("backoffMultiplier", out.retry.backoffMultiplier);
+    } else {
+      problems.push_back("retry: must be a boolean or an object");
+    }
+  }
+
+  if (const JsonValue* c = doc.find("chaos")) out.chaos = *c;
+}
+
+SourceBundle makeSource(const WorkloadRunSpec& spec, std::vector<std::string>& problems) {
+  const auto it = registry().find(spec.generator);
+  if (it == registry().end()) {
+    std::string s;
+    for (const std::string& n : knownGenerators()) {
+      if (!s.empty()) s += ", ";
+      s += n;
+    }
+    problems.push_back("workload.generator: unknown generator '" + spec.generator +
+                       "' (known: " + s + ")");
+    return {};
+  }
+  return it->second(spec.workload, problems);
+}
+
+void injectWorkloadChaos(const WorkloadRunSpec& spec, Environment& env) {
+  if (spec.chaos.isNull()) return;
+  chaos::ChaosSpec cs;
+  std::string err;
+  if (!chaos::parseChaosSpec(spec.chaos, cs, err)) {
+    throw std::invalid_argument("workload: 'chaos' section: " + err);
+  }
+  if (cs.events.empty()) return;
+  // The workload owns the clock — no horizon to bound the schedule.
+  cs.horizon = std::numeric_limits<double>::infinity();
+  cs.interval = 1.0;
+  const std::vector<std::string> problems =
+      chaos::validateSchedule(cs, *env.fs, env.bench->topo());
+  if (!problems.empty()) {
+    std::string msg = "workload: 'chaos' section:";
+    for (const std::string& p : problems) msg += " " + p + ";";
+    throw std::invalid_argument(msg);
+  }
+  chaos::scheduleFaults(env, cs.events);
+}
+
+WorkloadOutcome runWorkload(Environment& env, const WorkloadRunSpec& spec,
+                            WorkloadSource& source, TraceLog* trace) {
+  WorkloadRunner runner(*env.bench, *env.fs);
+  runner.setTraceLog(trace);
+  if (spec.retryEnabled) runner.enableRetry(spec.retry);
+  return runner.run(source);
+}
+
+std::string toJsonl(const WorkloadOutcome& out) {
+  std::string all;
+  JsonObject s;
+  s["type"] = "summary";
+  s["generator"] = out.generator;
+  s["elapsedSec"] = out.elapsed;
+  s["simElapsedSec"] = out.simElapsed;
+  s["bytes"] = static_cast<double>(out.bytesMoved);
+  s["goodputGBs"] = out.goodputGBs();
+  s["opsIssued"] = static_cast<double>(out.opsIssued);
+  s["opsCompleted"] = static_cast<double>(out.opsCompleted);
+  s["opsFailed"] = static_cast<double>(out.opsFailed);
+  s["metaOps"] = static_cast<double>(out.metaOps);
+  s["computeOps"] = static_cast<double>(out.computeOps);
+  s["barriers"] = static_cast<double>(out.barriers);
+  s["retries"] = static_cast<double>(out.retries);
+  s["lateCompletions"] = static_cast<double>(out.lateCompletions);
+  if (out.opLatencies.empty()) {
+    s["opLatency"] = JsonValue();  // null, not zeros: nothing was collected
+  } else {
+    const Summary lat = summarize(out.opLatencies);
+    JsonObject l;
+    l["count"] = static_cast<double>(lat.count);
+    l["p50"] = lat.p50;
+    l["p95"] = lat.p95;
+    l["p99"] = lat.p99;
+    s["opLatency"] = JsonValue(std::move(l));
+  }
+  all += writeJson(JsonValue(std::move(s))) + "\n";
+  for (const WorkloadSample& w : out.timeline) {
+    JsonObject o;
+    o["type"] = "sample";
+    o["t0"] = w.start;
+    o["t1"] = w.end;
+    o["gbs"] = w.gbs;
+    all += writeJson(JsonValue(std::move(o))) + "\n";
+  }
+  return all;
+}
+
+std::string toCsv(const WorkloadOutcome& out) {
+  std::string csv = "t0,t1,gbs\n";
+  for (const WorkloadSample& w : out.timeline) {
+    csv += writeJson(JsonValue(w.start)) + "," + writeJson(JsonValue(w.end)) + "," +
+           writeJson(JsonValue(w.gbs)) + "\n";
+  }
+  return csv;
+}
+
+}  // namespace hcsim::workload

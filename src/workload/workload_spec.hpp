@@ -1,0 +1,79 @@
+#pragma once
+// Workload run specs — the JSON document the `hcsim workload` CLI and
+// the sweep's "workload" experiment both consume:
+//
+//   {
+//     "name": "...", "site": "lassen", "storage": "vast",
+//     "storageConfig": {...},            // optional preset overrides
+//     "workload": {"generator": "grammar", ...generator keys...},
+//     "retry": true | {...},             // optional chaos retry layer
+//     "chaos": {"events": [...]}         // optional fault schedule
+//   }
+//
+// The "generator" key selects a WorkloadSource factory from the
+// registry: the built-in runners (ior, dlio, replay) and the synthetic
+// generators (io500, grammar, openloop) all hang off the same string, so
+// a sweep axis can vary the generator like any other field. Validation
+// never throws out of parsing — every problem becomes one actionable
+// line, and the CLI prints them all at once.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "fs/client_session.hpp"
+#include "util/json.hpp"
+#include "workload/workload_runner.hpp"
+#include "workload/workload_source.hpp"
+
+namespace hcsim::workload {
+
+struct WorkloadRunSpec {
+  std::string name = "workload";
+  Site site = Site::Lassen;
+  StorageKind storage = StorageKind::Vast;
+  JsonValue storageConfig;  ///< null = site preset as-is
+  std::string generator;
+  JsonValue workload;  ///< the raw "workload" section (generator keys)
+  bool retryEnabled = false;
+  RetryPolicy retry;
+  JsonValue chaos;  ///< raw "chaos" section, null = none
+};
+
+/// Names the registry knows, sorted, for error messages and docs.
+std::vector<std::string> knownGenerators();
+
+/// Parse the spec document. Appends one actionable line per problem to
+/// `problems` (empty = valid). Generator-section validation happens in
+/// makeSource — this checks the envelope.
+void parseWorkloadSpec(const JsonValue& doc, WorkloadRunSpec& out,
+                       std::vector<std::string>& problems);
+
+/// Instantiate the spec's generator, validating its "workload" section.
+/// On failure appends problem lines and returns {nullptr, 0}. `nodes` is
+/// the compute-node count the environment must be built with.
+struct SourceBundle {
+  std::unique_ptr<WorkloadSource> source;
+  std::size_t nodes = 0;
+};
+SourceBundle makeSource(const WorkloadRunSpec& spec, std::vector<std::string>& problems);
+
+/// Schedule the spec's optional "chaos" section onto the environment
+/// (parse + validate + scheduleFaults). Throws std::invalid_argument
+/// with an actionable message on a bad section; no-op when absent.
+void injectWorkloadChaos(const WorkloadRunSpec& spec, Environment& env);
+
+/// Drive the source on the environment with the spec's retry settings.
+WorkloadOutcome runWorkload(Environment& env, const WorkloadRunSpec& spec,
+                            WorkloadSource& source, TraceLog* trace = nullptr);
+
+/// JSONL: one "summary" record (opLatency is null — never zeros — when
+/// no per-op distribution was collected), then one "sample" record per
+/// goodput-timeline slice. Deterministic byte-for-byte across runs.
+std::string toJsonl(const WorkloadOutcome& out);
+
+/// CSV of the goodput timeline (header + one row per slice).
+std::string toCsv(const WorkloadOutcome& out);
+
+}  // namespace hcsim::workload

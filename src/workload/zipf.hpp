@@ -1,0 +1,50 @@
+#pragma once
+// ZipfSampler — Zipf(theta)-distributed object popularity for the
+// open-loop generator: object k (0-based) is drawn with probability
+// proportional to 1/(k+1)^theta. theta = 0 degenerates to uniform;
+// theta around 0.99 is the classic YCSB/web-cache skew. The CDF is
+// precomputed once, so sampling is a binary search — deterministic
+// given the caller's Rng stream.
+
+#include <cstddef>
+#include <cmath>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace hcsim::workload {
+
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t objects, double theta) {
+    cdf_.reserve(objects);
+    double total = 0.0;
+    for (std::size_t k = 0; k < objects; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+      cdf_.push_back(total);
+    }
+    for (double& c : cdf_) c /= total;
+  }
+
+  std::size_t objects() const { return cdf_.size(); }
+
+  /// Draw an object index in [0, objects).
+  std::size_t sample(Rng& rng) const {
+    const double u = rng.uniform();
+    std::size_t lo = 0, hi = cdf_.size();
+    while (lo + 1 < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (cdf_[mid - 1] <= u) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<double> cdf_;  ///< cumulative popularity, last entry == 1
+};
+
+}  // namespace hcsim::workload

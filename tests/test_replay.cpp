@@ -2,8 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
 #include "core/experiment.hpp"
 #include "dlio/dlio_runner.hpp"
+#include "trace/trace_import.hpp"
 
 namespace hcsim {
 namespace {
@@ -120,6 +126,55 @@ TEST(TraceReplay, PerPidOrderingPreserved) {
   }
   ASSERT_TRUE(first && second);
   EXPECT_GE(second->start, first->end() - 1e-12);
+}
+
+TEST(TraceReplay, SkipsAndCountsMalformedRecords) {
+  TestBench bench(Machine::wombat(), 1);
+  auto fs = bench.attachVast(vastOnWombat());
+  TraceReplayer replayer(bench, *fs);
+  TraceLog input;
+  input.recordRead(0, 1, 0.0, 0.01, units::MiB, "good");
+  input.recordRead(0, 1, 0.02, 0.01, 0, "empty");       // zero-byte I/O
+  input.recordCompute(0, 0, 0.04, -0.05, "backwards");  // negative span
+  input.recordRead(0, 1, 0.1, 0.01, units::MiB, "good2");
+  const ReplayResult r = replayer.replay(input);
+  EXPECT_EQ(r.skippedOps, 2u);
+  EXPECT_EQ(r.trace.count(TraceEventKind::Read), 2u);
+}
+
+TEST(TraceReplay, TruncatedTraceFileIsSalvagedAndReplayable) {
+  // A killed run truncates the chrome-trace file mid-line; the importer
+  // must salvage the complete lines and the replay must still run.
+  std::ostringstream doc;
+  doc << "{\"traceEvents\":[\n";
+  for (int i = 0; i < 20; ++i) {
+    doc << R"({"ph":"X","cat":"read","name":"r)" << i << R"(","pid":)" << (i % 2)
+        << R"(,"tid":0,"ts":)" << i * 2000 << R"(,"dur":1000,"args":{"bytes":1048576}},)" << "\n";
+  }
+  doc << "]}\n";
+  const std::string full = doc.str();
+  const std::string truncated = full.substr(0, full.size() * 6 / 10);
+  const std::string path = std::string(::testing::TempDir()) + "truncated_trace.json";
+  {
+    std::ofstream f(path, std::ios::trunc);
+    f << truncated;
+  }
+
+  TraceLog imported;
+  TraceImportStats stats;
+  ASSERT_TRUE(readChromeTrace(path, imported, &stats));
+  EXPECT_GT(stats.imported, 0u);
+  EXPECT_LT(stats.imported, 20u);  // the cut really dropped events
+
+  TestBench bench(Machine::wombat(), 1);
+  auto fs = bench.attachVast(vastOnWombat());
+  TraceReplayer replayer(bench, *fs);
+  ReplayConfig cfg;
+  cfg.pidsPerNode = 2;
+  const ReplayResult r = replayer.replay(imported, cfg);
+  EXPECT_EQ(r.trace.count(TraceEventKind::Read), stats.imported);
+  EXPECT_GT(r.replayedIoTime, 0.0);
+  std::remove(path.c_str());
 }
 
 }  // namespace
