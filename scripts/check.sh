@@ -137,6 +137,22 @@ grep -q 'goodput' "$BUILD/check-workload-openloop_zipf.txt"
 cmp "$OUT-workload-8.jsonl" "$OUT-workload-1.jsonl"
 grep -q '"ok":true' "$OUT-workload-8.jsonl"
 
+# Scale gates (hcsim::scale): the flow-class demo must emit byte-identical
+# JSONL on repeated runs, and a 1,000,000-client open-loop run must
+# complete under a hard address-space ceiling — the memory-flat-in-members
+# contract enforced in-kernel (the run peaks under 10 MB RSS; 256 MB of
+# address space leaves room for allocator/runtime overhead only, never
+# for per-client state).
+"$BUILD/src/hcsim" scale --clients 100000 --classes 64 --horizon 2 \
+    --out "$BUILD/check-scale-a.jsonl" > "$BUILD/check-scale.txt"
+"$BUILD/src/hcsim" scale --clients 100000 --classes 64 --horizon 2 \
+    --out "$BUILD/check-scale-b.jsonl" >/dev/null
+cmp "$BUILD/check-scale-a.jsonl" "$BUILD/check-scale-b.jsonl"
+grep -q '"classes":64' "$BUILD/check-scale-a.jsonl"
+grep -q 'flat in members' "$BUILD/check-scale.txt"
+( ulimit -v 262144; "$BUILD/src/hcsim" scale > "$BUILD/check-scale-1m.txt" )
+grep -q '^scale: 1000192 clients as 256 flow classes' "$BUILD/check-scale-1m.txt"
+
 # Perf smoke: the engine-throughput scenarios must stay within tolerance
 # of the committed reference (BENCH_engine.json). Telemetry is off here,
 # so this doubles as the zero-cost floor for the telemetry hooks. Export
@@ -151,6 +167,10 @@ if [ "${HCSIM_CHECK_PERF:-1}" != "0" ]; then
   "$BUILD/bench/bench_workload" \
       --hcsim_json "$BUILD/check-bench-workload.json" \
       --hcsim_compare "$ROOT/BENCH_workload.json" \
+      --hcsim_max_regress "${HCSIM_PERF_MAX_REGRESS:-0.30}" > /dev/null
+  "$BUILD/bench/bench_scale" \
+      --hcsim_json "$BUILD/check-bench-scale.json" \
+      --hcsim_compare "$ROOT/BENCH_scale.json" \
       --hcsim_max_regress "${HCSIM_PERF_MAX_REGRESS:-0.30}" > /dev/null
 fi
 

@@ -13,12 +13,14 @@
 #include "mdtest/mdtest.hpp"
 #include "oracle/golden.hpp"
 #include "oracle/relation.hpp"
+#include "scale/flow_class.hpp"
 #include "sweep/result_sink.hpp"
 #include "sweep/sweep_runner.hpp"
 #include "sweep/trial_cache.hpp"
 #include "telemetry/metrics_registry.hpp"
 #include "telemetry/telemetry.hpp"
 #include "util/table.hpp"
+#include "workload/openloop_source.hpp"
 #include "workload/workload_spec.hpp"
 
 namespace hcsim::cli {
@@ -123,6 +125,13 @@ int cmdHelp(std::ostream& out) {
          "               \"workload\" section picks ior, dlio, replay, io500,\n"
          "               grammar or openloop; optional \"chaos\"/\"retry\" sections\n"
          "               compose faults and the retry layer with any generator)\n"
+         "  scale       [--clients N] [--classes C] [--site S] [--storage K]\n"
+         "              [--rate HZ] [--horizon SEC] [--demand-sigma S] [--telemetry]\n"
+         "              [--out results.jsonl]   (flow-class aggregation demo: a\n"
+         "               million-client open-loop population simulated as C\n"
+         "               classes of N/C members each; prints aggregate goodput,\n"
+         "               demuxed per-client latency percentiles and the engine's\n"
+         "               peak event footprint)\n"
          "  oracle      list | relations | record | check   (regression harness)\n"
          "              relations [--cases N] [--seed S] [--jobs J] [--relation NAME]\n"
          "                        [--no-shrink] [--cache F]  (metamorphic relations)\n"
@@ -530,6 +539,90 @@ int cmdWorkload(const ArgParser& args, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+int cmdScale(const ArgParser& args, std::ostream& out, std::ostream& err) {
+  // Flow-class aggregation demo: a service-scale open-loop population
+  // (a million clients by default) simulated as `--classes` flow
+  // classes, each standing for clients/classes members. Memory and event
+  // count stay proportional to the class count, not the client count.
+  Site site = Site::Lassen;
+  StorageKind kind = StorageKind::Vast;
+  if (const auto s = args.get("--site"); s && !parseSite(*s, site)) {
+    err << "error: --site must be one of lassen|ruby|quartz|wombat\n";
+    return 2;
+  }
+  if (const auto s = args.get("--storage"); s && !parseStorage(*s, kind)) {
+    err << "error: --storage must be one of vast|gpfs|lustre|nvme\n";
+    return 2;
+  }
+  const std::size_t clients = args.sizeOr("--clients", 1000000);
+  const std::size_t classes = args.sizeOr("--classes", 256);
+  if (clients == 0 || classes == 0) {
+    err << "error: --clients and --classes must be > 0\n";
+    return 2;
+  }
+
+  workload::OpenLoopConfig cfg;
+  cfg.clients = classes;
+  cfg.clientsPerRank = (clients + classes - 1) / classes;  // ceil: at least `clients`
+  cfg.clientsPerNode = args.sizeOr("--classes-per-node", 8);
+  cfg.ratePerClientHz = args.numberOr("--rate", 5.0);
+  cfg.horizonSec = args.numberOr("--horizon", 5.0);
+  cfg.demandSigma = args.numberOr("--demand-sigma", 0.0);
+  cfg.requestBytes = static_cast<Bytes>(args.numberOr("--request", 128.0 * 1024.0));
+  cfg.readFraction = args.numberOr("--read-fraction", 0.9);
+  cfg.objects = args.sizeOr("--objects", cfg.objects);
+  cfg.seed = static_cast<std::uint64_t>(args.numberOr("--seed", static_cast<double>(cfg.seed)));
+  if (cfg.ratePerClientHz <= 0.0 || cfg.horizonSec <= 0.0) {
+    err << "error: --rate and --horizon must be > 0\n";
+    return 2;
+  }
+
+  Environment env = makeEnvironment(site, kind, cfg.nodes(), nullptr);
+  const bool telemetryOn = args.has("--telemetry");
+  if (telemetryOn) env.bench->telemetry().setEnabled(true);
+  workload::OpenLoopSource source(cfg);
+  workload::WorkloadRunner runner(*env.bench, *env.fs);
+  const workload::WorkloadOutcome r = runner.run(source);
+
+  out << "scale: " << r.clientsTotal() << " clients as " << r.ranks << " flow classes x "
+      << r.clientsPerRank << " members on " << toString(site) << "/" << toString(kind) << " ("
+      << cfg.nodes() << " nodes)\n";
+  out << "  aggregate: " << r.opsCompleted << " client ops, " << formatBytes(r.bytesMoved)
+      << " in " << formatSeconds(r.elapsed) << " -> " << r.goodputGBs() << " GB/s ("
+      << r.goodputGBs() / static_cast<double>(r.clientsTotal()) * 1e6 << " KB/s per client)\n";
+  if (!r.opLatencies.empty()) {
+    // Statistical demux: every class-op latency stands for
+    // clientsPerRank identical per-client samples.
+    std::vector<scale::WeightedSample> ws;
+    ws.reserve(r.opLatencies.size());
+    for (double v : r.opLatencies) ws.push_back({v, r.clientsPerRank});
+    const Summary lat = scale::demultiplex(std::move(ws));
+    out << "  per-client latency over " << lat.count << " client ops: p50 "
+        << formatSeconds(lat.p50) << ", p95 " << formatSeconds(lat.p95) << ", p99 "
+        << formatSeconds(lat.p99) << "\n";
+  }
+  const Simulator& sim = env.bench->sim();
+  out << "  engine: " << sim.eventsDispatched() << " events dispatched, peak pending "
+      << sim.peakPendingEvents() << ", slab " << sim.slabSize()
+      << " slots (flat in members, proportional to classes)\n";
+  if (telemetryOn) {
+    telemetry::MetricsRegistry reg;
+    env.bench->collectMetrics(reg, env.fs.get());
+    workload::exportTo(r, reg);
+    out << reg.renderTable();
+  }
+  if (const auto outPath = args.get("--out")) {
+    std::ofstream of(*outPath, std::ios::binary | std::ios::trunc);
+    if (!of) {
+      err << "error: cannot write " << *outPath << "\n";
+      return 1;
+    }
+    of << workload::toJsonl(r);
+    out << "wrote " << *outPath << "\n";
+  }
+  return 0;
+}
+
 namespace {
 
 int oracleList(std::ostream& out) {
@@ -769,6 +862,7 @@ int run(const ArgParser& args, std::ostream& out, std::ostream& err) {
     if (cmd == "sweep") return cmdSweep(args, out, err);
     if (cmd == "chaos") return cmdChaos(args, out, err);
     if (cmd == "workload") return cmdWorkload(args, out, err);
+    if (cmd == "scale") return cmdScale(args, out, err);
     if (cmd == "oracle") return cmdOracle(args, out, err);
     if (cmd == "trace") return cmdTrace(args, out, err);
     if (cmd == "stats") return cmdStats(args, out, err);

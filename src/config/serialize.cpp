@@ -446,6 +446,8 @@ JsonValue toJson(const IorConfig& c) {
   o["stonewallSeconds"] = c.stonewallSeconds;
   o["nodes"] = static_cast<double>(c.nodes);
   o["procsPerNode"] = static_cast<double>(c.procsPerNode);
+  // Emitted only when aggregating, so legacy configs serialize unchanged.
+  if (c.clientsPerRank != 1) o["clientsPerRank"] = static_cast<double>(c.clientsPerRank);
   o["repetitions"] = static_cast<double>(c.repetitions);
   o["mode"] = std::string(c.mode == IorConfig::Mode::Coalesced ? "coalesced" : "per-op");
   o["noiseStdDevFrac"] = c.noiseStdDevFrac;
@@ -465,6 +467,7 @@ bool fromJson(const JsonValue& j, IorConfig& out) {
   get(j, "stonewallSeconds", out.stonewallSeconds);
   get(j, "nodes", out.nodes);
   get(j, "procsPerNode", out.procsPerNode);
+  get(j, "clientsPerRank", out.clientsPerRank);
   get(j, "repetitions", out.repetitions);
   if (const JsonValue* v = j.find("mode"); v && v->isString()) {
     if (*v->str() == "coalesced") out.mode = IorConfig::Mode::Coalesced;

@@ -26,7 +26,9 @@ void ClientSession::submitAttempt(const IoRequest& req, std::size_t attempt, Sim
                                   std::shared_ptr<IoCallback> done) {
   Simulator& sim = *retrySim_;
   // One settle flag per attempt: whichever of {completion, timeout}
-  // fires first wins; the loser sees the flag and backs off.
+  // fires first wins; the loser sees the flag and backs off. A flow
+  // class (req.members > 1) shares one flag, one timer and one counter
+  // increment across all its members — retries are never double-billed.
   auto settled = std::make_shared<bool>(false);
 
   const EventId timer = sim.schedule(policy_.timeout, [this, req, attempt, opStart, done,

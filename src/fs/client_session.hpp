@@ -13,6 +13,13 @@
 // network — exactly the duplicate work a real timed-out-but-delivered
 // RPC costs). After `maxRetries` unsuccessful re-submissions the op
 // fails: the callback fires with IoResult::failed set and 0 bytes.
+//
+// Flow classes (hcsim::scale): a request with `members = N` is ONE op
+// of this session's stream, whatever N is. The timeout, the settled
+// flag, the backoff wait and every counter (retries, failedOps,
+// lateCompletions) operate per class op — a timed-out class re-submits
+// once and bills one retry, never N. Re-submission preserves the member
+// count, and a class of size 1 is exactly the legacy path.
 
 #include <cstdint>
 #include <functional>

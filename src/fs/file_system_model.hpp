@@ -56,6 +56,14 @@ struct IoRequest {
   /// (scalability runs coalesce a node's symmetric ranks into one flow;
   /// per-process rate ceilings are multiplied by this).
   std::uint32_t streams = 1;
+  /// Flow-class member count (hcsim::scale): this request stands for
+  /// `members` identical clients, each transferring `bytes`. Unlike
+  /// `streams` (one flow with a multiplied ceiling), a class keeps the
+  /// per-member ceiling AND claims `members` fair shares of contended
+  /// links — byte-identical to `members` symmetric clients submitting
+  /// the request concurrently (see docs/SCALE.md for the contract).
+  /// Completion reports aggregate bytes (`bytes * members`).
+  std::uint32_t members = 1;
   /// QoS weight (> 0): the share of contended links this request's
   /// traffic receives relative to other traffic (weighted max-min).
   double qosWeight = 1.0;

@@ -112,6 +112,9 @@ void StorageModelBase::launchTransfer(const IoRequest& req, Bytes bytes, const R
   spec.rateCap *= static_cast<double>(std::max<std::uint32_t>(1, req.streams)) * streamScale;
   if (req.sharedFile) spec.rateCap *= sharedFileEfficiency_;
   spec.weight = req.qosWeight;
+  // Flow-class aggregation: the cap/weight above are per member; the
+  // class transfers `bytes` per member and claims `members` fair shares.
+  spec.members = std::max<std::uint32_t>(1, req.members);
   spec.startupLatency = startupLatency;
   telemetry::Telemetry* tel = topo_.network().telemetry();
   if (tel && tel->enabled()) {

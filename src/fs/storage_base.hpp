@@ -56,7 +56,10 @@ class StorageModelBase : public FileSystemModel {
   /// of size bytes/ops each). The cap is multiplied by req.streams and by
   /// `streamScale` — a split request (e.g. the cache-hit portion of a
   /// read) passes its byte fraction so the portions share, not double,
-  /// the per-process ceiling. Completion invokes `cb` with an IoResult.
+  /// the per-process ceiling. req.members > 1 launches a flow class:
+  /// `bytes` per member under the per-member cap, with `members` fair
+  /// shares of contended links (hcsim::scale). Completion invokes `cb`
+  /// with an IoResult carrying the aggregate bytes.
   void launchTransfer(const IoRequest& req, Bytes bytes, const Route& route, Bandwidth streamCap,
                       Seconds perOpOverhead, Seconds startupLatency, IoCallback cb,
                       double streamScale = 1.0);

@@ -169,8 +169,9 @@ void GpfsModel::submit(const IoRequest& req, IoCallback cb) {
   // traffic causes at the NSD pool.
   Seconds stall = 0.0;
   if (inPhase() && req.client.node >= phase().nodes) {
-    backgroundInFlight_ += req.bytes;
-    cb = [this, bytes = req.bytes, inner = std::move(cb)](const IoResult& r) {
+    // A flow class is `members` background tenants' worth of bytes.
+    backgroundInFlight_ += req.bytes * req.members;
+    cb = [this, bytes = req.bytes * req.members, inner = std::move(cb)](const IoResult& r) {
       backgroundInFlight_ -= bytes;
       if (inner) inner(r);
     };
@@ -202,7 +203,9 @@ void GpfsModel::submit(const IoRequest& req, IoCallback cb) {
   // flows whose completion the slower portion dominates, makes aggregate
   // bandwidth degrade smoothly as the working set outgrows the resident
   // cache core. Single-op requests resolve the draw individually.
-  const double hit = req.ops <= 1 ? (rng().uniform() < hitRatio_ ? 1.0 : 0.0) : hitRatio_;
+  const double hit = req.ops <= 1 && req.members <= 1
+                         ? (rng().uniform() < hitRatio_ ? 1.0 : 0.0)
+                         : hitRatio_;
   Seconds perOp = perOpBase;
   if (hit < 1.0) {
     route.push_back(deviceLink_);  // misses fall through to the RAID pool

@@ -15,6 +15,7 @@ void IorConfig::validate() const {
   if (nodes == 0 || procsPerNode == 0) {
     throw std::invalid_argument("IorConfig: nodes and procsPerNode must be > 0");
   }
+  if (clientsPerRank == 0) throw std::invalid_argument("IorConfig: clientsPerRank must be > 0");
   if (repetitions == 0) throw std::invalid_argument("IorConfig: repetitions must be > 0");
   if (noiseStdDevFrac < 0.0) throw std::invalid_argument("IorConfig: noise must be >= 0");
   if (stonewallSeconds < 0.0) {

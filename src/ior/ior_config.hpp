@@ -37,6 +37,11 @@ struct IorConfig {
   Seconds stonewallSeconds = 0.0;
   std::size_t nodes = 1;
   std::size_t procsPerNode = 1;
+  /// Flow-class aggregation (hcsim::scale): every rank's requests carry
+  /// this many members — each simulated proc stands for clientsPerRank
+  /// identical colocated clients, and the phase declares the multiplied
+  /// population. 1 = legacy per-proc streams, byte-identically.
+  std::size_t clientsPerRank = 1;
   std::size_t repetitions = 1;  ///< paper repeats every test 10x
   Mode mode = Mode::Coalesced;
   /// Multiplicative run-to-run variability of a *shared* production

@@ -167,7 +167,10 @@ void LustreModel::submit(const IoRequest& req, IoCallback cb) {
   }
 
   // Striping bounds a single process's parallelism: one process can keep
-  // at most `stripeCount` OSTs busy.
+  // at most `stripeCount` OSTs busy. For a flow class the cap applies
+  // per member (launchTransfer keeps it per-member and multiplies the
+  // fair share by req.members), so N aggregated clients saturate exactly
+  // what N explicit processes would.
   const Bandwidth stripeCap = static_cast<double>(cfg_.stripeCount) * cfg_.ossBandwidth;
 
   launchTransfer(req, req.bytes, route, stripeCap, pipelined + serial,

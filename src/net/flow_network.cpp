@@ -1,6 +1,7 @@
 #include "net/flow_network.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
@@ -87,12 +88,16 @@ FlowId FlowNetwork::startFlow(const FlowSpec& spec,
   if (!(spec.weight > 0.0)) {
     throw std::invalid_argument("FlowNetwork: flow weight must be > 0");
   }
+  if (spec.members == 0) {
+    throw std::invalid_argument("FlowNetwork: flow class must have >= 1 member");
+  }
   const FlowId id = nextFlowId_++;
   ActiveFlow flow;
   flow.id = id;
   flow.route = spec.route;
   flow.rateCap = spec.rateCap;
   flow.weight = spec.weight;
+  flow.members = spec.members;
   flow.remaining = static_cast<double>(spec.bytes);
   flow.totalBytes = spec.bytes;
   flow.startTime = sim_.now();
@@ -100,7 +105,8 @@ FlowId FlowNetwork::startFlow(const FlowSpec& spec,
 
   if (tel_ && tel_->enabled()) {
     flow.spanIdx = tel_->beginSpan(spec.spanName.empty() ? "flow" : spec.spanName, spec.spanPid,
-                                   spec.spanTid, flow.startTime, static_cast<double>(spec.bytes));
+                                   spec.spanTid, flow.startTime,
+                                   static_cast<double>(spec.bytes) * spec.members);
     if (spec.startupLatency > 0.0) {
       tel_->accrue(flow.spanIdx, tel_->stageId("startup"), spec.startupLatency, 0.0);
     }
@@ -120,7 +126,8 @@ void FlowNetwork::activate(ActiveFlow flow) {
   if (flow.remaining <= kByteEpsilon) {
     // Zero-byte flow: completes as soon as its startup latency elapsed.
     if (tel_ && flow.spanIdx != telemetry::kNoSpan) tel_->endSpan(flow.spanIdx, sim_.now());
-    FlowCompletion done{flow.id, flow.totalBytes, flow.startTime, sim_.now()};
+    FlowCompletion done{flow.id, flow.totalBytes * flow.members, flow.members, flow.startTime,
+                        sim_.now()};
     auto cb = std::move(flow.onComplete);
     if (cb) cb(done);
     return;
@@ -147,11 +154,14 @@ void FlowNetwork::advanceProgress() {
   for (auto& [id, f] : active_) {
     const SimTime dt = now - f.lastUpdate;
     if (dt > 0.0 && f.rate > 0.0) {
+      // Per-member progress; links carry the aggregate (x members — exact
+      // x1.0 for singletons, so the legacy path is bit-identical).
       const double moved = std::min(f.remaining, f.rate * dt);
       f.remaining -= moved;
-      for (LinkId lid : f.route) links_[lid.value].bytesCarried += moved;
+      const double carried = moved * static_cast<double>(f.members);
+      for (LinkId lid : f.route) links_[lid.value].bytesCarried += carried;
       if (tel && f.spanIdx != telemetry::kNoSpan) {
-        tel->accrue(f.spanIdx, bottleneckStage(*tel, f), dt, moved);
+        tel->accrue(f.spanIdx, bottleneckStage(*tel, f), dt, carried);
       }
     }
     f.lastUpdate = now;
@@ -159,9 +169,34 @@ void FlowNetwork::advanceProgress() {
 }
 
 void FlowNetwork::computeMaxMinRates() {
-  // Weighted progressive filling: raise every unfrozen flow's rate in
-  // proportion to its weight; freeze flows when a shared link saturates
-  // or the flow hits its cap.
+  // Signature ordering for the hierarchical solve: flows with the same
+  // route, per-member rate cap and per-member weight are interchangeable
+  // to progressive filling, so they solve as one group. Doubles compare
+  // by bit pattern — the group key must be exact, not tolerant.
+  const auto sameSignature = [](const ActiveFlow* a, const ActiveFlow* b) {
+    return a->route == b->route &&
+           std::bit_cast<std::uint64_t>(a->rateCap) == std::bit_cast<std::uint64_t>(b->rateCap) &&
+           std::bit_cast<std::uint64_t>(a->weight) == std::bit_cast<std::uint64_t>(b->weight);
+  };
+  const auto signatureLess = [](const ActiveFlow* a, const ActiveFlow* b) {
+    if (a->route != b->route) {
+      return std::lexicographical_compare(
+          a->route.begin(), a->route.end(), b->route.begin(), b->route.end(),
+          [](LinkId x, LinkId y) { return x.value < y.value; });
+    }
+    const auto capA = std::bit_cast<std::uint64_t>(a->rateCap);
+    const auto capB = std::bit_cast<std::uint64_t>(b->rateCap);
+    if (capA != capB) return capA < capB;
+    return std::bit_cast<std::uint64_t>(a->weight) < std::bit_cast<std::uint64_t>(b->weight);
+  };
+
+  // Hierarchical weighted progressive filling: flows sharing a signature
+  // (route, per-member cap, per-member weight) are interchangeable, so
+  // they fill as ONE group whose link weight is `weight x members`. This
+  // is what makes a flow class of N members byte-identical to N
+  // coexisting singleton flows: both present the same group to the
+  // solver, the same per-unit-weight deltas come out, and the analytic
+  // within-group split is "every member gets weight x delta".
   std::vector<double> headroom(links_.size());
   std::vector<double> unfrozenWeightOnLink(links_.size(), 0.0);
   for (std::size_t i = 0; i < links_.size(); ++i) {
@@ -174,19 +209,59 @@ void FlowNetwork::computeMaxMinRates() {
     f.rate = 0.0;
     f.bottleneck = kFrozenByNone;
     flows.push_back(&f);
-    for (LinkId lid : f.route) unfrozenWeightOnLink[lid.value] += f.weight;
   }
-  // Deterministic iteration independent of hash-map order.
+  // Deterministic iteration independent of hash-map order: signature
+  // first (so groups are contiguous), flow id within a signature.
   std::sort(flows.begin(), flows.end(),
-            [](const ActiveFlow* a, const ActiveFlow* b) { return a->id < b->id; });
+            [&sameSignature, &signatureLess](const ActiveFlow* a, const ActiveFlow* b) {
+              if (!sameSignature(a, b)) return signatureLess(a, b);
+              return a->id < b->id;
+            });
 
-  std::vector<bool> frozen(flows.size(), false);
-  std::size_t unfrozen = flows.size();
+  // One solver entry per signature group. `rate` is per member; `weight`
+  // (= per-member weight x total members) is the group's claim on links.
+  struct Group {
+    ActiveFlow* rep = nullptr;  // lowest-id member (route/cap/weight source)
+    std::size_t first = 0;      // [first, last) range in `flows`
+    std::size_t last = 0;
+    double weight = 0.0;        // per-member weight x members
+    double rate = 0.0;          // per member
+    std::uint32_t bottleneck = kFrozenByNone;
+  };
+  std::vector<Group> groups;
+  groups.reserve(flows.size());
+  for (std::size_t i = 0; i < flows.size();) {
+    std::size_t j = i;
+    std::uint64_t members = 0;
+    ActiveFlow* rep = flows[i];
+    while (j < flows.size() && sameSignature(flows[i], flows[j])) {
+      members += flows[j]->members;
+      if (flows[j]->id < rep->id) rep = flows[j];
+      ++j;
+    }
+    Group g;
+    g.rep = rep;
+    g.first = i;
+    g.last = j;
+    g.weight = rep->weight * static_cast<double>(members);
+    groups.push_back(g);
+    i = j;
+  }
+  // Fill in ascending lowest-member-id order — for all-singleton sets
+  // this is exactly the legacy per-flow id order.
+  std::sort(groups.begin(), groups.end(),
+            [](const Group& a, const Group& b) { return a.rep->id < b.rep->id; });
+  for (const Group& g : groups) {
+    for (LinkId lid : g.rep->route) unfrozenWeightOnLink[lid.value] += g.weight;
+  }
 
-  // Each round freezes at least one flow, so rounds are bounded; guard
+  std::vector<bool> frozen(groups.size(), false);
+  std::size_t unfrozen = groups.size();
+
+  // Each round freezes at least one group, so rounds are bounded; guard
   // against regressions that would otherwise spin silently.
   std::size_t rounds = 0;
-  const std::size_t maxRounds = flows.size() + links_.size() + 2;
+  const std::size_t maxRounds = groups.size() + links_.size() + 2;
 
   while (unfrozen > 0) {
     if (++rounds > maxRounds) {
@@ -199,41 +274,42 @@ void FlowNetwork::computeMaxMinRates() {
         delta = std::min(delta, headroom[i] / unfrozenWeightOnLink[i]);
       }
     }
-    // ... and by per-flow caps (a flow gains weight*delta per step).
-    for (std::size_t i = 0; i < flows.size(); ++i) {
+    // ... and by per-member caps (each member gains weight*delta per step).
+    for (std::size_t i = 0; i < groups.size(); ++i) {
       if (!frozen[i]) {
-        delta = std::min(delta, (flows[i]->rateCap - flows[i]->rate) / flows[i]->weight);
+        delta = std::min(delta, (groups[i].rep->rateCap - groups[i].rate) / groups[i].rep->weight);
       }
     }
     if (!std::isfinite(delta)) {
-      // No route constraints at all: every unfrozen flow is capped only by
-      // its rateCap, which must be infinite here. Treat as unbounded —
+      // No route constraints at all: every unfrozen group is capped only
+      // by its rateCap, which must be infinite here. Treat as unbounded —
       // physically this means "completes at startup latency"; give them a
       // huge but finite rate so completion times stay representable.
       delta = 1e18;
     }
     if (delta < 0.0) delta = 0.0;
 
-    for (std::size_t i = 0; i < flows.size(); ++i) {
+    for (std::size_t i = 0; i < groups.size(); ++i) {
       if (frozen[i]) continue;
-      const double gain = delta * flows[i]->weight;
-      flows[i]->rate += gain;
-      for (LinkId lid : flows[i]->route) headroom[lid.value] -= gain;
+      const double gain = delta * groups[i].rep->weight;  // per member
+      groups[i].rate += gain;
+      const double claimed = delta * groups[i].weight;  // whole group
+      for (LinkId lid : groups[i].rep->route) headroom[lid.value] -= claimed;
     }
 
-    // Freeze: capped flows first, then flows crossing a saturated link.
+    // Freeze: capped groups first, then groups crossing a saturated link.
     std::size_t newlyFrozen = 0;
-    for (std::size_t i = 0; i < flows.size(); ++i) {
+    for (std::size_t i = 0; i < groups.size(); ++i) {
       if (frozen[i]) continue;
-      bool freeze = flows[i]->rate >= flows[i]->rateCap - 1e-12;
+      bool freeze = groups[i].rate >= groups[i].rep->rateCap - 1e-12;
       if (freeze) {
-        flows[i]->bottleneck = kFrozenByCap;
+        groups[i].bottleneck = kFrozenByCap;
       } else {
-        for (LinkId lid : flows[i]->route) {
+        for (LinkId lid : groups[i].rep->route) {
           if (headroom[lid.value] <=
               1e-9 * links_[lid.value].capacity * links_[lid.value].health + 1e-12) {
             freeze = true;
-            flows[i]->bottleneck = lid.value;
+            groups[i].bottleneck = lid.value;
             break;
           }
         }
@@ -241,20 +317,31 @@ void FlowNetwork::computeMaxMinRates() {
       if (freeze) {
         frozen[i] = true;
         ++newlyFrozen;
-        for (LinkId lid : flows[i]->route) unfrozenWeightOnLink[lid.value] -= flows[i]->weight;
+        for (LinkId lid : groups[i].rep->route) unfrozenWeightOnLink[lid.value] -= groups[i].weight;
       }
     }
     unfrozen -= newlyFrozen;
     if (newlyFrozen == 0) {
       // delta == 0 with nothing to freeze can only happen on degenerate
       // zero-capacity links; freeze everything to guarantee termination.
-      for (std::size_t i = 0; i < flows.size(); ++i) {
+      for (std::size_t i = 0; i < groups.size(); ++i) {
         if (!frozen[i]) {
           frozen[i] = true;
-          for (LinkId lid : flows[i]->route) unfrozenWeightOnLink[lid.value] -= flows[i]->weight;
+          for (LinkId lid : groups[i].rep->route) {
+            unfrozenWeightOnLink[lid.value] -= groups[i].weight;
+          }
         }
       }
       unfrozen = 0;
+    }
+  }
+
+  // Within-group split: every member flow of a group runs at the group's
+  // per-member rate with the group's bottleneck attribution.
+  for (const Group& g : groups) {
+    for (std::size_t i = g.first; i < g.last; ++i) {
+      flows[i]->rate = g.rate;
+      flows[i]->bottleneck = g.bottleneck;
     }
   }
 }
@@ -320,18 +407,26 @@ void FlowNetwork::finish(FlowId id) {
   active_.erase(it);
   // Account any residue (float rounding) as carried.
   if (f.remaining > 0.0) {
-    for (LinkId lid : f.route) links_[lid.value].bytesCarried += f.remaining;
+    const double residue = f.remaining * static_cast<double>(f.members);
+    for (LinkId lid : f.route) links_[lid.value].bytesCarried += residue;
     f.remaining = 0.0;
   }
   if (tel_ && f.spanIdx != telemetry::kNoSpan) tel_->endSpan(f.spanIdx, sim_.now());
-  FlowCompletion done{f.id, f.totalBytes, f.startTime, sim_.now()};
+  FlowCompletion done{f.id, f.totalBytes * f.members, f.members, f.startTime, sim_.now()};
   rebalance();
   if (f.onComplete) f.onComplete(done);
 }
 
 Bandwidth FlowNetwork::flowRate(FlowId id) const {
   const auto it = active_.find(id);
-  return it == active_.end() ? 0.0 : it->second.rate;
+  if (it == active_.end()) return 0.0;
+  return it->second.rate * static_cast<double>(it->second.members);
+}
+
+std::uint64_t FlowNetwork::activeMembers() const {
+  std::uint64_t total = 0;
+  for (const auto& [id, f] : active_) total += f.members;
+  return total;
 }
 
 std::vector<LinkStats> FlowNetwork::linkStats() const {
@@ -339,7 +434,8 @@ std::vector<LinkStats> FlowNetwork::linkStats() const {
   out.reserve(links_.size());
   std::vector<Bandwidth> alloc(links_.size(), 0.0);
   for (const auto& [id, f] : active_) {
-    for (LinkId lid : f.route) alloc[lid.value] += f.rate;
+    const double aggregate = f.rate * static_cast<double>(f.members);
+    for (LinkId lid : f.route) alloc[lid.value] += aggregate;
   }
   for (std::size_t i = 0; i < links_.size(); ++i) {
     // Report the *effective* capacity so degraded links show up in

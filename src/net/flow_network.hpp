@@ -26,6 +26,23 @@
 // the skipped correction in `etaDrift`; once the accrued drift exceeds
 // its budget the completion is re-anchored, so error cannot accumulate
 // across many small rebalances.
+//
+// ## Flow classes (hcsim::scale)
+//
+// A flow launched with `members = N` is a *flow class*: N statistically
+// identical member flows collapsed into one entry. `bytes`, `rateCap`
+// and `weight` are all PER MEMBER; the class occupies one heap event and
+// one ActiveFlow however large N is, so memory and rebalance cost are
+// flat in the member count. The solver is hierarchical: progressive
+// filling runs over *signature groups* (same route, rate cap and
+// weight), each weighted by `weight x total members`, and the resulting
+// per-unit-weight share is the analytic within-class split — every
+// member of a class receives the same per-member rate a standalone flow
+// with that signature would. Because explicit flows are grouped by the
+// same rule, a class of N members is byte-identical to N coexisting
+// singleton flows of the same signature (see docs/SCALE.md for the
+// exactness contract). FlowCompletion reports aggregate bytes
+// (per-member bytes x members).
 
 #include <cstdint>
 #include <functional>
@@ -54,6 +71,11 @@ struct FlowSpec {
   /// QoS weight (> 0): progressive filling raises rates in proportion
   /// to weight, so two flows sharing a link split it weight-wise.
   double weight = 1.0;
+  /// Flow-class member count (>= 1): this spec stands for `members`
+  /// statistically identical flows. bytes/rateCap/weight are per member;
+  /// the class claims `weight * members` of contended links and its
+  /// completion reports `bytes * members` aggregate payload.
+  std::uint32_t members = 1;
   /// Telemetry span identity — only consulted when the network's
   /// Telemetry sink is attached and enabled. Empty name = "flow".
   std::string spanName;
@@ -63,7 +85,8 @@ struct FlowSpec {
 
 struct FlowCompletion {
   FlowId id = 0;
-  Bytes bytes = 0;
+  Bytes bytes = 0;          ///< aggregate: per-member bytes x members
+  std::uint32_t members = 1;
   SimTime startTime = 0.0;  ///< when startFlow() was called
   SimTime endTime = 0.0;    ///< when the last byte arrived
 };
@@ -117,10 +140,16 @@ class FlowNetwork {
   /// time the final byte arrives.
   FlowId startFlow(const FlowSpec& spec, std::function<void(const FlowCompletion&)> onComplete);
 
-  /// Number of flows currently transferring (activated, not finished).
+  /// Number of flow entries currently transferring (a class of any
+  /// member count is one entry — this is the memory/rebalance footprint).
   std::size_t activeFlows() const { return active_.size(); }
 
-  /// Current max-min rate of an active flow (0 if unknown/finished).
+  /// Total member flows in flight (sum of `members` over active entries).
+  std::uint64_t activeMembers() const;
+
+  /// Current aggregate max-min rate of an active flow — per-member rate
+  /// x members (0 if unknown/finished). Equals the per-member rate for
+  /// singleton flows.
   Bandwidth flowRate(FlowId id) const;
 
   /// Completion re-ratings performed since construction (fresh schedules
@@ -146,13 +175,14 @@ class FlowNetwork {
   struct ActiveFlow {
     FlowId id = 0;
     Route route;
-    Bandwidth rateCap = 0.0;
-    double weight = 1.0;
-    double remaining = 0.0;  // bytes left (double: fractional progress)
-    Bytes totalBytes = 0;
+    Bandwidth rateCap = 0.0;   // per member
+    double weight = 1.0;       // per member
+    std::uint32_t members = 1; // member flows this entry aggregates
+    double remaining = 0.0;  // bytes left PER MEMBER (double: fractional progress)
+    Bytes totalBytes = 0;    // per member
     SimTime startTime = 0.0;
     SimTime lastUpdate = 0.0;
-    Bandwidth rate = 0.0;
+    Bandwidth rate = 0.0;  // per member (aggregate = rate * members)
     SimTime scheduledEta = -1.0;   // absolute time of the scheduled completion
     std::uint64_t rateEpoch = 0;   // completion re-ratings of this flow
     double etaDrift = 0.0;         // accrued |skipped completion moves| since last re-anchor
@@ -172,7 +202,11 @@ class FlowNetwork {
   /// Recompute the max-min fair allocation and (re)schedule completions.
   void rebalance();
 
-  /// Progressive filling over the current active set; fills `rate` fields.
+  /// Hierarchical progressive filling over the current active set:
+  /// flows are grouped by signature (route, rate cap, weight), each
+  /// group weighted by `weight x total members`, and the solved
+  /// per-unit-weight share is written back as every member's rate. Fills
+  /// `rate` and `bottleneck` fields.
   void computeMaxMinRates();
 
   void activate(ActiveFlow flow);

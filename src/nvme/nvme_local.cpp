@@ -180,7 +180,8 @@ void NvmeLocalModel::submit(const IoRequest& req, IoCallback cb) {
   }
 
   if (!rd && !req.fsync) {
-    st.pageCache->absorb(req.bytes, simulator().now());
+    // A flow class dirties every member's payload in the page cache.
+    st.pageCache->absorb(req.bytes * req.members, simulator().now());
   }
 
   launchTransfer(req, req.bytes, route, kUncapped, perOp, cfg_.syscallLatency, std::move(cb));

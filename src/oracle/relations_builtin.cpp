@@ -695,6 +695,136 @@ void addWorkloadRelations(RelationRegistry& reg) {
   }
 }
 
+/// Base config for the scale relations: an open-loop population on
+/// Lassen/VAST expressed as flow classes. nconnect is pinned to 1 so
+/// every rank mounts over the same session path — the precondition for
+/// partition invariance to be byte-exact (procs otherwise hash to
+/// different CNode routes). clientsPerRank > 1 on every variant keeps
+/// VAST reads on the deterministic fractional cache split.
+JsonValue scaleOpenloopBase(std::uint64_t seed) {
+  JsonObject w;
+  w["generator"] = "openloop";
+  w["clients"] = 1.0;
+  w["clientsPerNode"] = 1.0;
+  w["clientsPerRank"] = 12.0;
+  w["sharedStream"] = true;
+  w["ratePerClientHz"] = 10.0;
+  w["horizonSec"] = 3.0;
+  w["objects"] = 128.0;
+  w["zipfTheta"] = seed % 2 == 0 ? 0.99 : 0.6;
+  w["objectBytes"] = 4.0 * 1024 * 1024;
+  w["requestBytes"] = 128.0 * 1024;
+  w["readFraction"] = 0.9;
+  w["seed"] = static_cast<double>(seed % 1000);
+  JsonObject storage;
+  storage["nconnect"] = 1.0;
+  JsonObject root;
+  root["name"] = "oracle-scale";
+  root["site"] = "lassen";
+  root["storage"] = "vast";
+  root["storageConfig"] = JsonValue(std::move(storage));
+  root["workload"] = JsonValue(std::move(w));
+  return JsonValue(std::move(root));
+}
+
+void addScaleRelations(RelationRegistry& reg) {
+  {
+    MetamorphicRelation r;
+    r.name = "scale.class-partition-invariance";
+    r.storage = "vast";
+    r.experiment = "workload";
+    r.kind = RelationKind::Determinism;
+    r.claim = "a flow class is a pure aggregation: splitting a shared-stream "
+              "class of 2N members into two classes of N (same total "
+              "population, same arrival draws) changes no metric, down to the "
+              "per-op latency percentiles";
+    r.generate = [](std::uint64_t seed) {
+      // The same 12- or 24-client population expressed as 1, 2 and 4
+      // classes. clientsPerNode tracks clients so every variant keeps
+      // one node and an identical phase population (clientsPerNode *
+      // clientsPerRank is constant).
+      const double total = seed % 2 == 0 ? 12.0 : 24.0;
+      RelationCase c;
+      c.base = scaleOpenloopBase(seed);
+      for (double classes : {1.0, 2.0, 4.0}) {
+        JsonValue cfg = sweep::deepCopy(c.base);
+        sweep::jsonPathSet(cfg, "workload.clients", JsonValue(classes));
+        sweep::jsonPathSet(cfg, "workload.clientsPerNode", JsonValue(classes));
+        sweep::jsonPathSet(cfg, "workload.clientsPerRank", JsonValue(total / classes));
+        c.variants.push_back(std::move(cfg));
+      }
+      return c;
+    };
+    r.verdict = [](const RelationCase&, const std::vector<TrialMetrics>& m) {
+      for (std::size_t i = 1; i < m.size(); ++i) {
+        if (m[i].meanGBs == m[0].meanGBs && m[i].bytesMoved == m[0].bytesMoved &&
+            m[i].elapsedSec == m[0].elapsedSec && m[i].opCount == m[0].opCount &&
+            m[i].opP50 == m[0].opP50 && m[i].opP99 == m[0].opP99) {
+          continue;
+        }
+        std::ostringstream os;
+        os << "partitioning the population into " << (i == 1 ? 2 : 4)
+           << " classes changed the run: " << m[0].meanGBs << " vs " << m[i].meanGBs
+           << " GB/s (bytes " << m[0].bytesMoved << " vs " << m[i].bytesMoved << ", p50 "
+           << m[0].opP50 << " vs " << m[i].opP50 << ")";
+        return CaseVerdict{false, os.str()};
+      }
+      return CaseVerdict{};
+    };
+    reg.add(std::move(r));
+  }
+  {
+    MetamorphicRelation r;
+    r.name = "scale.client-count-monotone";
+    r.storage = "vast";
+    r.experiment = "workload";
+    r.kind = RelationKind::Monotonic;
+    r.axis = "workload.clientsPerRank";
+    r.integerAxis = true;
+    r.slack = 0.07;
+    r.claim = "adding clients to a class never shrinks the system: aggregate "
+              "goodput is non-decreasing in the member count (it saturates at "
+              "capacity), while the per-client share is non-increasing (fair "
+              "shares dilute, they are never minted)";
+    r.generate = [](std::uint64_t seed) {
+      RelationCase c;
+      c.base = scaleOpenloopBase(seed);
+      sweep::jsonPathSet(c.base, "workload.clients", JsonValue(4.0));
+      sweep::jsonPathSet(c.base, "workload.clientsPerNode", JsonValue(4.0));
+      c.axis = "workload.clientsPerRank";
+      c.axisValues = {2.0, 8.0, 32.0, 128.0};
+      for (double members : c.axisValues) {
+        JsonValue cfg = sweep::deepCopy(c.base);
+        sweep::jsonPathSet(cfg, "workload.clientsPerRank", JsonValue(members));
+        c.variants.push_back(std::move(cfg));
+      }
+      return c;
+    };
+    r.verdict = [](const RelationCase& c, const std::vector<TrialMetrics>& m) {
+      for (std::size_t i = 0; i + 1 < m.size(); ++i) {
+        if (m[i + 1].meanGBs < m[i].meanGBs * (1.0 - 0.07)) {
+          std::ostringstream os;
+          os << "aggregate goodput drops along '" << c.axis << "': " << m[i].meanGBs
+             << " GB/s at " << c.axisValues[i] << " members -> " << m[i + 1].meanGBs
+             << " GB/s at " << c.axisValues[i + 1];
+          return CaseVerdict{false, os.str()};
+        }
+        const double shareA = m[i].meanGBs / c.axisValues[i];
+        const double shareB = m[i + 1].meanGBs / c.axisValues[i + 1];
+        if (shareB > shareA * (1.0 + 0.07)) {
+          std::ostringstream os;
+          os << "per-client share grows along '" << c.axis << "': " << shareA
+             << " GB/s/client at " << c.axisValues[i] << " members -> " << shareB << " at "
+             << c.axisValues[i + 1];
+          return CaseVerdict{false, os.str()};
+        }
+      }
+      return CaseVerdict{};
+    };
+    reg.add(std::move(r));
+  }
+}
+
 }  // namespace
 
 const RelationRegistry& RelationRegistry::builtin() {
@@ -706,6 +836,7 @@ const RelationRegistry& RelationRegistry::builtin() {
     addNvmeRelations(reg);
     addChaosRelations(reg);
     addWorkloadRelations(reg);
+    addScaleRelations(reg);
     return reg;
   }();
   return registry;

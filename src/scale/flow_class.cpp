@@ -1,0 +1,150 @@
+#include "scale/flow_class.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "telemetry/metrics_registry.hpp"
+
+namespace hcsim::scale {
+
+void DemandModel::validate() const {
+  if (sigma < 0.0) throw std::invalid_argument("DemandModel: sigma must be >= 0");
+  if (theta < 0.0) throw std::invalid_argument("DemandModel: theta must be >= 0");
+}
+
+double normalQuantile(double p) {
+  if (!(p > 0.0) || !(p < 1.0)) {
+    throw std::invalid_argument("normalQuantile: p must be in (0, 1)");
+  }
+  // Acklam's rational approximation: central region plus two tails.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double pLow = 0.02425;
+  if (p < pLow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > 1.0 - pLow) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+std::vector<double> demandMultipliers(const DemandModel& model, std::size_t n) {
+  model.validate();
+  if (n == 0) return {};
+  std::vector<double> m(n, 1.0);
+  switch (model.kind) {
+    case DemandKind::Uniform:
+      return m;  // all-ones, bitwise: a degenerate model is a no-op
+    case DemandKind::Lognormal: {
+      if (model.sigma == 0.0) return m;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double p = (static_cast<double>(i) + 0.5) / static_cast<double>(n);
+        m[i] = std::exp(model.sigma * normalQuantile(p));
+      }
+      break;
+    }
+    case DemandKind::Zipf: {
+      if (model.theta == 0.0) return m;
+      // Ascending: the lightest member first, matching the lognormal
+      // mid-quantile ordering.
+      for (std::size_t i = 0; i < n; ++i) {
+        m[i] = std::pow(static_cast<double>(n - i), -model.theta);
+      }
+      break;
+    }
+  }
+  double sum = 0.0;
+  for (double v : m) sum += v;
+  const double norm = static_cast<double>(n) / sum;
+  for (double& v : m) v *= norm;
+  return m;
+}
+
+double weightedPercentile(const std::vector<WeightedSample>& samples, double q) {
+  std::uint64_t total = 0;
+  for (const WeightedSample& s : samples) total += s.count;
+  if (total == 0) return 0.0;
+  if (total == 1) {
+    for (const WeightedSample& s : samples) {
+      if (s.count > 0) return s.value;
+    }
+  }
+  // Index into the expanded multiset exactly as percentileSorted does
+  // on the expanded vector.
+  const double clamped = std::clamp(q, 0.0, 100.0);
+  const double rank = clamped / 100.0 * static_cast<double>(total - 1);
+  const auto lo = static_cast<std::uint64_t>(rank);
+  const std::uint64_t hi = std::min(lo + 1, total - 1);
+  const double frac = rank - static_cast<double>(lo);
+
+  double vLo = 0.0;
+  double vHi = 0.0;
+  std::uint64_t seen = 0;
+  for (const WeightedSample& s : samples) {
+    const std::uint64_t first = seen;
+    seen += s.count;
+    if (lo >= first && lo < seen) vLo = s.value;
+    if (hi >= first && hi < seen) {
+      vHi = s.value;
+      break;
+    }
+  }
+  return vLo + (vHi - vLo) * frac;
+}
+
+Summary demultiplex(std::vector<WeightedSample> samples) {
+  Summary out;
+  std::erase_if(samples, [](const WeightedSample& s) { return s.count == 0; });
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end(),
+            [](const WeightedSample& a, const WeightedSample& b) { return a.value < b.value; });
+
+  std::uint64_t total = 0;
+  double sum = 0.0;
+  for (const WeightedSample& s : samples) {
+    total += s.count;
+    sum += s.value * static_cast<double>(s.count);
+  }
+  out.count = static_cast<std::size_t>(total);
+  out.min = samples.front().value;
+  out.max = samples.back().value;
+  out.mean = sum / static_cast<double>(total);
+  if (total > 1) {
+    double m2 = 0.0;
+    for (const WeightedSample& s : samples) {
+      const double d = s.value - out.mean;
+      m2 += d * d * static_cast<double>(s.count);
+    }
+    out.stddev = std::sqrt(m2 / static_cast<double>(total - 1));
+  }
+  out.p50 = weightedPercentile(samples, 50.0);
+  out.p95 = weightedPercentile(samples, 95.0);
+  out.p99 = weightedPercentile(samples, 99.0);
+  return out;
+}
+
+void exportTo(const ClassStats& stats, telemetry::MetricsRegistry& reg) {
+  reg.gauge("scale.classes", static_cast<double>(stats.classes));
+  reg.gauge("scale.clientsPerClass", stats.clientsPerClass());
+  reg.gauge("scale.clientsTotal", static_cast<double>(stats.clientsTotal));
+}
+
+}  // namespace hcsim::scale

@@ -1,0 +1,112 @@
+#pragma once
+// hcsim::scale — flow-class aggregation support (million-client scale).
+//
+// A *flow class* is the unit of aggregation threaded through the whole
+// stack: one FlowSpec/IoRequest with `members = N` stands for N
+// statistically identical clients sharing a route. The flow solver
+// (net/flow_network) treats the class as one group claiming N fair
+// shares, the storage models scale their side effects (page-cache
+// absorption, background bytes) by N, and the workload runner bills ops
+// and retries once per class while counting members in the aggregate
+// totals. This header holds the pieces that are *about* the aggregation
+// itself rather than any one layer:
+//
+//  * deterministic per-member demand multipliers (lognormal / Zipf),
+//    used to split a heterogeneous population into classes whose mean
+//    demand is exactly the configured per-client demand;
+//  * statistical demultiplexing — reconstructing per-client percentile
+//    summaries from per-class observations weighted by member count,
+//    with percentiles *exactly* equal to those of the expanded
+//    per-client sample vector (uniform weights reproduce
+//    hcsim::summarize byte-for-byte);
+//  * the `scale.*` telemetry gauges.
+//
+// ## Equivalence contract (pinned by tests/test_scale.cpp)
+//
+// A class of N unit-weight members is *exactly* — bitwise — equivalent
+// to N explicit symmetric clients whenever the model path is
+// deterministic (every Lustre/NVMe request; VAST/GPFS requests whose
+// phase hit ratio is degenerate 0 or 1, or whose `ops > 1` mixture path
+// applies). Paths that consume per-request RNG draws (single-op VAST/
+// GPFS cache hits) stay exact for `members <= 1` and switch to the
+// deterministic expected-value split for classes, so aggregation is
+// statistically — not sample-for-sample — equivalent there. See
+// docs/SCALE.md.
+
+#include <cstdint>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace hcsim::telemetry {
+class MetricsRegistry;
+}
+
+namespace hcsim::scale {
+
+/// How per-client demand varies across the members of a population.
+enum class DemandKind {
+  Uniform,    ///< every client demands the configured mean
+  Lognormal,  ///< multiplicative spread (sigma in log space)
+  Zipf,       ///< rank-ordered heavy tail (weight of rank r ~ r^-theta)
+};
+
+/// A deterministic demand-heterogeneity model. The multipliers it
+/// produces always average to exactly 1 (up to rounding), so the
+/// population's aggregate demand is invariant to the distribution — the
+/// shape only redistributes it across members.
+struct DemandModel {
+  DemandKind kind = DemandKind::Uniform;
+  double sigma = 0.0;  ///< Lognormal: stddev of log-demand (>= 0)
+  double theta = 0.0;  ///< Zipf: skew exponent (>= 0; 0 = uniform)
+
+  /// Throws std::invalid_argument on negative parameters.
+  void validate() const;
+};
+
+/// Inverse standard-normal CDF (Acklam's rational approximation,
+/// |relative error| < 1.2e-9 on (0, 1)). Used to place the i-th of n
+/// members at the mid-quantile (i + 0.5) / n of the demand distribution
+/// instead of sampling it, which keeps classes deterministic.
+double normalQuantile(double p);
+
+/// Per-member demand multipliers for a population of `n`, sorted
+/// ascending, normalized so their mean is exactly 1. Uniform returns
+/// all-ones (bitwise: the 1.0 literal), so a degenerate model is a
+/// no-op multiplier.
+std::vector<double> demandMultipliers(const DemandModel& model, std::size_t n);
+
+/// One observed value standing for `count` identical per-client samples
+/// (e.g. a class's per-member latency with its member count).
+struct WeightedSample {
+  double value = 0.0;
+  std::uint64_t count = 1;
+};
+
+/// Percentile of the *expanded* multiset (each value repeated `count`
+/// times) without expanding it: exactly percentileSorted() of the
+/// expansion, computed in O(k). `samples` must be sorted by value;
+/// q in [0, 100].
+double weightedPercentile(const std::vector<WeightedSample>& samples, double q);
+
+/// Reconstruct a per-client Summary from per-class observations: count/
+/// min/max/mean/stddev are the exact moments of the expanded multiset,
+/// p50/p95/p99 come from weightedPercentile. With every count == 1 the
+/// percentiles match hcsim::summarize byte-for-byte (same interpolation
+/// on the same sorted vector). `samples` need not be sorted.
+Summary demultiplex(std::vector<WeightedSample> samples);
+
+/// Aggregation shape of a run, exported as `scale.*` gauges.
+struct ClassStats {
+  std::uint64_t classes = 0;       ///< flow classes (op streams) driven
+  std::uint64_t clientsTotal = 0;  ///< sum of member counts
+
+  double clientsPerClass() const {
+    return classes > 0 ? static_cast<double>(clientsTotal) / static_cast<double>(classes) : 0.0;
+  }
+};
+
+/// Emit `scale.classes`, `scale.clientsPerClass`, `scale.clientsTotal`.
+void exportTo(const ClassStats& stats, telemetry::MetricsRegistry& reg);
+
+}  // namespace hcsim::scale

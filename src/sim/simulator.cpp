@@ -102,6 +102,7 @@ EventId Simulator::scheduleAt(SimTime t, EventFn fn) {
   slot.fn = std::move(fn);
   slot.heapPos = static_cast<std::uint32_t>(heap_.size());
   heap_.push_back(s);
+  if (heap_.size() > peakPending_) peakPending_ = heap_.size();
   siftUp(slot.heapPos);
   return EventId{(std::uint64_t{slot.gen} << 32) | (std::uint64_t{s} + 1)};
 }

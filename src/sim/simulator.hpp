@@ -115,6 +115,12 @@ class Simulator {
   /// Pending event count (cancelled events leave the queue immediately).
   std::size_t pendingEvents() const { return heap_.size(); }
 
+  /// High-water mark of pendingEvents() over the simulator's lifetime.
+  /// The scale gates use this as flat-memory evidence: a flow class of a
+  /// million members holds ONE pending completion event, so the peak
+  /// stays proportional to class count, not client count.
+  std::size_t peakPendingEvents() const { return peakPending_; }
+
   bool empty() const { return heap_.empty(); }
 
   /// Slab footprint: slots ever allocated (live + recycled). Stays flat
@@ -156,6 +162,7 @@ class Simulator {
 
   SimTime now_ = 0.0;
   std::uint64_t nextSeq_ = 1;
+  std::size_t peakPending_ = 0;
   std::uint64_t dispatched_ = 0;
   std::uint64_t scheduled_ = 0;
   std::uint64_t cancelled_ = 0;

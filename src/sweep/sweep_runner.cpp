@@ -12,6 +12,7 @@
 #include "config/serialize.hpp"
 #include "core/experiment.hpp"
 #include "net/topology.hpp"
+#include "scale/flow_class.hpp"
 #include "sweep/trial_cache.hpp"
 #include "workload/workload_spec.hpp"
 
@@ -151,7 +152,14 @@ TrialMetrics runWorkloadTrial(const JsonValue& config, const TrialOptions& opts)
   m.bytesMoved = static_cast<double>(r.bytesMoved);
   m.latencyCapable = true;
   if (!r.opLatencies.empty()) {
-    const Summary s = summarize(r.opLatencies);
+    // Flow classes (hcsim::scale): every latency entry stands for
+    // clientsPerRank clients, so demultiplex the weighted multiset —
+    // this keeps trial metrics invariant under class partitioning. At
+    // clientsPerRank == 1 the result matches summarize() byte-for-byte.
+    std::vector<scale::WeightedSample> weighted;
+    weighted.reserve(r.opLatencies.size());
+    for (double v : r.opLatencies) weighted.push_back({v, r.clientsPerRank});
+    const Summary s = scale::demultiplex(std::move(weighted));
     m.hasOpLatency = true;
     m.opCount = static_cast<double>(s.count);
     m.opP50 = s.p50;

@@ -315,9 +315,11 @@ void VastModel::submitRead(const IoRequest& req, IoCallback cb) {
 
   // Split the request into a cache-hit portion (served by DNode
   // NVRAM/SCM behind the fabric — skips the QLC pool) and a miss portion
-  // (continues to QLC).
+  // (continues to QLC). Single ops resolve the draw individually; a
+  // coalesced run — or a flow class, whose members sample the cache
+  // independently — takes the deterministic fractional split.
   Bytes hitBytes;
-  if (req.ops <= 1) {
+  if (req.ops <= 1 && req.members <= 1) {
     hitBytes = rng().uniform() < hitRatio_ ? req.bytes : 0;
   } else {
     hitBytes = static_cast<Bytes>(std::llround(static_cast<double>(req.bytes) * hitRatio_));
@@ -375,11 +377,12 @@ void VastModel::submitWrite(const IoRequest& req, IoCallback cb) {
   Route route = baseRoute(req, session);
   route.push_back(deviceWriteLink_);
 
-  scm_.absorb(req.bytes, simulator().now());
+  // A flow class absorbs every member's payload into the SCM buffer.
+  scm_.absorb(req.bytes * req.members, simulator().now());
 
   // As on the read path, each op carries the mount path's round trip.
   const Seconds rpc = cfg_.rpcLatency() + topology().network().routeLatency(route);
-  if (req.fsync && req.ops == 1) {
+  if (req.fsync && req.ops == 1 && req.members <= 1) {
     // Accurate path (used by the single-node fsync tests): transfer the
     // payload, then wait in the serialized per-CNode commit queue for the
     // stable-storage acknowledgement.

@@ -19,9 +19,12 @@ WorkloadPlan IorSource::load(const WorkloadContext& ctx) {
   plan.phase.pattern = cfg_.access;
   plan.phase.requestSize = cfg_.transferSize;
   plan.phase.nodes = static_cast<std::uint32_t>(cfg_.nodes);
-  plan.phase.procsPerNode = static_cast<std::uint32_t>(cfg_.procsPerNode);
+  // Flow classes: the phase declares the full multiplied population and
+  // every request the runner issues carries clientsPerRank members.
+  plan.clientsPerRank = static_cast<std::uint32_t>(std::max<std::size_t>(1, cfg_.clientsPerRank));
+  plan.phase.procsPerNode = static_cast<std::uint32_t>(cfg_.procsPerNode * plan.clientsPerRank);
   plan.phase.readerDiffersFromWriter = cfg_.reorderTasks;
-  plan.phase.workingSetBytes = cfg_.totalBytes();
+  plan.phase.workingSetBytes = cfg_.totalBytes() * plan.clientsPerRank;
   plan.phase.fsync = cfg_.fsyncPerWrite && !isRead(cfg_.access);
   phaseStart_ = ctx.sim != nullptr ? ctx.sim->now() : 0.0;
 

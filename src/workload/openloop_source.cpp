@@ -2,27 +2,41 @@
 
 #include <algorithm>
 
+#include "scale/flow_class.hpp"
+
 namespace hcsim::workload {
 
 WorkloadPlan OpenLoopSource::load(const WorkloadContext& ctx) {
   (void)ctx;
   zipf_ = std::make_unique<ZipfSampler>(cfg_.objects, cfg_.zipfTheta);
+  scale::DemandModel demand;
+  if (cfg_.demandSigma > 0.0) {
+    demand.kind = scale::DemandKind::Lognormal;
+    demand.sigma = cfg_.demandSigma;
+  }
+  const std::vector<double> mult = scale::demandMultipliers(demand, cfg_.clients);
   ranks_.resize(cfg_.clients);
   for (std::size_t c = 0; c < cfg_.clients; ++c) {
     RankState& st = ranks_[c];
     st.client = ClientId{static_cast<std::uint32_t>(c / cfg_.clientsPerNode),
                          static_cast<std::uint32_t>(c % cfg_.clientsPerNode)};
-    st.rng.reseed(cfg_.seed ^ ((c + 1) * 0x9e3779b97f4a7c15ull));
+    // sharedStream: every rank replays one identical arrival stream, the
+    // contract behind exact class-partition invariance (see header).
+    st.rng.reseed(cfg_.sharedStream ? cfg_.seed
+                                    : cfg_.seed ^ ((c + 1) * 0x9e3779b97f4a7c15ull));
+    st.rateHz = cfg_.ratePerClientHz * mult[c];
   }
 
   WorkloadPlan plan;
   plan.ranks = ranks_.size();
   plan.mode = DriveMode::Open;
+  plan.clientsPerRank = static_cast<std::uint32_t>(std::max<std::size_t>(1, cfg_.clientsPerRank));
   plan.collectOpLatency = true;
   plan.phase.pattern = AccessPattern::RandomRead;
   plan.phase.requestSize = cfg_.requestBytes;
   plan.phase.nodes = static_cast<std::uint32_t>(cfg_.nodes());
-  plan.phase.procsPerNode = static_cast<std::uint32_t>(cfg_.clientsPerNode);
+  plan.phase.procsPerNode =
+      static_cast<std::uint32_t>(cfg_.clientsPerNode * std::max<std::size_t>(1, cfg_.clientsPerRank));
   plan.phase.readerDiffersFromWriter = true;
   plan.phase.workingSetBytes = static_cast<Bytes>(cfg_.objects) * cfg_.objectBytes;
   plan.horizonSec = cfg_.horizonSec;
@@ -33,7 +47,7 @@ WorkloadPlan OpenLoopSource::load(const WorkloadContext& ctx) {
 
 NextStatus OpenLoopSource::next(std::size_t rank, WorkloadOp& out) {
   RankState& st = ranks_[rank];
-  const Seconds gap = st.rng.exponential(1.0 / cfg_.ratePerClientHz);
+  const Seconds gap = st.rng.exponential(1.0 / st.rateHz);
   if (st.clock + gap > cfg_.horizonSec) return NextStatus::End;
   st.clock += gap;
 

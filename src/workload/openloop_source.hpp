@@ -19,7 +19,7 @@
 namespace hcsim::workload {
 
 struct OpenLoopConfig {
-  std::size_t clients = 8;
+  std::size_t clients = 8;         ///< independent op streams (flow classes)
   std::size_t clientsPerNode = 4;  ///< maps client -> compute node
   double ratePerClientHz = 50.0;   ///< mean Poisson arrival rate
   Seconds horizonSec = 10.0;       ///< arrivals stop after this
@@ -32,9 +32,26 @@ struct OpenLoopConfig {
   /// Goodput timeline sampling interval (0 = horizon/20).
   Seconds sampleIntervalSec = 0.0;
 
+  /// Flow-class aggregation (hcsim::scale): each of the `clients` ranks
+  /// stands for this many colocated identical clients issuing in
+  /// lockstep — requests carry `members = clientsPerRank`, so
+  /// clients * clientsPerRank clients are simulated with per-class
+  /// cost. 1 = legacy per-client streams, byte-identically.
+  std::size_t clientsPerRank = 1;
+  /// All ranks draw from ONE rng stream (the raw seed, no per-rank
+  /// perturbation): every rank issues the identical arrival sequence.
+  /// This is what makes class-partition invariance exact — splitting a
+  /// class of 2N into two classes of N leaves every draw unchanged.
+  bool sharedStream = false;
+  /// Lognormal sigma of deterministic per-rank demand multipliers
+  /// (scale::demandMultipliers): rank i's arrival rate becomes
+  /// ratePerClientHz * mult[i], mean preserved. 0 = homogeneous.
+  double demandSigma = 0.0;
+
   std::size_t nodes() const {
     return (clients + clientsPerNode - 1) / std::max<std::size_t>(1, clientsPerNode);
   }
+  std::size_t totalClients() const { return clients * std::max<std::size_t>(1, clientsPerRank); }
 };
 
 class OpenLoopSource : public WorkloadSource {
@@ -48,7 +65,8 @@ class OpenLoopSource : public WorkloadSource {
  private:
   struct RankState {
     ClientId client{};
-    Seconds clock = 0.0;  ///< cumulative arrival time
+    Seconds clock = 0.0;   ///< cumulative arrival time
+    double rateHz = 0.0;   ///< this rank's arrival rate (demand multiplier applied)
     Rng rng;
   };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "scale/flow_class.hpp"
 #include "telemetry/metrics_registry.hpp"
 
 namespace hcsim::workload {
@@ -19,6 +20,7 @@ void exportTo(const WorkloadOutcome& out, telemetry::MetricsRegistry& reg) {
   reg.gauge("workload.goodputGBs", out.goodputGBs());
   reg.gauge("workload.retries", static_cast<double>(out.retries));
   reg.gauge("workload.lateCompletions", static_cast<double>(out.lateCompletions));
+  scale::exportTo(scale::ClassStats{out.ranks, out.clientsTotal()}, reg);
 }
 
 // The per-run state machine. Completion callbacks outlive the run()
@@ -131,7 +133,13 @@ struct WorkloadRunner::Impl {
     RankState& st = ranks[rank];
     switch (op.kind) {
       case OpKind::Io: {
-        ++out.opsIssued;
+        // Flow classes: each rank's ops carry the plan's member count
+        // (composing with any members the source set itself), so the
+        // stack below sees one request standing for that many clients.
+        if (plan.clientsPerRank > 1) {
+          op.io.members = std::max<std::uint32_t>(1, op.io.members) * plan.clientsPerRank;
+        }
+        out.opsIssued += std::max<std::uint32_t>(1, op.io.members);
         ++st.outstanding;
         ++outstandingTotal;
         auto held = std::make_shared<WorkloadOp>(std::move(op));
@@ -177,11 +185,14 @@ struct WorkloadRunner::Impl {
 
   void onIoComplete(std::size_t rank, const WorkloadOp& op, const IoResult& r) {
     lastEnd = std::max(lastEnd, r.endTime);
+    // r.bytes is already the aggregate payload (the class completion
+    // reports bytes * members); the op counters scale explicitly.
+    const std::uint64_t members = std::max<std::uint32_t>(1, op.io.members);
     if (r.failed) {
-      ++out.opsFailed;
+      out.opsFailed += members;
     } else {
       out.bytesMoved += r.bytes;
-      ++out.opsCompleted;
+      out.opsCompleted += members;
     }
     if (plan.collectOpLatency && !r.failed) out.opLatencies.push_back(r.elapsed());
     if (trace != nullptr && op.traced) {
@@ -230,6 +241,8 @@ WorkloadOutcome WorkloadRunner::run(WorkloadSource& source) {
   ctx.sim = impl.sim;
   impl.plan = source.load(ctx);
   impl.out.generator = source.name();
+  impl.out.ranks = impl.plan.ranks;
+  impl.out.clientsPerRank = std::max<std::uint32_t>(1, impl.plan.clientsPerRank);
 
   fs_.beginPhase(impl.plan.phase);
   impl.start = impl.sim->now();

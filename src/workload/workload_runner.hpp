@@ -46,8 +46,14 @@ struct WorkloadOutcome {
   std::uint64_t barriers = 0;   ///< barrier releases (not per-rank arrivals)
   std::uint64_t retries = 0;
   std::uint64_t lateCompletions = 0;
-  std::vector<double> opLatencies;  ///< per-op elapsed (plan.collectOpLatency)
+  /// Aggregation shape (hcsim::scale): op streams driven and members
+  /// per stream. ranks * clientsPerRank = clients simulated.
+  std::uint64_t ranks = 0;
+  std::uint32_t clientsPerRank = 1;
+  std::vector<double> opLatencies;  ///< per class op (plan.collectOpLatency)
   std::vector<WorkloadSample> timeline;
+
+  std::uint64_t clientsTotal() const { return ranks * clientsPerRank; }
 
   double goodputGBs() const {
     return elapsed > 0.0 ? static_cast<double>(bytesMoved) / elapsed / 1e9 : 0.0;

@@ -84,9 +84,16 @@ struct WorkloadContext {
 };
 
 struct WorkloadPlan {
-  std::size_t ranks = 0;        ///< independent op streams
+  std::size_t ranks = 0;        ///< independent op streams (flow classes)
   DriveMode mode = DriveMode::Closed;
   PhaseSpec phase{};            ///< initial beginPhase declaration
+  /// Flow-class aggregation (hcsim::scale): every Io op the runner
+  /// issues carries `clientsPerRank` members — each rank stands for
+  /// this many statistically identical clients issuing in lockstep.
+  /// Aggregate counters (opsIssued/Completed/Failed, bytesMoved) count
+  /// members; retries and op latencies are billed once per class.
+  /// 1 = the legacy per-client streams, byte-identically.
+  std::uint32_t clientsPerRank = 1;
   bool collectOpLatency = false;
   /// Open mode: goodput timeline sampling (0 disables) over the horizon.
   Seconds sampleIntervalSec = 0.0;

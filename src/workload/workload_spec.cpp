@@ -189,6 +189,11 @@ SourceBundle makeOpenLoop(const JsonValue& w, std::vector<std::string>& problems
   if (cfg.sampleIntervalSec < 0.0) {
     problems.push_back(prefix("sampleIntervalSec") + "must be >= 0 (0 = horizon/20)");
   }
+  positiveInt(w, "clientsPerRank", static_cast<double>(cfg.clientsPerRank), cfg.clientsPerRank,
+              problems);
+  cfg.sharedStream = w.boolOr("sharedStream", cfg.sharedStream);
+  cfg.demandSigma = w.numberOr("demandSigma", cfg.demandSigma);
+  if (cfg.demandSigma < 0.0) problems.push_back(prefix("demandSigma") + "must be >= 0");
   if (problems.size() != before) return {};
   return {std::make_unique<OpenLoopSource>(cfg), cfg.nodes()};
 }
@@ -349,6 +354,13 @@ std::string toJsonl(const WorkloadOutcome& out) {
   s["barriers"] = static_cast<double>(out.barriers);
   s["retries"] = static_cast<double>(out.retries);
   s["lateCompletions"] = static_cast<double>(out.lateCompletions);
+  if (out.clientsPerRank > 1) {
+    // Aggregation shape, only when flow classes are in play — legacy
+    // runs keep their summary line byte-identical.
+    s["classes"] = static_cast<double>(out.ranks);
+    s["clientsPerRank"] = static_cast<double>(out.clientsPerRank);
+    s["clientsTotal"] = static_cast<double>(out.clientsTotal());
+  }
   if (out.opLatencies.empty()) {
     s["opLatency"] = JsonValue();  // null, not zeros: nothing was collected
   } else {
