@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "net/flow_network.hpp"
+#include "probe/flight_recorder.hpp"
 #include "sim/simulator.hpp"
 #include "util/random.hpp"
 
@@ -42,13 +43,16 @@ double bestOf(std::size_t reps, Fn&& fn) {
 }  // namespace detail
 
 /// Schedule-heavy: N events at pseudo-random times, dispatched in one
-/// run(). Work unit = one schedule+dispatch pair.
-inline ScenarioResult runScheduleHeavy(std::size_t n = 400000, std::size_t reps = 3) {
+/// run(). Work unit = one schedule+dispatch pair. `rec` attaches a
+/// flight recorder so bench_probe can price the always-on hooks.
+inline ScenarioResult runScheduleHeavy(std::size_t n = 400000, std::size_t reps = 3,
+                                       probe::FlightRecorder* rec = nullptr) {
   ScenarioResult res;
   res.name = "schedule_heavy";
   res.workUnits = static_cast<double>(n);
-  res.seconds = detail::bestOf(reps, [n] {
+  res.seconds = detail::bestOf(reps, [n, rec] {
     Simulator sim;
+    sim.setRecorder(rec);
     Rng rng(42);
     for (std::size_t i = 0; i < n; ++i) sim.schedule(rng.uniform(), [] {});
     sim.run();
@@ -61,12 +65,14 @@ inline ScenarioResult runScheduleHeavy(std::size_t n = 400000, std::size_t reps 
 /// drain. Exercises in-place removal (or tombstone accumulation in a
 /// lazy-deletion scheduler). Work unit = one cancel+schedule pair.
 inline ScenarioResult runCancelHeavy(std::size_t window = 4096, std::size_t churn = 200000,
-                                     std::size_t reps = 3) {
+                                     std::size_t reps = 3,
+                                     probe::FlightRecorder* rec = nullptr) {
   ScenarioResult res;
   res.name = "cancel_heavy";
   res.workUnits = static_cast<double>(churn);
-  res.seconds = detail::bestOf(reps, [window, churn] {
+  res.seconds = detail::bestOf(reps, [window, churn, rec] {
     Simulator sim;
+    sim.setRecorder(rec);
     Rng rng(7);
     std::vector<EventId> ids(window);
     for (std::size_t i = 0; i < window; ++i) {
@@ -86,14 +92,16 @@ inline ScenarioResult runCancelHeavy(std::size_t window = 4096, std::size_t chur
 /// staggered so every arrival and every completion re-rates the whole
 /// active set. Nominal work = sum over arrivals and completions of the
 /// active-set size ≈ F*(F+2), a pure function of F.
-inline ScenarioResult runRebalanceHeavy(std::size_t flows = 600, std::size_t reps = 3) {
+inline ScenarioResult runRebalanceHeavy(std::size_t flows = 600, std::size_t reps = 3,
+                                        probe::FlightRecorder* rec = nullptr) {
   ScenarioResult res;
   res.name = "rebalance_heavy";
   // Arrival i re-rates i+1 active flows; completion leaving k flows
   // re-rates k. Both sums are F*(F+1)/2 over the run.
   res.workUnits = static_cast<double>(flows) * (static_cast<double>(flows) + 1.0);
-  res.seconds = detail::bestOf(reps, [flows] {
+  res.seconds = detail::bestOf(reps, [flows, rec] {
     Simulator sim;
+    sim.setRecorder(rec);
     FlowNetwork net(sim);
     const LinkId shared = net.addLink("shared", 1e9);
     std::size_t done = 0;

@@ -7,11 +7,14 @@
 # the telemetry-off JSONL, and gateway attribution via `trace
 # --internal`), the chaos layer (fault-drill run-twice byte-identity,
 # chaos-sweep jobs independence, empty-schedule zero-cost identity
-# against the plain fig2 JSONL), and the engine perf floor (bench_engine vs
-# BENCH_engine.json, telemetry off; HCSIM_CHECK_PERF=0 to skip,
+# against the plain fig2 JSONL), the probe layer (satisfied-monitor
+# byte-identity, breach exit + table, flight-recorder dump determinism),
+# and the perf floors (bench_engine/workload/scale/probe vs their
+# committed BENCH_*.json; HCSIM_CHECK_PERF=0 to skip,
 # HCSIM_PERF_MAX_REGRESS to widen). A second profile repeats the
 # tests and an oracle smoke run under ASan+UBSan with sanitizers fatal;
-# export HCSIM_CHECK_SANITIZE=0 to skip it.
+# export HCSIM_CHECK_SANITIZE=0 to skip it. HCSIM_CHECK_TSAN=1 adds a
+# ThreadSanitizer pass over the probe + telemetry test binaries.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -153,25 +156,52 @@ grep -q 'flat in members' "$BUILD/check-scale.txt"
 ( ulimit -v 262144; "$BUILD/src/hcsim" scale > "$BUILD/check-scale-1m.txt" )
 grep -q '^scale: 1000192 clients as 256 flow classes' "$BUILD/check-scale-1m.txt"
 
-# Perf smoke: the engine-throughput scenarios must stay within tolerance
-# of the committed reference (BENCH_engine.json). Telemetry is off here,
-# so this doubles as the zero-cost floor for the telemetry hooks. Export
+# Probe gates (hcsim::probe): a chaos run with every monitor satisfied
+# must emit byte-identical JSONL to the same scenario with no monitors
+# at all; tightening the recovery deadline below the observed recovery
+# must exit 3 and print the breach table; and --dump-on-exit must write
+# byte-identical flight-recorder dumps on repeated runs.
+"$BUILD/src/hcsim" chaos "$ROOT/examples/specs/cnode_failover_slo.json" \
+    --out "$BUILD/check-probe-slo.jsonl" > "$BUILD/check-probe-slo.txt"
+cmp "$BUILD/check-chaos-a.jsonl" "$BUILD/check-probe-slo.jsonl"
+grep -q 'monitors: 3 evaluated, 0 breach(es)' "$BUILD/check-probe-slo.txt"
+sed 's/"max": 10.0/"max": 2.0/' "$ROOT/examples/specs/cnode_failover_slo.json" \
+    > "$BUILD/check-probe-tight.json"
+if "$BUILD/src/hcsim" chaos "$BUILD/check-probe-tight.json" \
+    > "$BUILD/check-probe-tight.txt"; then
+  echo "check.sh: tightened recovery monitor did not fail the run" >&2
+  exit 1
+fi
+grep -q 'SLO breaches:' "$BUILD/check-probe-tight.txt"
+grep -q 'recovery-deadline' "$BUILD/check-probe-tight.txt"
+"$BUILD/src/hcsim" chaos "$ROOT/examples/specs/cnode_failover.json" \
+    --dump-on-exit "$BUILD/check-probe-dump-a" >/dev/null
+"$BUILD/src/hcsim" chaos "$ROOT/examples/specs/cnode_failover.json" \
+    --dump-on-exit "$BUILD/check-probe-dump-b" >/dev/null
+cmp "$BUILD/check-probe-dump-a.jsonl" "$BUILD/check-probe-dump-b.jsonl"
+cmp "$BUILD/check-probe-dump-a.trace.json" "$BUILD/check-probe-dump-b.trace.json"
+
+# Perf smoke: every engine-throughput bench must stay within tolerance
+# of its committed reference. Telemetry and the watchdog are off in the
+# engine scenarios, so bench_engine doubles as the zero-cost floor for
+# those hooks, and bench_probe prices the always-on flight recorder
+# (recorder-on vs recorder-off budget enforced in-binary). Export
 # HCSIM_CHECK_PERF=0 to skip (e.g. on loaded CI machines), or widen the
 # tolerance with HCSIM_PERF_MAX_REGRESS (fraction, default 0.30).
+run_perf_gate() {
+  local bench="$1" baseline="$2"
+  shift 2
+  "$BUILD/bench/$bench" \
+      --hcsim_json "$BUILD/check-$bench.json" \
+      --hcsim_compare "$baseline" \
+      --hcsim_max_regress "${HCSIM_PERF_MAX_REGRESS:-0.30}" "$@" > /dev/null
+}
 if [ "${HCSIM_CHECK_PERF:-1}" != "0" ]; then
-  "$BUILD/bench/bench_engine" \
-      --hcsim_json "$BUILD/check-bench-engine.json" \
-      --hcsim_compare "$ROOT/BENCH_engine.json" \
-      --hcsim_max_regress "${HCSIM_PERF_MAX_REGRESS:-0.30}" \
+  run_perf_gate bench_engine "$ROOT/BENCH_engine.json" \
       --hcsim_golden_dir "$ROOT/tests/golden"
-  "$BUILD/bench/bench_workload" \
-      --hcsim_json "$BUILD/check-bench-workload.json" \
-      --hcsim_compare "$ROOT/BENCH_workload.json" \
-      --hcsim_max_regress "${HCSIM_PERF_MAX_REGRESS:-0.30}" > /dev/null
-  "$BUILD/bench/bench_scale" \
-      --hcsim_json "$BUILD/check-bench-scale.json" \
-      --hcsim_compare "$ROOT/BENCH_scale.json" \
-      --hcsim_max_regress "${HCSIM_PERF_MAX_REGRESS:-0.30}" > /dev/null
+  run_perf_gate bench_workload "$ROOT/BENCH_workload.json"
+  run_perf_gate bench_scale "$ROOT/BENCH_scale.json"
+  run_perf_gate bench_probe "$ROOT/BENCH_probe.json"
 fi
 
 # ASan+UBSan profile: rebuild the library + tests with sanitizers fatal
@@ -187,6 +217,19 @@ if [ "${HCSIM_CHECK_SANITIZE:-1}" != "0" ]; then
   ctest --test-dir "$SAN_BUILD" --output-on-failure -j"$JOBS"
   "$SAN_BUILD/src/hcsim" oracle relations --cases 5 >/dev/null
   "$SAN_BUILD/src/hcsim" oracle check --dir "$ROOT/tests/golden" >/dev/null
+fi
+
+# TSan profile (opt-in: HCSIM_CHECK_TSAN=1): rebuild with ThreadSanitizer
+# and run the probe + telemetry test binaries — the two layers whose
+# hooks ride inside the multi-threaded sweep executor.
+if [ "${HCSIM_CHECK_TSAN:-0}" = "1" ]; then
+  TSAN_BUILD="${HCSIM_CHECK_TSAN_BUILD_DIR:-$ROOT/build-check-tsan}"
+  cmake -S "$ROOT" -B "$TSAN_BUILD" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DHCSIM_BUILD_BENCH=OFF -DHCSIM_BUILD_EXAMPLES=OFF \
+      -DCMAKE_CXX_FLAGS="-fsanitize=thread"
+  cmake --build "$TSAN_BUILD" -j"$JOBS" --target test_probe test_telemetry
+  TSAN_OPTIONS=halt_on_error=1 "$TSAN_BUILD/tests/test_probe"
+  TSAN_OPTIONS=halt_on_error=1 "$TSAN_BUILD/tests/test_telemetry"
 fi
 
 echo "check.sh: OK"

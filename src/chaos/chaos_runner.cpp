@@ -7,6 +7,8 @@
 #include <stdexcept>
 
 #include "net/topology.hpp"
+#include "probe/flight_recorder.hpp"
+#include "scale/flow_class.hpp"
 #include "util/units.hpp"
 
 namespace hcsim::chaos {
@@ -40,10 +42,21 @@ std::size_t activeFaultsBefore(const ChaosSpec& spec, Seconds t) {
 void scheduleFaults(Environment& env, const std::vector<ChaosEvent>& events,
                     RebuildStats* stats) {
   Simulator& sim = env.bench->sim();
-  for (const ChaosEvent& ev : events) {
-    sim.scheduleAt(ev.at, [&env, stats, ev] {
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const ChaosEvent& ev = events[i];
+    sim.scheduleAt(ev.at, [&env, stats, ev, i] {
       Topology& topo = env.bench->topo();
       FlowNetwork& net = topo.network();
+      if (probe::FlightRecorder* rec = env.bench->sim().recorder()) {
+        if (ev.fault.action == FaultAction::Restore) {
+          rec->record(env.bench->sim().now(), probe::RecordKind::FaultRestore,
+                      static_cast<std::uint32_t>(i), ev.rebuildGiB);
+        } else {
+          rec->record(env.bench->sim().now(), probe::RecordKind::FaultInject,
+                      static_cast<std::uint32_t>(i),
+                      ev.fault.action == FaultAction::FailSlow ? ev.fault.severity : 0.0);
+        }
+      }
       if (ev.fault.component == "link") {
         const double h = ev.fault.action == FaultAction::Fail        ? 0.0
                          : ev.fault.action == FaultAction::FailSlow ? ev.fault.severity
@@ -101,6 +114,30 @@ ChaosOutcome runChaosOn(Environment& env, const ChaosSpec& spec) {
   out.name = spec.name;
   out.site = spec.site;
   out.storage = spec.storage;
+  const std::size_t members = std::max<std::size_t>(1, w.clientsPerProc);
+  out.flowClasses = static_cast<std::uint64_t>(w.nodes) * w.procsPerNode;
+  out.clientsTotal = out.flowClasses * members;
+
+  // Fault-schedule landmarks, needed both online (watchdog) and post-run.
+  const Seconds firstEventAt = spec.events.empty()
+                                   ? std::numeric_limits<Seconds>::infinity()
+                                   : spec.events.front().at;
+  Seconds lastRestoreAt = -1.0;
+  for (const ChaosEvent& ev : spec.events) {
+    if (ev.fault.action == FaultAction::Restore) lastRestoreAt = std::max(lastRestoreAt, ev.at);
+  }
+
+  // SLO watchdog: observes the sampler slices below, never schedules
+  // anything itself — with every monitor satisfied the run is
+  // byte-identical to a monitor-free one.
+  probe::WatchdogSet watchdog(spec.monitors);
+  out.monitors = watchdog.monitorCount();
+  watchdog.setRecorder(sim.recorder());
+  struct HealthyOnline {
+    double sum = 0.0;
+    std::size_t n = 0;
+    double maxGBs = 0.0;
+  } healthyOnline;
 
   std::vector<std::unique_ptr<ClientSession>> sessions;
   sessions.reserve(w.nodes * w.procsPerNode);
@@ -149,6 +186,27 @@ ChaosOutcome runChaosOn(Environment& env, const ChaosSpec& spec) {
       samp.lastT = t;
       samp.lastBytes = completedBytes;
       samp.lastRetries = retriesNow;
+      if (probe::FlightRecorder* rec = sim.recorder()) {
+        rec->record(t, probe::RecordKind::GoodputSample,
+                    static_cast<std::uint32_t>(out.timeline.size() - 1), s.gbs);
+      }
+      if (watchdog.active()) {
+        if (s.end <= firstEventAt + 1e-9) {
+          healthyOnline.sum += s.gbs;
+          ++healthyOnline.n;
+        }
+        healthyOnline.maxGBs = std::max(healthyOnline.maxGBs, s.gbs);
+        if (lastRestoreAt >= 0.0) {
+          // Same healthy estimate the post-run availability metrics use,
+          // but built incrementally: pre-fault slices all close before
+          // any fault slice, so by restore time the floor is final.
+          const double healthyEst = healthyOnline.n > 0
+                                        ? healthyOnline.sum / static_cast<double>(healthyOnline.n)
+                                        : healthyOnline.maxGBs;
+          watchdog.setRecoveryContext(lastRestoreAt, healthyEst, spec.degradedTolerance);
+        }
+        watchdog.observeSlice(s.start, s.end, s.gbs);
+      }
     });
   }
 
@@ -157,13 +215,38 @@ ChaosOutcome runChaosOn(Environment& env, const ChaosSpec& spec) {
   scheduleFaults(env, spec.events, &rebuild);
 
   // Drivers: one request-sized op in flight per session, re-issued on
-  // completion until the horizon.
+  // completion until the horizon. With clientsPerProc > 1 each session
+  // drives a flow class: one op standing for `members` identical
+  // clients (IoRequest::members), with the same cursor semantics as the
+  // singleton path — members == 1 goes through the legacy calls and is
+  // byte-identical to the pre-knob drill.
   std::function<void(std::size_t)> issue = [&](std::size_t i) {
     ClientSession& s = *sessions[i];
     const auto done = [&, i](const IoResult& r) {
       if (!r.failed) completedBytes += r.bytes;
       if (sim.now() < spec.horizon) issue(i);
     };
+    if (members > 1) {
+      IoRequest req;
+      req.client = s.client();
+      req.fileId = s.fileId();
+      req.bytes = w.requestBytes;
+      req.pattern = w.access;
+      req.members = static_cast<std::uint32_t>(members);
+      switch (w.access) {
+        case AccessPattern::SequentialWrite:
+        case AccessPattern::SequentialRead:
+          req.offset = s.cursor();
+          s.seek(s.cursor() + w.requestBytes);
+          break;
+        case AccessPattern::RandomRead:
+        case AccessPattern::RandomWrite:
+          req.offset = 0;
+          break;
+      }
+      s.submitRequest(req, done);
+      return;
+    }
     switch (w.access) {
       case AccessPattern::SequentialWrite: s.write(w.requestBytes, false, done); break;
       case AccessPattern::SequentialRead: s.read(w.requestBytes, done); break;
@@ -186,10 +269,10 @@ ChaosOutcome runChaosOn(Environment& env, const ChaosSpec& spec) {
     out.lateCompletions += s->lateCompletions();
   }
 
+  watchdog.finish(spec.horizon);
+  out.breaches = watchdog.breaches();
+
   if (!out.timeline.empty()) {
-    const Seconds firstEventAt = spec.events.empty()
-                                     ? std::numeric_limits<Seconds>::infinity()
-                                     : spec.events.front().at;
     double healthySum = 0.0;
     std::size_t healthyN = 0;
     double sum = 0.0;
@@ -215,10 +298,6 @@ ChaosOutcome runChaosOn(Environment& env, const ChaosSpec& spec) {
       if (s.degraded) out.degradedSeconds += s.end - s.start;
     }
 
-    Seconds lastRestoreAt = -1.0;
-    for (const ChaosEvent& ev : spec.events) {
-      if (ev.fault.action == FaultAction::Restore) lastRestoreAt = std::max(lastRestoreAt, ev.at);
-    }
     if (lastRestoreAt >= 0.0) {
       for (const IntervalSample& s : out.timeline) {
         if (s.start >= lastRestoreAt - 1e-9 && !s.degraded) {
@@ -289,6 +368,13 @@ std::string toJsonl(const ChaosOutcome& out) {
 }
 
 void exportTo(const ChaosOutcome& out, telemetry::MetricsRegistry& reg) {
+  if (out.clientsTotal > out.flowClasses) {
+    scale::exportTo(scale::ClassStats{out.flowClasses, out.clientsTotal}, reg);
+  }
+  if (out.monitors > 0) {
+    reg.gauge("probe.monitors", static_cast<double>(out.monitors));
+    reg.gauge("probe.breaches", static_cast<double>(out.breaches.size()));
+  }
   reg.gauge("chaos.healthy_gbs", out.healthyGBs);
   reg.gauge("chaos.mean_gbs", out.meanGBs);
   reg.gauge("chaos.min_gbs", out.minGBs);

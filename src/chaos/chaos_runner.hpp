@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "chaos/chaos_spec.hpp"
+#include "probe/monitor.hpp"
 #include "telemetry/metrics_registry.hpp"
 #include "util/table.hpp"
 
@@ -55,6 +56,17 @@ struct ChaosOutcome {
   Bytes foregroundBytes = 0;
   Bytes rebuildBytes = 0;          ///< background resync traffic completed
   Seconds rebuildCompletedAt = -1.0;  ///< when the last rebuild flow drained
+
+  /// Flow-class accounting (workload.clientsPerProc): sessions driven and
+  /// the clients they stand for. Equal when the drill ran unaggregated.
+  std::uint64_t flowClasses = 0;
+  std::uint64_t clientsTotal = 0;
+
+  /// SLO watchdog results (spec "monitors"; empty without them). The
+  /// watchdog only observes the timeline samplers — a run with every
+  /// monitor satisfied is byte-identical to a monitor-free run.
+  std::size_t monitors = 0;
+  std::vector<probe::Breach> breaches;
 };
 
 /// Background rebuild traffic accounting for scheduleFaults.

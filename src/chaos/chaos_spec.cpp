@@ -123,6 +123,12 @@ bool parseChaosSpec(const JsonValue& json, ChaosSpec& out, std::string& error) {
     }
     out.workload.requestBytes =
         static_cast<Bytes>(w->numberOr("requestBytes", 16.0 * 1024 * 1024));
+    out.workload.clientsPerProc =
+        static_cast<std::size_t>(w->numberOr("clientsPerProc", 1.0));
+    if (w->numberOr("clientsPerProc", 1.0) < 1.0) {
+      error = "workload: 'clientsPerProc' must be >= 1";
+      return false;
+    }
   }
 
   out.horizon = json.numberOr("horizonSec", 90.0);
@@ -155,6 +161,22 @@ bool parseChaosSpec(const JsonValue& json, ChaosSpec& out, std::string& error) {
       ChaosEvent e;
       if (!parseEvent((*arr)[i], i, e, error)) return false;
       out.events.push_back(std::move(e));
+    }
+  }
+
+  {
+    std::vector<std::string> monitorProblems;
+    probe::parseMonitors(json, out.monitors, monitorProblems);
+    for (const probe::MonitorSpec& m : out.monitors) {
+      if (m.metric == probe::MonitorMetric::P99OpLatencySec) {
+        monitorProblems.push_back(
+            "monitors: p99OpLatencySec is not supported by chaos scenarios (the drill does "
+            "not collect per-op latency; use a workload spec)");
+      }
+    }
+    if (!monitorProblems.empty()) {
+      error = monitorProblems.front();
+      return false;
     }
   }
   return true;
@@ -213,6 +235,17 @@ std::vector<std::string> validateSchedule(const ChaosSpec& spec, const FileSyste
   if (spec.workload.nodes == 0) add("workload: 'nodes' must be >= 1");
   if (spec.workload.procsPerNode == 0) add("workload: 'procsPerNode' must be >= 1");
   if (spec.workload.requestBytes == 0) add("workload: 'requestBytes' must be >= 1");
+  if (spec.workload.clientsPerProc == 0) add("workload: 'clientsPerProc' must be >= 1");
+
+  bool anyRestore = false;
+  for (const ChaosEvent& ev : spec.events) {
+    if (ev.fault.action == FaultAction::Restore) anyRestore = true;
+  }
+  for (const probe::MonitorSpec& m : spec.monitors) {
+    if (m.metric == probe::MonitorMetric::RecoverySec && !anyRestore) {
+      add("monitors: recoverySec requires a restore event in the schedule");
+    }
+  }
 
   // Per-component health state machine: a component key maps to what the
   // schedule has done to it so far, so overlapping fail/fail on the same

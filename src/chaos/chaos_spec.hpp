@@ -27,6 +27,10 @@
 //       "timeoutSec": 30.0, "maxRetries": 4,
 //       "backoffBaseSec": 0.25, "backoffMultiplier": 2.0
 //     },
+//     "monitors": [                     // SLO watchdogs (probe/monitor.hpp)
+//       {"metric": "goodputGBs", "min": 4.0, "windowSec": 15},
+//       {"metric": "recoverySec", "max": 20}
+//     ],
 //     "events": [                       // required to be an array if present
 //       {"atSec": 30.0, "action": "fail",      "component": "cnode", "index": 0},
 //       {"atSec": 45.0, "action": "fail-slow", "component": "nsd",   "index": 1,
@@ -44,6 +48,7 @@
 #include "core/experiment.hpp"
 #include "fs/client_session.hpp"
 #include "fs/fault.hpp"
+#include "probe/monitor.hpp"
 #include "util/json.hpp"
 
 namespace hcsim::chaos {
@@ -61,6 +66,10 @@ struct ChaosWorkload {
   std::size_t procsPerNode = 8;
   AccessPattern access = AccessPattern::SequentialWrite;
   Bytes requestBytes = 16ull * 1024 * 1024;
+  /// Flow-class width (hcsim::scale): each of the nodes*procsPerNode
+  /// sessions stands for this many identical clients. 1 = the legacy
+  /// one-client-per-session drill, byte-identical to before the knob.
+  std::size_t clientsPerProc = 1;
 };
 
 /// A full parsed scenario.
@@ -76,6 +85,10 @@ struct ChaosSpec {
   bool retryEnabled = true;
   RetryPolicy retry;
   std::vector<ChaosEvent> events;
+  /// SLO watchdogs evaluated online against the timeline samplers
+  /// (p99OpLatencySec is rejected at parse time — the chaos drill does
+  /// not collect per-op latency).
+  std::vector<probe::MonitorSpec> monitors;
 };
 
 /// Parse a scenario from JSON. On failure returns false and sets `error`

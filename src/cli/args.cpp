@@ -13,7 +13,8 @@ namespace {
 bool isBareFlag(const std::string& name) {
   static const char* const kBareFlags[] = {
       "--fsync", "--per-op", "--shared-file", "--unique-dir", "--help",
-      "--no-shrink", "--full", "--internal", "--telemetry",
+      "--no-shrink", "--full", "--internal", "--telemetry", "--json",
+      "--self", "--self-profile",
   };
   for (const char* flag : kBareFlags) {
     if (name == flag) return true;

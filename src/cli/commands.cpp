@@ -13,6 +13,8 @@
 #include "mdtest/mdtest.hpp"
 #include "oracle/golden.hpp"
 #include "oracle/relation.hpp"
+#include "probe/flight_recorder.hpp"
+#include "probe/monitor.hpp"
 #include "scale/flow_class.hpp"
 #include "sweep/result_sink.hpp"
 #include "sweep/sweep_runner.hpp"
@@ -97,6 +99,30 @@ class CacheSession {
   std::unique_ptr<sweep::TrialCache> cache_;
 };
 
+/// --dump-on-exit plumbing: write the bench's flight-recorder ring as
+/// <prefix>.jsonl (one record per line) and <prefix>.trace.json
+/// (chrome-trace instants, loadable in a trace viewer).
+bool dumpRecorder(const probe::FlightRecorder& rec, const std::string& prefix,
+                  std::ostream& out, std::ostream& err) {
+  const std::string jsonlPath = prefix + ".jsonl";
+  const std::string tracePath = prefix + ".trace.json";
+  std::ofstream j(jsonlPath, std::ios::binary | std::ios::trunc);
+  if (!j) {
+    err << "error: cannot write " << jsonlPath << "\n";
+    return false;
+  }
+  rec.dumpJsonl(j);
+  std::ofstream t(tracePath, std::ios::binary | std::ios::trunc);
+  if (!t) {
+    err << "error: cannot write " << tracePath << "\n";
+    return false;
+  }
+  rec.dumpChromeTrace(t);
+  out << "dumped " << rec.size() << " flight-recorder record(s) to " << jsonlPath << " and "
+      << tracePath << "\n";
+  return true;
+}
+
 }  // namespace
 
 int cmdHelp(std::ostream& out) {
@@ -113,18 +139,30 @@ int cmdHelp(std::ostream& out) {
          "  takeaways   run the paper's section-VII checks\n"
          "  sweep       --spec F.json [--jobs N] [--out results.jsonl] [--csv results.csv]\n"
          "              [--baseline prior.jsonl] [--cache trials.jsonl] [--telemetry]\n"
+         "              [--self-profile]\n"
          "              (parallel what-if config sweep; --cache memoizes trials\n"
          "               across runs and reports the hit rate; --telemetry adds\n"
-         "               engine/attribution columns without changing results)\n"
+         "               engine/attribution columns without changing results;\n"
+         "               --self-profile adds wall-clock self.* columns per trial\n"
+         "               and bypasses the cache)\n"
          "  chaos       <scenario.json> [--out timeline.jsonl] [--csv timeline.csv]\n"
-         "              [--telemetry]   (scheduled fault injection: validates the\n"
-         "               schedule, runs the workload under faults/retries, prints\n"
-         "               the per-interval bandwidth + availability timeline)\n"
+         "              [--telemetry] [--dump-on-exit PREFIX]\n"
+         "              (scheduled fault injection: validates the schedule, runs\n"
+         "               the workload under faults/retries, prints the per-interval\n"
+         "               bandwidth + availability timeline; the spec's \"monitors\"\n"
+         "               are SLO watchdogs — breaches print a table and exit 3)\n"
          "  workload    <spec.json> [--out results.jsonl] [--csv timeline.csv]\n"
-         "              [--telemetry]   (pluggable workload generators: the spec's\n"
+         "              [--telemetry] [--dump-on-exit PREFIX]\n"
+         "              (pluggable workload generators: the spec's\n"
          "               \"workload\" section picks ior, dlio, replay, io500,\n"
          "               grammar or openloop; optional \"chaos\"/\"retry\" sections\n"
-         "               compose faults and the retry layer with any generator)\n"
+         "               compose faults and the retry layer with any generator;\n"
+         "               \"monitors\"/\"sampleIntervalSec\" arm SLO watchdogs)\n"
+         "  probe       <spec.json> [chaos/workload options]   (SLO watchdog run:\n"
+         "               dispatches the spec to chaos or workload by shape,\n"
+         "               evaluates its \"monitors\", exits 3 on breach;\n"
+         "               --dump-on-exit PREFIX writes the always-on flight\n"
+         "               recorder as PREFIX.jsonl + PREFIX.trace.json)\n"
          "  scale       [--clients N] [--classes C] [--site S] [--storage K]\n"
          "              [--rate HZ] [--horizon SEC] [--demand-sigma S] [--telemetry]\n"
          "              [--out results.jsonl]   (flow-class aggregation demo: a\n"
@@ -146,7 +184,9 @@ int cmdHelp(std::ostream& out) {
          "              (chrome-trace export; --internal adds simulator op spans\n"
          "               and prints the bottleneck-attribution table)\n"
          "  stats       --site S --storage K [--workload W] [--access A] [--nodes N]\n"
-         "              [--ppn P] [--segments S]   (metrics-registry summary)\n"
+         "              [--ppn P] [--segments S] [--json] [--self]\n"
+         "              (metrics-registry summary; --json emits the registry as\n"
+         "               lossless JSON, --self adds wall-clock self.* profiling)\n"
          "  dump-config --storage vast|gpfs|lustre|nvme --site S   (preset as JSON)\n"
          "  help        this text\n";
   return 0;
@@ -311,6 +351,7 @@ int cmdSweep(const ArgParser& args, std::ostream& out, std::ostream& err) {
   if (!cache.open(args, err)) return 2;
   sweep::TrialOptions opts;
   opts.telemetry = args.has("--telemetry");
+  opts.selfProfile = args.has("--self-profile");
   const sweep::SweepOutcome result = sweep::runSweep(spec, jobs, cache.get(), opts);
 
   ResultTable t("sweep '" + spec.name + "': " + std::to_string(result.results.size()) +
@@ -421,6 +462,11 @@ int cmdChaos(const ArgParser& args, std::ostream& out, std::ostream& err) {
     out << "rebuild: " << formatBytes(result.rebuildBytes) << " drained at t="
         << result.rebuildCompletedAt << " s\n";
   }
+  if (result.monitors > 0) {
+    out << "monitors: " << result.monitors << " evaluated, " << result.breaches.size()
+        << " breach(es)\n";
+    out << probe::renderBreachTable(result.breaches);
+  }
   if (const auto outPath = args.get("--out")) {
     std::ofstream f(*outPath, std::ios::binary | std::ios::trunc);
     if (!f) {
@@ -439,7 +485,10 @@ int cmdChaos(const ArgParser& args, std::ostream& out, std::ostream& err) {
     f << t.toCsv();
     out << "wrote " << *csvPath << "\n";
   }
-  return 0;
+  if (const auto prefix = args.get("--dump-on-exit")) {
+    if (!dumpRecorder(env.bench->recorder(), *prefix, out, err)) return 1;
+  }
+  return result.breaches.empty() ? 0 : 3;
 }
 
 int cmdWorkload(const ArgParser& args, std::ostream& out, std::ostream& err) {
@@ -476,14 +525,16 @@ int cmdWorkload(const ArgParser& args, std::ostream& out, std::ostream& err) {
                                     spec.storageConfig.isNull() ? nullptr : &spec.storageConfig);
   const bool telemetryOn = args.has("--telemetry");
   if (telemetryOn) env.bench->telemetry().setEnabled(true);
+  workload::ChaosLandmarks landmarks;
   try {
-    workload::injectWorkloadChaos(spec, env);
+    landmarks = workload::injectWorkloadChaos(spec, env);
   } catch (const std::exception& ex) {
     err << "error: invalid workload spec " << specPath << ":\n  - " << ex.what() << "\n";
     return 2;
   }
   TraceLog trace;
-  const workload::WorkloadOutcome r = workload::runWorkload(env, spec, *bundle.source, &trace);
+  const workload::WorkloadOutcome r =
+      workload::runWorkload(env, spec, *bundle.source, &trace, &landmarks);
 
   out << "workload '" << spec.name << "': generator " << r.generator << " on "
       << toString(spec.site) << "/" << toString(spec.storage) << ", " << bundle.nodes
@@ -509,6 +560,10 @@ int cmdWorkload(const ArgParser& args, std::ostream& out, std::ostream& err) {
       t.addRow({formatSeconds(s.start), formatSeconds(s.end), s.gbs});
     }
     out << t.toString();
+  }
+  if (r.monitors > 0) {
+    out << "monitors: " << r.monitors << " evaluated, " << r.breaches.size() << " breach(es)\n";
+    out << probe::renderBreachTable(r.breaches);
   }
   if (telemetryOn) {
     telemetry::MetricsRegistry reg;
@@ -536,7 +591,36 @@ int cmdWorkload(const ArgParser& args, std::ostream& out, std::ostream& err) {
     of << workload::toCsv(r);
     out << "wrote " << *csvPath << "\n";
   }
-  return 0;
+  if (const auto prefix = args.get("--dump-on-exit")) {
+    if (!dumpRecorder(env.bench->recorder(), *prefix, out, err)) return 1;
+  }
+  return r.breaches.empty() ? 0 : 3;
+}
+
+int cmdProbe(const ArgParser& args, std::ostream& out, std::ostream& err) {
+  std::string specPath = args.positionalOr(1, "");
+  if (const auto opt = args.get("--spec")) specPath = *opt;
+  if (specPath.empty()) {
+    err << "error: probe requires a spec file (hcsim probe <spec.json>)\n";
+    return 2;
+  }
+  std::ifstream f(specPath);
+  if (!f) {
+    err << "error: cannot read " << specPath << "\n";
+    return 2;
+  }
+  std::string text((std::istreambuf_iterator<char>(f)), std::istreambuf_iterator<char>());
+  JsonValue doc;
+  if (!parseJson(text, doc) || !doc.isObject()) {
+    err << "error: " << specPath << " is not a JSON object\n";
+    return 2;
+  }
+  // A workload spec's "workload" section names a generator; a chaos
+  // scenario's is plain drill knobs (nodes/procsPerNode/...). That key
+  // decides which runner gets the spec — both evaluate its "monitors".
+  const JsonValue* w = doc.find("workload");
+  const bool isWorkload = w != nullptr && w->isObject() && w->find("generator") != nullptr;
+  return isWorkload ? cmdWorkload(args, out, err) : cmdChaos(args, out, err);
 }
 
 int cmdScale(const ArgParser& args, std::ostream& out, std::ostream& err) {
@@ -755,7 +839,7 @@ struct WorkloadRun {
 };
 
 bool runTracedWorkload(const ArgParser& args, std::ostream& err, bool telemetryOn,
-                       WorkloadRun& run) {
+                       WorkloadRun& run, bool selfProfileOn = false) {
   Site site;
   StorageKind kind;
   if (!parseTarget(args, err, site, kind)) return false;
@@ -763,6 +847,7 @@ bool runTracedWorkload(const ArgParser& args, std::ostream& err, bool telemetryO
   const std::size_t nodes = args.sizeOr("--nodes", 4);
   run.env = makeEnvironment(site, kind, nodes);
   if (telemetryOn) run.env.bench->telemetry().setEnabled(true);
+  if (selfProfileOn) run.env.bench->profiler().setEnabled(true);
   if (w == "ior") {
     AccessPattern access;
     if (!parsePattern(args.getOr("--access", "seq-write"), access)) {
@@ -822,9 +907,15 @@ int cmdTrace(const ArgParser& args, std::ostream& out, std::ostream& err) {
 
 int cmdStats(const ArgParser& args, std::ostream& out, std::ostream& err) {
   WorkloadRun run;
-  if (!runTracedWorkload(args, err, /*telemetryOn=*/true, run)) return 2;
+  if (!runTracedWorkload(args, err, /*telemetryOn=*/true, run, args.has("--self"))) return 2;
   telemetry::MetricsRegistry reg;
   run.env.bench->collectMetrics(reg, run.env.fs.get());
+  if (args.has("--json")) {
+    // Machine face of the registry: numbers round-trip losslessly (the
+    // JSON writer is the same one behind the sweep JSONL).
+    out << writeJson(reg.toJson(), 2) << "\n";
+    return 0;
+  }
   out << reg.renderTable();
   const telemetry::AttributionReport rep = run.env.bench->telemetry().attribution();
   if (rep.spans > 0) out << rep.renderTable();
@@ -862,6 +953,7 @@ int run(const ArgParser& args, std::ostream& out, std::ostream& err) {
     if (cmd == "sweep") return cmdSweep(args, out, err);
     if (cmd == "chaos") return cmdChaos(args, out, err);
     if (cmd == "workload") return cmdWorkload(args, out, err);
+    if (cmd == "probe") return cmdProbe(args, out, err);
     if (cmd == "scale") return cmdScale(args, out, err);
     if (cmd == "oracle") return cmdOracle(args, out, err);
     if (cmd == "trace") return cmdTrace(args, out, err);

@@ -22,6 +22,9 @@ namespace hcsim::cli {
 ///   workload  run any registered workload generator (<spec.json> --out
 ///             --csv --telemetry); the spec selects ior/dlio/replay/
 ///             io500/grammar/openloop and may compose chaos + retry
+///   probe     run a chaos or workload spec under its SLO monitors
+///             (<spec.json>, dispatched by shape); breaches exit 3, and
+///             --dump-on-exit writes the flight-recorder ring
 ///   oracle    metamorphic & golden-figure regression harness
 ///             (list | relations | record | check)
 ///   trace     run a workload and export chrome-trace JSON; --internal
@@ -41,6 +44,7 @@ int cmdTakeaways(const ArgParser& args, std::ostream& out, std::ostream& err);
 int cmdSweep(const ArgParser& args, std::ostream& out, std::ostream& err);
 int cmdChaos(const ArgParser& args, std::ostream& out, std::ostream& err);
 int cmdWorkload(const ArgParser& args, std::ostream& out, std::ostream& err);
+int cmdProbe(const ArgParser& args, std::ostream& out, std::ostream& err);
 int cmdOracle(const ArgParser& args, std::ostream& out, std::ostream& err);
 int cmdTrace(const ArgParser& args, std::ostream& out, std::ostream& err);
 int cmdStats(const ArgParser& args, std::ostream& out, std::ostream& err);

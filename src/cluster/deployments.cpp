@@ -75,6 +75,8 @@ NvmeLocalConfig nvmeOnWombat() {
 TestBench::TestBench(Machine machine, std::size_t nodesUsed)
     : machine_(std::move(machine)), net_(sim_), topo_(net_) {
   net_.setTelemetry(&telemetry_);
+  sim_.setRecorder(&recorder_);
+  sim_.setProfiler(&profiler_);
   const std::size_t n = std::max<std::size_t>(1, std::min(nodesUsed, machine_.nodes));
   clientNics_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -98,6 +100,9 @@ void TestBench::collectMetrics(telemetry::MetricsRegistry& reg, const FileSystem
     reg.gauge("net.link." + ls.name + ".capacity_bps", ls.capacity);
     reg.gauge("net.link." + ls.name + ".allocated_bps", ls.allocated);
   }
+  reg.counter("probe.records", static_cast<double>(recorder_.totalRecorded()));
+  reg.gauge("probe.records.held", static_cast<double>(recorder_.size()));
+  if (profiler_.enabled()) profiler_.exportTo(reg);
   telemetry_.exportTo(reg);
   if (fs) fs->exportMetrics(reg);
 }

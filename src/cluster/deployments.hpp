@@ -11,6 +11,8 @@
 #include "lustre/lustre_model.hpp"
 #include "net/topology.hpp"
 #include "nvme/nvme_local.hpp"
+#include "probe/flight_recorder.hpp"
+#include "probe/self_profiler.hpp"
 #include "sim/simulator.hpp"
 #include "vast/vast_model.hpp"
 
@@ -66,6 +68,17 @@ class TestBench {
   telemetry::Telemetry& telemetry() { return telemetry_; }
   const telemetry::Telemetry& telemetry() const { return telemetry_; }
 
+  /// The bench-owned flight recorder (hcsim::probe), attached to the
+  /// simulator at construction — always on, per the probe overhead
+  /// budget in docs/PROBE.md. Dump it on an anomaly or --dump-on-exit.
+  probe::FlightRecorder& recorder() { return recorder_; }
+  const probe::FlightRecorder& recorder() const { return recorder_; }
+
+  /// The bench-owned self-profiler, attached but disabled by default
+  /// (`hcsim stats --self`, sweep --self-profile enable it).
+  probe::SelfProfiler& profiler() { return profiler_; }
+  const probe::SelfProfiler& profiler() const { return profiler_; }
+
   /// Snapshot the whole stack into `reg`: engine counters ("engine.*"),
   /// network state ("net.*"), span metrics ("telemetry.*"), and — when
   /// `fs` is given — the model's own "<model>.*" metrics.
@@ -80,6 +93,8 @@ class TestBench {
 
  private:
   Machine machine_;
+  probe::FlightRecorder recorder_;
+  probe::SelfProfiler profiler_;
   Simulator sim_;
   FlowNetwork net_;
   Topology topo_;

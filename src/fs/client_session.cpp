@@ -3,6 +3,8 @@
 #include <cmath>
 #include <utility>
 
+#include "probe/flight_recorder.hpp"
+
 namespace hcsim {
 
 void ClientSession::submit(Bytes offset, Bytes size, std::uint64_t ops, AccessPattern pattern,
@@ -35,8 +37,14 @@ void ClientSession::submitAttempt(const IoRequest& req, std::size_t attempt, Sim
                                                        settled] {
     if (*settled) return;
     *settled = true;
+    probe::FlightRecorder* rec = retrySim_->recorder();
     if (attempt >= policy_.maxRetries) {
       ++failedOps_;
+      if (rec) {
+        rec->record(retrySim_->now(), probe::RecordKind::OpFailed,
+                    probe::clientSubject(client_.node, client_.proc),
+                    static_cast<double>(attempt));
+      }
       IoResult r;
       r.startTime = opStart;
       r.endTime = retrySim_->now();
@@ -46,6 +54,11 @@ void ClientSession::submitAttempt(const IoRequest& req, std::size_t attempt, Sim
       return;
     }
     ++retries_;
+    if (rec) {
+      rec->record(retrySim_->now(), probe::RecordKind::RetryTimeout,
+                  probe::clientSubject(client_.node, client_.proc),
+                  static_cast<double>(attempt));
+    }
     const Seconds wait = policy_.backoffBase * std::pow(policy_.backoffMultiplier,
                                                         static_cast<double>(attempt));
     retrySim_->schedule(wait, [this, req, attempt, opStart, done] {
@@ -59,6 +72,10 @@ void ClientSession::submitAttempt(const IoRequest& req, std::size_t attempt, Sim
       // The attempt was abandoned at its deadline; its bytes moved, but
       // the op has already been retried (or failed). Swallow.
       ++lateCompletions_;
+      if (probe::FlightRecorder* rec = retrySim_->recorder()) {
+        rec->record(retrySim_->now(), probe::RecordKind::LateCompletion,
+                    probe::clientSubject(client_.node, client_.proc), 0.0);
+      }
       return;
     }
     *settled = true;

@@ -6,6 +6,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "probe/flight_recorder.hpp"
+#include "probe/self_profiler.hpp"
+
 namespace hcsim {
 
 namespace {
@@ -45,6 +48,9 @@ void FlowNetwork::setLinkHealth(LinkId id, double health) {
   if (l.health == clamped) return;
   advanceProgress();  // credit progress at the old rates first
   l.health = clamped;
+  if (probe::FlightRecorder* rec = sim_.recorder()) {
+    rec->record(sim_.now(), probe::RecordKind::LinkHealth, id.value, clamped);
+  }
   rebalance();
 }
 
@@ -347,7 +353,14 @@ void FlowNetwork::computeMaxMinRates() {
 }
 
 void FlowNetwork::rebalance() {
-  computeMaxMinRates();
+  {
+    probe::SelfProfiler::Scope scope(sim_.profiler(), probe::SelfProfiler::Bucket::Solve);
+    computeMaxMinRates();
+  }
+  if (probe::FlightRecorder* rec = sim_.recorder()) {
+    rec->record(sim_.now(), probe::RecordKind::NetRebalance,
+                static_cast<std::uint32_t>(active_.size()), static_cast<double>(rerates_));
+  }
   const SimTime now = sim_.now();
   for (auto& [id, f] : active_) {
     if (f.rate <= 0.0) {

@@ -1,0 +1,31 @@
+#include "probe/self_profiler.hpp"
+
+#include <string>
+
+#include "telemetry/metrics_registry.hpp"
+
+namespace hcsim::probe {
+
+const char* SelfProfiler::name(Bucket b) {
+  switch (b) {
+    case Bucket::Dispatch: return "dispatch";
+    case Bucket::Callback: return "callback";
+    case Bucket::Solve: return "solve";
+    case Bucket::Telemetry: return "telemetry";
+    case Bucket::Sink: return "sink";
+  }
+  return "unknown";
+}
+
+void SelfProfiler::reset() { slots_.fill(Slot{}); }
+
+void SelfProfiler::exportTo(telemetry::MetricsRegistry& reg) const {
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    const Bucket b = static_cast<Bucket>(i);
+    reg.gauge(std::string("self.") + name(b) + "_s", slots_[i].seconds);
+    reg.counter(std::string("self.") + name(b) + "_scopes",
+                static_cast<double>(slots_[i].count));
+  }
+}
+
+}  // namespace hcsim::probe

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <utility>
 
+#include "probe/flight_recorder.hpp"
+#include "probe/self_profiler.hpp"
+
 namespace hcsim {
 
 namespace {
@@ -135,9 +138,18 @@ void Simulator::dispatchRoot() {
   Slot& slot = slots_[s];
   now_ = slot.time;
   EventFn fn = std::move(slot.fn);
-  heapErase(0);
-  releaseSlot(s);  // before invoking: self-cancel inside the callback is a no-op
+  {
+    probe::SelfProfiler::Scope scope(profiler_, probe::SelfProfiler::Bucket::Dispatch);
+    heapErase(0);
+    releaseSlot(s);  // before invoking: self-cancel inside the callback is a no-op
+  }
   ++dispatched_;
+  if (recorder_ && (dispatched_ & (kHeartbeatEvery - 1)) == 0) {
+    recorder_->record(now_, probe::RecordKind::EngineHeartbeat,
+                      static_cast<std::uint32_t>(heap_.size()),
+                      static_cast<double>(dispatched_));
+  }
+  probe::SelfProfiler::Scope scope(profiler_, probe::SelfProfiler::Bucket::Callback);
   fn();
 }
 

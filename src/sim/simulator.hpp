@@ -51,6 +51,11 @@
 
 namespace hcsim {
 
+namespace probe {
+class FlightRecorder;
+class SelfProfiler;
+}  // namespace probe
+
 using SimTime = Seconds;
 
 /// Handle for a scheduled event; can be used to cancel or re-time it.
@@ -128,6 +133,26 @@ class Simulator {
   /// that entry storage is recycled rather than re-allocated.
   std::size_t slabSize() const { return slots_.size(); }
 
+  /// Attach a flight recorder (hcsim::probe): the dispatch loop emits a
+  /// decimated heartbeat record every kHeartbeatEvery dispatches, and
+  /// components reached through this simulator (FlowNetwork re-rates,
+  /// ClientSession retries) record their own events into it. Recording
+  /// is observe-only — it never changes what is simulated. Null (the
+  /// default) reduces every hook to one pointer test.
+  void setRecorder(probe::FlightRecorder* recorder) { recorder_ = recorder; }
+  probe::FlightRecorder* recorder() const { return recorder_; }
+
+  /// Attach a self-profiler: dispatchRoot charges heap maintenance to
+  /// the `dispatch` bucket and callback bodies to `callback`; the
+  /// FlowNetwork charges max-min solves to `solve`. A null or disabled
+  /// profiler costs a branch per scope, no clock reads.
+  void setProfiler(probe::SelfProfiler* profiler) { profiler_ = profiler; }
+  probe::SelfProfiler* profiler() const { return profiler_; }
+
+  /// Heartbeat decimation: one EngineHeartbeat record per this many
+  /// dispatches (power of two; the hook is a mask test).
+  static constexpr std::uint64_t kHeartbeatEvery = 1024;
+
  private:
   static constexpr std::uint32_t kNpos = 0xffffffffu;
 
@@ -170,6 +195,8 @@ class Simulator {
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> freeSlots_;
   std::vector<std::uint32_t> heap_;
+  probe::FlightRecorder* recorder_ = nullptr;
+  probe::SelfProfiler* profiler_ = nullptr;
 };
 
 }  // namespace hcsim

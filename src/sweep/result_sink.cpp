@@ -75,6 +75,24 @@ std::string toJsonlLine(const TrialResult& r) {
       t["dominantSharePct"] = r.metrics.dominantSharePct;
       m["telemetry"] = JsonValue(std::move(t));
     }
+    // Watchdog and self-profile live in their own sub-objects for the
+    // same reason as telemetry: absent features leave the line
+    // byte-identical to a build without them.
+    if (r.metrics.hasMonitors) {
+      JsonObject p;
+      p["monitors"] = r.metrics.monitors;
+      p["breaches"] = r.metrics.breaches;
+      m["probe"] = JsonValue(std::move(p));
+    }
+    if (r.metrics.hasSelf) {
+      JsonObject sp;
+      sp["dispatchSec"] = r.metrics.selfDispatchSec;
+      sp["callbackSec"] = r.metrics.selfCallbackSec;
+      sp["solveSec"] = r.metrics.selfSolveSec;
+      sp["telemetrySec"] = r.metrics.selfTelemetrySec;
+      sp["sinkSec"] = r.metrics.selfSinkSec;
+      m["self"] = JsonValue(std::move(sp));
+    }
   } else {
     m["error"] = r.metrics.error;
   }
@@ -94,9 +112,13 @@ std::string toCsv(const SweepOutcome& out) {
   // a telemetry-off CSV is byte-identical to the pre-telemetry format.
   bool anyTelemetry = false;
   bool anyLatency = false;
+  bool anyMonitors = false;
+  bool anySelf = false;
   for (const TrialResult& r : out.results) {
     anyTelemetry |= r.metrics.hasTelemetry;
     anyLatency |= r.metrics.latencyCapable;
+    anyMonitors |= r.metrics.hasMonitors;
+    anySelf |= r.metrics.hasSelf;
   }
   std::ostringstream os;
   os << "trial";
@@ -116,6 +138,8 @@ std::string toCsv(const SweepOutcome& out) {
     os << ",rerates,eventsScheduled,eventsCancelled,eventsAdjusted,eventsDispatched"
           ",dominantStage,dominantSharePct";
   }
+  if (anyMonitors) os << ",monitors,breaches";
+  if (anySelf) os << ",selfDispatchSec,selfCallbackSec,selfSolveSec,selfTelemetrySec,selfSinkSec";
   os << "\n";
   for (const TrialResult& r : out.results) {
     os << r.trial.index;
@@ -149,6 +173,24 @@ std::string toCsv(const SweepOutcome& out) {
            << formatDouble(r.metrics.dominantSharePct);
       } else {
         os << ",,,,,,,";
+      }
+    }
+    if (anyMonitors) {
+      if (r.metrics.hasMonitors) {
+        os << "," << formatDouble(r.metrics.monitors) << "," << formatDouble(r.metrics.breaches);
+      } else {
+        os << ",,";
+      }
+    }
+    if (anySelf) {
+      if (r.metrics.hasSelf) {
+        os << "," << formatDouble(r.metrics.selfDispatchSec) << ","
+           << formatDouble(r.metrics.selfCallbackSec) << ","
+           << formatDouble(r.metrics.selfSolveSec) << ","
+           << formatDouble(r.metrics.selfTelemetrySec) << ","
+           << formatDouble(r.metrics.selfSinkSec);
+      } else {
+        os << ",,,,,";
       }
     }
     os << "\n";

@@ -12,6 +12,7 @@
 #include "config/serialize.hpp"
 #include "core/experiment.hpp"
 #include "net/topology.hpp"
+#include "probe/self_profiler.hpp"
 #include "scale/flow_class.hpp"
 #include "sweep/trial_cache.hpp"
 #include "workload/workload_spec.hpp"
@@ -61,6 +62,17 @@ void fillTelemetry(TrialMetrics& m, const Environment& env) {
   m.dominantSharePct = rep.dominantSharePct;
 }
 
+/// Copy the bench's wall-clock self-profile into the metric columns.
+void fillSelf(TrialMetrics& m, const Environment& env) {
+  const probe::SelfProfiler& p = env.bench->profiler();
+  m.hasSelf = true;
+  m.selfDispatchSec = p.seconds(probe::SelfProfiler::Bucket::Dispatch);
+  m.selfCallbackSec = p.seconds(probe::SelfProfiler::Bucket::Callback);
+  m.selfSolveSec = p.seconds(probe::SelfProfiler::Bucket::Solve);
+  m.selfTelemetrySec = p.seconds(probe::SelfProfiler::Bucket::Telemetry);
+  m.selfSinkSec = p.seconds(probe::SelfProfiler::Bucket::Sink);
+}
+
 /// Fold an optional "chaos" section (events + the usual schedule keys)
 /// into an IOR/DLIO trial: the faults are scheduled onto the trial's
 /// simulator before the runner starts, so they strike mid-workload. An
@@ -96,6 +108,7 @@ TrialMetrics runIorTrial(const JsonValue& config, Site site, StorageKind kind,
   cfg.validate();
   Environment env = makeTrialEnvironment(site, kind, cfg.nodes, config.find("storageConfig"));
   if (opts.telemetry) env.bench->telemetry().setEnabled(true);
+  if (opts.selfProfile) env.bench->profiler().setEnabled(true);
   injectChaos(config, env);
   IorRunner runner(*env.bench, *env.fs);
   const IorResult r = runner.run(cfg);
@@ -120,6 +133,7 @@ TrialMetrics runIorTrial(const JsonValue& config, Site site, StorageKind kind,
     m.opP99 = r.opLatency.p99;
   }
   if (opts.telemetry) fillTelemetry(m, env);
+  if (opts.selfProfile) fillSelf(m, env);
   return m;
 }
 
@@ -143,8 +157,10 @@ TrialMetrics runWorkloadTrial(const JsonValue& config, const TrialOptions& opts)
                                          spec.storageConfig.isNull() ? nullptr
                                                                      : &spec.storageConfig);
   if (opts.telemetry) env.bench->telemetry().setEnabled(true);
-  workload::injectWorkloadChaos(spec, env);
-  const workload::WorkloadOutcome r = workload::runWorkload(env, spec, *bundle.source);
+  if (opts.selfProfile) env.bench->profiler().setEnabled(true);
+  const workload::ChaosLandmarks lm = workload::injectWorkloadChaos(spec, env);
+  const workload::WorkloadOutcome r =
+      workload::runWorkload(env, spec, *bundle.source, nullptr, &lm);
   TrialMetrics m;
   m.ok = true;
   m.meanGBs = m.minGBs = m.maxGBs = r.goodputGBs();
@@ -166,7 +182,13 @@ TrialMetrics runWorkloadTrial(const JsonValue& config, const TrialOptions& opts)
     m.opP95 = s.p95;
     m.opP99 = s.p99;
   }
+  if (r.monitors > 0) {
+    m.hasMonitors = true;
+    m.monitors = static_cast<double>(r.monitors);
+    m.breaches = static_cast<double>(r.breaches.size());
+  }
   if (opts.telemetry) fillTelemetry(m, env);
+  if (opts.selfProfile) fillSelf(m, env);
   return m;
 }
 
@@ -178,6 +200,7 @@ TrialMetrics runDlioTrial(const JsonValue& config, Site site, StorageKind kind,
   }
   Environment env = makeTrialEnvironment(site, kind, cfg.nodes, config.find("storageConfig"));
   if (opts.telemetry) env.bench->telemetry().setEnabled(true);
+  if (opts.selfProfile) env.bench->profiler().setEnabled(true);
   injectChaos(config, env);
   DlioRunner runner(*env.bench, *env.fs);
   const DlioResult r = runner.run(cfg);
@@ -187,6 +210,7 @@ TrialMetrics runDlioTrial(const JsonValue& config, Site site, StorageKind kind,
   m.elapsedSec = r.runtime;
   m.bytesMoved = static_cast<double>(r.bytesRead + r.bytesCheckpointed);
   if (opts.telemetry) fillTelemetry(m, env);
+  if (opts.selfProfile) fillSelf(m, env);
   return m;
 }
 
@@ -202,6 +226,7 @@ TrialMetrics runChaosTrial(const JsonValue& config, const TrialOptions& opts) {
   Environment env = makeEnvironment(spec.site, spec.storage, spec.workload.nodes,
                                     spec.storageConfig.isNull() ? nullptr : &spec.storageConfig);
   if (opts.telemetry) env.bench->telemetry().setEnabled(true);
+  if (opts.selfProfile) env.bench->profiler().setEnabled(true);
   const chaos::ChaosOutcome r = chaos::runChaosOn(env, spec);
   TrialMetrics m;
   m.ok = true;
@@ -210,7 +235,13 @@ TrialMetrics runChaosTrial(const JsonValue& config, const TrialOptions& opts) {
   m.maxGBs = r.maxGBs;
   m.elapsedSec = spec.horizon;
   m.bytesMoved = static_cast<double>(r.foregroundBytes);
+  if (r.monitors > 0) {
+    m.hasMonitors = true;
+    m.monitors = static_cast<double>(r.monitors);
+    m.breaches = static_cast<double>(r.breaches.size());
+  }
   if (opts.telemetry) fillTelemetry(m, env);
+  if (opts.selfProfile) fillSelf(m, env);
   return m;
 }
 
@@ -301,7 +332,9 @@ namespace {
 /// memoizes.
 TrialMetrics runTrialCached(const std::string& experiment, const JsonValue& config,
                             TrialCache* cache, const TrialOptions& opts) {
-  if (cache == nullptr) return runTrial(experiment, config, opts);
+  // Self-profiled trials measure host wall-clock, which no cache entry
+  // can reproduce — they always simulate and never populate the cache.
+  if (cache == nullptr || opts.selfProfile) return runTrial(experiment, config, opts);
   // Telemetry trials carry extra columns, so they memoize under a
   // distinct key — a plain entry must never satisfy a telemetry lookup.
   const std::string key =

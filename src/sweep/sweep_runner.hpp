@@ -29,6 +29,10 @@ class TrialCache;  // sweep/trial_cache.hpp
 /// telemetry bit is part of the cache key.
 struct TrialOptions {
   bool telemetry = false;
+  /// Collect wall-clock self-profiling (probe::SelfProfiler) per trial.
+  /// Host timings are not reproducible, so profiled trials always
+  /// simulate — they neither hit nor populate the TrialCache.
+  bool selfProfile = false;
 };
 
 struct TrialMetrics {
@@ -64,6 +68,21 @@ struct TrialMetrics {
   double eventsDispatched = 0.0;
   std::string dominantStage;  ///< bottleneck attribution winner ("" if no spans)
   double dominantSharePct = 0.0;
+
+  /// SLO watchdog columns, populated when the trial's spec declared
+  /// "monitors" (chaos and workload experiments).
+  bool hasMonitors = false;
+  double monitors = 0.0;
+  double breaches = 0.0;
+
+  /// Self-profiler columns (TrialOptions.selfProfile): wall-clock
+  /// seconds the host spent per engine bucket while this trial ran.
+  bool hasSelf = false;
+  double selfDispatchSec = 0.0;
+  double selfCallbackSec = 0.0;
+  double selfSolveSec = 0.0;
+  double selfTelemetrySec = 0.0;
+  double selfSinkSec = 0.0;
 };
 
 struct TrialResult {

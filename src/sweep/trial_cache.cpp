@@ -87,6 +87,13 @@ JsonValue metricsToJson(const TrialMetrics& m) {
     o["dominantStage"] = m.dominantStage;
     o["dominantSharePct"] = m.dominantSharePct;
   }
+  if (m.hasMonitors) {
+    o["hasMonitors"] = true;
+    o["monitors"] = m.monitors;
+    o["breaches"] = m.breaches;
+  }
+  // hasSelf is deliberately absent: self-profiled trials bypass the
+  // cache entirely (host wall-clock is not reproducible).
   return JsonValue(std::move(o));
 }
 
@@ -113,6 +120,9 @@ bool metricsFromJson(const JsonValue& j, TrialMetrics& m) {
   m.eventsDispatched = j.numberOr("eventsDispatched", 0.0);
   m.dominantStage = j.stringOr("dominantStage", "");
   m.dominantSharePct = j.numberOr("dominantSharePct", 0.0);
+  m.hasMonitors = j.boolOr("hasMonitors", false);
+  m.monitors = j.numberOr("monitors", 0.0);
+  m.breaches = j.numberOr("breaches", 0.0);
   return true;
 }
 

@@ -1,8 +1,10 @@
 #include "workload/workload_runner.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
+#include "probe/flight_recorder.hpp"
 #include "scale/flow_class.hpp"
 #include "telemetry/metrics_registry.hpp"
 
@@ -21,6 +23,10 @@ void exportTo(const WorkloadOutcome& out, telemetry::MetricsRegistry& reg) {
   reg.gauge("workload.retries", static_cast<double>(out.retries));
   reg.gauge("workload.lateCompletions", static_cast<double>(out.lateCompletions));
   scale::exportTo(scale::ClassStats{out.ranks, out.clientsTotal()}, reg);
+  if (out.monitors > 0) {
+    reg.gauge("probe.monitors", static_cast<double>(out.monitors));
+    reg.gauge("probe.breaches", static_cast<double>(out.breaches.size()));
+  }
 }
 
 // The per-run state machine. Completion callbacks outlive the run()
@@ -48,6 +54,17 @@ struct WorkloadRunner::Impl {
   SimTime start = 0.0;
   SimTime lastEnd = 0.0;
   Bytes sampledBytes = 0;
+
+  // SLO watchdog (owned by run(); outlives every sim callback).
+  probe::WatchdogSet* watchdog = nullptr;
+  bool haveLandmarks = false;
+  SimTime firstFaultAt = std::numeric_limits<double>::infinity();
+  SimTime lastRestoreAt = -1.0;
+  double degradedTolerance = 0.02;
+  struct {
+    double sum = 0.0;
+    std::size_t n = 0;
+  } healthy;  ///< pre-fault slices, for the recovery floor
 
   // ---- closed mode: completion-driven chains/pipelines ----
 
@@ -88,6 +105,11 @@ struct WorkloadRunner::Impl {
     releasingBarrier = true;
     while (barrierReady()) {
       ++out.barriers;
+      probe::FlightRecorder* rec = sim->recorder();
+      if (rec != nullptr) {
+        rec->record(sim->now(), probe::RecordKind::Barrier,
+                    static_cast<std::uint32_t>(out.barriers), static_cast<double>(live));
+      }
       const WorkloadOp* gate = nullptr;
       for (RankState& st : ranks) {
         if (!st.ended) {
@@ -98,6 +120,10 @@ struct WorkloadRunner::Impl {
       if (gate != nullptr && gate->switchPhase) {
         // All foreground I/O is drained, so the model may legally end the
         // phase and re-declare the next one (io500 write -> read).
+        if (rec != nullptr) {
+          rec->record(sim->now(), probe::RecordKind::PhaseSwitch,
+                      static_cast<std::uint32_t>(out.barriers), static_cast<double>(live));
+        }
         fs->endPhase();
         fs->beginPhase(gate->phase);
       }
@@ -195,6 +221,7 @@ struct WorkloadRunner::Impl {
       out.opsCompleted += members;
     }
     if (plan.collectOpLatency && !r.failed) out.opLatencies.push_back(r.elapsed());
+    if (watchdog != nullptr && !r.failed) watchdog->observeOpLatency(r.endTime - start, r.elapsed());
     if (trace != nullptr && op.traced) {
       const bool rd = isRead(op.io.pattern);
       trace->record(TraceEvent{op.label, rd ? TraceEventKind::Read : TraceEventKind::Write,
@@ -213,11 +240,35 @@ struct WorkloadRunner::Impl {
     }
   }
 
-  // ---- goodput timeline sampling (open mode) ----
+  // ---- goodput timeline sampling ----
 
+  /// Feed one closed slice to the watchdog. Chaos landmarks (when the
+  /// run carries an injected fault schedule) drive the recovery floor
+  /// the same way the chaos drill does: the healthy estimate is the mean
+  /// of slices that close before the first fault, and the recovery clock
+  /// starts at the last restore.
+  void feedWatchdog(const WorkloadSample& s) {
+    if (watchdog == nullptr) return;
+    if (haveLandmarks) {
+      if (start + s.end <= firstFaultAt + 1e-9) {
+        healthy.sum += s.gbs;
+        ++healthy.n;
+      }
+      if (lastRestoreAt >= 0.0 && healthy.n > 0) {
+        watchdog->setRecoveryContext(lastRestoreAt - start,
+                                     healthy.sum / static_cast<double>(healthy.n),
+                                     degradedTolerance);
+      }
+    }
+    watchdog->observeSlice(s.start, s.end, s.gbs);
+  }
+
+  /// Open-loop plans sample to the horizon, exactly as before. Closed
+  /// plans (horizonSec == 0) have no natural end, so sampling stops at
+  /// the first slice boundary after the workload drains.
   void scheduleSample(std::size_t slice) {
     const SimTime end = start + static_cast<SimTime>(slice + 1) * plan.sampleIntervalSec;
-    if (end > start + plan.horizonSec + 1e-9) return;
+    if (plan.horizonSec > 0.0 && end > start + plan.horizonSec + 1e-9) return;
     sim->scheduleAt(end, [this, slice, end] {
       WorkloadSample s;
       s.start = static_cast<SimTime>(slice) * plan.sampleIntervalSec;
@@ -225,6 +276,12 @@ struct WorkloadRunner::Impl {
       s.gbs = static_cast<double>(out.bytesMoved - sampledBytes) / plan.sampleIntervalSec / 1e9;
       sampledBytes = out.bytesMoved;
       out.timeline.push_back(s);
+      if (probe::FlightRecorder* rec = sim->recorder()) {
+        rec->record(end, probe::RecordKind::GoodputSample,
+                    static_cast<std::uint32_t>(slice), s.gbs);
+      }
+      feedWatchdog(s);
+      if (plan.horizonSec <= 0.0 && live == 0 && outstandingTotal == 0) return;
       scheduleSample(slice + 1);
     });
   }
@@ -240,9 +297,21 @@ WorkloadOutcome WorkloadRunner::run(WorkloadSource& source) {
   ctx.fs = &fs_;
   ctx.sim = impl.sim;
   impl.plan = source.load(ctx);
+  if (sampleIntervalOverride_ > 0.0) impl.plan.sampleIntervalSec = sampleIntervalOverride_;
   impl.out.generator = source.name();
   impl.out.ranks = impl.plan.ranks;
   impl.out.clientsPerRank = std::max<std::uint32_t>(1, impl.plan.clientsPerRank);
+
+  probe::WatchdogSet watchdog(monitors_);
+  impl.out.monitors = watchdog.monitorCount();
+  if (watchdog.active()) {
+    impl.watchdog = &watchdog;
+    watchdog.setRecorder(impl.sim->recorder());
+    impl.haveLandmarks = haveLandmarks_;
+    impl.firstFaultAt = firstFaultAt_;
+    impl.lastRestoreAt = lastRestoreAt_;
+    impl.degradedTolerance = degradedTolerance_;
+  }
 
   fs_.beginPhase(impl.plan.phase);
   impl.start = impl.sim->now();
@@ -261,7 +330,14 @@ WorkloadOutcome WorkloadRunner::run(WorkloadSource& source) {
   } else {
     for (std::size_t r = 0; r < impl.ranks.size(); ++r) impl.scheduleArrival(r);
   }
-  if (impl.plan.sampleIntervalSec > 0.0 && impl.plan.horizonSec > 0.0) impl.scheduleSample(0);
+  // Open-loop plans sample over their horizon as before; closed plans
+  // only sample when the interval was set explicitly (the spec knob or
+  // setSampleInterval) so existing closed runs stay byte-identical.
+  const bool closedSampling =
+      impl.plan.mode == DriveMode::Closed && sampleIntervalOverride_ > 0.0;
+  if (impl.plan.sampleIntervalSec > 0.0 && (impl.plan.horizonSec > 0.0 || closedSampling)) {
+    impl.scheduleSample(0);
+  }
 
   impl.sim->run();
   fs_.endPhase();
@@ -279,6 +355,10 @@ WorkloadOutcome WorkloadRunner::run(WorkloadSource& source) {
   for (const Impl::RankState& st : impl.ranks) {
     out.retries += st.session->retries();
     out.lateCompletions += st.session->lateCompletions();
+  }
+  if (watchdog.active()) {
+    watchdog.finish(out.simElapsed);
+    out.breaches = watchdog.breaches();
   }
   return out;
 }

@@ -14,6 +14,7 @@
 
 #include "cluster/deployments.hpp"
 #include "fs/client_session.hpp"
+#include "probe/monitor.hpp"
 #include "trace/trace_log.hpp"
 #include "workload/workload_source.hpp"
 
@@ -53,6 +54,13 @@ struct WorkloadOutcome {
   std::vector<double> opLatencies;  ///< per class op (plan.collectOpLatency)
   std::vector<WorkloadSample> timeline;
 
+  /// SLO watchdog results (probe monitors; empty without them). The
+  /// watchdog observes the timeline sampler and op completions only — a
+  /// run with every monitor satisfied is byte-identical to a
+  /// monitor-free run.
+  std::size_t monitors = 0;
+  std::vector<probe::Breach> breaches;
+
   std::uint64_t clientsTotal() const { return ranks * clientsPerRank; }
 
   double goodputGBs() const {
@@ -78,6 +86,29 @@ class WorkloadRunner {
     retry_ = policy;
   }
 
+  /// Attach SLO watchdog monitors, evaluated online against the goodput
+  /// timeline sampler and op completions (probe/monitor.hpp).
+  void setMonitors(std::vector<probe::MonitorSpec> monitors) { monitors_ = std::move(monitors); }
+
+  /// Override the plan's goodput sample interval (> 0 seconds). Also
+  /// enables timeline sampling for closed-loop generators, which have no
+  /// horizon: sampling then stops at the first slice boundary after the
+  /// workload drains. Without the override only open-loop plans with a
+  /// horizon sample, exactly as before.
+  void setSampleInterval(Seconds interval) { sampleIntervalOverride_ = interval; }
+
+  /// Chaos landmarks for recoverySec monitors when the run carries an
+  /// injected fault schedule: the watchdog's healthy-goodput estimate is
+  /// built from slices that close before `firstFaultAt`, and the
+  /// recovery clock starts at `lastRestoreAt`.
+  void setChaosLandmarks(Seconds firstFaultAt, Seconds lastRestoreAt,
+                         double degradedTolerance) {
+    haveLandmarks_ = true;
+    firstFaultAt_ = firstFaultAt;
+    lastRestoreAt_ = lastRestoreAt;
+    degradedTolerance_ = degradedTolerance;
+  }
+
   /// Drive the source to completion. Throws std::logic_error when the
   /// simulation drains with live ranks or outstanding I/O (a source
   /// state-machine bug).
@@ -91,6 +122,12 @@ class WorkloadRunner {
   TraceLog* trace_ = nullptr;
   bool retryEnabled_ = false;
   RetryPolicy retry_{};
+  std::vector<probe::MonitorSpec> monitors_;
+  Seconds sampleIntervalOverride_ = 0.0;  ///< 0 = use the plan's interval
+  bool haveLandmarks_ = false;
+  Seconds firstFaultAt_ = 0.0;
+  Seconds lastRestoreAt_ = -1.0;
+  double degradedTolerance_ = 0.02;
 };
 
 }  // namespace workload

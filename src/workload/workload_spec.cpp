@@ -291,6 +291,37 @@ void parseWorkloadSpec(const JsonValue& doc, WorkloadRunSpec& out,
   }
 
   if (const JsonValue* c = doc.find("chaos")) out.chaos = *c;
+
+  if (const JsonValue* si = doc.find("sampleIntervalSec")) {
+    if (!si->isNumber() || *si->number() <= 0.0) {
+      problems.push_back("sampleIntervalSec: must be > 0 seconds");
+    } else {
+      out.sampleIntervalSec = *si->number();
+    }
+  }
+
+  {
+    std::vector<std::string> monitorProblems;
+    probe::parseMonitors(doc, out.monitors, monitorProblems);
+    for (std::string& p : monitorProblems) problems.push_back(std::move(p));
+    bool needsTimeline = false;
+    bool needsRecovery = false;
+    for (const probe::MonitorSpec& m : out.monitors) {
+      if (m.metric != probe::MonitorMetric::P99OpLatencySec) needsTimeline = true;
+      if (m.metric == probe::MonitorMetric::RecoverySec) needsRecovery = true;
+    }
+    if (needsRecovery && out.chaos.isNull()) {
+      problems.push_back(
+          "monitors: recoverySec requires a 'chaos' section with a restore event");
+    }
+    // Closed-loop generators have no goodput timeline of their own, so
+    // slice-based monitors need the explicit interval knob.
+    if (needsTimeline && out.generator != "openloop" && out.sampleIntervalSec <= 0.0) {
+      problems.push_back(
+          "monitors: goodputGBs/stallSec/recoverySec watch the goodput timeline; set a "
+          "top-level 'sampleIntervalSec' (> 0) to sample closed-loop generators");
+    }
+  }
 }
 
 SourceBundle makeSource(const WorkloadRunSpec& spec, std::vector<std::string>& problems) {
@@ -308,14 +339,15 @@ SourceBundle makeSource(const WorkloadRunSpec& spec, std::vector<std::string>& p
   return it->second(spec.workload, problems);
 }
 
-void injectWorkloadChaos(const WorkloadRunSpec& spec, Environment& env) {
-  if (spec.chaos.isNull()) return;
+ChaosLandmarks injectWorkloadChaos(const WorkloadRunSpec& spec, Environment& env) {
+  ChaosLandmarks lm;
+  if (spec.chaos.isNull()) return lm;
   chaos::ChaosSpec cs;
   std::string err;
   if (!chaos::parseChaosSpec(spec.chaos, cs, err)) {
     throw std::invalid_argument("workload: 'chaos' section: " + err);
   }
-  if (cs.events.empty()) return;
+  if (cs.events.empty()) return lm;
   // The workload owns the clock — no horizon to bound the schedule.
   cs.horizon = std::numeric_limits<double>::infinity();
   cs.interval = 1.0;
@@ -327,13 +359,32 @@ void injectWorkloadChaos(const WorkloadRunSpec& spec, Environment& env) {
     throw std::invalid_argument(msg);
   }
   chaos::scheduleFaults(env, cs.events);
+  lm.any = true;
+  lm.firstFaultAt = cs.events.front().at;
+  lm.degradedTolerance = cs.degradedTolerance;
+  for (const chaos::ChaosEvent& ev : cs.events) {
+    lm.firstFaultAt = std::min(lm.firstFaultAt, ev.at);
+    if (ev.fault.action == FaultAction::Restore) {
+      lm.lastRestoreAt = std::max(lm.lastRestoreAt, ev.at);
+    }
+  }
+  return lm;
 }
 
 WorkloadOutcome runWorkload(Environment& env, const WorkloadRunSpec& spec,
-                            WorkloadSource& source, TraceLog* trace) {
+                            WorkloadSource& source, TraceLog* trace,
+                            const ChaosLandmarks* landmarks) {
   WorkloadRunner runner(*env.bench, *env.fs);
   runner.setTraceLog(trace);
   if (spec.retryEnabled) runner.enableRetry(spec.retry);
+  if (spec.sampleIntervalSec > 0.0) runner.setSampleInterval(spec.sampleIntervalSec);
+  if (!spec.monitors.empty()) {
+    runner.setMonitors(spec.monitors);
+    if (landmarks != nullptr && landmarks->any) {
+      runner.setChaosLandmarks(landmarks->firstFaultAt, landmarks->lastRestoreAt,
+                               landmarks->degradedTolerance);
+    }
+  }
   return runner.run(source);
 }
 

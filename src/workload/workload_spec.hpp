@@ -7,7 +7,11 @@
 //     "storageConfig": {...},            // optional preset overrides
 //     "workload": {"generator": "grammar", ...generator keys...},
 //     "retry": true | {...},             // optional chaos retry layer
-//     "chaos": {"events": [...]}         // optional fault schedule
+//     "chaos": {"events": [...]},        // optional fault schedule
+//     "sampleIntervalSec": 5.0,          // optional goodput-timeline width
+//                                        //   (> 0; enables sampling for
+//                                        //   closed-loop generators too)
+//     "monitors": [...]                  // optional SLO watchdogs
 //   }
 //
 // The "generator" key selects a WorkloadSource factory from the
@@ -39,6 +43,12 @@ struct WorkloadRunSpec {
   bool retryEnabled = false;
   RetryPolicy retry;
   JsonValue chaos;  ///< raw "chaos" section, null = none
+  /// Explicit goodput sample interval (top-level "sampleIntervalSec").
+  /// 0 = generator default; the knob must be > 0 when present, and also
+  /// arms timeline sampling for closed-loop generators.
+  double sampleIntervalSec = 0.0;
+  /// SLO watchdogs (top-level "monitors", probe/monitor.hpp grammar).
+  std::vector<probe::MonitorSpec> monitors;
 };
 
 /// Names the registry knows, sorted, for error messages and docs.
@@ -59,14 +69,28 @@ struct SourceBundle {
 };
 SourceBundle makeSource(const WorkloadRunSpec& spec, std::vector<std::string>& problems);
 
+/// What an injected fault schedule pins down for recoverySec monitors:
+/// when degradation starts, when the last restore fires, and the
+/// tolerance band the chaos section declared.
+struct ChaosLandmarks {
+  bool any = false;  ///< false = no events were scheduled
+  Seconds firstFaultAt = 0.0;
+  Seconds lastRestoreAt = -1.0;  ///< -1 = schedule never restores
+  double degradedTolerance = 0.02;
+};
+
 /// Schedule the spec's optional "chaos" section onto the environment
 /// (parse + validate + scheduleFaults). Throws std::invalid_argument
 /// with an actionable message on a bad section; no-op when absent.
-void injectWorkloadChaos(const WorkloadRunSpec& spec, Environment& env);
+/// Returns the schedule's landmarks for runWorkload's watchdog.
+ChaosLandmarks injectWorkloadChaos(const WorkloadRunSpec& spec, Environment& env);
 
-/// Drive the source on the environment with the spec's retry settings.
+/// Drive the source on the environment with the spec's retry settings,
+/// sample-interval override, and monitors. Pass injectWorkloadChaos's
+/// landmarks so recoverySec monitors know the restore time.
 WorkloadOutcome runWorkload(Environment& env, const WorkloadRunSpec& spec,
-                            WorkloadSource& source, TraceLog* trace = nullptr);
+                            WorkloadSource& source, TraceLog* trace = nullptr,
+                            const ChaosLandmarks* landmarks = nullptr);
 
 /// JSONL: one "summary" record (opLatency is null — never zeros — when
 /// no per-op distribution was collected), then one "sample" record per
