@@ -9,7 +9,9 @@
 # chaos-sweep jobs independence, empty-schedule zero-cost identity
 # against the plain fig2 JSONL), the probe layer (satisfied-monitor
 # byte-identity, breach exit + table, flight-recorder dump determinism),
-# and the perf floors (bench_engine/workload/scale/probe vs their
+# the transport/DAOS layer (calibrated endpoint sweeps, run-twice and
+# jobs-count byte-identity), and the perf floors
+# (bench_engine/workload/scale/probe/transport vs their
 # committed BENCH_*.json; HCSIM_CHECK_PERF=0 to skip,
 # HCSIM_PERF_MAX_REGRESS to widen). A second profile repeats the
 # tests and an oracle smoke run under ASan+UBSan with sanitizers fatal;
@@ -140,6 +142,25 @@ grep -q 'goodput' "$BUILD/check-workload-openloop_zipf.txt"
 cmp "$OUT-workload-8.jsonl" "$OUT-workload-1.jsonl"
 grep -q '"ok":true' "$OUT-workload-8.jsonl"
 
+# Transport + DAOS gates (hcsim::transport / hcsim::daos): the two
+# calibrated endpoint sweeps — daos_ior spans the RDMA-vs-TCP endpoint
+# classes, transport_nconnect the TCP lane scaling — must complete with
+# every trial ok, carry per-trial "transport" telemetry, and stay
+# byte-identical across repeated runs and job counts (a "transport"
+# section must not perturb determinism).
+for spec in daos_ior transport_nconnect; do
+  "$BUILD/src/hcsim" sweep --spec "$ROOT/examples/specs/$spec.json" --jobs 8 \
+      --out "$OUT-$spec-8.jsonl" >/dev/null
+  "$BUILD/src/hcsim" sweep --spec "$ROOT/examples/specs/$spec.json" --jobs 1 \
+      --out "$OUT-$spec-1.jsonl" >/dev/null
+  cmp "$OUT-$spec-8.jsonl" "$OUT-$spec-1.jsonl"
+  "$BUILD/src/hcsim" sweep --spec "$ROOT/examples/specs/$spec.json" --jobs 8 \
+      --out "$OUT-$spec-rerun.jsonl" >/dev/null
+  cmp "$OUT-$spec-8.jsonl" "$OUT-$spec-rerun.jsonl"
+  grep -q '"ok":true' "$OUT-$spec-8.jsonl"
+  grep -q '"transport":' "$OUT-$spec-8.jsonl"
+done
+
 # Scale gates (hcsim::scale): the flow-class demo must emit byte-identical
 # JSONL on repeated runs, and a 1,000,000-client open-loop run must
 # complete under a hard address-space ceiling — the memory-flat-in-members
@@ -202,6 +223,7 @@ if [ "${HCSIM_CHECK_PERF:-1}" != "0" ]; then
   run_perf_gate bench_workload "$ROOT/BENCH_workload.json"
   run_perf_gate bench_scale "$ROOT/BENCH_scale.json"
   run_perf_gate bench_probe "$ROOT/BENCH_probe.json"
+  run_perf_gate bench_transport "$ROOT/BENCH_transport.json"
 fi
 
 # ASan+UBSan profile: rebuild the library + tests with sanitizers fatal

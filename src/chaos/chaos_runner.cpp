@@ -312,7 +312,8 @@ ChaosOutcome runChaosOn(Environment& env, const ChaosSpec& spec) {
 
 ChaosOutcome runChaos(const ChaosSpec& spec) {
   Environment env = makeEnvironment(spec.site, spec.storage, spec.workload.nodes,
-                                    spec.storageConfig.isNull() ? nullptr : &spec.storageConfig);
+                                    spec.storageConfig.isNull() ? nullptr : &spec.storageConfig,
+                                    spec.transport.isNull() ? nullptr : &spec.transport);
   return runChaosOn(env, spec);
 }
 

@@ -27,6 +27,7 @@ bool parseStorage(const std::string& s, StorageKind& out) {
   else if (s == "gpfs") out = StorageKind::Gpfs;
   else if (s == "lustre") out = StorageKind::Lustre;
   else if (s == "nvme") out = StorageKind::NvmeLocal;
+  else if (s == "daos") out = StorageKind::Daos;
   else return false;
   return true;
 }
@@ -62,7 +63,8 @@ bool parseEvent(const JsonValue& j, std::size_t idx, ChaosEvent& out, std::strin
   out.fault.link = j.stringOr("link", "");
   if (!out.fault.link.empty()) out.fault.component = "link";
   if (out.fault.component.empty()) {
-    error = at("needs a 'component' kind (cnode|dnode|dbox|nsd|oss|mds|drive) or a 'link' name");
+    error = at(
+        "needs a 'component' kind (cnode|dnode|dbox|nsd|oss|mds|drive|target) or a 'link' name");
     return false;
   }
   if (out.fault.component == "link" && out.fault.link.empty()) {
@@ -103,10 +105,17 @@ bool parseChaosSpec(const JsonValue& json, ChaosSpec& out, std::string& error) {
     return false;
   }
   if (!parseStorage(json.stringOr("storage", "vast"), out.storage)) {
-    error = "'storage' must be vast|gpfs|lustre|nvme";
+    error = "'storage' must be vast|gpfs|lustre|nvme|daos";
     return false;
   }
   if (const JsonValue* sc = json.find("storageConfig")) out.storageConfig = sweep::deepCopy(*sc);
+  if (const JsonValue* tr = json.find("transport")) {
+    if (!tr->isObject() && !tr->isNull()) {
+      error = "'transport' must be an object of endpoint-profile overrides";
+      return false;
+    }
+    out.transport = sweep::deepCopy(*tr);
+  }
 
   if (const JsonValue* w = json.find("workload")) {
     if (!w->isObject()) {
@@ -206,7 +215,8 @@ namespace {
 
 /// Component kinds any model might expose — probed via faultComponentCount
 /// to tell the user what *this* deployment actually supports.
-const char* const kKnownKinds[] = {"cnode", "dnode", "dbox", "nsd", "oss", "mds", "drive"};
+const char* const kKnownKinds[] = {"cnode", "dnode", "dbox",  "nsd",
+                                   "oss",   "mds",   "drive", "target"};
 
 std::string supportedKinds(const FileSystemModel& fs) {
   std::string s;

@@ -12,8 +12,10 @@
 //   {
 //     "name": "cnode-failover",
 //     "site": "lassen",                 // lassen|ruby|quartz|wombat
-//     "storage": "vast",                // vast|gpfs|lustre|nvme
+//     "storage": "vast",                // vast|gpfs|lustre|nvme|daos
 //     "storageConfig": { ... },         // lenient overrides, as in sweep
+//     "transport": { ... },             // optional hcsim::transport endpoint
+//                                       //   overrides ({} = declared profile)
 //     "workload": {
 //       "nodes": 12, "procsPerNode": 8,
 //       "access": "seq-write",          // seq-read|seq-write|rand-read|rand-write
@@ -78,6 +80,9 @@ struct ChaosSpec {
   Site site = Site::Lassen;
   StorageKind storage = StorageKind::Vast;
   JsonValue storageConfig;  ///< null = site preset as-is
+  /// Raw "transport" section: merged onto the model's declared endpoint
+  /// profile and routed through hcsim::transport. null = no fabric.
+  JsonValue transport;
   ChaosWorkload workload;
   Seconds horizon = 90.0;
   Seconds interval = 5.0;

@@ -43,6 +43,7 @@ bool parseStorage(const std::string& s, StorageKind& out) {
   else if (s == "gpfs") out = StorageKind::Gpfs;
   else if (s == "lustre") out = StorageKind::Lustre;
   else if (s == "nvme") out = StorageKind::NvmeLocal;
+  else if (s == "daos") out = StorageKind::Daos;
   else return false;
   return true;
 }
@@ -57,7 +58,7 @@ bool parseTarget(const ArgParser& args, std::ostream& err, Site& site, StorageKi
     return false;
   }
   if (!parseStorage(args.getOr("--storage", ""), kind)) {
-    err << "error: --storage must be one of vast|gpfs|lustre|nvme\n";
+    err << "error: --storage must be one of vast|gpfs|lustre|nvme|daos\n";
     return false;
   }
   return true;
@@ -187,7 +188,7 @@ int cmdHelp(std::ostream& out) {
          "              [--ppn P] [--segments S] [--json] [--self]\n"
          "              (metrics-registry summary; --json emits the registry as\n"
          "               lossless JSON, --self adds wall-clock self.* profiling)\n"
-         "  dump-config --storage vast|gpfs|lustre|nvme --site S   (preset as JSON)\n"
+         "  dump-config --storage vast|gpfs|lustre|nvme|daos --site S   (preset as JSON)\n"
          "  help        this text\n";
   return 0;
 }
@@ -437,7 +438,8 @@ int cmdChaos(const ArgParser& args, std::ostream& out, std::ostream& err) {
     return 2;
   }
   Environment env = makeEnvironment(spec.site, spec.storage, spec.workload.nodes,
-                                    spec.storageConfig.isNull() ? nullptr : &spec.storageConfig);
+                                    spec.storageConfig.isNull() ? nullptr : &spec.storageConfig,
+                                    spec.transport.isNull() ? nullptr : &spec.transport);
   // Validate before running so every schedule problem surfaces at once
   // with an actionable message and a distinct exit code.
   const std::vector<std::string> problems =
@@ -522,7 +524,8 @@ int cmdWorkload(const ArgParser& args, std::ostream& out, std::ostream& err) {
     return 2;
   }
   Environment env = makeEnvironment(spec.site, spec.storage, bundle.nodes,
-                                    spec.storageConfig.isNull() ? nullptr : &spec.storageConfig);
+                                    spec.storageConfig.isNull() ? nullptr : &spec.storageConfig,
+                                    spec.transport.isNull() ? nullptr : &spec.transport);
   const bool telemetryOn = args.has("--telemetry");
   if (telemetryOn) env.bench->telemetry().setEnabled(true);
   workload::ChaosLandmarks landmarks;
@@ -568,6 +571,7 @@ int cmdWorkload(const ArgParser& args, std::ostream& out, std::ostream& err) {
   if (telemetryOn) {
     telemetry::MetricsRegistry reg;
     env.bench->collectMetrics(reg, env.fs.get());
+    if (env.transport) env.transport->exportMetrics(reg);
     workload::exportTo(r, reg);
     out << reg.renderTable();
     const telemetry::AttributionReport rep = env.bench->telemetry().attribution();
@@ -635,7 +639,7 @@ int cmdScale(const ArgParser& args, std::ostream& out, std::ostream& err) {
     return 2;
   }
   if (const auto s = args.get("--storage"); s && !parseStorage(*s, kind)) {
-    err << "error: --storage must be one of vast|gpfs|lustre|nvme\n";
+    err << "error: --storage must be one of vast|gpfs|lustre|nvme|daos\n";
     return 2;
   }
   const std::size_t clients = args.sizeOr("--clients", 1000000);
@@ -692,6 +696,7 @@ int cmdScale(const ArgParser& args, std::ostream& out, std::ostream& err) {
   if (telemetryOn) {
     telemetry::MetricsRegistry reg;
     env.bench->collectMetrics(reg, env.fs.get());
+    if (env.transport) env.transport->exportMetrics(reg);
     workload::exportTo(r, reg);
     out << reg.renderTable();
   }
@@ -910,6 +915,9 @@ int cmdStats(const ArgParser& args, std::ostream& out, std::ostream& err) {
   if (!runTracedWorkload(args, err, /*telemetryOn=*/true, run, args.has("--self"))) return 2;
   telemetry::MetricsRegistry reg;
   run.env.bench->collectMetrics(reg, run.env.fs.get());
+  // transport.* rows appear only when the environment ran on a fabric
+  // (DAOS always does; other models only with a "transport" section).
+  if (run.env.transport) run.env.transport->exportMetrics(reg);
   if (args.has("--json")) {
     // Machine face of the registry: numbers round-trip losslessly (the
     // JSON writer is the same one behind the sweep JSONL).
@@ -937,6 +945,7 @@ int cmdDumpConfig(const ArgParser& args, std::ostream& out, std::ostream& err) {
     case StorageKind::Gpfs: j = toJson(gpfsOnLassen()); break;
     case StorageKind::Lustre: j = toJson(lustreOnQuartz()); break;
     case StorageKind::NvmeLocal: j = toJson(nvmeOnWombat()); break;
+    case StorageKind::Daos: j = toJson(daosInstance()); break;
   }
   out << writeJson(j, 2) << "\n";
   return 0;

@@ -72,6 +72,8 @@ NvmeLocalConfig nvmeOnWombat() {
   return c;
 }
 
+DaosConfig daosInstance() { return DaosConfig::instance(); }
+
 TestBench::TestBench(Machine machine, std::size_t nodesUsed)
     : machine_(std::move(machine)), net_(sim_), topo_(net_) {
   net_.setTelemetry(&telemetry_);
@@ -121,6 +123,10 @@ std::unique_ptr<LustreModel> TestBench::attachLustre(LustreConfig cfg) {
 
 std::unique_ptr<NvmeLocalModel> TestBench::attachNvme(NvmeLocalConfig cfg) {
   return std::make_unique<NvmeLocalModel>(sim_, topo_, std::move(cfg), clientNics_);
+}
+
+std::unique_ptr<DaosModel> TestBench::attachDaos(DaosConfig cfg) {
+  return std::make_unique<DaosModel>(sim_, topo_, std::move(cfg), clientNics_);
 }
 
 }  // namespace hcsim

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "cluster/machine.hpp"
+#include "daos/daos_model.hpp"
 #include "gpfs/gpfs_model.hpp"
 #include "lustre/lustre_model.hpp"
 #include "net/topology.hpp"
@@ -42,6 +43,11 @@ LustreConfig lustreOnRuby();
 
 /// Wombat's node-local NVMe.
 NvmeLocalConfig nvmeOnWombat();
+
+/// The DAOS evaluation instance (not site-bound: DAOS is not one of the
+/// paper's deployments; the pool is reachable from any machine over its
+/// own libfabric-class network).
+DaosConfig daosInstance();
 
 // ---- TestBench ----
 
@@ -90,6 +96,7 @@ class TestBench {
   std::unique_ptr<GpfsModel> attachGpfs(GpfsConfig cfg);
   std::unique_ptr<LustreModel> attachLustre(LustreConfig cfg);
   std::unique_ptr<NvmeLocalModel> attachNvme(NvmeLocalConfig cfg);
+  std::unique_ptr<DaosModel> attachDaos(DaosConfig cfg);
 
  private:
   Machine machine_;

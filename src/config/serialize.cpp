@@ -396,6 +396,48 @@ bool fromJson(const JsonValue& j, NvmeLocalConfig& out) {
   return true;
 }
 
+// ---- DAOS ----
+
+JsonValue toJson(const DaosConfig& c) {
+  JsonObject o;
+  o["name"] = c.name;
+  o["pools"] = static_cast<double>(c.pools);
+  o["targetsPerPool"] = static_cast<double>(c.targetsPerPool);
+  o["xstreamsPerTarget"] = static_cast<double>(c.xstreamsPerTarget);
+  o["targetBandwidth"] = c.targetBandwidth;
+  o["targetServiceTime"] = c.targetServiceTime;
+  o["randomEfficiency"] = c.randomEfficiency;
+  o["capacityPerTarget"] = static_cast<double>(c.capacityPerTarget);
+  o["redundancyGroupSize"] = static_cast<double>(c.redundancyGroupSize);
+  o["fsyncLatency"] = c.fsyncLatency;
+  o["metadataServiceTime"] = c.metadataServiceTime;
+  o["metadataSharedDirPenalty"] = c.metadataSharedDirPenalty;
+  o["sharedFileLockLatency"] = c.sharedFileLockLatency;
+  o["sharedFileEfficiency"] = c.sharedFileEfficiency;
+  o["fabric"] = transport::toJson(c.fabric);
+  return JsonValue(std::move(o));
+}
+
+bool fromJson(const JsonValue& j, DaosConfig& out) {
+  if (!j.isObject()) return false;
+  get(j, "name", out.name);
+  get(j, "pools", out.pools);
+  get(j, "targetsPerPool", out.targetsPerPool);
+  get(j, "xstreamsPerTarget", out.xstreamsPerTarget);
+  get(j, "targetBandwidth", out.targetBandwidth);
+  get(j, "targetServiceTime", out.targetServiceTime);
+  get(j, "randomEfficiency", out.randomEfficiency);
+  get(j, "capacityPerTarget", out.capacityPerTarget);
+  get(j, "redundancyGroupSize", out.redundancyGroupSize);
+  get(j, "fsyncLatency", out.fsyncLatency);
+  get(j, "metadataServiceTime", out.metadataServiceTime);
+  get(j, "metadataSharedDirPenalty", out.metadataSharedDirPenalty);
+  get(j, "sharedFileLockLatency", out.sharedFileLockLatency);
+  get(j, "sharedFileEfficiency", out.sharedFileEfficiency);
+  getStruct(j, "fabric", out.fabric);
+  return true;
+}
+
 // ---- UnifyFS ----
 
 JsonValue toJson(const UnifyFsConfig& c) {
@@ -597,6 +639,8 @@ template bool saveConfig<NvmeLocalConfig>(const NvmeLocalConfig&, const std::str
 template bool loadConfig<NvmeLocalConfig>(const std::string&, NvmeLocalConfig&);
 template bool saveConfig<UnifyFsConfig>(const UnifyFsConfig&, const std::string&);
 template bool loadConfig<UnifyFsConfig>(const std::string&, UnifyFsConfig&);
+template bool saveConfig<DaosConfig>(const DaosConfig&, const std::string&);
+template bool loadConfig<DaosConfig>(const std::string&, DaosConfig&);
 template bool saveConfig<IorConfig>(const IorConfig&, const std::string&);
 template bool loadConfig<IorConfig>(const std::string&, IorConfig&);
 template bool saveConfig<DlioWorkload>(const DlioWorkload&, const std::string&);

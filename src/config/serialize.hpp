@@ -7,6 +7,7 @@
 #include <string>
 
 #include "cluster/machine.hpp"
+#include "daos/daos_config.hpp"
 #include "dlio/dlio_config.hpp"
 #include "gpfs/gpfs_config.hpp"
 #include "ior/ior_config.hpp"
@@ -50,6 +51,10 @@ JsonValue toJson(const NvmeLocalConfig& c);
 bool fromJson(const JsonValue& j, NvmeLocalConfig& out);
 JsonValue toJson(const UnifyFsConfig& c);
 bool fromJson(const JsonValue& j, UnifyFsConfig& out);
+/// DaosConfig embeds its transport::TransportProfile under "fabric"
+/// (profile (de)serializers live in transport/transport_profile.hpp).
+JsonValue toJson(const DaosConfig& c);
+bool fromJson(const JsonValue& j, DaosConfig& out);
 
 // ---- workload configs ----
 JsonValue toJson(const IorConfig& c);

@@ -22,6 +22,7 @@ const char* toString(StorageKind k) {
     case StorageKind::Gpfs: return "GPFS";
     case StorageKind::Lustre: return "Lustre";
     case StorageKind::NvmeLocal: return "NVMe";
+    case StorageKind::Daos: return "DAOS";
   }
   return "?";
 }
@@ -42,6 +43,11 @@ Environment makeEnvironment(Site site, StorageKind kind, std::size_t nodes) {
 
 Environment makeEnvironment(Site site, StorageKind kind, std::size_t nodes,
                             const JsonValue* storageOverrides) {
+  return makeEnvironment(site, kind, nodes, storageOverrides, nullptr);
+}
+
+Environment makeEnvironment(Site site, StorageKind kind, std::size_t nodes,
+                            const JsonValue* storageOverrides, const JsonValue* transportSection) {
   Environment env;
   env.bench = std::make_unique<TestBench>(machineFor(site), nodes);
   const auto badOverrides = [] {
@@ -84,6 +90,28 @@ Environment makeEnvironment(Site site, StorageKind kind, std::size_t nodes,
       env.fs = env.bench->attachNvme(std::move(c));
       break;
     }
+    case StorageKind::Daos: {
+      // DAOS is not one of the paper's deployments; its pool is wired
+      // with its own fabric and is reachable from any site's machine.
+      DaosConfig c = daosInstance();
+      if (storageOverrides && !fromJson(*storageOverrides, c)) throw badOverrides();
+      env.fs = env.bench->attachDaos(std::move(c));
+      break;
+    }
+  }
+  // Attach the NIC/transport layer when the spec opts in — or always for
+  // DAOS, the one model built on the fabric from day one. A null section
+  // for the other models leaves the launch path byte-identical to a
+  // build without hcsim::transport (the zero-cost contract).
+  if (transportSection || kind == StorageKind::Daos) {
+    transport::TransportProfile profile = env.fs->declaredTransportProfile();
+    if (transportSection && !transport::fromJson(*transportSection, profile)) {
+      throw std::invalid_argument("makeEnvironment: 'transport' overrides do not parse");
+    }
+    profile.validate();
+    env.transport = std::make_unique<transport::TransportFabric>(
+        env.bench->sim(), env.bench->topo().network(), profile, &env.bench->recorder());
+    env.fs->setTransport(env.transport.get());
   }
   return env;
 }

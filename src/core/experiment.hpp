@@ -12,21 +12,29 @@
 #include "cluster/deployments.hpp"
 #include "dlio/dlio_runner.hpp"
 #include "ior/ior_runner.hpp"
+#include "transport/transport.hpp"
 #include "util/json.hpp"
 
 namespace hcsim {
 
 enum class Site { Lassen, Ruby, Quartz, Wombat };
-enum class StorageKind { Vast, Gpfs, Lustre, NvmeLocal };
+enum class StorageKind { Vast, Gpfs, Lustre, NvmeLocal, Daos };
 
 const char* toString(Site s);
 const char* toString(StorageKind k);
 
 Machine machineFor(Site site);
 
-/// A TestBench + an attached storage model, owned together.
+/// A TestBench + an attached storage model, owned together. When a spec
+/// carries a "transport" section (or the model is DAOS, which always
+/// routes through the fabric), `transport` holds the NIC/transport layer
+/// the model's transfers are posted through; otherwise it stays null and
+/// the launch path is byte-identical to a build without hcsim::transport.
+/// Declaration order matters: `fs` is destroyed before `transport`,
+/// which is destroyed before `bench`.
 struct Environment {
   std::unique_ptr<TestBench> bench;
+  std::unique_ptr<transport::TransportFabric> transport;
   std::unique_ptr<FileSystemModel> fs;
 };
 
@@ -41,6 +49,15 @@ Environment makeEnvironment(Site site, StorageKind kind, std::size_t nodes);
 /// scenarios so a "storageConfig" section means the same everywhere.
 Environment makeEnvironment(Site site, StorageKind kind, std::size_t nodes,
                             const JsonValue* storageOverrides);
+
+/// As above, plus the spec's optional "transport" section. When present
+/// (even as an empty object `{}`), the model's declaredTransportProfile()
+/// is merged with the section's knobs and a TransportFabric is attached,
+/// so transfers pay first-principles endpoint costs. nullptr = no fabric
+/// (byte-identical to before hcsim::transport existed) — except for
+/// StorageKind::Daos, which always runs on its config-embedded profile.
+Environment makeEnvironment(Site site, StorageKind kind, std::size_t nodes,
+                            const JsonValue* storageOverrides, const JsonValue* transportSection);
 
 /// One point of a bandwidth series.
 struct BandwidthPoint {

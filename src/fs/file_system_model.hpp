@@ -24,12 +24,17 @@
 #include "fs/fault.hpp"
 #include "net/link.hpp"  // Route (rebuild traffic paths)
 #include "sim/simulator.hpp"
+#include "transport/transport_profile.hpp"
 #include "util/units.hpp"
 
 namespace hcsim {
 
 namespace telemetry {
 class MetricsRegistry;
+}
+
+namespace transport {
+class TransportFabric;
 }
 
 /// Identifies the issuing process: compute node index + process rank on
@@ -146,6 +151,24 @@ class FileSystemModel {
   /// aggregate a node's ranks into flows must keep this many distinct
   /// `client.proc` slots so every channel stays loaded.
   virtual std::size_t clientParallelism() const { return 1; }
+
+  // ---- NIC/transport modeling (hcsim::transport) ----
+
+  /// The first-principles endpoint profile this model's clients would
+  /// use when a spec's "transport" section routes traffic through
+  /// hcsim::transport. Models derive it from their own frontend config
+  /// (VAST: tcp-vs-rdma + nconnect lanes); the default is a plain
+  /// kernel TCP endpoint. A spec section is merged on top, so each
+  /// knob is individually overridable and sweepable.
+  virtual transport::TransportProfile declaredTransportProfile() const {
+    return transport::TransportProfile::tcp();
+  }
+
+  /// Attach (or detach with nullptr) a transport fabric: data transfers
+  /// are then posted through it instead of directly onto the flow
+  /// network. No fabric attached (the default) must be byte-identical
+  /// to a build without hcsim::transport — the zero-cost contract.
+  virtual void setTransport(transport::TransportFabric*) {}
 
   // ---- Dynamic fault injection (hcsim::chaos) ----
 

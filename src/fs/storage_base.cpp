@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "telemetry/metrics_registry.hpp"
+#include "transport/transport.hpp"
 
 namespace hcsim {
 
@@ -122,9 +123,14 @@ void StorageModelBase::launchTransfer(const IoRequest& req, Bytes bytes, const R
     spec.spanPid = req.client.node;
     spec.spanTid = req.client.proc;
   }
-  topo_.network().startFlow(spec, [cb = std::move(cb)](const FlowCompletion& done) {
+  auto complete = [cb = std::move(cb)](const FlowCompletion& done) {
     if (cb) cb(IoResult{done.startTime, done.endTime, done.bytes});
-  });
+  };
+  if (fabric_) {
+    fabric_->launch(std::move(spec), req, std::move(complete));
+    return;
+  }
+  topo_.network().startFlow(spec, std::move(complete));
 }
 
 }  // namespace hcsim

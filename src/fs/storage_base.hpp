@@ -39,6 +39,12 @@ class StorageModelBase : public FileSystemModel {
   /// overrides call this and add their own "<name>.*" metrics.
   void exportMetrics(telemetry::MetricsRegistry& reg) const override;
 
+  /// Route launchTransfer flows through `fabric` (nullptr detaches).
+  /// With no fabric attached the launch path is byte-identical to a
+  /// build without hcsim::transport.
+  void setTransport(transport::TransportFabric* fabric) override { fabric_ = fabric; }
+  transport::TransportFabric* transport() const { return fabric_; }
+
   Simulator& simulator() { return sim_; }
   const Simulator& simulator() const { return sim_; }
   Topology& topology() { return topo_; }
@@ -97,6 +103,7 @@ class StorageModelBase : public FileSystemModel {
   Topology& topo_;
   std::string name_;
   std::vector<LinkId> clientNics_;
+  transport::TransportFabric* fabric_ = nullptr;
   Rng rng_;
   PhaseSpec phase_{};
   bool inPhase_ = false;

@@ -216,4 +216,12 @@ void GpfsModel::submit(const IoRequest& req, IoCallback cb) {
   launchTransfer(req, req.bytes, route, kUncapped, perOp, perOpBase, std::move(cb));
 }
 
+
+transport::TransportProfile GpfsModel::declaredTransportProfile() const {
+  transport::TransportProfile p = transport::TransportProfile::tcp();
+  p.lanes = 1;
+  p.baseRtt = cfg_.rpcLatency;
+  return p;
+}
+
 }  // namespace hcsim

@@ -37,6 +37,9 @@ class GpfsModel final : public StorageModelBase {
   void submit(const IoRequest& req, IoCallback cb) override;
   Bytes totalCapacity() const override { return cfg_.capacityTotal; }
 
+  /// GPFS NSD client endpoint: one kernel TCP-style lane per node.
+  transport::TransportProfile declaredTransportProfile() const override;
+
   // ---- Failure injection ----
   /// Fail/restore an NSD server: the server pool, RAID pool and cache
   /// shrink proportionally; in-flight transfers re-rate immediately.

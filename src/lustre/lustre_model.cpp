@@ -177,4 +177,12 @@ void LustreModel::submit(const IoRequest& req, IoCallback cb) {
                  cfg_.rpcLatency + cfg_.mdsLatency, std::move(cb));
 }
 
+
+transport::TransportProfile LustreModel::declaredTransportProfile() const {
+  transport::TransportProfile p = transport::TransportProfile::rdma();
+  p.lanes = 1;
+  p.baseRtt = cfg_.rpcLatency;
+  return p;
+}
+
 }  // namespace hcsim

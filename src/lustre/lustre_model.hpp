@@ -36,6 +36,10 @@ class LustreModel final : public StorageModelBase {
   void submit(const IoRequest& req, IoCallback cb) override;
   Bytes totalCapacity() const override { return cfg_.capacityTotal; }
 
+  /// LNet over Omni-Path: an RDMA-class endpoint, one lane per client
+  /// (Lustre multiplexes a node's traffic over one o2ib connection).
+  transport::TransportProfile declaredTransportProfile() const override;
+
   Bandwidth deviceCapacity() const;
 
   // ---- Failure injection ----

@@ -187,4 +187,12 @@ void NvmeLocalModel::submit(const IoRequest& req, IoCallback cb) {
   launchTransfer(req, req.bytes, route, kUncapped, perOp, cfg_.syscallLatency, std::move(cb));
 }
 
+
+transport::TransportProfile NvmeLocalModel::declaredTransportProfile() const {
+  transport::TransportProfile p = transport::TransportProfile::rdma();
+  p.lanes = std::max<std::size_t>(1, cfg_.drivesPerNode);
+  p.baseRtt = units::usec(10);
+  return p;
+}
+
 }  // namespace hcsim

@@ -68,6 +68,10 @@ class NvmeLocalModel final : public StorageModelBase {
     return static_cast<Bytes>(cfg_.drivesPerNode) * cfg_.capacityPerDrive * clientNodeCount();
   }
 
+  /// PCIe-attached local NVMe: an RDMA-class (kernel-bypass-cheap)
+  /// endpoint with one lane per drive and a bus-scale RTT.
+  transport::TransportProfile declaredTransportProfile() const override;
+
   /// Declarative fault hook (hcsim::chaos): "drive" (index = node)
   /// fails/degrades/restores a node's whole local pool via link health —
   /// a node-local device has no failover path, so fail-stop strands that

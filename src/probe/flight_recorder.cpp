@@ -20,6 +20,7 @@ const char* toString(RecordKind kind) {
     case RecordKind::PhaseSwitch: return "workload.phase_switch";
     case RecordKind::Barrier: return "workload.barrier";
     case RecordKind::MonitorBreach: return "probe.monitor_breach";
+    case RecordKind::TransportStall: return "transport.sq_stall";
   }
   return "unknown";
 }

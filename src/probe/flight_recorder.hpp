@@ -43,6 +43,7 @@ enum class RecordKind : std::uint16_t {
   PhaseSwitch = 10,     ///< workload phase barrier released; subject=phase index
   Barrier = 11,         ///< closed-loop barrier released; subject=op index
   MonitorBreach = 12,   ///< SLO watchdog fired; subject=monitor index, value=observed
+  TransportStall = 13,  ///< flow queued on a full send queue; subject=(node,lane), value=queue depth
 };
 
 const char* toString(RecordKind kind);

@@ -93,6 +93,19 @@ std::string toJsonlLine(const TrialResult& r) {
       sp["sinkSec"] = r.metrics.selfSinkSec;
       m["self"] = JsonValue(std::move(sp));
     }
+    // NIC/transport endpoint counters — present only when the trial ran
+    // with a fabric attached, and LAST so every older header/line shape
+    // stays a byte-prefix of the new one.
+    if (r.metrics.hasTransport) {
+      JsonObject tr;
+      tr["ops"] = r.metrics.transportOps;
+      tr["bytes"] = r.metrics.transportBytes;
+      tr["throttleSec"] = r.metrics.transportThrottleSec;
+      tr["connSetups"] = r.metrics.transportConnSetups;
+      tr["sqWaits"] = r.metrics.transportSqWaits;
+      tr["doorbells"] = r.metrics.transportDoorbells;
+      m["transport"] = JsonValue(std::move(tr));
+    }
   } else {
     m["error"] = r.metrics.error;
   }
@@ -114,11 +127,13 @@ std::string toCsv(const SweepOutcome& out) {
   bool anyLatency = false;
   bool anyMonitors = false;
   bool anySelf = false;
+  bool anyTransport = false;
   for (const TrialResult& r : out.results) {
     anyTelemetry |= r.metrics.hasTelemetry;
     anyLatency |= r.metrics.latencyCapable;
     anyMonitors |= r.metrics.hasMonitors;
     anySelf |= r.metrics.hasSelf;
+    anyTransport |= r.metrics.hasTransport;
   }
   std::ostringstream os;
   os << "trial";
@@ -140,6 +155,12 @@ std::string toCsv(const SweepOutcome& out) {
   }
   if (anyMonitors) os << ",monitors,breaches";
   if (anySelf) os << ",selfDispatchSec,selfCallbackSec,selfSolveSec,selfTelemetrySec,selfSinkSec";
+  // Transport columns come last of all, keeping every fabric-off header
+  // a byte-prefix of the fabric-on one.
+  if (anyTransport) {
+    os << ",transportOps,transportBytes,transportThrottleSec,transportConnSetups"
+          ",transportSqWaits,transportDoorbells";
+  }
   os << "\n";
   for (const TrialResult& r : out.results) {
     os << r.trial.index;
@@ -191,6 +212,18 @@ std::string toCsv(const SweepOutcome& out) {
            << formatDouble(r.metrics.selfSinkSec);
       } else {
         os << ",,,,,";
+      }
+    }
+    if (anyTransport) {
+      if (r.metrics.hasTransport) {
+        os << "," << formatDouble(r.metrics.transportOps) << ","
+           << formatDouble(r.metrics.transportBytes) << ","
+           << formatDouble(r.metrics.transportThrottleSec) << ","
+           << formatDouble(r.metrics.transportConnSetups) << ","
+           << formatDouble(r.metrics.transportSqWaits) << ","
+           << formatDouble(r.metrics.transportDoorbells);
+      } else {
+        os << ",,,,,,";
       }
     }
     os << "\n";

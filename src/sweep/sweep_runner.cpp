@@ -35,16 +35,32 @@ bool parseStorageName(const std::string& s, StorageKind& out) {
   else if (s == "gpfs") out = StorageKind::Gpfs;
   else if (s == "lustre") out = StorageKind::Lustre;
   else if (s == "nvme") out = StorageKind::NvmeLocal;
+  else if (s == "daos") out = StorageKind::Daos;
   else return false;
   return true;
 }
 
 /// makeEnvironment with the trial's optional "storageConfig" overrides
-/// merged onto the site's preset deployment (core/experiment owns the
-/// logic, shared with hcsim::chaos).
+/// merged onto the site's preset deployment, plus the optional
+/// "transport" section routing transfers through hcsim::transport
+/// (core/experiment owns the logic, shared with hcsim::chaos).
 Environment makeTrialEnvironment(Site site, StorageKind kind, std::size_t nodes,
-                                 const JsonValue* overrides) {
-  return makeEnvironment(site, kind, nodes, overrides);
+                                 const JsonValue* overrides, const JsonValue* transportSection) {
+  return makeEnvironment(site, kind, nodes, overrides, transportSection);
+}
+
+/// Copy the fabric's endpoint counters into the metric columns. A trial
+/// without a fabric leaves hasTransport unset, so its emitted bytes stay
+/// identical to a build without hcsim::transport.
+void fillTransport(TrialMetrics& m, const Environment& env) {
+  if (env.transport == nullptr) return;
+  m.hasTransport = true;
+  m.transportOps = static_cast<double>(env.transport->opsPosted());
+  m.transportBytes = static_cast<double>(env.transport->bytesPosted());
+  m.transportThrottleSec = env.transport->throttleDelay();
+  m.transportConnSetups = static_cast<double>(env.transport->connectionSetups());
+  m.transportSqWaits = static_cast<double>(env.transport->sqWaits());
+  m.transportDoorbells = static_cast<double>(env.transport->doorbells());
 }
 
 /// Copy engine/network/attribution telemetry out of a finished trial
@@ -106,7 +122,8 @@ TrialMetrics runIorTrial(const JsonValue& config, Site site, StorageKind kind,
     if (!fromJson(*j, cfg)) throw std::invalid_argument("sweep: 'ior' section does not parse");
   }
   cfg.validate();
-  Environment env = makeTrialEnvironment(site, kind, cfg.nodes, config.find("storageConfig"));
+  Environment env = makeTrialEnvironment(site, kind, cfg.nodes, config.find("storageConfig"),
+                                         config.find("transport"));
   if (opts.telemetry) env.bench->telemetry().setEnabled(true);
   if (opts.selfProfile) env.bench->profiler().setEnabled(true);
   injectChaos(config, env);
@@ -134,6 +151,7 @@ TrialMetrics runIorTrial(const JsonValue& config, Site site, StorageKind kind,
   }
   if (opts.telemetry) fillTelemetry(m, env);
   if (opts.selfProfile) fillSelf(m, env);
+  fillTransport(m, env);
   return m;
 }
 
@@ -155,7 +173,8 @@ TrialMetrics runWorkloadTrial(const JsonValue& config, const TrialOptions& opts)
   }
   Environment env = makeTrialEnvironment(spec.site, spec.storage, bundle.nodes,
                                          spec.storageConfig.isNull() ? nullptr
-                                                                     : &spec.storageConfig);
+                                                                     : &spec.storageConfig,
+                                         spec.transport.isNull() ? nullptr : &spec.transport);
   if (opts.telemetry) env.bench->telemetry().setEnabled(true);
   if (opts.selfProfile) env.bench->profiler().setEnabled(true);
   const workload::ChaosLandmarks lm = workload::injectWorkloadChaos(spec, env);
@@ -189,6 +208,7 @@ TrialMetrics runWorkloadTrial(const JsonValue& config, const TrialOptions& opts)
   }
   if (opts.telemetry) fillTelemetry(m, env);
   if (opts.selfProfile) fillSelf(m, env);
+  fillTransport(m, env);
   return m;
 }
 
@@ -198,7 +218,8 @@ TrialMetrics runDlioTrial(const JsonValue& config, Site site, StorageKind kind,
   if (const JsonValue* j = config.find("dlio")) {
     if (!fromJson(*j, cfg)) throw std::invalid_argument("sweep: 'dlio' section does not parse");
   }
-  Environment env = makeTrialEnvironment(site, kind, cfg.nodes, config.find("storageConfig"));
+  Environment env = makeTrialEnvironment(site, kind, cfg.nodes, config.find("storageConfig"),
+                                         config.find("transport"));
   if (opts.telemetry) env.bench->telemetry().setEnabled(true);
   if (opts.selfProfile) env.bench->profiler().setEnabled(true);
   injectChaos(config, env);
@@ -211,6 +232,7 @@ TrialMetrics runDlioTrial(const JsonValue& config, Site site, StorageKind kind,
   m.bytesMoved = static_cast<double>(r.bytesRead + r.bytesCheckpointed);
   if (opts.telemetry) fillTelemetry(m, env);
   if (opts.selfProfile) fillSelf(m, env);
+  fillTransport(m, env);
   return m;
 }
 
@@ -224,7 +246,8 @@ TrialMetrics runChaosTrial(const JsonValue& config, const TrialOptions& opts) {
     throw std::invalid_argument("sweep: chaos trial: " + err);
   }
   Environment env = makeEnvironment(spec.site, spec.storage, spec.workload.nodes,
-                                    spec.storageConfig.isNull() ? nullptr : &spec.storageConfig);
+                                    spec.storageConfig.isNull() ? nullptr : &spec.storageConfig,
+                                    spec.transport.isNull() ? nullptr : &spec.transport);
   if (opts.telemetry) env.bench->telemetry().setEnabled(true);
   if (opts.selfProfile) env.bench->profiler().setEnabled(true);
   const chaos::ChaosOutcome r = chaos::runChaosOn(env, spec);
@@ -242,6 +265,7 @@ TrialMetrics runChaosTrial(const JsonValue& config, const TrialOptions& opts) {
   }
   if (opts.telemetry) fillTelemetry(m, env);
   if (opts.selfProfile) fillSelf(m, env);
+  fillTransport(m, env);
   return m;
 }
 
@@ -262,7 +286,7 @@ TrialMetrics runTrial(const std::string& experiment, const JsonValue& config,
     }
     StorageKind kind = StorageKind::Vast;
     if (!parseStorageName(config.stringOr("storage", "vast"), kind)) {
-      throw std::invalid_argument("sweep: 'storage' must be vast|gpfs|lustre|nvme");
+      throw std::invalid_argument("sweep: 'storage' must be vast|gpfs|lustre|nvme|daos");
     }
     if (experiment == "ior") return runIorTrial(config, site, kind, opts);
     if (experiment == "dlio") return runDlioTrial(config, site, kind, opts);

@@ -83,6 +83,19 @@ struct TrialMetrics {
   double selfSolveSec = 0.0;
   double selfTelemetrySec = 0.0;
   double selfSinkSec = 0.0;
+
+  /// NIC/transport columns (hcsim::transport), populated only when the
+  /// trial ran with a fabric attached — a "transport" section in the
+  /// config, or DAOS storage (always on the fabric). Like telemetry and
+  /// self, absent means the emitted bytes match a build without the
+  /// feature; the columns ride LAST so older headers stay prefixes.
+  bool hasTransport = false;
+  double transportOps = 0.0;
+  double transportBytes = 0.0;
+  double transportThrottleSec = 0.0;
+  double transportConnSetups = 0.0;
+  double transportSqWaits = 0.0;
+  double transportDoorbells = 0.0;
 };
 
 struct TrialResult {

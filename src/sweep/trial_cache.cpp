@@ -92,6 +92,15 @@ JsonValue metricsToJson(const TrialMetrics& m) {
     o["monitors"] = m.monitors;
     o["breaches"] = m.breaches;
   }
+  if (m.hasTransport) {
+    o["hasTransport"] = true;
+    o["transportOps"] = m.transportOps;
+    o["transportBytes"] = m.transportBytes;
+    o["transportThrottleSec"] = m.transportThrottleSec;
+    o["transportConnSetups"] = m.transportConnSetups;
+    o["transportSqWaits"] = m.transportSqWaits;
+    o["transportDoorbells"] = m.transportDoorbells;
+  }
   // hasSelf is deliberately absent: self-profiled trials bypass the
   // cache entirely (host wall-clock is not reproducible).
   return JsonValue(std::move(o));
@@ -123,6 +132,13 @@ bool metricsFromJson(const JsonValue& j, TrialMetrics& m) {
   m.hasMonitors = j.boolOr("hasMonitors", false);
   m.monitors = j.numberOr("monitors", 0.0);
   m.breaches = j.numberOr("breaches", 0.0);
+  m.hasTransport = j.boolOr("hasTransport", false);
+  m.transportOps = j.numberOr("transportOps", 0.0);
+  m.transportBytes = j.numberOr("transportBytes", 0.0);
+  m.transportThrottleSec = j.numberOr("transportThrottleSec", 0.0);
+  m.transportConnSetups = j.numberOr("transportConnSetups", 0.0);
+  m.transportSqWaits = j.numberOr("transportSqWaits", 0.0);
+  m.transportDoorbells = j.numberOr("transportDoorbells", 0.0);
   return true;
 }
 

@@ -1,0 +1,118 @@
+#pragma once
+// TransportFabric — the per-endpoint NIC/transport model of
+// hcsim::transport. It sits between the storage models' launchTransfer
+// and FlowNetwork::startFlow: every transfer is posted to a *lane* (an
+// RDMA QP or an NFS/TCP stream, hashed by issuing process) on the
+// client node's endpoint, where it pays
+//
+//   * token-bucket op admission — the endpoint's IOPS budget, billed
+//     once per flow class (`members = N` costs what one member costs:
+//     the class is one posting client's descriptor stream);
+//   * connection setup when the lane is cold (never used, or idle past
+//     the profile's idleTimeout) — TCP handshake / QP transition as a
+//     simulated startup term;
+//   * doorbell + descriptor build costs, amortized over the profile's
+//     doorbell batch;
+//   * a send-queue admission limit: a flow occupies min(ops, sqDepth)
+//     descriptors until completion; a lane whose SQ is full queues the
+//     flow FIFO behind the occupant — head-of-line blocking (sqDepth=1
+//     serializes the lane);
+//   * an emergent rate ceiling min'd into the flow's rateCap:
+//     per-lane 1/(perOpCost + doorbellCost/doorbellBatch +
+//     perByteCost x opBytes) x opBytes, windowed by sqDepth x opBytes /
+//     baseRtt, times the min(streams, lanes) usable lanes, bounded by
+//     the IOPS budget.
+//
+// Determinism contract: the fabric is purely analytic — no randomness,
+// no wall-clock — so two identical runs produce byte-identical output,
+// and a run with no "transport" spec section constructs no fabric at
+// all (strict zero-cost: byte-identical to a build without this file).
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "fs/file_system_model.hpp"
+#include "net/flow_network.hpp"
+#include "transport/transport_profile.hpp"
+
+namespace hcsim::probe {
+class FlightRecorder;
+}
+
+namespace hcsim::transport {
+
+class TransportFabric {
+ public:
+  /// `recorder` (optional) receives a TransportStall record whenever a
+  /// flow queues behind a full send queue.
+  TransportFabric(Simulator& sim, FlowNetwork& net, TransportProfile profile,
+                  probe::FlightRecorder* recorder = nullptr);
+  TransportFabric(const TransportFabric&) = delete;
+  TransportFabric& operator=(const TransportFabric&) = delete;
+
+  const TransportProfile& profile() const { return profile_; }
+
+  /// Post one transfer: bill the endpoint costs into `spec` (startup
+  /// latency + rate ceiling), then start it on the flow network — or
+  /// queue it FIFO behind the issuing lane's full send queue. `spec` is
+  /// the storage model's fully built flow (bytes/route/rateCap are per
+  /// class member); `req` supplies the issuing client, op count and
+  /// stream count. `onComplete` fires exactly once.
+  void launch(FlowSpec spec, const IoRequest& req,
+              std::function<void(const FlowCompletion&)> onComplete);
+
+  // ---- Introspection (tests, telemetry) ----
+  std::uint64_t opsPosted() const { return ops_; }
+  std::uint64_t bytesPosted() const { return bytes_; }
+  Seconds throttleDelay() const { return throttleSec_; }  ///< summed token-bucket waits
+  std::uint64_t connectionSetups() const { return connSetups_; }
+  std::uint64_t sqWaits() const { return sqWaits_; }  ///< flows that queued on a full SQ
+  std::uint64_t doorbells() const { return doorbells_; }
+  /// Descriptors currently occupying send queues (all lanes).
+  std::uint64_t inflightDescriptors() const;
+
+  /// Snapshot "transport.*" metrics. Pull-based, never on the sim path.
+  void exportMetrics(telemetry::MetricsRegistry& reg) const;
+
+ private:
+  struct Pending {
+    FlowSpec spec;
+    std::size_t descs = 0;
+    std::function<void(const FlowCompletion&)> onComplete;
+  };
+  struct Lane {
+    Seconds lastUse = -1.0;     ///< < 0 = never used (cold)
+    std::size_t inFlight = 0;   ///< descriptors occupying the SQ
+    std::deque<Pending> fifo;   ///< head-of-line: waiting behind a full SQ
+    std::uint32_t subject = 0;  ///< probe record subject (node<<16 | lane)
+  };
+  struct Endpoint {
+    double tokens = 0.0;
+    Seconds lastRefill = 0.0;
+    std::vector<Lane> lanes;
+  };
+
+  Endpoint& endpoint(std::uint32_t node);
+  /// Admit the flow into the lane's SQ and start it on the network.
+  void admit(Lane& lane, Pending p);
+  /// Start queued flows that now fit in the SQ.
+  void pump(Lane& lane);
+
+  Simulator& sim_;
+  FlowNetwork& net_;
+  TransportProfile profile_;
+  probe::FlightRecorder* recorder_ = nullptr;
+  std::unordered_map<std::uint32_t, Endpoint> endpoints_;
+
+  std::uint64_t ops_ = 0;
+  std::uint64_t bytes_ = 0;
+  double throttleSec_ = 0.0;
+  std::uint64_t connSetups_ = 0;
+  std::uint64_t sqWaits_ = 0;
+  std::uint64_t doorbells_ = 0;
+};
+
+}  // namespace hcsim::transport

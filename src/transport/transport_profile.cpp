@@ -1,0 +1,128 @@
+#include "transport/transport_profile.hpp"
+
+#include <stdexcept>
+
+namespace hcsim::transport {
+
+const char* toString(FabricKind k) {
+  switch (k) {
+    case FabricKind::Tcp: return "tcp";
+    case FabricKind::Rdma: return "rdma";
+  }
+  return "?";
+}
+
+void TransportProfile::validate() const {
+  if (opRate <= 0.0) throw std::invalid_argument("TransportProfile: opRate must be > 0");
+  if (burstOps < 1.0) throw std::invalid_argument("TransportProfile: burstOps must be >= 1");
+  if (perOpCost < 0.0 || perByteCost < 0.0 || doorbellCost < 0.0 || descCost < 0.0) {
+    throw std::invalid_argument("TransportProfile: costs must be >= 0");
+  }
+  if (doorbellBatch < 1.0) {
+    throw std::invalid_argument("TransportProfile: doorbellBatch must be >= 1");
+  }
+  if (sqDepth == 0) throw std::invalid_argument("TransportProfile: sqDepth must be >= 1");
+  if (lanes == 0) throw std::invalid_argument("TransportProfile: lanes must be >= 1");
+  if (connectionSetup < 0.0 || idleTimeout < 0.0 || baseRtt < 0.0) {
+    throw std::invalid_argument("TransportProfile: times must be >= 0");
+  }
+}
+
+TransportProfile TransportProfile::tcp() {
+  TransportProfile p;
+  p.kind = FabricKind::Tcp;
+  p.opRate = 120'000.0;
+  p.burstOps = 64.0;
+  // Calibrated so one lane moves ~1.15 GB/s at 1 MiB ops — the paper's
+  // single-NFS/TCP-session ceiling: 1 MiB / (50us + 0.25us/16 +
+  // 8.22e-10 s/B x 1 MiB) ~= 1.15e9 B/s.
+  p.perOpCost = units::usec(50);
+  p.perByteCost = 8.22e-10;
+  p.doorbellCost = units::usec(0.25);
+  p.doorbellBatch = 16.0;
+  p.descCost = units::usec(0.03);
+  p.sqDepth = 128;
+  p.lanes = 1;
+  p.connectionSetup = units::msec(3.0);
+  p.idleTimeout = 0.0;
+  p.baseRtt = units::usec(250);
+  return p;
+}
+
+TransportProfile TransportProfile::rdma() {
+  TransportProfile p;
+  p.kind = FabricKind::Rdma;
+  p.opRate = 8'500'000.0;
+  p.burstOps = 64.0;
+  // Calibrated so one QP moves ~2.5 GB/s at 1 MiB ops: 1 MiB / (4us +
+  // 0.25us/16 + 3.96e-10 s/B x 1 MiB) ~= 2.5e9 B/s.
+  p.perOpCost = units::usec(4);
+  p.perByteCost = 3.96e-10;
+  p.doorbellCost = units::usec(0.25);
+  p.doorbellBatch = 16.0;
+  p.descCost = units::usec(0.03);
+  p.sqDepth = 512;
+  p.lanes = 16;
+  p.connectionSetup = units::usec(500);
+  p.idleTimeout = 0.0;
+  p.baseRtt = units::usec(25);
+  return p;
+}
+
+JsonValue toJson(const TransportProfile& p) {
+  JsonObject o;
+  o["kind"] = std::string(toString(p.kind));
+  o["opRate"] = p.opRate;
+  o["burstOps"] = p.burstOps;
+  o["perOpCost"] = p.perOpCost;
+  o["perByteCost"] = p.perByteCost;
+  o["doorbellCost"] = p.doorbellCost;
+  o["doorbellBatch"] = p.doorbellBatch;
+  o["descCost"] = p.descCost;
+  o["sqDepth"] = static_cast<double>(p.sqDepth);
+  o["lanes"] = static_cast<double>(p.lanes);
+  o["connectionSetup"] = p.connectionSetup;
+  o["idleTimeout"] = p.idleTimeout;
+  o["baseRtt"] = p.baseRtt;
+  return JsonValue(std::move(o));
+}
+
+namespace {
+void get(const JsonValue& j, const char* key, double& out) {
+  if (const JsonValue* v = j.find(key); v && v->isNumber()) out = *v->number();
+}
+void get(const JsonValue& j, const char* key, std::size_t& out) {
+  if (const JsonValue* v = j.find(key); v && v->isNumber()) {
+    out = static_cast<std::size_t>(*v->number());
+  }
+}
+}  // namespace
+
+bool fromJson(const JsonValue& j, TransportProfile& out) {
+  if (!j.isObject()) return false;
+  // "kind" selects the whole preset as the new baseline — so a section
+  // of just {"kind": "tcp"} compares complete endpoint classes, not a
+  // relabeled hybrid. The remaining keys then override individual knobs.
+  if (const JsonValue* v = j.find("kind")) {
+    if (!v->isString()) return false;
+    const std::string& s = *v->str();
+    if (s == "tcp") out = TransportProfile::tcp();
+    else if (s == "rdma") out = TransportProfile::rdma();
+    else return false;
+  }
+  get(j, "opRate", out.opRate);
+  get(j, "burstOps", out.burstOps);
+  get(j, "perOpCost", out.perOpCost);
+  get(j, "perByteCost", out.perByteCost);
+  get(j, "doorbellCost", out.doorbellCost);
+  get(j, "doorbellBatch", out.doorbellBatch);
+  get(j, "descCost", out.descCost);
+  get(j, "sqDepth", out.sqDepth);
+  get(j, "lanes", out.lanes);
+  get(j, "connectionSetup", out.connectionSetup);
+  get(j, "idleTimeout", out.idleTimeout);
+  get(j, "baseRtt", out.baseRtt);
+  return true;
+}
+
+}  // namespace hcsim::transport

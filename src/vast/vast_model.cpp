@@ -412,4 +412,14 @@ void VastModel::submitWrite(const IoRequest& req, IoCallback cb) {
   launchTransfer(req, req.bytes, route, kUncapped, perOp, rpc, std::move(cb));
 }
 
+
+transport::TransportProfile VastModel::declaredTransportProfile() const {
+  transport::TransportProfile p = cfg_.transport == NfsTransport::Rdma
+                                      ? transport::TransportProfile::rdma()
+                                      : transport::TransportProfile::tcp();
+  p.lanes = std::max<std::size_t>(1, cfg_.sessionsPerClient());
+  p.baseRtt = cfg_.rpcLatency();
+  return p;
+}
+
 }  // namespace hcsim

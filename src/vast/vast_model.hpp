@@ -43,6 +43,11 @@ class VastModel final : public StorageModelBase {
   Bytes totalCapacity() const override { return cfg_.totalCapacity(); }
   std::size_t clientParallelism() const override { return cfg_.sessionsPerClient(); }
 
+  /// NFS frontend as a first-principles endpoint: kind follows the
+  /// configured transport, lanes are the nconnect sessions, baseRtt is
+  /// the configured RPC latency.
+  transport::TransportProfile declaredTransportProfile() const override;
+
   // ---- Failure injection (HA semantics of §III-A) ----
   //
   // CNodes are stateless containers: a failed CNode's NFS sessions fail

@@ -237,13 +237,22 @@ void parseWorkloadSpec(const JsonValue& doc, WorkloadRunSpec& out,
   else if (storage == "gpfs") out.storage = StorageKind::Gpfs;
   else if (storage == "lustre") out.storage = StorageKind::Lustre;
   else if (storage == "nvme") out.storage = StorageKind::NvmeLocal;
-  else problems.push_back("storage: must be vast|gpfs|lustre|nvme (got '" + storage + "')");
+  else if (storage == "daos") out.storage = StorageKind::Daos;
+  else problems.push_back("storage: must be vast|gpfs|lustre|nvme|daos (got '" + storage + "')");
 
   if (const JsonValue* sc = doc.find("storageConfig")) {
     if (!sc->isObject() && !sc->isNull()) {
       problems.push_back("storageConfig: must be an object of preset overrides");
     } else {
       out.storageConfig = *sc;
+    }
+  }
+
+  if (const JsonValue* tr = doc.find("transport")) {
+    if (!tr->isObject() && !tr->isNull()) {
+      problems.push_back("transport: must be an object of endpoint-profile overrides");
+    } else {
+      out.transport = *tr;
     }
   }
 

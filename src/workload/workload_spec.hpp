@@ -38,6 +38,10 @@ struct WorkloadRunSpec {
   Site site = Site::Lassen;
   StorageKind storage = StorageKind::Vast;
   JsonValue storageConfig;  ///< null = site preset as-is
+  /// Raw "transport" section: merged onto the model's declared endpoint
+  /// profile and routed through hcsim::transport. null = no fabric
+  /// (byte-identical to before the transport layer existed).
+  JsonValue transport;
   std::string generator;
   JsonValue workload;  ///< the raw "workload" section (generator keys)
   bool retryEnabled = false;

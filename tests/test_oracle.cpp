@@ -82,7 +82,7 @@ TEST(ConfigGenerator, RejectsKnobsTheSerializerDoesNotEmit) {
 
 // ---------- relation registry ----------
 
-TEST(RelationRegistry, BuiltinCatalogCoversAllFourModels) {
+TEST(RelationRegistry, BuiltinCatalogCoversAllFiveModels) {
   const RelationRegistry& reg = RelationRegistry::builtin();
   EXPECT_GE(reg.all().size(), 12u);
   std::set<std::string> storages;
@@ -94,7 +94,8 @@ TEST(RelationRegistry, BuiltinCatalogCoversAllFourModels) {
     ASSERT_TRUE(r.generate) << r.name;
     ASSERT_TRUE(r.verdict) << r.name;
   }
-  EXPECT_EQ(storages, (std::set<std::string>{"vast", "gpfs", "lustre", "nvme"}));
+  EXPECT_EQ(storages,
+            (std::set<std::string>{"vast", "gpfs", "lustre", "nvme", "daos"}));
   EXPECT_EQ(kinds.size(), 5u) << "all five relation kinds must be exercised";
 }
 

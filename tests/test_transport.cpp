@@ -1,0 +1,338 @@
+// Unit tests pinning hcsim::transport's TransportFabric mechanisms one
+// at a time: token-bucket IOPS admission, send-queue head-of-line
+// blocking, doorbell-batch amortization, connection-setup billing for
+// cold lanes, and the flow-class contract (members=N is billed once per
+// class, not once per member). Each test starts from an inert profile
+// (every cost zero, every limit off) and switches on exactly the
+// mechanism under test, so the expected times are closed-form.
+
+#include "transport/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "net/flow_network.hpp"
+#include "telemetry/metrics_registry.hpp"
+#include "transport/transport_profile.hpp"
+
+namespace hcsim {
+namespace {
+
+/// Every cost zeroed, every limit effectively off. Tests then turn on
+/// one knob each.
+transport::TransportProfile inertProfile() {
+  transport::TransportProfile p;
+  p.opRate = 1e15;
+  p.burstOps = 1e15;
+  p.perOpCost = 0.0;
+  p.perByteCost = 0.0;
+  p.doorbellCost = 0.0;
+  p.doorbellBatch = 1.0;
+  p.descCost = 0.0;
+  p.sqDepth = 1u << 20;
+  p.lanes = 1;
+  p.connectionSetup = 0.0;
+  p.idleTimeout = 0.0;
+  p.baseRtt = 0.0;
+  return p;
+}
+
+struct Harness {
+  explicit Harness(transport::TransportProfile p, Bandwidth linkBw = 1e12)
+      : fabric(sim, net, std::move(p)) {
+    link = net.addLink("wire", linkBw);
+  }
+  Simulator sim;
+  FlowNetwork net{sim};
+  LinkId link{};
+  transport::TransportFabric fabric;
+
+  /// Launch `bytes` as `ops` coalesced operations from (node 0, proc)
+  /// and return the completion time (-1 = never completed).
+  SimTime launch(Bytes bytes, std::uint64_t ops, std::uint32_t proc = 0,
+                 std::uint32_t streams = 1, std::uint32_t members = 1) {
+    FlowSpec spec;
+    spec.bytes = bytes;
+    spec.route = {link};
+    spec.members = members;
+    IoRequest req;
+    req.client = {0, proc};
+    req.bytes = bytes;
+    req.ops = ops;
+    req.streams = streams;
+    req.members = members;
+    lastEnd = -1.0;
+    fabric.launch(spec, req, [this](const FlowCompletion& c) { lastEnd = c.endTime; });
+    return lastEnd;
+  }
+
+  SimTime lastEnd = -1.0;
+};
+
+// ---- token-bucket op admission ----
+
+TEST(TransportFabric, TokenBucketDelaysOverBudgetPosting) {
+  // 100 ops/s budget, bucket depth 1: posting 101 ops borrows 100
+  // tokens, so the first byte waits 100/100 = 1 s. The IOPS budget also
+  // caps the rate at opRate x opBytes = 100 x 10 = 1000 B/s.
+  transport::TransportProfile p = inertProfile();
+  p.opRate = 100.0;
+  p.burstOps = 1.0;
+  Harness h(p);
+  h.launch(1010, 101);
+  h.sim.run();
+  EXPECT_NEAR(h.lastEnd, 1.0 + 1010.0 / 1000.0, 1e-9);
+  EXPECT_NEAR(h.fabric.throttleDelay(), 1.0, 1e-9);
+  EXPECT_EQ(h.fabric.opsPosted(), 101u);
+}
+
+TEST(TransportFabric, TokensRefillAtOpRate) {
+  // Within-budget postings never wait: 1 op against a deep bucket.
+  transport::TransportProfile p = inertProfile();
+  p.opRate = 100.0;
+  p.burstOps = 64.0;
+  Harness h(p);
+  h.launch(10, 1);
+  h.sim.run();
+  EXPECT_NEAR(h.fabric.throttleDelay(), 0.0, 1e-12);
+  EXPECT_NEAR(h.lastEnd, 10.0 / 1000.0, 1e-9);  // opRate cap: 100 x 10 B/s
+}
+
+// ---- send-queue depth: head-of-line blocking ----
+
+TEST(TransportFabric, FullSendQueueSerializesTheLane) {
+  // sqDepth=1 on a 100 B/s wire: the second flow queues behind the
+  // first (10 s) instead of fair-sharing (which would end both at 20 s).
+  transport::TransportProfile p = inertProfile();
+  p.sqDepth = 1;
+  Harness h(p, 100.0);
+  std::vector<SimTime> ends;
+  for (int i = 0; i < 2; ++i) {
+    FlowSpec spec;
+    spec.bytes = 1000;
+    spec.route = {h.link};
+    IoRequest req;
+    req.client = {0, 0};
+    req.bytes = 1000;
+    req.ops = 1;
+    h.fabric.launch(spec, req, [&](const FlowCompletion& c) { ends.push_back(c.endTime); });
+  }
+  EXPECT_EQ(h.fabric.sqWaits(), 1u);
+  h.sim.run();
+  ASSERT_EQ(ends.size(), 2u);
+  EXPECT_NEAR(ends[0], 10.0, 1e-9);
+  EXPECT_NEAR(ends[1], 20.0, 1e-9);
+  EXPECT_EQ(h.fabric.inflightDescriptors(), 0u);
+}
+
+TEST(TransportFabric, DeepSendQueueSharesTheLane) {
+  // Same two flows with a deep SQ: both admitted at t=0, fair-share the
+  // wire, both end at 20 s. The contrast with the test above is the
+  // whole head-of-line story.
+  Harness h(inertProfile(), 100.0);
+  std::vector<SimTime> ends;
+  for (int i = 0; i < 2; ++i) {
+    FlowSpec spec;
+    spec.bytes = 1000;
+    spec.route = {h.link};
+    IoRequest req;
+    req.client = {0, 0};
+    req.bytes = 1000;
+    req.ops = 1;
+    h.fabric.launch(spec, req, [&](const FlowCompletion& c) { ends.push_back(c.endTime); });
+  }
+  EXPECT_EQ(h.fabric.sqWaits(), 0u);
+  h.sim.run();
+  ASSERT_EQ(ends.size(), 2u);
+  EXPECT_NEAR(ends[0], 20.0, 1e-9);
+  EXPECT_NEAR(ends[1], 20.0, 1e-9);
+}
+
+// ---- doorbell batching ----
+
+TEST(TransportFabric, DoorbellBatchAmortizesPerOpCost) {
+  // 100 x 10 B ops with a 1 ms doorbell. Unbatched the lane moves
+  // 10 B / 1 ms = 10 kB/s; batch=10 amortizes the ring to 0.1 ms/op ->
+  // 100 kB/s. Both pay one first-batch post (1 ms) up front.
+  transport::TransportProfile slow = inertProfile();
+  slow.doorbellCost = 1e-3;
+  slow.doorbellBatch = 1.0;
+  Harness a(slow);
+  a.launch(1000, 100);
+  a.sim.run();
+  EXPECT_NEAR(a.lastEnd, 1e-3 + 1000.0 / 1e4, 1e-9);
+
+  transport::TransportProfile fast = inertProfile();
+  fast.doorbellCost = 1e-3;
+  fast.doorbellBatch = 10.0;
+  Harness b(fast);
+  b.launch(1000, 100);
+  b.sim.run();
+  EXPECT_NEAR(b.lastEnd, 1e-3 + 1000.0 / 1e5, 1e-9);
+  EXPECT_EQ(a.fabric.doorbells(), 1u);
+  EXPECT_EQ(b.fabric.doorbells(), 1u);
+}
+
+// ---- connection setup ----
+
+TEST(TransportFabric, ColdLanePaysConnectionSetupOnce) {
+  // 0.5 s handshake on a 100 B/s wire: the cold posting ends at
+  // 0.5 + 10 s; a warm re-posting of the same lane pays nothing.
+  transport::TransportProfile p = inertProfile();
+  p.connectionSetup = 0.5;
+  Harness h(p, 100.0);
+  h.launch(1000, 1);
+  h.sim.run();
+  EXPECT_NEAR(h.lastEnd, 0.5 + 10.0, 1e-9);
+  EXPECT_EQ(h.fabric.connectionSetups(), 1u);
+
+  const SimTime warmStart = h.sim.now();
+  h.launch(1000, 1);
+  h.sim.run();
+  EXPECT_NEAR(h.lastEnd, warmStart + 10.0, 1e-9);
+  EXPECT_EQ(h.fabric.connectionSetups(), 1u);
+}
+
+TEST(TransportFabric, EachLaneIsColdSeparately) {
+  transport::TransportProfile p = inertProfile();
+  p.lanes = 2;
+  p.connectionSetup = 0.5;
+  Harness h(p, 1e12);
+  h.launch(1000, 1, /*proc=*/0);
+  h.launch(1000, 1, /*proc=*/1);  // hashes to the other lane
+  h.sim.run();
+  EXPECT_EQ(h.fabric.connectionSetups(), 2u);
+}
+
+TEST(TransportFabric, IdleTimeoutReopensTheLane) {
+  transport::TransportProfile p = inertProfile();
+  p.connectionSetup = 0.5;
+  p.idleTimeout = 1.0;
+  Harness h(p, 100.0);
+  h.launch(1000, 1);
+  h.sim.run();  // lane last used at 10.5 s
+  EXPECT_EQ(h.fabric.connectionSetups(), 1u);
+  h.sim.runUntil(h.sim.now() + 5.0);  // idle well past the timeout
+  h.launch(1000, 1);
+  h.sim.run();
+  EXPECT_EQ(h.fabric.connectionSetups(), 2u);
+}
+
+// ---- lanes x streams rate ceiling ----
+
+TEST(TransportFabric, UsableLanesAreMinOfStreamsAndLanes) {
+  // perOpCost 1 ms at 10 B ops -> 10 kB/s per lane. 4 lanes but only 2
+  // streams -> 20 kB/s; 4 streams -> 40 kB/s; 8 streams stays 40 kB/s.
+  transport::TransportProfile p = inertProfile();
+  p.perOpCost = 1e-3;
+  p.lanes = 4;
+  const Bytes bytes = 4000;
+  const std::uint64_t ops = 400;
+  std::vector<double> rates;
+  for (std::uint32_t streams : {2u, 4u, 8u}) {
+    Harness h(p);
+    h.launch(bytes, ops, 0, streams);
+    h.sim.run();
+    rates.push_back(static_cast<double>(bytes) / h.lastEnd);
+  }
+  EXPECT_NEAR(rates[0], 2e4, 1.0);
+  EXPECT_NEAR(rates[1], 4e4, 1.0);
+  EXPECT_NEAR(rates[2], 4e4, 1.0);  // lanes bind, extra streams are idle
+}
+
+// ---- flow classes: members billed once ----
+
+TEST(TransportFabric, ClassMembersAreBilledOncePerClass) {
+  // A class of 4 members posting 101 ops pays the same token-bucket
+  // delay as a single client (the class is one descriptor stream), and
+  // the byte counter reports the aggregate payload.
+  transport::TransportProfile p = inertProfile();
+  p.opRate = 100.0;
+  p.burstOps = 1.0;
+  Harness h(p);
+  h.launch(1010, 101, 0, 1, /*members=*/4);
+  h.sim.run();
+  EXPECT_NEAR(h.fabric.throttleDelay(), 1.0, 1e-9);  // same as members=1
+  EXPECT_EQ(h.fabric.opsPosted(), 101u);             // not 404
+  EXPECT_EQ(h.fabric.bytesPosted(), 4040u);          // aggregate bytes
+}
+
+// ---- telemetry + profile plumbing ----
+
+TEST(TransportFabric, ExportsTransportMetrics) {
+  Harness h(inertProfile(), 100.0);
+  h.launch(1000, 1);
+  h.sim.run();
+  telemetry::MetricsRegistry reg;
+  h.fabric.exportMetrics(reg);
+  EXPECT_EQ(reg.counterOr("transport.ops_posted", -1.0), 1.0);
+  EXPECT_EQ(reg.counterOr("transport.bytes_posted", -1.0), 1000.0);
+  EXPECT_EQ(reg.counterOr("transport.sq_waits", -1.0), 0.0);
+  EXPECT_EQ(reg.gaugeOr("transport.lanes", -1.0), 1.0);
+  EXPECT_EQ(reg.gaugeOr("transport.inflight_descriptors", -1.0), 0.0);
+}
+
+TEST(TransportProfileJson, KindSelectsThePresetBaseline) {
+  // {"kind":"rdma"} on a declared TCP profile swaps in the whole RDMA
+  // preset (costs, lanes, depths), not just the label...
+  transport::TransportProfile p = transport::TransportProfile::tcp();
+  JsonValue j;
+  ASSERT_TRUE(parseJson(R"({"kind": "rdma"})", j));
+  ASSERT_TRUE(transport::fromJson(j, p));
+  const transport::TransportProfile rdma = transport::TransportProfile::rdma();
+  EXPECT_EQ(p.kind, transport::FabricKind::Rdma);
+  EXPECT_DOUBLE_EQ(p.perOpCost, rdma.perOpCost);
+  EXPECT_EQ(p.lanes, rdma.lanes);
+  EXPECT_EQ(p.sqDepth, rdma.sqDepth);
+
+  // ...and later keys still override individual preset knobs.
+  ASSERT_TRUE(parseJson(R"({"kind": "rdma", "lanes": 3})", j));
+  transport::TransportProfile q = transport::TransportProfile::tcp();
+  ASSERT_TRUE(transport::fromJson(j, q));
+  EXPECT_EQ(q.lanes, 3u);
+  EXPECT_DOUBLE_EQ(q.perOpCost, rdma.perOpCost);
+}
+
+TEST(TransportProfileJson, EmptySectionIsTheIdentity) {
+  transport::TransportProfile p = transport::TransportProfile::rdma();
+  p.lanes = 7;  // a non-preset marker value
+  JsonValue j;
+  ASSERT_TRUE(parseJson("{}", j));
+  ASSERT_TRUE(transport::fromJson(j, p));
+  EXPECT_EQ(p.lanes, 7u);
+  EXPECT_EQ(p.kind, transport::FabricKind::Rdma);
+}
+
+TEST(TransportProfileJson, RoundTripsAndRejectsBadKind) {
+  const transport::TransportProfile p = transport::TransportProfile::rdma();
+  transport::TransportProfile q = transport::TransportProfile::tcp();
+  ASSERT_TRUE(transport::fromJson(transport::toJson(p), q));
+  EXPECT_EQ(q.kind, p.kind);
+  EXPECT_DOUBLE_EQ(q.opRate, p.opRate);
+  EXPECT_DOUBLE_EQ(q.perByteCost, p.perByteCost);
+  EXPECT_EQ(q.lanes, p.lanes);
+
+  JsonValue bad;
+  ASSERT_TRUE(parseJson(R"({"kind": "carrier-pigeon"})", bad));
+  EXPECT_FALSE(transport::fromJson(bad, q));
+}
+
+TEST(TransportProfile, ValidateRejectsBadValues) {
+  transport::TransportProfile p = transport::TransportProfile::tcp();
+  p.opRate = 0.0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = transport::TransportProfile::tcp();
+  p.lanes = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = transport::TransportProfile::tcp();
+  p.sqDepth = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = transport::TransportProfile::tcp();
+  p.doorbellBatch = 0.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hcsim
